@@ -1,0 +1,36 @@
+# Convenience targets for the timedpa reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-short bench vet fmt check lrcheck experiments
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+check: build vet test
+
+# The headline reproduction: the paper's table, derivation and bounds.
+lrcheck:
+	$(GO) run ./cmd/lrcheck -n 3 -k 1 -curve 16
+
+# Regenerate the artifacts recorded in EXPERIMENTS.md.
+experiments:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt

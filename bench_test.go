@@ -1,0 +1,395 @@
+// Benchmark harness: one benchmark per experiment row of DESIGN.md's
+// experiment index (E1–E15). Each benchmark regenerates the corresponding
+// paper quantity — the five arrows of Section 6.2, the composed
+// T --13,1/8--> C, the expected-time bounds, the Proposition 4.2 /
+// Example 4.1 independence results, the digitization ablation, the
+// qualitative baseline, and the Monte Carlo scaling run — and asserts the
+// paper's bound on every iteration, so a regression that breaks the
+// reproduction fails the bench.
+package timedpa_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/dining"
+	"repro/internal/election"
+	"repro/internal/events"
+	"repro/internal/exec"
+	"repro/internal/mdp"
+	"repro/internal/pa"
+	"repro/internal/prob"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Shared fixtures: the n=3 analyses are built once; building them is
+// benchmarked separately in BenchmarkEnumerateProduct.
+var (
+	lrOnce sync.Once
+	lrK1   *dining.Analysis
+	lrK2   *dining.Analysis
+	elN3   *election.Analysis
+)
+
+func fixtures(b *testing.B) (*dining.Analysis, *dining.Analysis, *election.Analysis) {
+	b.Helper()
+	lrOnce.Do(func() {
+		var err error
+		if lrK1, err = dining.NewAnalysis(3, 1, 0); err != nil {
+			b.Fatal(err)
+		}
+		if lrK2, err = dining.NewAnalysis(3, 2, 0); err != nil {
+			b.Fatal(err)
+		}
+		if elN3, err = election.NewAnalysis(3, 1, 0); err != nil {
+			b.Fatal(err)
+		}
+	})
+	return lrK1, lrK2, elN3
+}
+
+// benchArrow checks one paper arrow (by index into PaperStatements) on
+// every iteration and asserts it holds.
+func benchArrow(b *testing.B, idx int) {
+	b.Helper()
+	a, _, _ := fixtures(b)
+	st := a.PaperStatements()[idx]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := core.CheckStatement(a.MDP, a.Index, st)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Holds {
+			b.Fatalf("paper statement fails: %s", r)
+		}
+	}
+}
+
+// E2 (Proposition A.3): T --2,1--> RT∪C.
+func BenchmarkArrowT_RT(b *testing.B) { benchArrow(b, 0) }
+
+// E3 (Proposition A.15): RT --3,1--> F∪G∪P.
+func BenchmarkArrowRT_FGP(b *testing.B) { benchArrow(b, 1) }
+
+// E4 (Proposition A.14): F --2,1/2--> G∪P.
+func BenchmarkArrowF_GP(b *testing.B) { benchArrow(b, 2) }
+
+// E5 (Proposition A.11): G --5,1/4--> P.
+func BenchmarkArrowG_P(b *testing.B) { benchArrow(b, 3) }
+
+// E1 (Proposition A.1): P --1,1--> C.
+func BenchmarkArrowP_C(b *testing.B) { benchArrow(b, 4) }
+
+// E6: the Section 6.2 derivation — check all five premises and compose
+// them into T --13,1/8--> C.
+func BenchmarkComposedT_C(b *testing.B) {
+	a, _, _ := fixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		proof, err := a.BuildPaperProof()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !proof.Stmt.Prob.Equal(prob.NewRat(1, 8)) || !proof.Stmt.Time.Equal(prob.FromInt(13)) {
+			b.Fatalf("composed statement %s", proof.Stmt)
+		}
+	}
+}
+
+// E6 (direct): model-check T --13,1/8--> C at horizon 13 in one shot.
+func BenchmarkDirectT_C(b *testing.B) {
+	a, _, _ := fixtures(b)
+	st := a.ComposedStatement()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := core.CheckStatement(a.MDP, a.Index, st)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Holds {
+			b.Fatalf("composed statement fails directly: %s", r)
+		}
+	}
+}
+
+// E7a: the expected-time recurrence of Section 6.2 (E[V] = 60, bound 63).
+func BenchmarkExpectedTimeRecurrence(b *testing.B) {
+	a, _, _ := fixtures(b)
+	for i := 0; i < b.N; i++ {
+		total, err := a.ExpectedTimeBound()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !total.Equal(prob.FromInt(63)) {
+			b.Fatalf("bound = %v, want 63", total)
+		}
+	}
+}
+
+// E7b: the measured worst-case expected time via value iteration.
+func BenchmarkExpectedTimeMDP(b *testing.B) {
+	a, _, _ := fixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		worst, _, err := a.WorstExpectedTime()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if worst > 63 {
+			b.Fatalf("worst expected time %.4f exceeds 63", worst)
+		}
+	}
+}
+
+// twoCoins is the Example 4.1 system for E8/E9.
+type twoCoins struct{ P, Q string }
+
+func twoCoinsAutomaton() *pa.Automaton[twoCoins] {
+	return &pa.Automaton[twoCoins]{
+		Name:  "two-coins",
+		Start: []twoCoins{{P: "?", Q: "?"}},
+		Steps: func(s twoCoins) []pa.Step[twoCoins] {
+			var steps []pa.Step[twoCoins]
+			if s.P == "?" {
+				steps = append(steps, pa.Step[twoCoins]{
+					Action: "flipP",
+					Next:   prob.MustUniform(twoCoins{P: "H", Q: s.Q}, twoCoins{P: "T", Q: s.Q}),
+				})
+			}
+			if s.Q == "?" {
+				steps = append(steps, pa.Step[twoCoins]{
+					Action: "flipQ",
+					Next:   prob.MustUniform(twoCoins{P: s.P, Q: "H"}, twoCoins{P: s.P, Q: "T"}),
+				})
+			}
+			return steps
+		},
+	}
+}
+
+// E8 (Proposition 4.2): exact evaluation of first∩first and next against
+// an adaptive adversary, asserting the guaranteed bounds.
+func BenchmarkFirstNext(b *testing.B) {
+	m := twoCoinsAutomaton()
+	hyps := []events.Hypothesis[twoCoins]{
+		{Action: "flipP", Pred: func(s twoCoins) bool { return s.P == "H" }, MinProb: prob.Half()},
+		{Action: "flipQ", Pred: func(s twoCoins) bool { return s.Q == "T" }, MinProb: prob.Half()},
+	}
+	firstEvent := events.FirstConjunction(hyps...)
+	nextEvent, err := events.NextOf(hyps...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	adv := adversary.FirstEnabled(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := exec.FromState(m, adv, twoCoins{P: "?", Q: "?"})
+		ivF, err := h.Prob(firstEvent, exec.EvalConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ivN, err := h.Prob(nextEvent, exec.EvalConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ivF.Lo.Less(prob.NewRat(1, 4)) || ivN.Lo.Less(prob.Half()) {
+			b.Fatalf("Proposition 4.2 bounds violated: %v, %v", ivF, ivN)
+		}
+	}
+}
+
+// E9 (Example 4.1): the adaptive adversary shifts the conditional
+// probability from 1/4 to 1/2 while the formal event stays at 1/4.
+func BenchmarkExample41(b *testing.B) {
+	m := twoCoinsAutomaton()
+	spiteful := adversary.HistoryDependent(m, func(frag *pa.Fragment[twoCoins], enabled []pa.Step[twoCoins]) int {
+		s := frag.Last()
+		if s.P == "?" {
+			return 0
+		}
+		if s.P == "H" && s.Q == "?" {
+			return 0
+		}
+		return -1
+	})
+	event := events.And(
+		events.First("flipP", func(s twoCoins) bool { return s.P == "H" }),
+		events.First("flipQ", func(s twoCoins) bool { return s.Q == "T" }),
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := exec.FromState(m, spiteful, twoCoins{P: "?", Q: "?"})
+		iv, err := h.Prob(event, exec.EvalConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !iv.Exact() || !iv.Lo.Equal(prob.NewRat(1, 4)) {
+			b.Fatalf("Example 4.1 probability = %v, want exactly 1/4", iv)
+		}
+	}
+}
+
+// E10 (ablation): the G --5,1/4--> P arrow under the faster k=2
+// digitization — the adversary gains speed, the bound must still hold.
+func BenchmarkAblationSpeedK(b *testing.B) {
+	_, a2, _ := fixtures(b)
+	st := a2.PaperStatements()[3]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := core.CheckStatement(a2.MDP, a2.Index, st)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Holds {
+			b.Fatalf("G arrow fails at k=2: %s", r)
+		}
+	}
+}
+
+// E11 (baseline): the Zuck–Pnueli-style qualitative analysis — every
+// T-state reaches C with probability 1 under every adversary, with no
+// time bound attached.
+func BenchmarkBaselineLiveness(b *testing.B) {
+	a, _, _ := fixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total, almostSure := a.QualitativeProgress()
+		if total == 0 || total != almostSure {
+			b.Fatalf("qualitative progress %d/%d", almostSure, total)
+		}
+	}
+}
+
+// E12 (scaling): Monte Carlo expected time to C at n=10 under the
+// spiteful dense-time scheduler; the paper's bound of 63 must hold with
+// slack.
+func BenchmarkSimExpectedTime(b *testing.B) {
+	const n = 10
+	model := dining.MustNew(n)
+	opts := sim.Options[dining.State]{Start: dining.AllAt(n, dining.F), SetStart: true}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunOnce[dining.State](model, dining.Spiteful(), dining.InC, opts, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Reached || res.ReachedAt > 63 {
+			b.Fatalf("run did not reach C within the documented bound: %+v", res)
+		}
+	}
+}
+
+// E-extra: the third case study — a full Ben-Or consensus run under the
+// targeted crash adversary, asserting agreement on every iteration.
+func BenchmarkConsensusRun(b *testing.B) {
+	model := consensus.MustNew(3, 1)
+	start, err := model.StartWith([]uint8{0, 1, 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunOnce[consensus.State](model,
+			consensus.CrashLastReporter(sim.Random[consensus.State](0)),
+			consensus.State.AllCorrectDecided,
+			sim.Options[consensus.State]{Start: start, SetStart: true, MaxEvents: 20000},
+			rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Final.AgreementHolds() {
+			b.Fatal("agreement violated")
+		}
+	}
+}
+
+// E-extra: the second case study — per-level checks and composition for
+// leader election at n=3.
+func BenchmarkElectionProof(b *testing.B) {
+	_, _, e := fixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		proof, err := e.BuildProof()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !proof.Stmt.Prob.Equal(prob.MustParseRat("3/8")) {
+			b.Fatalf("composed election prob = %v", proof.Stmt.Prob)
+		}
+	}
+}
+
+// E13: the worst-case probability curve (the §7 lower-bound direction):
+// exact worst case of P[T reaches C within t] for t = 0..16.
+func BenchmarkProgressCurve(b *testing.B) {
+	a, _, _ := fixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		curve, err := a.ProgressCurve(16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tight, ok := core.TightestTime(curve, prob.NewRat(1, 8))
+		if !ok || tight != 7 {
+			b.Fatalf("tightest horizon = %d, %t; want 7", tight, ok)
+		}
+	}
+}
+
+// E-ablation (DESIGN.md §5.3): exact rationals vs float64 value iteration
+// on the same G --5--> P query. Compare ns/op with BenchmarkArrowG_P.
+func BenchmarkFloatVI(b *testing.B) {
+	a, _, _ := fixtures(b)
+	toMask := a.Index.Mask(sched.LiftPred(dining.InP))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := a.MDP.ReachWithinTicksFloat(toMask, 5, mdp.MinProb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(v) != a.Index.Len() {
+			b.Fatal("short result")
+		}
+	}
+}
+
+// E-extra: the most-damning schedule extraction for the composed claim.
+func BenchmarkWorstWitness(b *testing.B) {
+	a, _, _ := fixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lines, err := a.WorstWitness(13)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(lines) == 0 {
+			b.Fatal("empty witness")
+		}
+	}
+}
+
+// E-extra: cost of enumerating the digitized product itself (n=3, k=1).
+func BenchmarkEnumerateProduct(b *testing.B) {
+	model := dining.MustNew(3)
+	for i := 0; i < b.N; i++ {
+		auto, err := sched.Product[dining.State](model, sched.Config{StepsPerWindow: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, _, err := mdp.FromAutomaton(auto, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.NumStates == 0 {
+			b.Fatal("empty product")
+		}
+	}
+}

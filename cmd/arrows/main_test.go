@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunBuiltinScript(t *testing.T) {
+	if err := run([]string{"-n", "2", "-k", "1"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunCustomScript(t *testing.T) {
+	script := `
+let p = premise P --1,1--> C : Proposition A.1
+check p
+print p
+`
+	path := filepath.Join(t.TempDir(), "script.arrows")
+	if err := os.WriteFile(path, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "2", "-script", path}); err != nil {
+		t.Fatalf("run custom script: %v", err)
+	}
+}
+
+func TestRunBadScript(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.arrows")
+	if err := os.WriteFile(path, []byte("let x = premise T --99--> C"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "2", "-script", path}); err == nil {
+		t.Error("malformed script accepted")
+	}
+	if err := run([]string{"-n", "2", "-script", filepath.Join(t.TempDir(), "missing")}); err == nil {
+		t.Error("missing script file accepted")
+	}
+}
+
+func TestRunFailingPremiseRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "false.arrows")
+	// P --0,1--> C is false: crit takes one time unit.
+	if err := os.WriteFile(path, []byte("let x = premise P --0,1--> C"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "2", "-script", path}); err == nil {
+		t.Error("false premise accepted under -check-premises")
+	}
+}

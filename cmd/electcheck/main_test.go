@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunSmall(t *testing.T) {
+	if err := run([]string{"-n", "3", "-k", "1"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunBadSize(t *testing.T) {
+	if err := run([]string{"-n", "1"}); err == nil {
+		t.Error("single-process election accepted")
+	}
+}

@@ -1,0 +1,163 @@
+// Command lrsim runs the dense-time Monte Carlo experiments for the
+// Lehmann–Rabin reproduction: for each requested ring size and scheduling
+// policy it estimates the probability that some process enters its
+// critical region within a deadline (the paper claims at least 1/8 within
+// time 13 from any trying state), and the expected time to the critical
+// region (the paper bounds it by 63).
+//
+// Unlike cmd/lrcheck, which quantizes the adversary class and computes
+// exact worst cases, lrsim explores the paper's dense-time Unit-Time
+// schema directly, one programmable adversary at a time — including a
+// malicious history-aware scheduler that manufactures resource conflicts.
+//
+// Usage:
+//
+//	lrsim [-sizes 3,5,8] [-policies slowest,random,spiteful] \
+//	      [-trials 2000] [-within 13] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/dining"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lrsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lrsim", flag.ContinueOnError)
+	sizes := fs.String("sizes", "3,5,8", "comma-separated ring sizes")
+	policies := fs.String("policies", "slowest,random,spiteful", "comma-separated policies (slowest, random, spiteful, paced:<alpha>)")
+	trials := fs.Int("trials", 2000, "Monte Carlo trials per configuration")
+	within := fs.Float64("within", 13, "deadline for the probability estimate")
+	seed := fs.Int64("seed", 1, "random seed")
+	curveMax := fs.Int("curve", 0, "also print the empirical reach-probability curve up to this deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ns, err := parseSizes(*sizes)
+	if err != nil {
+		return err
+	}
+	names := strings.Split(*policies, ",")
+
+	fmt.Printf("Lehmann–Rabin Monte Carlo: start = all processes trying (flip-ready), trials = %d\n", *trials)
+	fmt.Printf("paper claims: P[reach C within 13] >= 1/8 = 0.125 from any trying state; E[time to C] <= 63\n\n")
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "n\tpolicy\tP[C within %g] (95%% Wilson)\tE[time to C] (95%% CI)\n", *within)
+	for _, n := range ns {
+		for _, name := range names {
+			name = strings.TrimSpace(name)
+			model, err := dining.New(n)
+			if err != nil {
+				return err
+			}
+			mk, err := policyFactory(name)
+			if err != nil {
+				return err
+			}
+			rng := rand.New(rand.NewSource(*seed))
+			opts := sim.Options[dining.State]{
+				Start:    dining.AllAt(n, dining.F),
+				SetStart: true,
+			}
+			probEst, err := sim.EstimateReachProb[dining.State](model, mk, dining.InC, *within, *trials, opts, rng)
+			if err != nil {
+				return err
+			}
+			timeEst, err := sim.EstimateTimeToTarget[dining.State](model, mk, dining.InC, *trials, opts, rng)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(tw, "%d\t%s\t%s\t%s\n", n, name, probEst.String(), timeEst.String())
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	if *curveMax > 0 {
+		n := ns[0]
+		name := strings.TrimSpace(names[0])
+		model, err := dining.New(n)
+		if err != nil {
+			return err
+		}
+		mk, err := policyFactory(name)
+		if err != nil {
+			return err
+		}
+		deadlines := make([]float64, *curveMax)
+		for i := range deadlines {
+			deadlines[i] = float64(i + 1)
+		}
+		rng := rand.New(rand.NewSource(*seed))
+		curve, err := sim.EstimateCurve[dining.State](model, mk, dining.InC, deadlines, *trials,
+			sim.Options[dining.State]{Start: dining.AllAt(n, dining.F), SetStart: true}, rng)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nempirical P[C within t] at n=%d under %s (the Monte Carlo analogue of lrcheck -curve):\n", n, name)
+		for i := range curve.Deadlines {
+			est, lo, hi, err := curve.Point(i)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  t=%-4g %.4f [%.4f, %.4f]\n", curve.Deadlines[i], est, lo, hi)
+		}
+	}
+	return nil
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad ring size %q: %v", part, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func policyFactory(name string) (func() sim.Policy[dining.State], error) {
+	switch {
+	case name == "slowest":
+		return func() sim.Policy[dining.State] {
+			return dining.KeepTrying(sim.Slowest[dining.State]())
+		}, nil
+	case name == "random":
+		return func() sim.Policy[dining.State] {
+			return dining.KeepTrying(sim.Random[dining.State](0.5))
+		}, nil
+	case name == "spiteful":
+		return func() sim.Policy[dining.State] {
+			return dining.Spiteful()
+		}, nil
+	case strings.HasPrefix(name, "paced:"):
+		alpha, err := strconv.ParseFloat(strings.TrimPrefix(name, "paced:"), 64)
+		if err != nil || alpha <= 0 || alpha > 1 {
+			return nil, fmt.Errorf("bad paced alpha in %q", name)
+		}
+		return func() sim.Policy[dining.State] {
+			return dining.KeepTrying(sim.Paced[dining.State](alpha))
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}

@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestRunSmall(t *testing.T) {
+	if err := run([]string{"-sizes", "3", "-policies", "slowest,random,spiteful,paced:0.5", "-trials", "20"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	tests := [][]string{
+		{"-sizes", "x"},
+		{"-sizes", "3", "-policies", "unknown"},
+		{"-sizes", "3", "-policies", "paced:2"},
+		{"-sizes", "3", "-policies", "paced:x"},
+		{"-sizes", "1", "-trials", "1"},
+	}
+	for _, args := range tests {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes("3, 5,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 3 || got[1] != 5 || got[2] != 8 {
+		t.Errorf("parseSizes = %v", got)
+	}
+}
+
+func TestRunCurve(t *testing.T) {
+	if err := run([]string{"-sizes", "3", "-policies", "slowest", "-trials", "30", "-curve", "6"}); err != nil {
+		t.Fatalf("run -curve: %v", err)
+	}
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunSmall(t *testing.T) {
+	if err := run([]string{"-n", "2", "-horizon", "9"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunBadSize(t *testing.T) {
+	if err := run([]string{"-n", "1"}); err == nil {
+		t.Error("single-process topology accepted")
+	}
+}

@@ -1,0 +1,81 @@
+// Command lrtrace runs a single execution of the Lehmann–Rabin algorithm
+// under a chosen scheduling policy and pretty-prints the trace in the
+// paper's Section 6.1 notation (program counters with direction arrows) —
+// Figure 1 of the paper, animated.
+//
+// Usage:
+//
+//	lrtrace [-n ring] [-policy slowest|random|spiteful] [-seed 1] \
+//	        [-until-c] [-max-events 60]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/dining"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lrtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lrtrace", flag.ContinueOnError)
+	n := fs.Int("n", 3, "ring size")
+	policy := fs.String("policy", "slowest", "slowest, random or spiteful")
+	seed := fs.Int64("seed", 1, "random seed")
+	untilC := fs.Bool("until-c", true, "stop when some process enters its critical region")
+	maxEvents := fs.Int("max-events", 60, "event budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	model := dining.MustNew(*n)
+	var pol sim.Policy[dining.State]
+	switch *policy {
+	case "slowest":
+		pol = dining.KeepTrying(sim.Slowest[dining.State]())
+	case "random":
+		pol = dining.KeepTrying(sim.Random[dining.State](0.5))
+	case "spiteful":
+		pol = dining.Spiteful()
+	default:
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+
+	start := dining.AllAt(*n, dining.F)
+	rec := trace.NewRecorder(start.String())
+	target := dining.InC
+	if !*untilC {
+		target = func(dining.State) bool { return false }
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	res, err := sim.RunOnce[dining.State](model, pol, target, sim.Options[dining.State]{
+		Start:     start,
+		SetStart:  true,
+		MaxEvents: *maxEvents,
+		Observer:  trace.Observer(rec, dining.State.String),
+	}, rng)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("Lehmann–Rabin, n=%d, policy=%s, seed=%d\n\n", *n, *policy, *seed)
+	fmt.Print(rec.Render())
+	if res.Reached {
+		fmt.Printf("\nsome process entered its critical region at time %.3f after %d events\n",
+			res.ReachedAt, res.Events)
+	} else {
+		fmt.Printf("\nstopped after %d events at time budget; final state %v\n", res.Events, res.Final)
+	}
+	return nil
+}

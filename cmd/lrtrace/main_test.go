@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestRunPolicies(t *testing.T) {
+	for _, policy := range []string{"slowest", "random", "spiteful"} {
+		if err := run([]string{"-n", "3", "-policy", policy, "-seed", "2"}); err != nil {
+			t.Errorf("policy %s: %v", policy, err)
+		}
+	}
+}
+
+func TestRunNoTarget(t *testing.T) {
+	if err := run([]string{"-n", "2", "-until-c=false", "-max-events", "10"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunUnknownPolicy(t *testing.T) {
+	if err := run([]string{"-policy", "nope"}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}

@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestRunSmall(t *testing.T) {
+	if err := run([]string{"-configs", "2x1", "-curve", "8", "-election", "3"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunSkips(t *testing.T) {
+	if err := run([]string{"-configs", "2x1", "-curve", "0", "-election", "0"}); err != nil {
+		t.Fatalf("run with skips: %v", err)
+	}
+}
+
+func TestParseConfigs(t *testing.T) {
+	got, err := parseConfigs("3x1, 4x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != (config{n: 3, k: 1}) || got[1] != (config{n: 4, k: 2}) {
+		t.Errorf("parseConfigs = %v", got)
+	}
+	for _, bad := range []string{"", "3", "3x", "ax1", "3xb"} {
+		if _, err := parseConfigs(bad); err == nil {
+			t.Errorf("config %q accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/pa"
+	"repro/internal/prob"
+)
+
+// chainAutomaton is a line 0 -> 1 -> ... -> n with, at each state, a
+// deterministic "fwd" step and a probabilistic "coin" step (stay or
+// advance), giving adversaries a real choice.
+func chainAutomaton(n int) *pa.Automaton[int] {
+	return &pa.Automaton[int]{
+		Name:  "chain",
+		Start: []int{0},
+		Steps: func(s int) []pa.Step[int] {
+			if s >= n {
+				return nil
+			}
+			return []pa.Step[int]{
+				{Action: "fwd", Next: prob.Point(s + 1)},
+				{Action: "coin", Next: prob.MustUniform(s, s+1)},
+			}
+		},
+	}
+}
+
+func TestHalt(t *testing.T) {
+	a := Halt[int]()
+	if _, ok := a.Step(pa.NewFragment(0)); ok {
+		t.Error("Halt returned a step")
+	}
+}
+
+func TestFirstEnabled(t *testing.T) {
+	m := chainAutomaton(3)
+	a := FirstEnabled(m)
+	frag := pa.NewFragment(0)
+	step, ok := a.Step(frag)
+	if !ok || step.Action != "fwd" {
+		t.Errorf("FirstEnabled chose %q, %t; want fwd, true", step.Action, ok)
+	}
+	// At the end of the chain nothing is enabled.
+	if _, ok := a.Step(pa.NewFragment(3)); ok {
+		t.Error("FirstEnabled returned a step in an absorbing state")
+	}
+}
+
+func TestMemoryless(t *testing.T) {
+	m := chainAutomaton(3)
+	tests := []struct {
+		name       string
+		choose     func(int, []pa.Step[int]) int
+		wantAction string
+		wantOK     bool
+	}{
+		{
+			name:       "second step",
+			choose:     func(int, []pa.Step[int]) int { return 1 },
+			wantAction: "coin",
+			wantOK:     true,
+		},
+		{
+			name:   "halt via negative index",
+			choose: func(int, []pa.Step[int]) int { return -1 },
+			wantOK: false,
+		},
+		{
+			name:   "halt via out-of-range index",
+			choose: func(int, []pa.Step[int]) int { return 99 },
+			wantOK: false,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			a := Memoryless(m, tt.choose)
+			step, ok := a.Step(pa.NewFragment(0))
+			if ok != tt.wantOK {
+				t.Fatalf("ok = %t, want %t", ok, tt.wantOK)
+			}
+			if ok && step.Action != tt.wantAction {
+				t.Errorf("action = %q, want %q", step.Action, tt.wantAction)
+			}
+		})
+	}
+}
+
+func TestHistoryDependent(t *testing.T) {
+	m := chainAutomaton(5)
+	// This adversary plays "coin" until some coin has failed to advance
+	// (visible in the history), then switches to "fwd" — the kind of
+	// outcome-reactive scheduling of Example 4.1 of the paper.
+	a := HistoryDependent(m, func(frag *pa.Fragment[int], enabled []pa.Step[int]) int {
+		for i := 0; i < frag.Len(); i++ {
+			if frag.Action(i) == "coin" && frag.State(i) == frag.State(i+1) {
+				return 0 // fwd
+			}
+		}
+		return 1 // coin
+	})
+
+	frag := pa.NewFragment(0)
+	step, _ := a.Step(frag)
+	if step.Action != "coin" {
+		t.Errorf("clean history: action = %q, want coin", step.Action)
+	}
+
+	stalled := pa.NewFragment(0).Extend("coin", 0)
+	step, _ = a.Step(stalled)
+	if step.Action != "fwd" {
+		t.Errorf("after stalled coin: action = %q, want fwd", step.Action)
+	}
+}
+
+func TestOblivious(t *testing.T) {
+	m := chainAutomaton(5)
+	a := Oblivious(m, []int{0, 1, 0})
+
+	frag := pa.NewFragment(0)
+	var actions []string
+	for {
+		step, ok := a.Step(frag)
+		if !ok {
+			break
+		}
+		actions = append(actions, step.Action)
+		// Follow the deterministic successor when available.
+		frag = frag.Extend(step.Action, step.Next.Support()[len(step.Next.Support())-1])
+	}
+	want := []string{"fwd", "coin", "fwd"}
+	if len(actions) != len(want) {
+		t.Fatalf("took %d steps, want %d", len(actions), len(want))
+	}
+	for i := range want {
+		if actions[i] != want[i] {
+			t.Errorf("step %d = %q, want %q", i, actions[i], want[i])
+		}
+	}
+}
+
+func TestObliviousIgnoresHistoryContent(t *testing.T) {
+	m := chainAutomaton(5)
+	a := Oblivious(m, []int{1, 1})
+	f1 := pa.NewFragment(0).Extend("fwd", 1)
+	f2 := pa.NewFragment(2).Extend("coin", 2)
+	s1, ok1 := a.Step(f1)
+	s2, ok2 := a.Step(f2)
+	if !ok1 || !ok2 {
+		t.Fatal("script exhausted early")
+	}
+	if s1.Action != s2.Action {
+		t.Errorf("oblivious adversary depended on history content: %q vs %q", s1.Action, s2.Action)
+	}
+}
+
+func TestWithPrefix(t *testing.T) {
+	m := chainAutomaton(5)
+	// An adversary that alternates by history length.
+	a := HistoryDependent(m, func(frag *pa.Fragment[int], _ []pa.Step[int]) int {
+		return frag.Len() % 2
+	})
+	prefix := pa.NewFragment(0).Extend("fwd", 1)
+
+	suffixAdv := WithPrefix(a, prefix)
+	// For the suffix adversary, a zero-length fragment at state 1 looks
+	// like history length 1 to the underlying adversary.
+	step, ok := suffixAdv.Step(pa.NewFragment(1))
+	if !ok {
+		t.Fatal("suffix adversary halted")
+	}
+	if step.Action != "coin" {
+		t.Errorf("suffix adversary chose %q, want coin", step.Action)
+	}
+
+	// A fragment that does not start at lstate(prefix) halts.
+	if _, ok := suffixAdv.Step(pa.NewFragment(3)); ok {
+		t.Error("suffix adversary accepted mismatched fragment")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	m := chainAutomaton(3)
+	good := FirstEnabled(m)
+	if err := Validate(m, good, pa.NewFragment(0)); err != nil {
+		t.Errorf("Validate(good): %v", err)
+	}
+
+	bogus := Func[int](func(*pa.Fragment[int]) (pa.Step[int], bool) {
+		return pa.Step[int]{Action: "teleport", Next: prob.Point(7)}, true
+	})
+	if err := Validate(m, bogus, pa.NewFragment(0)); err == nil {
+		t.Error("Validate accepted a non-enabled step")
+	}
+
+	if err := Validate(m, Halt[int](), pa.NewFragment(0)); err != nil {
+		t.Errorf("Validate(halt): %v", err)
+	}
+}
+
+func TestSchemaMember(t *testing.T) {
+	all := AllAdversaries[int]()
+	if !all.Member(Halt[int]()) {
+		t.Error("AllAdversaries rejected an adversary")
+	}
+	if !all.ExecutionClosed {
+		t.Error("AllAdversaries not marked execution closed")
+	}
+
+	none := &Schema[int]{Name: "empty", Contains: func(Adversary[int]) bool { return false }}
+	if none.Member(Halt[int]()) {
+		t.Error("empty schema accepted an adversary")
+	}
+}
+
+func TestCheckExecutionClosure(t *testing.T) {
+	m := chainAutomaton(4)
+	t.Run("all adversaries pass", func(t *testing.T) {
+		err := CheckExecutionClosure(m, AllAdversaries[int](), func() Adversary[int] {
+			return FirstEnabled(m)
+		}, ClosureCheckConfig{Trials: 20, MaxLen: 6, Seed: 1})
+		if err != nil {
+			t.Errorf("CheckExecutionClosure: %v", err)
+		}
+	})
+	t.Run("generator outside schema is reported", func(t *testing.T) {
+		none := &Schema[int]{Name: "empty", Contains: func(Adversary[int]) bool { return false }}
+		err := CheckExecutionClosure(m, none, func() Adversary[int] {
+			return FirstEnabled(m)
+		}, ClosureCheckConfig{Trials: 5, Seed: 1})
+		if err == nil {
+			t.Error("CheckExecutionClosure accepted generator outside schema")
+		}
+	})
+}

@@ -1,0 +1,104 @@
+package adversary
+
+import (
+	"fmt"
+
+	"repro/internal/pa"
+	"repro/internal/prob"
+)
+
+// This file implements randomized adversaries, the generalization the
+// paper sets aside in its footnote 1 ("we ignore the possibility that the
+// adversary itself uses randomness") and that the underlying model of
+// Segala supports: instead of choosing one enabled step, the adversary
+// chooses a probability distribution over the enabled steps (or over
+// halting). For reachability-style objectives randomization adds no power
+// — the worst case is always attained by a deterministic adversary — and
+// TestRandomizedNoWorse pins that fact; the type exists so that models of
+// randomized schedulers (e.g. a fair coin deciding which process runs)
+// can be expressed directly.
+
+// StepChoice is one alternative of a randomized decision: either Halt, or
+// the given step.
+type StepChoice[S comparable] struct {
+	Halt bool
+	Step pa.Step[S]
+}
+
+// Randomized is an adversary that resolves nondeterminism by randomizing:
+// given the past, it returns a distribution over enabled steps and
+// halting.
+type Randomized[S comparable] interface {
+	ChooseDist(frag *pa.Fragment[S]) (prob.Dist[int], []StepChoice[S])
+}
+
+// RandomizedFunc adapts a function to the Randomized interface.
+type RandomizedFunc[S comparable] func(frag *pa.Fragment[S]) (prob.Dist[int], []StepChoice[S])
+
+// ChooseDist implements Randomized.
+func (f RandomizedFunc[S]) ChooseDist(frag *pa.Fragment[S]) (prob.Dist[int], []StepChoice[S]) {
+	return f(frag)
+}
+
+var _ Randomized[int] = (RandomizedFunc[int])(nil)
+
+// Deterministically lifts an ordinary adversary to a randomized one that
+// puts all mass on the deterministic choice.
+func Deterministically[S comparable](a Adversary[S]) Randomized[S] {
+	return RandomizedFunc[S](func(frag *pa.Fragment[S]) (prob.Dist[int], []StepChoice[S]) {
+		step, ok := a.Step(frag)
+		if !ok {
+			return prob.Point(0), []StepChoice[S]{{Halt: true}}
+		}
+		return prob.Point(0), []StepChoice[S]{{Step: step}}
+	})
+}
+
+// UniformScheduler randomizes uniformly over all enabled steps of the
+// automaton, halting only when nothing is enabled — the "fair random
+// scheduler" environment model.
+func UniformScheduler[S comparable](m *pa.Automaton[S]) Randomized[S] {
+	return RandomizedFunc[S](func(frag *pa.Fragment[S]) (prob.Dist[int], []StepChoice[S]) {
+		enabled := m.Steps(frag.Last())
+		if len(enabled) == 0 {
+			return prob.Point(0), []StepChoice[S]{{Halt: true}}
+		}
+		choices := make([]StepChoice[S], len(enabled))
+		indices := make([]int, len(enabled))
+		for i, step := range enabled {
+			choices[i] = StepChoice[S]{Step: step}
+			indices[i] = i
+		}
+		return prob.MustUniform(indices...), choices
+	})
+}
+
+// Mix builds a randomized adversary that follows each of the given
+// adversaries with the paired probability, re-randomizing independently
+// at every decision point.
+func Mix[S comparable](advs []Adversary[S], weights []prob.Rat) (Randomized[S], error) {
+	if len(advs) != len(weights) {
+		return nil, fmt.Errorf("adversary: %d adversaries vs %d weights", len(advs), len(weights))
+	}
+	outcomes := make([]prob.Outcome[int], len(weights))
+	for i, w := range weights {
+		outcomes[i] = prob.Outcome[int]{Value: i, Prob: w}
+	}
+	dist, err := prob.NewDist(outcomes...)
+	if err != nil {
+		return nil, err
+	}
+	advsCopy := append([]Adversary[S](nil), advs...)
+	return RandomizedFunc[S](func(frag *pa.Fragment[S]) (prob.Dist[int], []StepChoice[S]) {
+		choices := make([]StepChoice[S], len(advsCopy))
+		for i, a := range advsCopy {
+			step, ok := a.Step(frag)
+			if !ok {
+				choices[i] = StepChoice[S]{Halt: true}
+			} else {
+				choices[i] = StepChoice[S]{Step: step}
+			}
+		}
+		return dist, choices
+	}), nil
+}

@@ -1,0 +1,100 @@
+package consensus
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/prob"
+	"repro/internal/sim"
+)
+
+func TestClaimUnanimousFast(t *testing.T) {
+	m := MustNew(3, 1)
+	claim := Claim{
+		Inputs: []uint8{1, 1, 1},
+		Within: 15,
+		Prob:   prob.MustParseRat("9/10"),
+	}
+	rng := rand.New(rand.NewSource(1))
+	ev, err := TestClaim(m, claim, nil, 600, 0.01, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s", ev)
+	if !ev.Supported {
+		t.Errorf("unanimous claim unsupported: %s", ev)
+	}
+	if ev.AgreementViolations != 0 || ev.ValidityViolations != 0 {
+		t.Errorf("safety violations: %+v", ev)
+	}
+}
+
+func TestClaimSplitStart(t *testing.T) {
+	m := MustNew(3, 1)
+	claim := Claim{
+		Inputs: []uint8{0, 1, 1},
+		Within: 40,
+		Prob:   prob.MustParseRat("3/4"),
+	}
+	rng := rand.New(rand.NewSource(2))
+	ev, err := TestClaim(m, claim, nil, 600, 0.01, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s", ev)
+	if !ev.Supported {
+		t.Errorf("split claim unsupported: %s", ev)
+	}
+}
+
+func TestClaimUnsupportable(t *testing.T) {
+	m := MustNew(3, 1)
+	// Deciding within time 1 is impossible (a round takes several steps
+	// under the slowest scheduler and we use random ones).
+	claim := Claim{Inputs: []uint8{0, 1, 0}, Within: 0.1, Prob: prob.Half()}
+	rng := rand.New(rand.NewSource(3))
+	ev, err := TestClaim(m, claim, nil, 100, 0.05, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Supported {
+		t.Errorf("impossible claim supported: %s", ev)
+	}
+	if !strings.Contains(ev.String(), "UNSUPPORTED") {
+		t.Errorf("render = %q", ev.String())
+	}
+}
+
+func TestClaimBadInputs(t *testing.T) {
+	m := MustNew(3, 1)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := TestClaim(m, Claim{Inputs: []uint8{1}, Within: 5, Prob: prob.Half()}, nil, 10, 0.05, rng); err == nil {
+		t.Error("short input vector accepted")
+	}
+}
+
+// TestCrashLastReporterAttack runs the targeted crash-timing adversary:
+// Ben-Or must still agree on every run and terminate with high
+// probability.
+func TestCrashLastReporterAttack(t *testing.T) {
+	m := MustNew(3, 1)
+	claim := Claim{
+		Inputs: []uint8{0, 1, 1},
+		Within: 40,
+		Prob:   prob.MustParseRat("2/3"),
+	}
+	rng := rand.New(rand.NewSource(4))
+	mk := func() sim.Policy[State] { return CrashLastReporter(sim.Random[State](0)) }
+	ev, err := TestClaim(m, claim, mk, 500, 0.01, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("targeted attack: %s", ev)
+	if ev.AgreementViolations != 0 {
+		t.Errorf("agreement broken under targeted crashes: %+v", ev)
+	}
+	if !ev.Supported {
+		t.Errorf("claim unsupported under targeted crashes: %s", ev)
+	}
+}

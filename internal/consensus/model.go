@@ -1,0 +1,355 @@
+// Package consensus implements Ben-Or-style randomized binary consensus,
+// the kind of algorithm the paper's introduction motivates (randomization
+// solving problems that are unsolvable deterministically — here,
+// asynchronous agreement despite crash faults).
+//
+// The model is the classic two-phase shared-memory variant. Each round r
+// has a report board and a proposal board. An undecided process posts its
+// current value to the report board of its round, waits until at least
+// n-f reports are visible, and computes a proposal: the value it saw in
+// strict majority, or "abstain". It posts the proposal, waits for n-f
+// proposals, and then: decides v if it saw at least f+1 proposals for v;
+// adopts v if it saw at least one; otherwise flips a fair coin. The
+// adversary schedules everything (Unit-Time applies to enabled steps),
+// orders posts against reads — so different processes genuinely see
+// different snapshots — and may crash up to f processes at any moment.
+//
+// The state space is unbounded in the round number, so this case study is
+// exercised through the dense-time Monte Carlo engine (package sim)
+// rather than the exact checker; rounds are capped at MaxRounds per run
+// and the cap is reported when hit. Agreement and validity are checked as
+// invariants on every visited state; termination time is estimated
+// against arrow-style claims with Hoeffding confidence bounds.
+package consensus
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/pa"
+	"repro/internal/prob"
+	"repro/internal/sched"
+)
+
+// MaxProcs bounds the ring size (state arrays are fixed-size to keep
+// states comparable).
+const MaxProcs = 5
+
+// MaxRounds caps the rounds tracked per run.
+const MaxRounds = 8
+
+// Phase is a process's position within its round.
+type Phase uint8
+
+// Phases, in round order.
+const (
+	// PostReport: about to post the value to the report board.
+	PostReport Phase = iota
+	// AwaitReports: waiting to read n-f reports.
+	AwaitReports
+	// PostProposal: about to post the computed proposal.
+	PostProposal
+	// AwaitProposals: waiting to read n-f proposals.
+	AwaitProposals
+	// Flip: no proposal seen; about to flip the coin for the next round.
+	Flip
+	// Done: decided.
+	Done
+	// Stopped: round cap reached without deciding.
+	Stopped
+)
+
+// Slot values on the boards.
+const (
+	slotEmpty   uint8 = 0
+	slotZero    uint8 = 1
+	slotOne     uint8 = 2
+	slotAbstain uint8 = 3
+)
+
+// Proc is one process's local state.
+type Proc struct {
+	Phase   Phase
+	Round   uint8
+	Value   uint8 // current binary value (0 or 1)
+	Prop    uint8 // proposal computed at read time (a slot value)
+	Decided uint8 // decided value, meaningful when Phase == Done
+	Crashed bool
+}
+
+// State is a global protocol state.
+type State struct {
+	n, f    uint8
+	crashes uint8 // crashes already injected by the adversary
+	procs   [MaxProcs]Proc
+	reports [MaxRounds][MaxProcs]uint8
+	props   [MaxRounds][MaxProcs]uint8
+}
+
+// N returns the number of processes; F the crash budget.
+func (s State) N() int { return int(s.n) }
+
+// F returns the crash budget.
+func (s State) F() int { return int(s.f) }
+
+// Proc returns process i's local state.
+func (s State) Proc(i int) Proc { return s.procs[i] }
+
+// Decided reports whether process i has decided, and on what.
+func (s State) Decided(i int) (uint8, bool) {
+	p := s.procs[i]
+	return p.Decided, p.Phase == Done
+}
+
+// AllCorrectDecided reports whether every non-crashed process has decided.
+func (s State) AllCorrectDecided() bool {
+	for i := 0; i < s.N(); i++ {
+		p := s.procs[i]
+		if !p.Crashed && p.Phase != Done {
+			return false
+		}
+	}
+	return true
+}
+
+// AgreementHolds reports that no two processes decided differently.
+func (s State) AgreementHolds() bool {
+	seen := -1
+	for i := 0; i < s.N(); i++ {
+		if v, ok := s.Decided(i); ok {
+			if seen >= 0 && int(v) != seen {
+				return false
+			}
+			seen = int(v)
+		}
+	}
+	return true
+}
+
+// Stalled reports whether some process hit the round cap.
+func (s State) Stalled() bool {
+	for i := 0; i < s.N(); i++ {
+		if s.procs[i].Phase == Stopped {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the state compactly, e.g. "[r1:AwaitP v=1 | D0 | X]".
+func (s State) String() string {
+	parts := make([]string, s.N())
+	for i := range parts {
+		p := s.procs[i]
+		switch {
+		case p.Crashed:
+			parts[i] = "X"
+		case p.Phase == Done:
+			parts[i] = fmt.Sprintf("D%d", p.Decided)
+		case p.Phase == Stopped:
+			parts[i] = "stop"
+		default:
+			parts[i] = fmt.Sprintf("r%d:%d v=%d", p.Round, p.Phase, p.Value)
+		}
+	}
+	return "[" + strings.Join(parts, " | ") + "]"
+}
+
+// Model is the protocol as a sched.Model.
+type Model struct {
+	n, f int
+}
+
+var _ sched.Model[State] = (*Model)(nil)
+
+// New returns the n-process model tolerating f crashes; Ben-Or requires
+// n > 2f.
+func New(n, f int) (*Model, error) {
+	if n < 2 || n > MaxProcs {
+		return nil, fmt.Errorf("consensus: %d processes outside 2..%d", n, MaxProcs)
+	}
+	if f < 0 || 2*f >= n {
+		return nil, fmt.Errorf("consensus: crash budget %d violates n > 2f for n = %d", f, n)
+	}
+	return &Model{n: n, f: f}, nil
+}
+
+// MustNew is like New but panics on invalid input.
+func MustNew(n, f int) *Model {
+	m, err := New(n, f)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Name implements sched.Model.
+func (m *Model) Name() string { return fmt.Sprintf("ben-or(n=%d,f=%d)", m.n, m.f) }
+
+// NumProcs implements sched.Model.
+func (m *Model) NumProcs() int { return m.n }
+
+// StartWith builds the initial state from explicit binary inputs.
+func (m *Model) StartWith(values []uint8) (State, error) {
+	if len(values) != m.n {
+		return State{}, fmt.Errorf("consensus: %d inputs for %d processes", len(values), m.n)
+	}
+	var s State
+	s.n, s.f = uint8(m.n), uint8(m.f)
+	for i, v := range values {
+		if v > 1 {
+			return State{}, fmt.Errorf("consensus: input %d is not binary", v)
+		}
+		s.procs[i] = Proc{Phase: PostReport, Value: v}
+	}
+	return s, nil
+}
+
+// Start implements sched.Model: the adversarially interesting split start
+// (alternating inputs).
+func (m *Model) Start() []State {
+	values := make([]uint8, m.n)
+	for i := range values {
+		values[i] = uint8(i % 2)
+	}
+	s, err := m.StartWith(values)
+	if err != nil {
+		panic(err) // n validated by New
+	}
+	return []State{s}
+}
+
+func slotOf(v uint8) uint8 {
+	if v == 0 {
+		return slotZero
+	}
+	return slotOne
+}
+
+// countSlots tallies a board row as seen by a reader in state s: posted
+// entries, zeros, ones (abstains counted in posted only). A process that
+// has decided leaves its decision readable forever: an empty slot of a
+// decided process counts as that value — without this, a decided process
+// stops posting and can strand a laggard below the n-f gate forever (the
+// standard "decided processes keep helping" clause of Ben-Or).
+func countSlots(s State, row *[MaxProcs]uint8, n int) (posted, zeros, ones int) {
+	for i := 0; i < n; i++ {
+		slot := row[i]
+		if slot == slotEmpty && s.procs[i].Phase == Done {
+			slot = slotOf(s.procs[i].Decided)
+		}
+		switch slot {
+		case slotZero:
+			posted, zeros = posted+1, zeros+1
+		case slotOne:
+			posted, ones = posted+1, ones+1
+		case slotAbstain:
+			posted++
+		}
+	}
+	return posted, zeros, ones
+}
+
+// Moves implements sched.Model.
+func (m *Model) Moves(s State, i int) []pa.Step[State] {
+	p := s.procs[i]
+	if p.Crashed || p.Phase == Done || p.Phase == Stopped {
+		return nil
+	}
+	r := int(p.Round)
+	act := func(kind string) string { return fmt.Sprintf("%s_%d_r%d", kind, i, r) }
+
+	switch p.Phase {
+	case PostReport:
+		next := s
+		next.reports[r][i] = slotOf(p.Value)
+		next.procs[i].Phase = AwaitReports
+		return []pa.Step[State]{{Action: act("report"), Next: prob.Point(next)}}
+
+	case AwaitReports:
+		posted, zeros, ones := countSlots(s, &s.reports[r], m.n)
+		if posted < m.n-m.f {
+			return nil // genuinely blocked; no unit-time obligation
+		}
+		next := s
+		// Strict majority of ALL processes (> n/2) yields a proposal.
+		switch {
+		case 2*zeros > m.n:
+			next.procs[i].Prop = slotZero
+		case 2*ones > m.n:
+			next.procs[i].Prop = slotOne
+		default:
+			next.procs[i].Prop = slotAbstain
+		}
+		next.procs[i].Phase = PostProposal
+		return []pa.Step[State]{{Action: act("read"), Next: prob.Point(next)}}
+
+	case PostProposal:
+		next := s
+		next.props[r][i] = p.Prop
+		next.procs[i].Phase = AwaitProposals
+		return []pa.Step[State]{{Action: act("propose"), Next: prob.Point(next)}}
+
+	case AwaitProposals:
+		posted, zeros, ones := countSlots(s, &s.props[r], m.n)
+		if posted < m.n-m.f {
+			return nil
+		}
+		next := s
+		switch {
+		case zeros >= m.f+1:
+			next.procs[i].Phase = Done
+			next.procs[i].Decided = 0
+		case ones >= m.f+1:
+			next.procs[i].Phase = Done
+			next.procs[i].Decided = 1
+		case zeros > 0:
+			next.procs[i] = advance(next.procs[i], 0)
+		case ones > 0:
+			next.procs[i] = advance(next.procs[i], 1)
+		default:
+			next.procs[i].Phase = Flip
+		}
+		return []pa.Step[State]{{Action: act("collect"), Next: prob.Point(next)}}
+
+	case Flip:
+		headsNext, tailsNext := s, s
+		headsNext.procs[i] = advance(p, 0)
+		tailsNext.procs[i] = advance(p, 1)
+		return []pa.Step[State]{{
+			Action: act("flip"),
+			Next:   prob.MustUniform(headsNext, tailsNext),
+		}}
+	default:
+		return nil
+	}
+}
+
+// advance moves a process to the next round with the given value, or
+// stops it at the round cap.
+func advance(p Proc, value uint8) Proc {
+	p.Value = value
+	if int(p.Round)+1 >= MaxRounds {
+		p.Phase = Stopped
+		return p
+	}
+	p.Round++
+	p.Phase = PostReport
+	return p
+}
+
+// UserMoves implements sched.Model: the adversary may crash any live
+// process while its budget lasts. Posts already on the boards persist.
+func (m *Model) UserMoves(s State, i int) []pa.Step[State] {
+	p := s.procs[i]
+	if p.Crashed || int(s.crashes) >= m.f {
+		return nil
+	}
+	next := s
+	next.procs[i].Crashed = true
+	next.crashes++
+	return []pa.Step[State]{{
+		Action: fmt.Sprintf("crash_%d", i),
+		Next:   prob.Point(next),
+	}}
+}

@@ -1,0 +1,236 @@
+package consensus
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		n, f    int
+		wantErr bool
+	}{
+		{n: 3, f: 1},
+		{n: 5, f: 2},
+		{n: 2, f: 0},
+		{n: 3, f: 2, wantErr: true}, // 2f >= n
+		{n: 1, f: 0, wantErr: true},
+		{n: 6, f: 1, wantErr: true}, // beyond MaxProcs
+		{n: 3, f: -1, wantErr: true},
+	}
+	for _, tt := range tests {
+		_, err := New(tt.n, tt.f)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("New(%d, %d) err = %v, wantErr %t", tt.n, tt.f, err, tt.wantErr)
+		}
+	}
+}
+
+func TestStartWith(t *testing.T) {
+	m := MustNew(3, 1)
+	s, err := m.StartWith([]uint8{0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Proc(1).Value != 1 || s.Proc(0).Value != 0 {
+		t.Errorf("inputs not recorded: %v", s)
+	}
+	if _, err := m.StartWith([]uint8{0, 1}); err == nil {
+		t.Error("short input vector accepted")
+	}
+	if _, err := m.StartWith([]uint8{0, 1, 7}); err == nil {
+		t.Error("non-binary input accepted")
+	}
+}
+
+// stepProc advances process i by its single enabled move, failing the
+// test if it has none or several.
+func stepProc(t *testing.T, m *Model, s State, i int) State {
+	t.Helper()
+	moves := m.Moves(s, i)
+	if len(moves) != 1 {
+		t.Fatalf("proc %d has %d moves in %v", i, len(moves), s)
+	}
+	next, ok := moves[0].Next.IsPoint()
+	if !ok {
+		t.Fatalf("move %s not deterministic", moves[0].Action)
+	}
+	return next
+}
+
+// TestUnanimousDecidesInOneRound is validity: with all inputs 1 and no
+// crashes, every process decides 1 in round 0.
+func TestUnanimousDecidesInOneRound(t *testing.T) {
+	m := MustNew(3, 1)
+	s, err := m.StartWith([]uint8{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Post all reports, read all, post proposals, collect.
+	for phase := 0; phase < 4; phase++ {
+		for i := 0; i < 3; i++ {
+			s = stepProc(t, m, s, i)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		v, ok := s.Decided(i)
+		if !ok || v != 1 {
+			t.Errorf("proc %d: decided %d, %t; want 1, true (state %v)", i, v, ok, s)
+		}
+	}
+	if !s.AgreementHolds() || !s.AllCorrectDecided() {
+		t.Errorf("final state invariants: %v", s)
+	}
+}
+
+// TestEarlyReaderSeesPartialBoard pins the asymmetric-view mechanism: with
+// n=3, f=1, a process may read after only two reports.
+func TestEarlyReaderSeesPartialBoard(t *testing.T) {
+	m := MustNew(3, 1)
+	s, err := m.StartWith([]uint8{0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before any report, reading is blocked.
+	s1 := stepProc(t, m, s, 0) // proc 0 posts report(0)
+	if got := m.Moves(s1, 0); got != nil {
+		t.Fatalf("proc 0 can read after 1 report: %v", got)
+	}
+	s2 := stepProc(t, m, s1, 1) // proc 1 posts report(1)
+	// Now proc 0 reads {0, 1}: no strict majority of n=3, so abstain.
+	s3 := stepProc(t, m, s2, 0)
+	if s3.Proc(0).Prop != slotAbstain {
+		t.Errorf("proc 0 proposal = %d, want abstain", s3.Proc(0).Prop)
+	}
+	// Proc 2 posts report(1); a later reader sees {0,1,1}: majority 1.
+	s4 := stepProc(t, m, s3, 2)
+	s5 := stepProc(t, m, s4, 2)
+	if s5.Proc(2).Prop != slotOne {
+		t.Errorf("proc 2 proposal = %d, want 1", s5.Proc(2).Prop)
+	}
+}
+
+func TestCrashBudget(t *testing.T) {
+	m := MustNew(3, 1)
+	s := m.Start()[0]
+	crash := m.UserMoves(s, 0)
+	if len(crash) != 1 || crash[0].Action != "crash_0" {
+		t.Fatalf("user moves = %v", crash)
+	}
+	next, _ := crash[0].Next.IsPoint()
+	if !next.Proc(0).Crashed {
+		t.Error("crash did not mark the process")
+	}
+	// Budget exhausted: nobody else can crash.
+	for i := 0; i < 3; i++ {
+		if got := m.UserMoves(next, i); got != nil {
+			t.Errorf("crash available beyond budget: %v", got)
+		}
+	}
+	// Crashed processes have no moves.
+	if got := m.Moves(next, 0); got != nil {
+		t.Errorf("crashed process still has moves: %v", got)
+	}
+}
+
+// randomCrashPolicy wraps a scheduling policy with a crash of one random
+// process at a random early moment.
+func randomCrashPolicy(inner sim.Policy[State]) sim.Policy[State] {
+	return sim.PolicyFunc[State](func(v sim.View[State], rng *rand.Rand) (sim.Choice, bool) {
+		if len(v.UserMovers) > 0 && rng.Float64() < 0.05 {
+			return sim.Choice{Proc: v.UserMovers[rng.Intn(len(v.UserMovers))], User: true, At: v.Now}, true
+		}
+		return inner.Choose(v, rng)
+	})
+}
+
+// TestAgreementAndTermination runs many adversarial schedules from the
+// split start and checks the Ben-Or guarantees: agreement on every run
+// that decides, and termination with high probability within the round
+// cap.
+func TestAgreementAndTermination(t *testing.T) {
+	m := MustNew(3, 1)
+	rng := rand.New(rand.NewSource(11))
+	var decided stats.Proportion
+	for trial := 0; trial < 400; trial++ {
+		policy := randomCrashPolicy(sim.Random[State](0))
+		res, err := sim.RunOnce[State](m, policy, State.AllCorrectDecided,
+			sim.Options[State]{MaxEvents: 5000, MaxTime: 500}, rng)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !res.Final.AgreementHolds() {
+			t.Fatalf("trial %d: agreement violated in %v", trial, res.Final)
+		}
+		if !res.Reached && !res.Final.Stalled() {
+			t.Fatalf("trial %d: non-termination not explained by the round cap: %v", trial, res.Final)
+		}
+		decided.Observe(res.Reached)
+	}
+	est, err := decided.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("termination within %d rounds: %s", MaxRounds, decided.String())
+	// Ben-Or terminates with probability 1 but only geometrically fast;
+	// the round cap censors a small tail.
+	if est < 0.85 {
+		t.Errorf("termination rate %.3f too low", est)
+	}
+}
+
+// TestValidityUnderCrashes: unanimous inputs decide on that value, even
+// with adversarial crash timing.
+func TestValidityUnderCrashes(t *testing.T) {
+	m := MustNew(3, 1)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		start, err := m.StartWith([]uint8{1, 1, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		policy := randomCrashPolicy(sim.Random[State](0))
+		res, err := sim.RunOnce[State](m, policy, State.AllCorrectDecided,
+			sim.Options[State]{Start: start, SetStart: true, MaxEvents: 5000, MaxTime: 500}, rng)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := 0; i < 3; i++ {
+			if v, ok := res.Final.Decided(i); ok && v != 1 {
+				t.Fatalf("trial %d: validity violated, proc %d decided %d", trial, i, v)
+			}
+		}
+	}
+}
+
+func TestStateString(t *testing.T) {
+	m := MustNew(3, 1)
+	s := m.Start()[0]
+	if got := s.String(); got == "" {
+		t.Error("empty render")
+	}
+	crashed := s
+	crashed.procs[0].Crashed = true
+	done := crashed
+	done.procs[1].Phase = Done
+	done.procs[1].Decided = 1
+	stopped := done
+	stopped.procs[2].Phase = Stopped
+	for _, want := range []string{"X", "D1", "stop"} {
+		if got := stopped.String(); !containsStr(got, want) {
+			t.Errorf("render %q missing %q", got, want)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,86 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/prob"
+)
+
+// The composition theorem on two toy statements: U --2,1/2--> U' and
+// U' --3,1/4--> U” chain into U --5,1/8--> U”.
+func ExampleCompose() {
+	u := core.NewUniverse([]int{0, 1, 2})
+	setU := core.NewSet("U", func(s int) bool { return s == 0 })
+	setV := core.NewSet("U'", func(s int) bool { return s == 1 })
+	setW := core.NewSet("U''", func(s int) bool { return s == 2 })
+	schema := core.SchemaInfo{Name: "Advs", ExecutionClosed: true}
+
+	p1, _ := core.Premise(core.Statement[int]{
+		From: setU, To: setV,
+		Time: prob.FromInt(2), Prob: prob.Half(),
+		Schema: schema,
+	}, "first leg")
+	p2, _ := core.Premise(core.Statement[int]{
+		From: setV, To: setW,
+		Time: prob.FromInt(3), Prob: prob.NewRat(1, 4),
+		Schema: schema,
+	}, "second leg")
+
+	composed, err := core.Compose(u, p1, p2)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(composed.Stmt)
+	// Output: U --5,1/8--> U''  [Advs]
+}
+
+// The Section 6.2 expected-time recurrence: three phases of the
+// Lehmann–Rabin loop solve to exactly 60, and the end-to-end bound to 63.
+func ExampleRetryLoop() {
+	loop := core.RetryLoop{Phases: []core.Phase{
+		{Name: "RT→F∪G∪P", Time: prob.FromInt(3), Prob: prob.One()},
+		{Name: "F→G∪P", Time: prob.FromInt(2), Prob: prob.Half()},
+		{Name: "G→P", Time: prob.FromInt(5), Prob: prob.NewRat(1, 4)},
+	}}
+	e, _ := loop.ExpectedTime()
+	total, _ := loop.ExpectedTimeBound(prob.FromInt(2), prob.One())
+	fmt.Println("E[loop] =", e)
+	fmt.Println("bound   =", total)
+	// Output:
+	// E[loop] = 60
+	// bound   = 63
+}
+
+// Statements parse from the paper's arrow notation.
+func ExampleParseStatement() {
+	registry := map[string]core.Set[int]{
+		"T": core.NewSet("T", func(s int) bool { return s == 0 }),
+		"C": core.NewSet("C", func(s int) bool { return s == 1 }),
+	}
+	st, err := core.ParseStatement(registry, "T --13,1/8--> C", core.UnitTimeSchema(1))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(st)
+	// Output: T --13,1/8--> C  [Unit-Time(k=1)]
+}
+
+// Proposition 3.2 in action: adjoining a set to both sides preserves the
+// bounds.
+func ExampleWeaken() {
+	f := core.NewSet("F", func(s int) bool { return s == 0 })
+	gp := core.NewSet("G∪P", func(s int) bool { return s == 1 })
+	c := core.NewSet("C", func(s int) bool { return s == 2 })
+
+	p, _ := core.Premise(core.Statement[int]{
+		From: f, To: gp,
+		Time: prob.FromInt(2), Prob: prob.Half(),
+		Schema: core.UnitTimeSchema(1),
+	}, "Proposition A.14")
+	w, _ := core.Weaken(p, c)
+	fmt.Println(w.Stmt)
+	// Output: F∪C --2,1/2--> G∪P∪C  [Unit-Time(k=1)]
+}

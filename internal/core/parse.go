@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/prob"
+)
+
+// ParseStatement parses the arrow notation "U --t,p--> V", resolving set
+// names (and unions written with '∪' or '+') against the registry. The
+// schema is attached as given. Examples:
+//
+//	T --13,1/8--> C
+//	RT --3,1--> F∪G∪P
+//	F+G+P --2,1/2--> G+P
+func ParseStatement[S comparable](reg map[string]Set[S], line string, schema SchemaInfo) (Statement[S], error) {
+	var zero Statement[S]
+	arrow := strings.Index(line, "-->")
+	if arrow < 0 {
+		return zero, fmt.Errorf("core: no \"-->\" in statement %q", line)
+	}
+	open := strings.Index(line[:arrow], "--")
+	if open < 0 {
+		return zero, fmt.Errorf("core: no opening \"--\" before \"-->\" in statement %q", line)
+	}
+
+	fromExpr := strings.TrimSpace(line[:open])
+	bounds := strings.TrimSpace(line[open+2 : arrow])
+	toExpr := strings.TrimSpace(line[arrow+len("-->"):])
+
+	parts := strings.SplitN(bounds, ",", 2)
+	if len(parts) != 2 {
+		return zero, fmt.Errorf("core: bounds %q are not \"time,prob\"", bounds)
+	}
+	t, err := prob.ParseRat(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return zero, fmt.Errorf("core: bad time in %q: %v", line, err)
+	}
+	p, err := prob.ParseRat(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return zero, fmt.Errorf("core: bad probability in %q: %v", line, err)
+	}
+
+	from, err := ParseSetExpr(reg, fromExpr)
+	if err != nil {
+		return zero, err
+	}
+	to, err := ParseSetExpr(reg, toExpr)
+	if err != nil {
+		return zero, err
+	}
+
+	st := Statement[S]{From: from, To: to, Time: t, Prob: p, Schema: schema}
+	if err := st.Validate(); err != nil {
+		return zero, err
+	}
+	return st, nil
+}
+
+// ParseSetExpr resolves a set name or a union of names ('∪' or '+'
+// separated) against the registry.
+func ParseSetExpr[S comparable](reg map[string]Set[S], expr string) (Set[S], error) {
+	var zero Set[S]
+	expr = strings.TrimSpace(expr)
+	if expr == "" {
+		return zero, fmt.Errorf("core: empty set expression")
+	}
+	normalized := strings.ReplaceAll(expr, "∪", "+")
+	names := strings.Split(normalized, "+")
+	sets := make([]Set[S], 0, len(names))
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		set, ok := reg[name]
+		if !ok {
+			return zero, fmt.Errorf("core: unknown set %q (known: %s)", name, knownSets(reg))
+		}
+		sets = append(sets, set)
+	}
+	if len(sets) == 1 {
+		return sets[0], nil
+	}
+	return Union(sets...), nil
+}
+
+func knownSets[S comparable](reg map[string]Set[S]) string {
+	names := make([]string, 0, len(reg))
+	for name := range reg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render pretty-prints the derivation tree, one node per line, with
+// box-drawing connectors — the Section 6.2 derivation as a machine-checked
+// artifact:
+//
+//	T --13,1/8--> C  [Unit-Time(k=1)]   compose (Thm 3.4)
+//	├─ T --2,1--> RT∪C  [...]           premise — Proposition A.3
+//	└─ ...
+func (p *Proof[S]) Render() string {
+	var b strings.Builder
+	p.render(&b, "", "")
+	return b.String()
+}
+
+func (p *Proof[S]) render(b *strings.Builder, prefix, childPrefix string) {
+	b.WriteString(prefix)
+	b.WriteString(p.Stmt.String())
+	b.WriteString("   ")
+	b.WriteString(string(p.Rule))
+	if p.Note != "" {
+		fmt.Fprintf(b, " — %s", p.Note)
+	}
+	b.WriteString("\n")
+	for i, c := range p.Children {
+		if i == len(p.Children)-1 {
+			c.render(b, childPrefix+"└─ ", childPrefix+"   ")
+		} else {
+			c.render(b, childPrefix+"├─ ", childPrefix+"│  ")
+		}
+	}
+}

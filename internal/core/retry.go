@@ -1,0 +1,130 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/prob"
+)
+
+// This file implements the expected-time analysis of Section 6.2 of the
+// paper. The proof chain gives a loop: from RT, the phases
+//
+//	RT --3,1--> F∪G∪P,  F∪G∪P --2,1/2--> G∪P,  G∪P --5,1/4--> P
+//
+// either all succeed (probability 1/8, time at most 10) or fail at some
+// phase, after which the state is back in RT and the loop restarts. The
+// paper captures this with the random variable V satisfying
+//
+//	V = 1/8·10 + 1/2·(5 + V1) + 3/8·(10 + V2),
+//
+// whose expectation solves to E[V] = 60; adding the deterministic entry
+// (T --2--> RT∪C) and exit (P --1--> C) arrows yields the bound of 63 on
+// the expected time for progress from T.
+
+// Phase is one probabilistic phase of a retry loop: it takes at most Time
+// and succeeds with probability at least Prob; on failure the whole loop
+// restarts (after the full Time of the phase has elapsed, the worst case).
+type Phase struct {
+	// Name identifies the phase in reports.
+	Name string
+	// Time is the phase's worst-case duration.
+	Time prob.Rat
+	// Prob is the phase's success probability lower bound.
+	Prob prob.Rat
+}
+
+// RetryLoop is a sequence of phases repeated until all succeed in order.
+type RetryLoop struct {
+	Phases []Phase
+}
+
+// Errors of the retry analysis.
+var (
+	ErrNoPhases    = errors.New("core: retry loop with no phases")
+	ErrZeroSuccess = errors.New("core: retry loop can never fully succeed")
+)
+
+// PhasesFromStatements builds loop phases from the chained statements of a
+// derivation, using each statement's time and probability bounds.
+func PhasesFromStatements[S comparable](sts ...Statement[S]) []Phase {
+	out := make([]Phase, len(sts))
+	for i, st := range sts {
+		out[i] = Phase{
+			Name: fmt.Sprintf("%s→%s", st.From.Name, st.To.Name),
+			Time: st.Time,
+			Prob: st.Prob,
+		}
+	}
+	return out
+}
+
+// SuccessProb returns the probability that one pass of the loop succeeds
+// end to end: the product of the phase probabilities.
+func (r RetryLoop) SuccessProb() prob.Rat {
+	ps := make([]prob.Rat, len(r.Phases))
+	for i, ph := range r.Phases {
+		ps[i] = ph.Prob
+	}
+	return prob.ProdRats(ps...)
+}
+
+// PassTime returns the worst-case duration of one full pass of the loop.
+func (r RetryLoop) PassTime() prob.Rat {
+	ts := make([]prob.Rat, len(r.Phases))
+	for i, ph := range r.Phases {
+		ts[i] = ph.Time
+	}
+	return prob.SumRats(ts...)
+}
+
+// ExpectedTime returns the exact solution of the renewal recurrence
+//
+//	E = Σ_i q_i (T_i + E) + P · T_success,
+//
+// where q_i is the probability of failing first at phase i, T_i the time
+// spent up to and including that phase, P the end-to-end success
+// probability and T_success the full pass time. For the paper's three
+// phases this evaluates to exactly 60.
+func (r RetryLoop) ExpectedTime() (prob.Rat, error) {
+	if len(r.Phases) == 0 {
+		return prob.Rat{}, ErrNoPhases
+	}
+	for _, ph := range r.Phases {
+		if ph.Time.Sign() < 0 {
+			return prob.Rat{}, fmt.Errorf("core: phase %q has negative time %v", ph.Name, ph.Time)
+		}
+		if !ph.Prob.IsProbability() {
+			return prob.Rat{}, fmt.Errorf("core: phase %q has probability %v outside [0, 1]", ph.Name, ph.Prob)
+		}
+	}
+	success := r.SuccessProb()
+	if success.IsZero() {
+		return prob.Rat{}, ErrZeroSuccess
+	}
+
+	// base = Σ_i q_i·T_i + P·T_success; the recurrence is E = base + (1-P)·E.
+	base := prob.Zero()
+	reachPhase := prob.One() // probability of reaching phase i
+	elapsed := prob.Zero()   // time through phase i
+	for _, ph := range r.Phases {
+		elapsed = elapsed.Add(ph.Time)
+		failHere := reachPhase.Mul(prob.One().Sub(ph.Prob))
+		base = base.Add(failHere.Mul(elapsed))
+		reachPhase = reachPhase.Mul(ph.Prob)
+	}
+	base = base.Add(success.Mul(elapsed))
+
+	return prob.SolveGeometric(base, prob.One().Sub(success))
+}
+
+// ExpectedTimeBound composes the loop bound with deterministic entry and
+// exit arrows: total = entryTime + E[loop] + exitTime. For the paper,
+// entry is T --2--> RT∪C, exit is P --1--> C, and the total is 63.
+func (r RetryLoop) ExpectedTimeBound(entryTime, exitTime prob.Rat) (prob.Rat, error) {
+	e, err := r.ExpectedTime()
+	if err != nil {
+		return prob.Rat{}, err
+	}
+	return entryTime.Add(e).Add(exitTime), nil
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mdp"
+	"repro/internal/prob"
+)
+
+// Script is a small proof-script interpreter. Each non-empty, non-comment
+// line is one of:
+//
+//	let <id> = premise <stmt> [: <note>]
+//	let <id> = weaken <id> + <setexpr>
+//	let <id> = compose <id> <id> [<id> ...]
+//	let <id> = relax <id> time=<t> prob=<p>
+//	let <id> = subset <setexpr> -> <setexpr>
+//	let <id> = renameto <id> <setexpr>
+//	check <id>
+//	print <id>
+//
+// where <stmt> uses the arrow notation of ParseStatement. "check" verifies
+// the statement against the bound model (every premise can also be checked
+// eagerly with Env.CheckPremises); "print" renders the derivation tree.
+// The environment accumulates output in Out.
+type Script[S comparable] struct {
+	// Registry resolves set names.
+	Registry map[string]Set[S]
+	// Schema is attached to parsed statements.
+	Schema SchemaInfo
+	// Universe decides subset side conditions.
+	Universe *Universe[S]
+	// Model and Index, when non-nil, enable "check" lines.
+	Model *mdp.MDP
+	Index *mdp.Index[S]
+	// CheckPremises verifies every premise against the model as it is
+	// introduced.
+	CheckPremises bool
+
+	defs map[string]*Proof[S]
+	out  strings.Builder
+}
+
+// Run executes the script and returns its accumulated output.
+func (sc *Script[S]) Run(script string) (string, error) {
+	sc.defs = make(map[string]*Proof[S])
+	sc.out.Reset()
+	for lineNo, raw := range strings.Split(script, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := sc.runLine(line); err != nil {
+			return sc.out.String(), fmt.Errorf("line %d (%q): %w", lineNo+1, line, err)
+		}
+	}
+	return sc.out.String(), nil
+}
+
+// Proof returns the derivation bound to id, if defined.
+func (sc *Script[S]) Proof(id string) (*Proof[S], bool) {
+	p, ok := sc.defs[id]
+	return p, ok
+}
+
+func (sc *Script[S]) runLine(line string) error {
+	switch {
+	case strings.HasPrefix(line, "let "):
+		return sc.runLet(strings.TrimPrefix(line, "let "))
+	case strings.HasPrefix(line, "check "):
+		return sc.runCheck(strings.TrimSpace(strings.TrimPrefix(line, "check ")))
+	case strings.HasPrefix(line, "print "):
+		id := strings.TrimSpace(strings.TrimPrefix(line, "print "))
+		p, err := sc.lookup(id)
+		if err != nil {
+			return err
+		}
+		sc.out.WriteString(p.Render())
+		return nil
+	default:
+		return fmt.Errorf("core: unknown script command")
+	}
+}
+
+func (sc *Script[S]) lookup(id string) (*Proof[S], error) {
+	p, ok := sc.defs[id]
+	if !ok {
+		return nil, fmt.Errorf("core: undefined proof %q", id)
+	}
+	return p, nil
+}
+
+func (sc *Script[S]) runLet(rest string) error {
+	eq := strings.Index(rest, "=")
+	if eq < 0 {
+		return fmt.Errorf("core: let without '='")
+	}
+	id := strings.TrimSpace(rest[:eq])
+	if id == "" {
+		return fmt.Errorf("core: let with empty identifier")
+	}
+	if _, exists := sc.defs[id]; exists {
+		return fmt.Errorf("core: proof %q already defined", id)
+	}
+	body := strings.TrimSpace(rest[eq+1:])
+	verb, args, _ := strings.Cut(body, " ")
+
+	var (
+		p   *Proof[S]
+		err error
+	)
+	switch verb {
+	case "premise":
+		p, err = sc.letPremise(args)
+	case "weaken":
+		p, err = sc.letWeaken(args)
+	case "compose":
+		p, err = sc.letCompose(args)
+	case "relax":
+		p, err = sc.letRelax(args)
+	case "subset":
+		p, err = sc.letSubset(args)
+	case "renameto":
+		p, err = sc.letRenameTo(args)
+	default:
+		return fmt.Errorf("core: unknown derivation %q", verb)
+	}
+	if err != nil {
+		return err
+	}
+	sc.defs[id] = p
+	return nil
+}
+
+func (sc *Script[S]) letPremise(args string) (*Proof[S], error) {
+	stmtText, note, _ := strings.Cut(args, ":")
+	st, err := ParseStatement(sc.Registry, strings.TrimSpace(stmtText), sc.Schema)
+	if err != nil {
+		return nil, err
+	}
+	note = strings.TrimSpace(note)
+	if sc.CheckPremises {
+		if sc.Model == nil || sc.Index == nil {
+			return nil, fmt.Errorf("core: CheckPremises set but no model bound")
+		}
+		p, r, err := CheckedPremise(sc.Model, sc.Index, st, note)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&sc.out, "%s\n", r)
+		return p, nil
+	}
+	return Premise(st, note)
+}
+
+func (sc *Script[S]) letWeaken(args string) (*Proof[S], error) {
+	id, setExpr, ok := strings.Cut(args, "+")
+	if !ok {
+		return nil, fmt.Errorf("core: weaken needs \"<id> + <setexpr>\"")
+	}
+	p, err := sc.lookup(strings.TrimSpace(id))
+	if err != nil {
+		return nil, err
+	}
+	extra, err := ParseSetExpr(sc.Registry, setExpr)
+	if err != nil {
+		return nil, err
+	}
+	return Weaken(p, extra)
+}
+
+func (sc *Script[S]) letCompose(args string) (*Proof[S], error) {
+	if sc.Universe == nil {
+		return nil, fmt.Errorf("core: compose needs a universe")
+	}
+	ids := strings.Fields(args)
+	if len(ids) < 2 {
+		return nil, fmt.Errorf("core: compose needs at least two proofs")
+	}
+	ps := make([]*Proof[S], len(ids))
+	for i, id := range ids {
+		p, err := sc.lookup(id)
+		if err != nil {
+			return nil, err
+		}
+		ps[i] = p
+	}
+	return ComposeChain(sc.Universe, ps...)
+}
+
+func (sc *Script[S]) letRelax(args string) (*Proof[S], error) {
+	fields := strings.Fields(args)
+	if len(fields) != 3 {
+		return nil, fmt.Errorf("core: relax needs \"<id> time=<t> prob=<p>\"")
+	}
+	p, err := sc.lookup(fields[0])
+	if err != nil {
+		return nil, err
+	}
+	var t, pr prob.Rat
+	for _, kv := range fields[1:] {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("core: malformed relax argument %q", kv)
+		}
+		x, err := prob.ParseRat(val)
+		if err != nil {
+			return nil, err
+		}
+		switch key {
+		case "time":
+			t = x
+		case "prob":
+			pr = x
+		default:
+			return nil, fmt.Errorf("core: unknown relax key %q", key)
+		}
+	}
+	return Relax(p, t, pr)
+}
+
+func (sc *Script[S]) letSubset(args string) (*Proof[S], error) {
+	if sc.Universe == nil {
+		return nil, fmt.Errorf("core: subset needs a universe")
+	}
+	fromExpr, toExpr, ok := strings.Cut(args, "->")
+	if !ok {
+		return nil, fmt.Errorf("core: subset needs \"<setexpr> -> <setexpr>\"")
+	}
+	from, err := ParseSetExpr(sc.Registry, fromExpr)
+	if err != nil {
+		return nil, err
+	}
+	to, err := ParseSetExpr(sc.Registry, toExpr)
+	if err != nil {
+		return nil, err
+	}
+	return SubsetProof(sc.Universe, from, to, sc.Schema)
+}
+
+func (sc *Script[S]) letRenameTo(args string) (*Proof[S], error) {
+	if sc.Universe == nil {
+		return nil, fmt.Errorf("core: renameto needs a universe")
+	}
+	id, setExpr, ok := strings.Cut(args, " ")
+	if !ok {
+		return nil, fmt.Errorf("core: renameto needs \"<id> <setexpr>\"")
+	}
+	p, err := sc.lookup(strings.TrimSpace(id))
+	if err != nil {
+		return nil, err
+	}
+	to, err := ParseSetExpr(sc.Registry, setExpr)
+	if err != nil {
+		return nil, err
+	}
+	return RenameTo(sc.Universe, p, to)
+}
+
+func (sc *Script[S]) runCheck(id string) error {
+	if sc.Model == nil || sc.Index == nil {
+		return fmt.Errorf("core: check needs a bound model")
+	}
+	p, err := sc.lookup(id)
+	if err != nil {
+		return err
+	}
+	r, err := CheckStatement(sc.Model, sc.Index, p.Stmt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(&sc.out, "%s\n", r)
+	return nil
+}

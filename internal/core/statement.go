@@ -1,0 +1,258 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/prob"
+)
+
+// Statement is a time-bounded progress statement U --t,p-->_Advs U'
+// (Definition 3.1): from every state of From, under every adversary of the
+// schema, a state of To is reached within time Time with probability at
+// least Prob.
+type Statement[S comparable] struct {
+	From   Set[S]
+	To     Set[S]
+	Time   prob.Rat
+	Prob   prob.Rat
+	Schema SchemaInfo
+}
+
+// String renders the statement in the paper's arrow notation, e.g.
+// "T --13,1/8--> C  [Unit-Time(k=1)]".
+func (st Statement[S]) String() string {
+	return fmt.Sprintf("%s --%v,%v--> %s  [%s]", st.From.Name, st.Time, st.Prob, st.To.Name, st.Schema.Name)
+}
+
+// Validate checks that the bounds are sensible: nonnegative time and a
+// probability in [0, 1].
+func (st Statement[S]) Validate() error {
+	if st.Time.Sign() < 0 {
+		return fmt.Errorf("core: negative time bound %v", st.Time)
+	}
+	if !st.Prob.IsProbability() {
+		return fmt.Errorf("core: probability %v outside [0, 1]", st.Prob)
+	}
+	return nil
+}
+
+// Rule names the inference rule that produced a proof node.
+type Rule string
+
+// Inference rules.
+const (
+	// RulePremise marks a leaf: a statement assumed or established
+	// outside the calculus (e.g. checked against a model, or proved on
+	// paper as one of the propositions of the appendix).
+	RulePremise Rule = "premise"
+	// RuleWeaken is Proposition 3.2: from U --t,p--> U' conclude
+	// U∪U'' --t,p--> U'∪U''.
+	RuleWeaken Rule = "weaken (Prop 3.2)"
+	// RuleCompose is Theorem 3.4: from U --t1,p1--> U' and
+	// U' --t2,p2--> U'' conclude U --t1+t2,p1·p2--> U'', provided the
+	// shared adversary schema is execution closed.
+	RuleCompose Rule = "compose (Thm 3.4)"
+	// RuleRelax loosens bounds: a statement implies every statement with
+	// larger time and smaller probability.
+	RuleRelax Rule = "relax"
+	// RuleSubset embeds U --0,1--> U' when U ⊆ U'.
+	RuleSubset Rule = "subset"
+	// RuleEqual replaces a side of a statement by an extensionally equal
+	// set (a renaming step, e.g. C∪C to C).
+	RuleEqual Rule = "equal"
+)
+
+// Proof is a derivation tree whose root statement follows from its leaf
+// premises by the paper's rules. Proof values are immutable after
+// construction.
+type Proof[S comparable] struct {
+	Stmt     Statement[S]
+	Rule     Rule
+	Note     string
+	Children []*Proof[S]
+}
+
+// Premise wraps a statement as a leaf of a derivation; note records its
+// origin (e.g. "Proposition A.11, checked at n=3").
+func Premise[S comparable](st Statement[S], note string) (*Proof[S], error) {
+	if err := st.Validate(); err != nil {
+		return nil, err
+	}
+	return &Proof[S]{Stmt: st, Rule: RulePremise, Note: note}, nil
+}
+
+// Errors returned by the inference rules.
+var (
+	ErrSchemaMismatch = errors.New("core: statements quantify over different adversary schemas")
+	ErrNotExecClosed  = errors.New("core: composition requires an execution-closed adversary schema")
+	ErrNotChained     = errors.New("core: target of the first statement is not contained in the source of the second")
+	ErrNotWeaker      = errors.New("core: relaxed bounds must be no stronger than the original")
+	ErrNotSubset      = errors.New("core: subset rule requires From ⊆ To")
+	ErrNilProof       = errors.New("core: nil proof")
+)
+
+// Weaken applies Proposition 3.2: from U --t,p--> U' derive
+// U∪extra --t,p--> U'∪extra.
+func Weaken[S comparable](p *Proof[S], extra Set[S]) (*Proof[S], error) {
+	if p == nil {
+		return nil, ErrNilProof
+	}
+	st := p.Stmt
+	derived := Statement[S]{
+		From:   Union(st.From, extra),
+		To:     Union(st.To, extra),
+		Time:   st.Time,
+		Prob:   st.Prob,
+		Schema: st.Schema,
+	}
+	return &Proof[S]{
+		Stmt:     derived,
+		Rule:     RuleWeaken,
+		Note:     fmt.Sprintf("adjoin %s to both sides", extra.Name),
+		Children: []*Proof[S]{p},
+	}, nil
+}
+
+// Compose applies Theorem 3.4 to chain two derivations. The universe
+// decides the side condition To_1 ⊆ From_2 extensionally; the schemas must
+// be the same execution-closed schema.
+func Compose[S comparable](u *Universe[S], p1, p2 *Proof[S]) (*Proof[S], error) {
+	if p1 == nil || p2 == nil {
+		return nil, ErrNilProof
+	}
+	s1, s2 := p1.Stmt, p2.Stmt
+	if s1.Schema.Name != s2.Schema.Name {
+		return nil, fmt.Errorf("%w: %q vs %q", ErrSchemaMismatch, s1.Schema.Name, s2.Schema.Name)
+	}
+	if !s1.Schema.ExecutionClosed {
+		return nil, fmt.Errorf("%w: %q", ErrNotExecClosed, s1.Schema.Name)
+	}
+	if !u.Subset(s1.To, s2.From) {
+		w, _ := u.Witness(s1.To, s2.From)
+		return nil, fmt.Errorf("%w: %s ⊄ %s (witness %v)", ErrNotChained, s1.To.Name, s2.From.Name, w)
+	}
+	derived := Statement[S]{
+		From:   s1.From,
+		To:     s2.To,
+		Time:   s1.Time.Add(s2.Time),
+		Prob:   s1.Prob.Mul(s2.Prob),
+		Schema: s1.Schema,
+	}
+	return &Proof[S]{
+		Stmt:     derived,
+		Rule:     RuleCompose,
+		Children: []*Proof[S]{p1, p2},
+	}, nil
+}
+
+// ComposeChain folds Compose over a sequence of derivations, left to
+// right.
+func ComposeChain[S comparable](u *Universe[S], ps ...*Proof[S]) (*Proof[S], error) {
+	if len(ps) == 0 {
+		return nil, ErrNilProof
+	}
+	acc := ps[0]
+	for _, p := range ps[1:] {
+		next, err := Compose(u, acc, p)
+		if err != nil {
+			return nil, err
+		}
+		acc = next
+	}
+	return acc, nil
+}
+
+// Relax derives a statement with a looser time bound and/or a smaller
+// probability: U --t,p--> U' implies U --t',p'--> U' for t' >= t, p' <= p.
+func Relax[S comparable](p *Proof[S], time, pr prob.Rat) (*Proof[S], error) {
+	if p == nil {
+		return nil, ErrNilProof
+	}
+	st := p.Stmt
+	if time.Less(st.Time) || st.Prob.Less(pr) {
+		return nil, fmt.Errorf("%w: (%v,%v) vs (%v,%v)", ErrNotWeaker, time, pr, st.Time, st.Prob)
+	}
+	derived := st
+	derived.Time = time
+	derived.Prob = pr
+	return &Proof[S]{
+		Stmt:     derived,
+		Rule:     RuleRelax,
+		Children: []*Proof[S]{p},
+	}, nil
+}
+
+// ErrNotEqual is returned by the renaming rules when the replacement set
+// differs extensionally from the original.
+var ErrNotEqual = errors.New("core: sets are not extensionally equal")
+
+// RenameTo replaces the target set of a derivation by an extensionally
+// equal set, adjusting only its name (e.g. collapsing C∪C to C after a
+// weakening step).
+func RenameTo[S comparable](u *Universe[S], p *Proof[S], to Set[S]) (*Proof[S], error) {
+	if p == nil {
+		return nil, ErrNilProof
+	}
+	if !u.Equal(p.Stmt.To, to) {
+		return nil, fmt.Errorf("%w: %s vs %s", ErrNotEqual, p.Stmt.To.Name, to.Name)
+	}
+	derived := p.Stmt
+	derived.To = to
+	return &Proof[S]{
+		Stmt:     derived,
+		Rule:     RuleEqual,
+		Note:     fmt.Sprintf("%s = %s", p.Stmt.To.Name, to.Name),
+		Children: []*Proof[S]{p},
+	}, nil
+}
+
+// RenameFrom replaces the source set of a derivation by an extensionally
+// equal set.
+func RenameFrom[S comparable](u *Universe[S], p *Proof[S], from Set[S]) (*Proof[S], error) {
+	if p == nil {
+		return nil, ErrNilProof
+	}
+	if !u.Equal(p.Stmt.From, from) {
+		return nil, fmt.Errorf("%w: %s vs %s", ErrNotEqual, p.Stmt.From.Name, from.Name)
+	}
+	derived := p.Stmt
+	derived.From = from
+	return &Proof[S]{
+		Stmt:     derived,
+		Rule:     RuleEqual,
+		Note:     fmt.Sprintf("%s = %s", p.Stmt.From.Name, from.Name),
+		Children: []*Proof[S]{p},
+	}, nil
+}
+
+// SubsetProof derives the trivial statement From --0,1--> To when
+// From ⊆ To over the universe.
+func SubsetProof[S comparable](u *Universe[S], from, to Set[S], schema SchemaInfo) (*Proof[S], error) {
+	if !u.Subset(from, to) {
+		w, _ := u.Witness(from, to)
+		return nil, fmt.Errorf("%w: %s ⊄ %s (witness %v)", ErrNotSubset, from.Name, to.Name, w)
+	}
+	return &Proof[S]{
+		Stmt: Statement[S]{
+			From:   from,
+			To:     to,
+			Time:   prob.Zero(),
+			Prob:   prob.One(),
+			Schema: schema,
+		},
+		Rule: RuleSubset,
+	}, nil
+}
+
+// Premises returns the leaves of the derivation in left-to-right order.
+func (p *Proof[S]) Premises() []*Proof[S] {
+	if len(p.Children) == 0 {
+		return []*Proof[S]{p}
+	}
+	var out []*Proof[S]
+	for _, c := range p.Children {
+		out = append(out, c.Premises()...)
+	}
+	return out
+}

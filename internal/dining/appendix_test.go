@@ -1,0 +1,155 @@
+package dining
+
+import (
+	"testing"
+
+	"repro/internal/prob"
+)
+
+// baseStatesN3 extracts the distinct reachable base states once.
+func baseStatesN3(t *testing.T) []State {
+	t.Helper()
+	a := getAnalysisN3(t)
+	seen := make(map[State]bool)
+	var out []State
+	for idx := 0; idx < a.Index.Len(); idx++ {
+		b := a.Index.State(idx).Base
+		if !seen[b] {
+			seen[b] = true
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// TestAppendixLemmasHold is the mechanized appendix: every lemma of
+// A.4–A.13 must hold at every pivot on the 3-ring.
+func TestAppendixLemmasHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("36 rigged-model enumerations; skipped with -short")
+	}
+	results, err := CheckAppendix(3, 1, baseStatesN3(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCount := len(AppendixLemmas()) * 3
+	if len(results) != wantCount {
+		t.Fatalf("got %d results, want %d", len(results), wantCount)
+	}
+	for _, r := range results {
+		t.Logf("%s", r)
+		if r.Vacuous {
+			t.Errorf("%s at i=%d is vacuous", r.Lemma.Name, r.Pivot)
+			continue
+		}
+		if !r.Holds {
+			t.Errorf("lemma fails: %s", r)
+		}
+	}
+}
+
+func TestRiggedModelForcesFirstFlip(t *testing.T) {
+	m, err := NewRigged(3, Rig{Proc: 0, Dir: Left})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := m.StartFrom(AllAt(3, F))
+	if !m.PendingAll(start) {
+		t.Fatal("rig not pending at start")
+	}
+
+	// Process 0's first flip is deterministic left.
+	moves := m.Moves(start, 0)
+	if len(moves) != 1 || moves[0].Action != "flip_0" {
+		t.Fatalf("moves = %v", moves)
+	}
+	next, ok := moves[0].Next.IsPoint()
+	if !ok {
+		t.Fatal("rigged flip is probabilistic")
+	}
+	if got := next.S.Local(0); got.PC != W || got.U != Left {
+		t.Errorf("rigged flip lands at %v, want W←", got)
+	}
+	if next.Pending != 0 {
+		t.Errorf("pending mask = %b after the rigged flip", next.Pending)
+	}
+
+	// Process 1 is unrigged: fair flip.
+	if m.Moves(start, 1)[0].Next.Len() != 2 {
+		t.Error("unrigged flip not fair")
+	}
+
+	// After the rig fires, process 0 flips fairly again.
+	if got := m.Moves(next, 0); len(got) != 1 || got[0].Action != "wait_0" {
+		t.Fatalf("post-rig moves = %v", got)
+	}
+}
+
+func TestRiggedValidation(t *testing.T) {
+	if _, err := NewRigged(3, Rig{Proc: 5, Dir: Left}); err == nil {
+		t.Error("out-of-range rig accepted")
+	}
+	if _, err := NewRigged(3, Rig{Proc: 0, Dir: None}); err == nil {
+		t.Error("direction-less rig accepted")
+	}
+	if _, err := NewRigged(3, Rig{Proc: 0, Dir: Left}, Rig{Proc: 0, Dir: Right}); err == nil {
+		t.Error("duplicate rig accepted")
+	}
+	if _, err := NewRigged(1); err == nil {
+		t.Error("single-process ring accepted")
+	}
+}
+
+func TestRiggedUserMovesPreservePending(t *testing.T) {
+	m, err := NewRigged(2, Rig{Proc: 0, Dir: Left})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := m.StartFrom(AllAt(2, R))
+	tries := m.UserMoves(start, 0)
+	if len(tries) != 1 {
+		t.Fatalf("user moves = %v", tries)
+	}
+	next, _ := tries[0].Next.IsPoint()
+	if next.Pending != start.Pending {
+		t.Error("user move changed the pending mask")
+	}
+}
+
+func TestLemmaHelpers(t *testing.T) {
+	s := mk(t, "W→ S← ER")
+	if !pcIn(s, 0, W, S) || pcIn(s, 0, R, F) {
+		t.Error("pcIn misclassifies")
+	}
+	if !at(s, 1, S, Left) || at(s, 1, S, Right) {
+		t.Error("at misclassifies")
+	}
+	if !hash(s, 0, Right) || hash(s, 0, Left) {
+		t.Error("hash misclassifies")
+	}
+	if !erf(s, 2) || erf(s, 0) {
+		t.Error("erf misclassifies")
+	}
+	if !ert(s, 1) || ert(s, 2) == false {
+		t.Error("ert misclassifies")
+	}
+	if mod(-1, 3) != 2 || mod(4, 3) != 1 {
+		t.Error("mod misbehaves")
+	}
+}
+
+func TestLemmaResultString(t *testing.T) {
+	lemma := AppendixLemmas()[0]
+	holds := LemmaResult{Lemma: lemma, Pivot: 1, Holds: true, WorstProb: prob.One(), FromStates: 7}
+	if got := holds.String(); got == "" {
+		t.Error("empty render")
+	}
+	vac := LemmaResult{Lemma: lemma, Vacuous: true}
+	if got := vac.String(); got == "" {
+		t.Error("empty vacuous render")
+	}
+	fails := LemmaResult{Lemma: lemma, WorstProb: prob.Zero()}
+	if got := fails.String(); got == "" {
+		t.Error("empty failure render")
+	}
+}

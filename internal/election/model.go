@@ -1,0 +1,292 @@
+// Package election is a second case study for the proof method of Lynch,
+// Saias and Segala (PODC 1994), addressing the paper's closing remark that
+// "it is desirable that the general model and this technique be used for
+// the analysis of other algorithms".
+//
+// The algorithm is symmetric randomized leader election by coin flipping:
+// every active process flips a fair coin each round; if at least one
+// process flips heads, the tails processes drop out; a process that is the
+// unique heads becomes the leader. Rounds repeat until a leader emerges.
+// Under the Unit-Time assumption a round takes at most time 2 (all flips
+// within time 1, then the resolution step within 1 more), which yields
+// arrow statements
+//
+//	Fresh_k --2, 1-2^(1-k)--> Elected ∪ Fresh_{<k}   (k >= 2)
+//
+// where Fresh_k is "k processes active at a round boundary". Composing
+// them with Proposition 3.2 and Theorem 3.4, exactly as the paper does for
+// Lehmann–Rabin, bounds the election time from n processes.
+package election
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/pa"
+	"repro/internal/prob"
+	"repro/internal/sched"
+)
+
+// Status is a process's role in the protocol.
+type Status uint8
+
+// Status values.
+const (
+	// Active processes are still competing.
+	Active Status = iota
+	// Eliminated processes flipped tails in a round that had heads.
+	Eliminated
+	// Leader is the unique winner.
+	Leader
+)
+
+// String returns a one-letter rendering.
+func (st Status) String() string {
+	switch st {
+	case Active:
+		return "A"
+	case Eliminated:
+		return "-"
+	case Leader:
+		return "L"
+	default:
+		return "?"
+	}
+}
+
+// Coin is a process's coin posture within the current round.
+type Coin uint8
+
+// Coin values.
+const (
+	// NotFlipped means the process has not yet flipped this round.
+	NotFlipped Coin = iota
+	// Heads and Tails record the flip outcome, pending resolution.
+	Heads
+	Tails
+)
+
+// String returns the coin rendering used in state dumps.
+func (c Coin) String() string {
+	switch c {
+	case NotFlipped:
+		return "."
+	case Heads:
+		return "H"
+	case Tails:
+		return "T"
+	default:
+		return "?"
+	}
+}
+
+// State is a global protocol state: one (status, coin) pair per process,
+// packed one byte per process.
+type State struct {
+	n     uint8
+	procs [sched.MaxProcs]uint8
+}
+
+// NewState builds a state; statuses and coins are index-aligned.
+func NewState(statuses []Status, coins []Coin) (State, error) {
+	if len(statuses) != len(coins) {
+		return State{}, fmt.Errorf("election: %d statuses vs %d coins", len(statuses), len(coins))
+	}
+	if len(statuses) < 2 || len(statuses) > sched.MaxProcs {
+		return State{}, fmt.Errorf("election: %d processes outside 2..%d", len(statuses), sched.MaxProcs)
+	}
+	var s State
+	s.n = uint8(len(statuses))
+	for i := range statuses {
+		coin := coins[i]
+		if statuses[i] != Active {
+			coin = NotFlipped // canonical: only active processes hold coins
+		}
+		s.procs[i] = uint8(statuses[i]) | uint8(coin)<<4
+	}
+	return s, nil
+}
+
+// FreshStart returns the all-active, none-flipped state for n processes.
+func FreshStart(n int) (State, error) {
+	statuses := make([]Status, n)
+	coins := make([]Coin, n)
+	return NewState(statuses, coins)
+}
+
+// N returns the number of processes.
+func (s State) N() int { return int(s.n) }
+
+// Status returns process i's status.
+func (s State) Status(i int) Status { return Status(s.procs[i] & 0xF) }
+
+// Coin returns process i's coin posture.
+func (s State) Coin(i int) Coin { return Coin(s.procs[i] >> 4) }
+
+func (s State) withProc(i int, st Status, c Coin) State {
+	if st != Active {
+		c = NotFlipped
+	}
+	s.procs[i] = uint8(st) | uint8(c)<<4
+	return s
+}
+
+// ActiveCount returns the number of active processes.
+func (s State) ActiveCount() int {
+	count := 0
+	for i := 0; i < s.N(); i++ {
+		if s.Status(i) == Active {
+			count++
+		}
+	}
+	return count
+}
+
+// HasLeader reports whether a leader has been elected.
+func (s State) HasLeader() bool {
+	for i := 0; i < s.N(); i++ {
+		if s.Status(i) == Leader {
+			return true
+		}
+	}
+	return false
+}
+
+// AllFlipped reports whether every active process has flipped this round.
+func (s State) AllFlipped() bool {
+	for i := 0; i < s.N(); i++ {
+		if s.Status(i) == Active && s.Coin(i) == NotFlipped {
+			return false
+		}
+	}
+	return true
+}
+
+// IsFresh reports whether the state is at a round boundary: no leader and
+// no coins on the table.
+func (s State) IsFresh() bool {
+	if s.HasLeader() {
+		return false
+	}
+	for i := 0; i < s.N(); i++ {
+		if s.Status(i) == Active && s.Coin(i) != NotFlipped {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the state, e.g. "[A:H A:. - L]".
+func (s State) String() string {
+	parts := make([]string, s.N())
+	for i := range parts {
+		switch st := s.Status(i); st {
+		case Active:
+			parts[i] = "A:" + s.Coin(i).String()
+		default:
+			parts[i] = st.String()
+		}
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// resolve applies the round rule atomically: with at least one heads, the
+// tails drop out, and a unique heads becomes leader; either way the coins
+// are cleared.
+func (s State) resolve() State {
+	headsCount := 0
+	for i := 0; i < s.N(); i++ {
+		if s.Status(i) == Active && s.Coin(i) == Heads {
+			headsCount++
+		}
+	}
+	next := s
+	for i := 0; i < s.N(); i++ {
+		if s.Status(i) != Active {
+			continue
+		}
+		switch {
+		case headsCount == 0:
+			next = next.withProc(i, Active, NotFlipped)
+		case s.Coin(i) == Tails:
+			next = next.withProc(i, Eliminated, NotFlipped)
+		case headsCount == 1:
+			next = next.withProc(i, Leader, NotFlipped)
+		default:
+			next = next.withProc(i, Active, NotFlipped)
+		}
+	}
+	return next
+}
+
+// Model is the election protocol as a sched.Model.
+type Model struct {
+	n int
+}
+
+var _ sched.Model[State] = (*Model)(nil)
+
+// New returns the n-process model, n in 2..sched.MaxProcs.
+func New(n int) (*Model, error) {
+	if n < 2 || n > sched.MaxProcs {
+		return nil, fmt.Errorf("election: %d processes outside 2..%d", n, sched.MaxProcs)
+	}
+	return &Model{n: n}, nil
+}
+
+// MustNew is like New but panics on invalid input.
+func MustNew(n int) *Model {
+	m, err := New(n)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Name implements sched.Model.
+func (m *Model) Name() string { return fmt.Sprintf("coin-election(n=%d)", m.n) }
+
+// NumProcs implements sched.Model.
+func (m *Model) NumProcs() int { return m.n }
+
+// Start implements sched.Model.
+func (m *Model) Start() []State {
+	s, err := FreshStart(m.n)
+	if err != nil {
+		panic(err) // n validated by New
+	}
+	return []State{s}
+}
+
+// FlipAction returns the flip action name of process i.
+func FlipAction(i int) string { return fmt.Sprintf("flip_%d", i) }
+
+// Moves implements sched.Model. An active process flips while it has no
+// coin down; once every active process has flipped, any of them may
+// trigger the (atomic, deterministic) round resolution.
+func (m *Model) Moves(s State, i int) []pa.Step[State] {
+	if s.Status(i) != Active {
+		return nil
+	}
+	if s.Coin(i) == NotFlipped {
+		return []pa.Step[State]{{
+			Action: FlipAction(i),
+			Next: prob.MustUniform(
+				s.withProc(i, Active, Heads),
+				s.withProc(i, Active, Tails),
+			),
+		}}
+	}
+	if s.AllFlipped() {
+		return []pa.Step[State]{{
+			Action: fmt.Sprintf("resolve_%d", i),
+			Next:   prob.Point(s.resolve()),
+		}}
+	}
+	// Flipped, waiting for slower processes: no enabled action, hence no
+	// unit-time obligation.
+	return nil
+}
+
+// UserMoves implements sched.Model: the protocol has no user actions.
+func (m *Model) UserMoves(State, int) []pa.Step[State] { return nil }

@@ -1,0 +1,220 @@
+package election
+
+import (
+	"testing"
+
+	"repro/internal/prob"
+	"repro/internal/sched"
+)
+
+func st(t *testing.T, statuses []Status, coins []Coin) State {
+	t.Helper()
+	s, err := NewState(statuses, coins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewStateValidation(t *testing.T) {
+	if _, err := NewState([]Status{Active}, []Coin{NotFlipped, Heads}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := NewState([]Status{Active}, []Coin{NotFlipped}); err == nil {
+		t.Error("single process accepted")
+	}
+	// Coins are canonicalized for non-active processes.
+	s := st(t, []Status{Active, Eliminated}, []Coin{Heads, Tails})
+	if s.Coin(1) != NotFlipped {
+		t.Errorf("eliminated process keeps coin %v", s.Coin(1))
+	}
+}
+
+func TestStateAccessors(t *testing.T) {
+	s := st(t, []Status{Active, Active, Eliminated, Leader},
+		[]Coin{Heads, NotFlipped, NotFlipped, NotFlipped})
+	if s.N() != 4 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.ActiveCount() != 2 {
+		t.Errorf("ActiveCount = %d, want 2", s.ActiveCount())
+	}
+	if !s.HasLeader() {
+		t.Error("leader not detected")
+	}
+	if s.AllFlipped() {
+		t.Error("AllFlipped with a pending coin")
+	}
+	if s.IsFresh() {
+		t.Error("IsFresh with a leader and a coin down")
+	}
+	if got, want := s.String(), "[A:H A:. - L]"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestFreshStart(t *testing.T) {
+	s, err := FreshStart(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsFresh() || s.ActiveCount() != 3 || s.HasLeader() {
+		t.Errorf("fresh start = %v", s)
+	}
+}
+
+func TestResolveRule(t *testing.T) {
+	tests := []struct {
+		name     string
+		statuses []Status
+		coins    []Coin
+		want     string
+	}{
+		{
+			name:     "unique heads becomes leader",
+			statuses: []Status{Active, Active, Active},
+			coins:    []Coin{Heads, Tails, Tails},
+			want:     "[L - -]",
+		},
+		{
+			name:     "several heads survive",
+			statuses: []Status{Active, Active, Active},
+			coins:    []Coin{Heads, Heads, Tails},
+			want:     "[A:. A:. -]",
+		},
+		{
+			name:     "all tails retry",
+			statuses: []Status{Active, Active, Active},
+			coins:    []Coin{Tails, Tails, Tails},
+			want:     "[A:. A:. A:.]",
+		},
+		{
+			name:     "all heads retry",
+			statuses: []Status{Active, Active},
+			coins:    []Coin{Heads, Heads},
+			want:     "[A:. A:.]",
+		},
+		{
+			name:     "eliminated processes unaffected",
+			statuses: []Status{Active, Eliminated, Active},
+			coins:    []Coin{Heads, NotFlipped, Tails},
+			want:     "[L - -]",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := st(t, tt.statuses, tt.coins).resolve()
+			if got.String() != tt.want {
+				t.Errorf("resolve = %s, want %s", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMoves(t *testing.T) {
+	m := MustNew(3)
+
+	t.Run("unflipped active flips", func(t *testing.T) {
+		s := m.Start()[0]
+		moves := m.Moves(s, 0)
+		if len(moves) != 1 || moves[0].Action != "flip_0" {
+			t.Fatalf("moves = %v", moves)
+		}
+		if moves[0].Next.Len() != 2 {
+			t.Errorf("flip outcomes = %d, want 2", moves[0].Next.Len())
+		}
+		for _, o := range moves[0].Next.Outcomes() {
+			if !o.Prob.Equal(prob.Half()) {
+				t.Errorf("flip prob = %v", o.Prob)
+			}
+		}
+	})
+	t.Run("flipped process waits for the round", func(t *testing.T) {
+		s := st(t, []Status{Active, Active, Active}, []Coin{Heads, NotFlipped, NotFlipped})
+		if got := m.Moves(s, 0); got != nil {
+			t.Errorf("moves = %v, want none while others flip", got)
+		}
+	})
+	t.Run("resolution after all flips", func(t *testing.T) {
+		s := st(t, []Status{Active, Active, Active}, []Coin{Heads, Tails, Tails})
+		moves := m.Moves(s, 0)
+		if len(moves) != 1 || moves[0].Action != "resolve_0" {
+			t.Fatalf("moves = %v", moves)
+		}
+		next, _ := moves[0].Next.IsPoint()
+		if !next.HasLeader() {
+			t.Errorf("resolution result %v has no leader", next)
+		}
+	})
+	t.Run("non-active processes have no moves", func(t *testing.T) {
+		s := st(t, []Status{Leader, Eliminated, Active}, []Coin{NotFlipped, NotFlipped, NotFlipped})
+		if m.Moves(s, 0) != nil || m.Moves(s, 1) != nil {
+			t.Error("leader or eliminated process has moves")
+		}
+	})
+	t.Run("no user moves", func(t *testing.T) {
+		if m.UserMoves(m.Start()[0], 0) != nil {
+			t.Error("unexpected user moves")
+		}
+	})
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1); err == nil {
+		t.Error("New(1) accepted")
+	}
+	if _, err := New(sched.MaxProcs + 1); err == nil {
+		t.Error("oversized New accepted")
+	}
+}
+
+func TestRoundSuccessProb(t *testing.T) {
+	tests := []struct {
+		k    int
+		want string
+	}{
+		{k: 2, want: "1/2"},
+		{k: 3, want: "3/4"},
+		{k: 4, want: "7/8"},
+	}
+	for _, tt := range tests {
+		if got := RoundSuccessProb(tt.k).String(); got != tt.want {
+			t.Errorf("RoundSuccessProb(%d) = %s, want %s", tt.k, got, tt.want)
+		}
+	}
+}
+
+// TestRoundInvariants explores the full digitized product at n = 3 and
+// checks protocol invariants in every reachable state: at most one leader,
+// the active count never reaches one without a leader at round boundaries,
+// and coins only sit with active processes.
+func TestRoundInvariants(t *testing.T) {
+	model := MustNew(3)
+	auto, err := sched.Product[State](model, sched.Config{StepsPerWindow: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	states, err := auto.Reachable(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("reachable product states (n=3, k=1): %d", len(states))
+	for _, ps := range states {
+		s := ps.Base
+		leaders := 0
+		for i := 0; i < s.N(); i++ {
+			if s.Status(i) == Leader {
+				leaders++
+			}
+			if s.Status(i) != Active && s.Coin(i) != NotFlipped {
+				t.Fatalf("non-active process holds a coin in %v", s)
+			}
+		}
+		if leaders > 1 {
+			t.Fatalf("two leaders in %v", s)
+		}
+		if s.IsFresh() && s.ActiveCount() == 1 {
+			t.Fatalf("lone active process without leader in %v", s)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package events
+
+import (
+	"repro/internal/exec"
+	"repro/internal/prob"
+)
+
+// andMonitor tracks a conjunction of sub-events. Sub-monitors that have
+// already delivered an absorbing verdict are dropped (on Accepted) or
+// decide the conjunction (on Rejected).
+type andMonitor[S comparable] struct {
+	pending []exec.Monitor[S]
+}
+
+// And returns the intersection event: a maximal execution is in the event
+// iff it is in every argument event. Proposition 4.2(1) of the paper
+// bounds P[first(a1,U1) ∩ ... ∩ first(an,Un)] from below by p1···pn; the
+// intersection itself is expressed with And.
+func And[S comparable](ms ...exec.Monitor[S]) exec.Monitor[S] {
+	return andMonitor[S]{pending: ms}
+}
+
+func (a andMonitor[S]) Start(s S) (exec.Monitor[S], exec.Status) {
+	next := make([]exec.Monitor[S], 0, len(a.pending))
+	for _, m := range a.pending {
+		m2, status := m.Start(s)
+		switch status {
+		case exec.Rejected:
+			return a, exec.Rejected
+		case exec.Undetermined:
+			next = append(next, m2)
+		}
+	}
+	if len(next) == 0 {
+		return a, exec.Accepted
+	}
+	return andMonitor[S]{pending: next}, exec.Undetermined
+}
+
+func (a andMonitor[S]) Observe(action string, nextState S, now prob.Rat) (exec.Monitor[S], exec.Status) {
+	next := make([]exec.Monitor[S], 0, len(a.pending))
+	for _, m := range a.pending {
+		m2, status := m.Observe(action, nextState, now)
+		switch status {
+		case exec.Rejected:
+			return a, exec.Rejected
+		case exec.Undetermined:
+			next = append(next, m2)
+		}
+	}
+	if len(next) == 0 {
+		return a, exec.Accepted
+	}
+	return andMonitor[S]{pending: next}, exec.Undetermined
+}
+
+func (a andMonitor[S]) AtEnd() exec.Status {
+	for _, m := range a.pending {
+		switch m.AtEnd() {
+		case exec.Rejected:
+			return exec.Rejected
+		case exec.Undetermined:
+			return exec.Undetermined
+		}
+	}
+	return exec.Accepted
+}
+
+// orMonitor tracks a disjunction of sub-events.
+type orMonitor[S comparable] struct {
+	pending []exec.Monitor[S]
+}
+
+// Or returns the union event: a maximal execution is in the event iff it
+// is in at least one argument event.
+func Or[S comparable](ms ...exec.Monitor[S]) exec.Monitor[S] {
+	return orMonitor[S]{pending: ms}
+}
+
+func (o orMonitor[S]) Start(s S) (exec.Monitor[S], exec.Status) {
+	next := make([]exec.Monitor[S], 0, len(o.pending))
+	for _, m := range o.pending {
+		m2, status := m.Start(s)
+		switch status {
+		case exec.Accepted:
+			return o, exec.Accepted
+		case exec.Undetermined:
+			next = append(next, m2)
+		}
+	}
+	if len(next) == 0 {
+		return o, exec.Rejected
+	}
+	return orMonitor[S]{pending: next}, exec.Undetermined
+}
+
+func (o orMonitor[S]) Observe(action string, nextState S, now prob.Rat) (exec.Monitor[S], exec.Status) {
+	next := make([]exec.Monitor[S], 0, len(o.pending))
+	for _, m := range o.pending {
+		m2, status := m.Observe(action, nextState, now)
+		switch status {
+		case exec.Accepted:
+			return o, exec.Accepted
+		case exec.Undetermined:
+			next = append(next, m2)
+		}
+	}
+	if len(next) == 0 {
+		return o, exec.Rejected
+	}
+	return orMonitor[S]{pending: next}, exec.Undetermined
+}
+
+func (o orMonitor[S]) AtEnd() exec.Status {
+	for _, m := range o.pending {
+		switch m.AtEnd() {
+		case exec.Accepted:
+			return exec.Accepted
+		case exec.Undetermined:
+			return exec.Undetermined
+		}
+	}
+	return exec.Rejected
+}
+
+// notMonitor observes the complement of an event.
+type notMonitor[S comparable] struct {
+	inner exec.Monitor[S]
+}
+
+// Not returns the complement event.
+func Not[S comparable](m exec.Monitor[S]) exec.Monitor[S] {
+	return notMonitor[S]{inner: m}
+}
+
+func flip(s exec.Status) exec.Status {
+	switch s {
+	case exec.Accepted:
+		return exec.Rejected
+	case exec.Rejected:
+		return exec.Accepted
+	default:
+		return exec.Undetermined
+	}
+}
+
+func (n notMonitor[S]) Start(s S) (exec.Monitor[S], exec.Status) {
+	inner, status := n.inner.Start(s)
+	return notMonitor[S]{inner: inner}, flip(status)
+}
+
+func (n notMonitor[S]) Observe(action string, next S, now prob.Rat) (exec.Monitor[S], exec.Status) {
+	inner, status := n.inner.Observe(action, next, now)
+	return notMonitor[S]{inner: inner}, flip(status)
+}
+
+func (n notMonitor[S]) AtEnd() exec.Status { return flip(n.inner.AtEnd()) }

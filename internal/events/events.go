@@ -1,0 +1,190 @@
+// Package events implements the event schemas of Lynch, Saias and Segala
+// (PODC 1994): functions that associate an event with every execution
+// automaton of a probabilistic automaton (Definition 2.5).
+//
+// Each schema is an exec.Monitor, a persistent observer that classifies
+// executions incrementally. The package provides the schemas used in the
+// paper — e_{U',t} ("a state of U' is reached within time t", Definition
+// 3.1), first(a, U) and next((a1,U1),...,(an,Un)) (Section 4) — together
+// with boolean combinations and the hypothesis check of Proposition 4.2.
+package events
+
+import (
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/prob"
+)
+
+// Pred is a state predicate, the extensional form of a set of states.
+type Pred[S comparable] func(S) bool
+
+// reach is the event schema e_{U',t} of Definition 3.1.
+type reach[S comparable] struct {
+	pred     Pred[S]
+	deadline prob.Rat
+}
+
+// Reach returns the event schema e_{U',t}: the set of maximal executions
+// in which a state satisfying pred is reached at a point of time at most
+// deadline. The time-bound statements U --t,p--> U' of the paper are
+// assertions about the probability of this event.
+func Reach[S comparable](pred Pred[S], deadline prob.Rat) exec.Monitor[S] {
+	return reach[S]{pred: pred, deadline: deadline}
+}
+
+func (r reach[S]) Start(s S) (exec.Monitor[S], exec.Status) {
+	if r.pred(s) {
+		return r, exec.Accepted
+	}
+	return r, exec.Undetermined
+}
+
+func (r reach[S]) Observe(_ string, next S, now prob.Rat) (exec.Monitor[S], exec.Status) {
+	if now.Cmp(r.deadline) > 0 {
+		// Time has passed the deadline without reaching the target; no
+		// extension can be in the event.
+		return r, exec.Rejected
+	}
+	if r.pred(next) {
+		return r, exec.Accepted
+	}
+	return r, exec.Undetermined
+}
+
+func (r reach[S]) AtEnd() exec.Status { return exec.Rejected }
+
+// first is the event schema first(a, U) of Section 4.
+type first[S comparable] struct {
+	action string
+	pred   Pred[S]
+}
+
+// First returns the event schema first(a, U): the set of maximal
+// executions in which either action a does not occur, or the state reached
+// after its first occurrence satisfies pred. The paper uses it for claims
+// such as "the first coin flip of process i yields left".
+func First[S comparable](action string, pred Pred[S]) exec.Monitor[S] {
+	return first[S]{action: action, pred: pred}
+}
+
+func (f first[S]) Start(S) (exec.Monitor[S], exec.Status) {
+	return f, exec.Undetermined
+}
+
+func (f first[S]) Observe(action string, next S, _ prob.Rat) (exec.Monitor[S], exec.Status) {
+	if action != f.action {
+		return f, exec.Undetermined
+	}
+	if f.pred(next) {
+		return f, exec.Accepted
+	}
+	return f, exec.Rejected
+}
+
+func (f first[S]) AtEnd() exec.Status { return exec.Accepted }
+
+// Pair names one (action, state set) component of a next schema.
+type Pair[S comparable] struct {
+	Action string
+	Pred   Pred[S]
+}
+
+// next implements the event schema next((a1,U1),...,(an,Un)).
+type next[S comparable] struct {
+	pairs []Pair[S]
+}
+
+// Next returns the event schema next((a1,U1),...,(an,Un)): the set of
+// maximal executions in which either no listed action occurs, or, if a_i
+// is the first listed action to occur, the state reached after it
+// satisfies pred_i. The actions must be pairwise distinct. The paper uses
+// it for claims such as "the first coin that is flipped yields left".
+func Next[S comparable](pairs ...Pair[S]) (exec.Monitor[S], error) {
+	seen := make(map[string]bool, len(pairs))
+	for _, p := range pairs {
+		if seen[p.Action] {
+			return nil, fmt.Errorf("events: Next with duplicate action %q", p.Action)
+		}
+		seen[p.Action] = true
+	}
+	return next[S]{pairs: pairs}, nil
+}
+
+// MustNext is like Next but panics on duplicate actions; for statically
+// known schemas.
+func MustNext[S comparable](pairs ...Pair[S]) exec.Monitor[S] {
+	m, err := Next(pairs...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func (n next[S]) Start(S) (exec.Monitor[S], exec.Status) {
+	return n, exec.Undetermined
+}
+
+func (n next[S]) Observe(action string, nextState S, _ prob.Rat) (exec.Monitor[S], exec.Status) {
+	for _, p := range n.pairs {
+		if p.Action == action {
+			if p.Pred(nextState) {
+				return n, exec.Accepted
+			}
+			return n, exec.Rejected
+		}
+	}
+	return n, exec.Undetermined
+}
+
+func (n next[S]) AtEnd() exec.Status { return exec.Accepted }
+
+// occurs accepts executions in which the action occurs at least once.
+type occurs[S comparable] struct {
+	action string
+}
+
+// Occurs returns the event "action a occurs at some point".
+func Occurs[S comparable](action string) exec.Monitor[S] {
+	return occurs[S]{action: action}
+}
+
+func (o occurs[S]) Start(S) (exec.Monitor[S], exec.Status) { return o, exec.Undetermined }
+
+func (o occurs[S]) Observe(action string, _ S, _ prob.Rat) (exec.Monitor[S], exec.Status) {
+	if action == o.action {
+		return o, exec.Accepted
+	}
+	return o, exec.Undetermined
+}
+
+func (o occurs[S]) AtEnd() exec.Status { return exec.Rejected }
+
+// invariant accepts executions along which pred holds in every state.
+type invariant[S comparable] struct {
+	pred Pred[S]
+}
+
+// Always returns the event "pred holds in every state of the execution".
+// Note that its probability can only be bounded from above at a finite
+// horizon (acceptance is decided at infinity); its complement via Not is
+// the usual way to search for violations.
+func Always[S comparable](pred Pred[S]) exec.Monitor[S] {
+	return invariant[S]{pred: pred}
+}
+
+func (iv invariant[S]) Start(s S) (exec.Monitor[S], exec.Status) {
+	if !iv.pred(s) {
+		return iv, exec.Rejected
+	}
+	return iv, exec.Undetermined
+}
+
+func (iv invariant[S]) Observe(_ string, next S, _ prob.Rat) (exec.Monitor[S], exec.Status) {
+	if !iv.pred(next) {
+		return iv, exec.Rejected
+	}
+	return iv, exec.Undetermined
+}
+
+func (iv invariant[S]) AtEnd() exec.Status { return exec.Accepted }

@@ -1,0 +1,403 @@
+package events
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/exec"
+	"repro/internal/pa"
+	"repro/internal/prob"
+)
+
+// twoCoins is the system of Example 4.1 of the paper: processes P and Q
+// each have one fair coin to flip. A state records each process's coin
+// as "?" (not flipped), "H" or "T". The adversary chooses which process
+// flips next, or halts.
+type twoCoins struct {
+	P, Q string
+}
+
+func twoCoinsAutomaton() *pa.Automaton[twoCoins] {
+	return &pa.Automaton[twoCoins]{
+		Name:  "two-coins",
+		Start: []twoCoins{{P: "?", Q: "?"}},
+		Steps: func(s twoCoins) []pa.Step[twoCoins] {
+			var steps []pa.Step[twoCoins]
+			if s.P == "?" {
+				steps = append(steps, pa.Step[twoCoins]{
+					Action: "flipP",
+					Next:   prob.MustUniform(twoCoins{P: "H", Q: s.Q}, twoCoins{P: "T", Q: s.Q}),
+				})
+			}
+			if s.Q == "?" {
+				steps = append(steps, pa.Step[twoCoins]{
+					Action: "flipQ",
+					Next:   prob.MustUniform(twoCoins{P: s.P, Q: "H"}, twoCoins{P: s.P, Q: "T"}),
+				})
+			}
+			return steps
+		},
+	}
+}
+
+func pHeads(s twoCoins) bool { return s.P == "H" }
+func qTails(s twoCoins) bool { return s.Q == "T" }
+
+// bothFlip schedules P then Q unconditionally.
+func bothFlip(m *pa.Automaton[twoCoins]) adversary.Adversary[twoCoins] {
+	return adversary.FirstEnabled(m)
+}
+
+// spiteful is the adversary of Example 4.1: it schedules P first, and
+// schedules Q only when P's coin came up heads.
+func spiteful(m *pa.Automaton[twoCoins]) adversary.Adversary[twoCoins] {
+	return adversary.HistoryDependent(m, func(frag *pa.Fragment[twoCoins], enabled []pa.Step[twoCoins]) int {
+		s := frag.Last()
+		if s.P == "?" {
+			for i, st := range enabled {
+				if st.Action == "flipP" {
+					return i
+				}
+			}
+		}
+		if s.P == "H" && s.Q == "?" {
+			for i, st := range enabled {
+				if st.Action == "flipQ" {
+					return i
+				}
+			}
+		}
+		return -1 // halt: Q never flips unless P yielded heads
+	})
+}
+
+func evalProb(t *testing.T, m *pa.Automaton[twoCoins], a adversary.Adversary[twoCoins], mon exec.Monitor[twoCoins]) prob.Rat {
+	t.Helper()
+	h := exec.FromState(m, a, twoCoins{P: "?", Q: "?"})
+	iv, err := h.Prob(mon, exec.EvalConfig{})
+	if err != nil {
+		t.Fatalf("Prob: %v", err)
+	}
+	if !iv.Exact() {
+		t.Fatalf("interval %v not exact", iv)
+	}
+	return iv.Lo
+}
+
+func TestExample41FirstEvents(t *testing.T) {
+	m := twoCoinsAutomaton()
+	event := And(First("flipP", pHeads), First("flipQ", qTails))
+
+	t.Run("both flip", func(t *testing.T) {
+		got := evalProb(t, m, bothFlip(m), event)
+		if !got.Equal(prob.NewRat(1, 4)) {
+			t.Errorf("P[first ∩ first] = %v, want 1/4", got)
+		}
+	})
+	t.Run("spiteful adversary still meets the 1/4 bound", func(t *testing.T) {
+		// first(flipQ, tail) holds vacuously when Q never flips, so the
+		// formal event is immune to the scheduling attack.
+		got := evalProb(t, m, spiteful(m), event)
+		if !got.Equal(prob.NewRat(1, 4)) {
+			t.Errorf("P[first ∩ first] = %v, want 1/4", got)
+		}
+	})
+	t.Run("the informal conditional reading is 1/2, not 1/4", func(t *testing.T) {
+		// Example 4.1: conditioned on both coins being flipped, the
+		// spiteful adversary pushes P[P=H and Q=T | both flipped] to 1/2.
+		both := And(Occurs[twoCoins]("flipP"), Occurs[twoCoins]("flipQ"))
+		joint := evalProb(t, m, spiteful(m), And(both, First("flipP", pHeads), First("flipQ", qTails)))
+		flipped := evalProb(t, m, spiteful(m), both)
+		if !flipped.Equal(prob.Half()) {
+			t.Fatalf("P[both flipped] = %v, want 1/2", flipped)
+		}
+		cond := joint.Div(flipped)
+		if !cond.Equal(prob.Half()) {
+			t.Errorf("P[heads,tails | both flipped] = %v, want 1/2", cond)
+		}
+	})
+}
+
+func TestExample41NextEvent(t *testing.T) {
+	m := twoCoinsAutomaton()
+	event := MustNext(
+		Pair[twoCoins]{Action: "flipP", Pred: pHeads},
+		Pair[twoCoins]{Action: "flipQ", Pred: qTails},
+	)
+	for _, tt := range []struct {
+		name string
+		adv  adversary.Adversary[twoCoins]
+	}{
+		{name: "both flip", adv: bothFlip(m)},
+		{name: "spiteful", adv: spiteful(m)},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			got := evalProb(t, m, tt.adv, event)
+			// Proposition 4.2(2) guarantees at least min(1/2, 1/2) = 1/2.
+			if got.Less(prob.Half()) {
+				t.Errorf("P[next] = %v, want >= 1/2", got)
+			}
+		})
+	}
+}
+
+func TestFirstVerdicts(t *testing.T) {
+	mon := First("flipP", pHeads)
+	tests := []struct {
+		name    string
+		actions []string
+		states  []twoCoins
+		want    exec.Status
+	}{
+		{
+			name:    "first occurrence satisfies",
+			actions: []string{"flipQ", "flipP"},
+			states:  []twoCoins{{P: "?", Q: "H"}, {P: "H", Q: "H"}},
+			want:    exec.Accepted,
+		},
+		{
+			name:    "first occurrence violates",
+			actions: []string{"flipP"},
+			states:  []twoCoins{{P: "T", Q: "?"}},
+			want:    exec.Rejected,
+		},
+		{
+			name:    "other actions leave it open",
+			actions: []string{"flipQ"},
+			states:  []twoCoins{{P: "?", Q: "T"}},
+			want:    exec.Undetermined,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m, status := exec.Monitor[twoCoins](mon).Start(twoCoins{P: "?", Q: "?"})
+			for i, a := range tt.actions {
+				if status != exec.Undetermined {
+					break
+				}
+				m, status = m.Observe(a, tt.states[i], prob.Zero())
+			}
+			if status != tt.want {
+				t.Errorf("status = %v, want %v", status, tt.want)
+			}
+		})
+	}
+	if got := mon.AtEnd(); got != exec.Accepted {
+		t.Errorf("AtEnd = %v, want accepted (a never occurs)", got)
+	}
+}
+
+func TestNextDuplicateActions(t *testing.T) {
+	_, err := Next(
+		Pair[twoCoins]{Action: "flip", Pred: pHeads},
+		Pair[twoCoins]{Action: "flip", Pred: qTails},
+	)
+	if err == nil {
+		t.Fatal("Next accepted duplicate actions")
+	}
+	if !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("error %q does not mention duplicate", err)
+	}
+}
+
+func TestReachMonitor(t *testing.T) {
+	// Timed chain: tick advances time by one, the target is state 3.
+	m := &pa.Automaton[int]{
+		Start: []int{0},
+		Steps: func(s int) []pa.Step[int] {
+			if s >= 5 {
+				return nil
+			}
+			return []pa.Step[int]{{Action: "tick", Next: prob.Point(s + 1)}}
+		},
+		Duration: func(a string) prob.Rat {
+			if a == "tick" {
+				return prob.One()
+			}
+			return prob.Zero()
+		},
+	}
+	target := func(s int) bool { return s == 3 }
+
+	tests := []struct {
+		name     string
+		deadline prob.Rat
+		want     string
+	}{
+		{name: "deadline exactly met", deadline: prob.FromInt(3), want: "1"},
+		{name: "deadline generous", deadline: prob.FromInt(10), want: "1"},
+		{name: "deadline too tight", deadline: prob.FromInt(2), want: "0"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			h := exec.FromState(m, adversary.FirstEnabled(m), 0)
+			iv, err := h.Prob(Reach(target, tt.deadline), exec.EvalConfig{})
+			if err != nil {
+				t.Fatalf("Prob: %v", err)
+			}
+			if !iv.Exact() || iv.Lo.String() != tt.want {
+				t.Errorf("P = %v, want %s", iv, tt.want)
+			}
+		})
+	}
+}
+
+func TestReachAcceptsStartState(t *testing.T) {
+	mon := Reach(func(s int) bool { return s == 0 }, prob.Zero())
+	_, status := mon.Start(0)
+	if status != exec.Accepted {
+		t.Errorf("start state in target: status = %v, want accepted", status)
+	}
+}
+
+func TestOccursAndAlways(t *testing.T) {
+	m := twoCoinsAutomaton()
+	gotOccurs := evalProb(t, m, spiteful(m), Occurs[twoCoins]("flipQ"))
+	if !gotOccurs.Equal(prob.Half()) {
+		t.Errorf("P[flipQ occurs] = %v, want 1/2 under spiteful adversary", gotOccurs)
+	}
+
+	// Always("P != T") fails exactly when P flips tails.
+	gotAlways := evalProb(t, m, bothFlip(m), Always(func(s twoCoins) bool { return s.P != "T" }))
+	if !gotAlways.Equal(prob.Half()) {
+		t.Errorf("P[always P != T] = %v, want 1/2", gotAlways)
+	}
+}
+
+func TestBooleanCombinators(t *testing.T) {
+	m := twoCoinsAutomaton()
+	headsP := First("flipP", pHeads)
+	tailsQ := First("flipQ", qTails)
+
+	t.Run("or", func(t *testing.T) {
+		// P heads or Q tails fails only on (T, H): 3/4 under both-flip.
+		got := evalProb(t, m, bothFlip(m), Or(headsP, tailsQ))
+		if !got.Equal(prob.NewRat(3, 4)) {
+			t.Errorf("P[or] = %v, want 3/4", got)
+		}
+	})
+	t.Run("not", func(t *testing.T) {
+		got := evalProb(t, m, bothFlip(m), Not(headsP))
+		if !got.Equal(prob.Half()) {
+			t.Errorf("P[not first(P,heads)] = %v, want 1/2", got)
+		}
+	})
+	t.Run("complement law", func(t *testing.T) {
+		ev := And(headsP, tailsQ)
+		p := evalProb(t, m, spiteful(m), ev)
+		q := evalProb(t, m, spiteful(m), Not(ev))
+		if !p.Add(q).IsOne() {
+			t.Errorf("P[e] + P[not e] = %v + %v != 1", p, q)
+		}
+	})
+	t.Run("empty and accepts", func(t *testing.T) {
+		got := evalProb(t, m, bothFlip(m), And[twoCoins]())
+		if !got.IsOne() {
+			t.Errorf("P[empty and] = %v, want 1", got)
+		}
+	})
+	t.Run("empty or rejects", func(t *testing.T) {
+		got := evalProb(t, m, bothFlip(m), Or[twoCoins]())
+		if !got.IsZero() {
+			t.Errorf("P[empty or] = %v, want 0", got)
+		}
+	})
+}
+
+func TestCheckProp42Hypothesis(t *testing.T) {
+	m := twoCoinsAutomaton()
+	hyps := []Hypothesis[twoCoins]{
+		{Action: "flipP", Pred: pHeads, MinProb: prob.Half()},
+		{Action: "flipQ", Pred: qTails, MinProb: prob.Half()},
+	}
+	t.Run("valid hypothesis", func(t *testing.T) {
+		if err := CheckProp42Hypothesis(m, 0, hyps...); err != nil {
+			t.Errorf("CheckProp42Hypothesis: %v", err)
+		}
+	})
+	t.Run("overstated bound rejected", func(t *testing.T) {
+		bad := []Hypothesis[twoCoins]{
+			{Action: "flipP", Pred: pHeads, MinProb: prob.NewRat(2, 3)},
+		}
+		if err := CheckProp42Hypothesis(m, 0, bad...); err == nil {
+			t.Error("hypothesis with overstated bound accepted")
+		}
+	})
+	t.Run("duplicate actions rejected", func(t *testing.T) {
+		dup := []Hypothesis[twoCoins]{
+			{Action: "flipP", Pred: pHeads, MinProb: prob.Half()},
+			{Action: "flipP", Pred: pHeads, MinProb: prob.Half()},
+		}
+		if err := CheckProp42Hypothesis(m, 0, dup...); err == nil {
+			t.Error("duplicate hypothesis accepted")
+		}
+	})
+	t.Run("bounds", func(t *testing.T) {
+		if got := Prop42FirstBound(hyps...); !got.Equal(prob.NewRat(1, 4)) {
+			t.Errorf("Prop42FirstBound = %v, want 1/4", got)
+		}
+		if got := Prop42NextBound(hyps...); !got.Equal(prob.Half()) {
+			t.Errorf("Prop42NextBound = %v, want 1/2", got)
+		}
+	})
+}
+
+// TestProp42ConclusionAgainstAdversaries is the full statement of
+// Proposition 4.2 on the two-coin system: for every adversary in a small
+// but adversarial collection, the measured probabilities respect the
+// guaranteed bounds.
+func TestProp42ConclusionAgainstAdversaries(t *testing.T) {
+	m := twoCoinsAutomaton()
+	hyps := []Hypothesis[twoCoins]{
+		{Action: "flipP", Pred: pHeads, MinProb: prob.Half()},
+		{Action: "flipQ", Pred: qTails, MinProb: prob.Half()},
+	}
+	if err := CheckProp42Hypothesis(m, 0, hyps...); err != nil {
+		t.Fatalf("hypothesis: %v", err)
+	}
+	firstEvent := FirstConjunction(hyps...)
+	nextEvent, err := NextOf(hyps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	qFirst := adversary.HistoryDependent(m, func(frag *pa.Fragment[twoCoins], enabled []pa.Step[twoCoins]) int {
+		for i, st := range enabled {
+			if st.Action == "flipQ" {
+				return i
+			}
+		}
+		return 0
+	})
+	qOnlyIfPTails := adversary.HistoryDependent(m, func(frag *pa.Fragment[twoCoins], enabled []pa.Step[twoCoins]) int {
+		s := frag.Last()
+		if s.P == "?" {
+			return 0
+		}
+		if s.P == "T" && s.Q == "?" {
+			return 0
+		}
+		return -1
+	})
+
+	advs := map[string]adversary.Adversary[twoCoins]{
+		"halt":              adversary.Halt[twoCoins](),
+		"both flip":         bothFlip(m),
+		"spiteful":          spiteful(m),
+		"q first":           qFirst,
+		"q only if p tails": qOnlyIfPTails,
+	}
+	for name, adv := range advs {
+		t.Run(name, func(t *testing.T) {
+			pFirst := evalProb(t, m, adv, firstEvent)
+			if pFirst.Less(Prop42FirstBound(hyps...)) {
+				t.Errorf("P[first ∩ first] = %v < 1/4 under %s", pFirst, name)
+			}
+			pNext := evalProb(t, m, adv, nextEvent)
+			if pNext.Less(Prop42NextBound(hyps...)) {
+				t.Errorf("P[next] = %v < 1/2 under %s", pNext, name)
+			}
+		})
+	}
+}

@@ -1,0 +1,66 @@
+package events
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/exec"
+	"repro/internal/pa"
+	"repro/internal/prob"
+)
+
+// TestReachOnPatientConstruction is the cross-feature check of the
+// paper's Section 2 timing story: apply the patient construction (with a
+// fractional quantum) to an untimed automaton, and evaluate the
+// time-bounded event schema e_{U',t} on it with exact rationals.
+func TestReachOnPatientConstruction(t *testing.T) {
+	// Untimed: "work" advances 0 -> 1 -> 2; 2 is the target.
+	base := &pa.Automaton[int]{
+		Name:  "three-steps",
+		Start: []int{0},
+		Steps: func(s int) []pa.Step[int] {
+			if s >= 2 {
+				return nil
+			}
+			return []pa.Step[int]{{Action: "work", Next: prob.Point(s + 1)}}
+		},
+	}
+	// Quantum 1/2, increments of one quantum, horizon 6 quanta (time 3).
+	timed, err := pa.Patient(base, prob.Half(), []int{1}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An adversary alternating passage and work: each work step happens
+	// half a time unit after the previous, so the target is hit at time 1.
+	alternating := adversary.HistoryDependent(timed, func(frag *pa.Fragment[pa.TimedState[int]], enabled []pa.Step[pa.TimedState[int]]) int {
+		wantPassage := frag.Len()%2 == 0
+		for i, st := range enabled {
+			if (st.Action == pa.PassageAction(1)) == wantPassage {
+				return i
+			}
+		}
+		return 0
+	})
+
+	target := func(ts pa.TimedState[int]) bool { return ts.Base == 2 }
+	h := exec.FromState(timed, alternating, pa.TimedState[int]{Base: 0})
+
+	tests := []struct {
+		deadline string
+		want     string
+	}{
+		{deadline: "1", want: "1"},   // ν, work, ν, work at time exactly 1
+		{deadline: "1/2", want: "0"}, // only one work step fits
+		{deadline: "3", want: "1"},
+	}
+	for _, tt := range tests {
+		iv, err := h.Prob(Reach(target, prob.MustParseRat(tt.deadline)), exec.EvalConfig{MaxDepth: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !iv.Exact() || iv.Lo.String() != tt.want {
+			t.Errorf("deadline %s: P = %v, want %s", tt.deadline, iv, tt.want)
+		}
+	}
+}

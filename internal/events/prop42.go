@@ -1,0 +1,99 @@
+package events
+
+import (
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/pa"
+	"repro/internal/prob"
+)
+
+// Hypothesis is one (a_i, U_i, p_i) triple of Proposition 4.2: every step
+// of the automaton labeled Action must give the set Pred probability at
+// least MinProb.
+type Hypothesis[S comparable] struct {
+	Action  string
+	Pred    Pred[S]
+	MinProb prob.Rat
+}
+
+// CheckProp42Hypothesis verifies, over the reachable states of m (explored
+// with the given limit; <= 0 means unlimited), the hypothesis of
+// Proposition 4.2: for each i and each step (s, a_i, (Omega, F, P)) of M,
+// P[U_i ∩ Omega] >= p_i. The actions must be pairwise distinct. On
+// success, the proposition guarantees, for every execution automaton H of
+// M (i.e. against every adversary):
+//
+//	P_H[first(a1,U1) ∩ ... ∩ first(an,Un)]  >=  p1 · ... · pn
+//	P_H[next((a1,U1),...,(an,Un))]          >=  min(p1,...,pn)
+//
+// The returned error identifies the first violated hypothesis, if any.
+func CheckProp42Hypothesis[S comparable](m *pa.Automaton[S], limit int, hyps ...Hypothesis[S]) error {
+	seen := make(map[string]bool, len(hyps))
+	for _, h := range hyps {
+		if seen[h.Action] {
+			return fmt.Errorf("events: duplicate action %q in Proposition 4.2 hypothesis", h.Action)
+		}
+		seen[h.Action] = true
+	}
+	states, err := m.Reachable(limit)
+	if err != nil {
+		return err
+	}
+	for _, s := range states {
+		for _, step := range m.Steps(s) {
+			for _, h := range hyps {
+				if step.Action != h.Action {
+					continue
+				}
+				got := step.Next.ProbOf(func(v S) bool { return h.Pred(v) })
+				if got.Less(h.MinProb) {
+					return fmt.Errorf("events: step %q from %v gives the target set probability %v < %v",
+						h.Action, s, got, h.MinProb)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Prop42FirstBound returns the lower bound p1···pn that Proposition 4.2(1)
+// guarantees for the intersection of the first events.
+func Prop42FirstBound[S comparable](hyps ...Hypothesis[S]) prob.Rat {
+	ps := make([]prob.Rat, len(hyps))
+	for i, h := range hyps {
+		ps[i] = h.MinProb
+	}
+	return prob.ProdRats(ps...)
+}
+
+// Prop42NextBound returns the lower bound min(p1,...,pn) that Proposition
+// 4.2(2) guarantees for the next event. It panics on an empty hypothesis
+// list.
+func Prop42NextBound[S comparable](hyps ...Hypothesis[S]) prob.Rat {
+	ps := make([]prob.Rat, len(hyps))
+	for i, h := range hyps {
+		ps[i] = h.MinProb
+	}
+	return prob.MinRats(ps...)
+}
+
+// FirstConjunction builds the monitor for the intersection event
+// first(a1,U1) ∩ ... ∩ first(an,Un) of Proposition 4.2(1).
+func FirstConjunction[S comparable](hyps ...Hypothesis[S]) exec.Monitor[S] {
+	ms := make([]exec.Monitor[S], len(hyps))
+	for i, h := range hyps {
+		ms[i] = First(h.Action, h.Pred)
+	}
+	return And(ms...)
+}
+
+// NextOf builds the monitor for the event next((a1,U1),...,(an,Un)) of
+// Proposition 4.2(2) from the hypothesis list.
+func NextOf[S comparable](hyps ...Hypothesis[S]) (exec.Monitor[S], error) {
+	pairs := make([]Pair[S], len(hyps))
+	for i, h := range hyps {
+		pairs[i] = Pair[S]{Action: h.Action, Pred: h.Pred}
+	}
+	return Next(pairs...)
+}

@@ -1,0 +1,45 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/prob"
+)
+
+func TestEvalConfigDefaults(t *testing.T) {
+	// With a zero config, evaluation uses the default depth of 64: deep
+	// enough to pin the geometric to within 2^-64 but still an interval.
+	m := untilHeads()
+	h := FromState(m, adversary.FirstEnabled(m), coinState("start"))
+	iv, err := h.Prob(reachMonitor{pred: func(s coinState) bool { return s == "heads" }}, EvalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Exact() {
+		t.Error("interval exact despite the unbounded tail")
+	}
+	gap := iv.Hi.Sub(iv.Lo)
+	if gap.Cmp(prob.NewRat(1, 1<<62)) > 0 {
+		t.Errorf("default depth leaves gap %v", gap)
+	}
+}
+
+func TestProbMassConservation(t *testing.T) {
+	// Lo + P[complement's Lo] = 1 for events decided on every branch.
+	m := coinAutomaton()
+	h := FromState(m, adversary.FirstEnabled(m), coinState("start"))
+	heads := reachMonitor{pred: func(s coinState) bool { return s == "heads" }}
+	tails := reachMonitor{pred: func(s coinState) bool { return s == "tails" }}
+	ivH, err := h.Prob(heads, EvalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivT, err := h.Prob(tails, EvalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ivH.Lo.Add(ivT.Lo).IsOne() {
+		t.Errorf("mass = %v + %v != 1", ivH.Lo, ivT.Lo)
+	}
+}

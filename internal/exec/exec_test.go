@@ -1,0 +1,305 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/pa"
+	"repro/internal/prob"
+)
+
+// coinState is "start", "heads" or "tails"; geomState counts failed flips.
+type coinState string
+
+func coinAutomaton() *pa.Automaton[coinState] {
+	return &pa.Automaton[coinState]{
+		Name:  "coin",
+		Start: []coinState{"start"},
+		Steps: func(s coinState) []pa.Step[coinState] {
+			if s != "start" {
+				return nil
+			}
+			return []pa.Step[coinState]{
+				{Action: "flip", Next: prob.MustUniform(coinState("heads"), coinState("tails"))},
+			}
+		},
+	}
+}
+
+// untilHeads flips forever until heads: from "start" or "tails" a flip
+// leads to heads or tails with equal probability; heads is absorbing.
+func untilHeads() *pa.Automaton[coinState] {
+	return &pa.Automaton[coinState]{
+		Name:  "until-heads",
+		Start: []coinState{"start"},
+		Steps: func(s coinState) []pa.Step[coinState] {
+			if s == "heads" {
+				return nil
+			}
+			return []pa.Step[coinState]{
+				{Action: "flip", Next: prob.MustUniform(coinState("heads"), coinState("tails"))},
+			}
+		},
+	}
+}
+
+// reachMonitor is a minimal monitor accepting when pred holds, used to
+// test the evaluator without importing package events (which would create
+// an import cycle in tests).
+type reachMonitor struct {
+	pred func(coinState) bool
+}
+
+func (r reachMonitor) Start(s coinState) (Monitor[coinState], Status) {
+	if r.pred(s) {
+		return r, Accepted
+	}
+	return r, Undetermined
+}
+
+func (r reachMonitor) Observe(_ string, next coinState, _ prob.Rat) (Monitor[coinState], Status) {
+	if r.pred(next) {
+		return r, Accepted
+	}
+	return r, Undetermined
+}
+
+func (r reachMonitor) AtEnd() Status { return Rejected }
+
+func TestRectangleProb(t *testing.T) {
+	m := coinAutomaton()
+	h := FromState(m, adversary.FirstEnabled(m), coinState("start"))
+
+	tests := []struct {
+		name    string
+		states  []coinState
+		actions []string
+		want    string
+		wantErr bool
+	}{
+		{name: "start only", states: []coinState{"start"}, want: "1"},
+		{name: "heads", states: []coinState{"start", "heads"}, actions: []string{"flip"}, want: "1/2"},
+		{name: "tails", states: []coinState{"start", "tails"}, actions: []string{"flip"}, want: "1/2"},
+		{name: "not an extension", states: []coinState{"heads"}, wantErr: true},
+		{name: "wrong action", states: []coinState{"start", "heads"}, actions: []string{"toss"}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			frag, err := pa.FragmentOf(tt.states, tt.actions)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := h.RectangleProb(frag)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("RectangleProb = %v, want error", got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("RectangleProb: %v", err)
+			}
+			if got.String() != tt.want {
+				t.Errorf("RectangleProb = %v, want %s", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRectangleProbZeroBranch(t *testing.T) {
+	// A fragment that follows the adversary but passes through a
+	// zero-probability successor has rectangle measure zero.
+	m := &pa.Automaton[int]{
+		Start: []int{0},
+		Steps: func(s int) []pa.Step[int] {
+			if s != 0 {
+				return nil
+			}
+			return []pa.Step[int]{{
+				Action: "go",
+				Next: prob.MustDist(
+					prob.Outcome[int]{Value: 1, Prob: prob.One()},
+				),
+			}}
+		},
+	}
+	h := FromState(m, adversary.FirstEnabled(m), 0)
+	frag, err := pa.FragmentOf([]int{0, 2}, []string{"go"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.RectangleProb(frag)
+	if err != nil {
+		t.Fatalf("RectangleProb: %v", err)
+	}
+	if !got.IsZero() {
+		t.Errorf("RectangleProb = %v, want 0", got)
+	}
+}
+
+func TestProbExactFiniteTree(t *testing.T) {
+	m := coinAutomaton()
+	h := FromState(m, adversary.FirstEnabled(m), coinState("start"))
+	iv, err := h.Prob(reachMonitor{pred: func(s coinState) bool { return s == "heads" }}, EvalConfig{})
+	if err != nil {
+		t.Fatalf("Prob: %v", err)
+	}
+	if !iv.Exact() {
+		t.Fatalf("interval %v not exact", iv)
+	}
+	if !iv.Lo.Equal(prob.Half()) {
+		t.Errorf("P = %v, want 1/2", iv.Lo)
+	}
+}
+
+func TestProbGeometricInterval(t *testing.T) {
+	m := untilHeads()
+	h := FromState(m, adversary.FirstEnabled(m), coinState("start"))
+	iv, err := h.Prob(reachMonitor{pred: func(s coinState) bool { return s == "heads" }}, EvalConfig{MaxDepth: 10})
+	if err != nil {
+		t.Fatalf("Prob: %v", err)
+	}
+	// After depth 10, P[heads] is pinned to [1 - 2^-10, 1].
+	wantLo := prob.One().Sub(prob.NewRat(1, 1024))
+	if !iv.Lo.Equal(wantLo) {
+		t.Errorf("Lo = %v, want %v", iv.Lo, wantLo)
+	}
+	if !iv.Hi.IsOne() {
+		t.Errorf("Hi = %v, want 1", iv.Hi)
+	}
+	if iv.Exact() {
+		t.Error("unbounded event reported exact at finite depth")
+	}
+}
+
+func TestProbAcceptedAtStart(t *testing.T) {
+	m := coinAutomaton()
+	h := FromState(m, adversary.FirstEnabled(m), coinState("start"))
+	iv, err := h.Prob(reachMonitor{pred: func(coinState) bool { return true }}, EvalConfig{})
+	if err != nil {
+		t.Fatalf("Prob: %v", err)
+	}
+	if !iv.Exact() || !iv.Lo.IsOne() {
+		t.Errorf("P = %v, want exactly 1", iv)
+	}
+}
+
+func TestProbStartFragmentReplay(t *testing.T) {
+	// Starting from the fragment start -flip-> tails, the monitor for
+	// "reach heads" is undetermined and the adversary has halted (the
+	// coin automaton is absorbing after one flip), so P = 0.
+	m := coinAutomaton()
+	frag := pa.NewFragment(coinState("start")).Extend("flip", "tails")
+	h := New(m, adversary.FirstEnabled(m), frag)
+	iv, err := h.Prob(reachMonitor{pred: func(s coinState) bool { return s == "heads" }}, EvalConfig{})
+	if err != nil {
+		t.Fatalf("Prob: %v", err)
+	}
+	if !iv.Exact() || !iv.Lo.IsZero() {
+		t.Errorf("P = %v, want exactly 0", iv)
+	}
+
+	// Starting from the fragment that already visited heads, the event
+	// holds with probability 1 no matter what follows.
+	fragHeads := pa.NewFragment(coinState("start")).Extend("flip", "heads")
+	h2 := New(m, adversary.FirstEnabled(m), fragHeads)
+	iv2, err := h2.Prob(reachMonitor{pred: func(s coinState) bool { return s == "heads" }}, EvalConfig{})
+	if err != nil {
+		t.Fatalf("Prob: %v", err)
+	}
+	if !iv2.Exact() || !iv2.Lo.IsOne() {
+		t.Errorf("P = %v, want exactly 1", iv2)
+	}
+}
+
+func TestProbBudget(t *testing.T) {
+	m := untilHeads()
+	h := FromState(m, adversary.FirstEnabled(m), coinState("start"))
+	_, err := h.Prob(reachMonitor{pred: func(coinState) bool { return false }}, EvalConfig{MaxDepth: 60, MaxNodes: 5})
+	if !errors.Is(err, ErrBudget) {
+		t.Errorf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestStepAt(t *testing.T) {
+	m := coinAutomaton()
+	h := FromState(m, adversary.FirstEnabled(m), coinState("start"))
+	step, ok := h.StepAt(pa.NewFragment(coinState("start")))
+	if !ok || step.Action != "flip" {
+		t.Errorf("StepAt = %q, %t; want flip, true", step.Action, ok)
+	}
+	if _, ok := h.StepAt(pa.NewFragment(coinState("heads"))); ok {
+		t.Error("StepAt returned a step in an absorbing state")
+	}
+}
+
+func TestExecutionAutomatonIsFullyProbabilistic(t *testing.T) {
+	// Definition 2.3 requires H to be fully probabilistic: we realize H
+	// as a pa.Automaton over fragment strings and check the property on a
+	// bounded unfolding. (Fragments are not comparable, so we key nodes
+	// by their string rendering — adequate for this structural check.)
+	m := coinAutomaton()
+	a := adversary.FirstEnabled(m)
+
+	type node = string
+	frags := map[node]*pa.Fragment[coinState]{}
+	start := pa.NewFragment(coinState("start"))
+	frags[start.String()] = start
+
+	unfolded := &pa.Automaton[node]{
+		Start: []node{start.String()},
+		Steps: func(n node) []pa.Step[node] {
+			frag, ok := frags[n]
+			if !ok {
+				return nil
+			}
+			step, ok := a.Step(frag)
+			if !ok {
+				return nil
+			}
+			outcomes := make([]prob.Outcome[node], 0, step.Next.Len())
+			for _, o := range step.Next.Outcomes() {
+				child := frag.Extend(step.Action, o.Value)
+				frags[child.String()] = child
+				outcomes = append(outcomes, prob.Outcome[node]{Value: child.String(), Prob: o.Prob})
+			}
+			return []pa.Step[node]{{Action: step.Action, Next: prob.MustDist(outcomes...)}}
+		},
+	}
+	full, err := unfolded.IsFullyProbabilistic(1000)
+	if err != nil {
+		t.Fatalf("IsFullyProbabilistic: %v", err)
+	}
+	if !full {
+		t.Error("execution automaton is not fully probabilistic")
+	}
+}
+
+func TestIntervalString(t *testing.T) {
+	exact := Interval{Lo: prob.Half(), Hi: prob.Half()}
+	if got, want := exact.String(), "1/2"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	loose := Interval{Lo: prob.NewRat(1, 4), Hi: prob.Half()}
+	if got, want := loose.String(), "[1/4, 1/2]"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	tests := []struct {
+		status Status
+		want   string
+	}{
+		{status: Undetermined, want: "undetermined"},
+		{status: Accepted, want: "accepted"},
+		{status: Rejected, want: "rejected"},
+		{status: Status(42), want: "Status(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.status.String(); got != tt.want {
+			t.Errorf("Status(%d).String() = %q, want %q", int(tt.status), got, tt.want)
+		}
+	}
+}

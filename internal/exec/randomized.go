@@ -1,0 +1,114 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/pa"
+	"repro/internal/prob"
+)
+
+// RandomizedAutomaton is the execution structure of M under a randomized
+// adversary (the generalization the paper's footnote 1 sets aside): at
+// every node the adversary's own coin picks among enabled steps (or
+// halting), and then the step's distribution picks the successor. The
+// adversary's internal randomness is invisible to event monitors — they
+// observe only the actions and states of M.
+type RandomizedAutomaton[S comparable] struct {
+	M     *pa.Automaton[S]
+	A     adversary.Randomized[S]
+	Start *pa.Fragment[S]
+}
+
+// NewRandomized builds the execution structure of M under randomized
+// adversary a from the starting fragment.
+func NewRandomized[S comparable](m *pa.Automaton[S], a adversary.Randomized[S], start *pa.Fragment[S]) *RandomizedAutomaton[S] {
+	return &RandomizedAutomaton[S]{M: m, A: a, Start: start}
+}
+
+// Prob computes the probability of the monitored event under the combined
+// randomness of the algorithm and the adversary, with the same interval
+// semantics as Automaton.Prob.
+func (h *RandomizedAutomaton[S]) Prob(mon Monitor[S], cfg EvalConfig) (Interval, error) {
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = defaultMaxDepth
+	}
+	if cfg.MaxNodes <= 0 {
+		cfg.MaxNodes = defaultMaxNodes
+	}
+	e := &randomizedEvaluator[S]{h: h, budget: cfg.MaxNodes}
+
+	m, status := mon.Start(h.Start.First())
+	now := prob.Zero()
+	for i := 0; i < h.Start.Len() && status == Undetermined; i++ {
+		a := h.Start.Action(i)
+		now = now.Add(h.M.DurationOf(a))
+		m, status = m.Observe(a, h.Start.State(i+1), now)
+	}
+	switch status {
+	case Accepted:
+		return Interval{Lo: prob.One(), Hi: prob.One()}, nil
+	case Rejected:
+		return Interval{Lo: prob.Zero(), Hi: prob.Zero()}, nil
+	}
+
+	if err := e.walk(h.Start, m, now, prob.One(), cfg.MaxDepth); err != nil {
+		return Interval{}, err
+	}
+	return Interval{Lo: e.accepted, Hi: prob.One().Sub(e.rejected)}, nil
+}
+
+type randomizedEvaluator[S comparable] struct {
+	h        *RandomizedAutomaton[S]
+	accepted prob.Rat
+	rejected prob.Rat
+	budget   int
+}
+
+func (e *randomizedEvaluator[S]) walk(frag *pa.Fragment[S], mon Monitor[S], now, weight prob.Rat, depth int) error {
+	if e.budget <= 0 {
+		return fmt.Errorf("%w", ErrBudget)
+	}
+	e.budget--
+
+	dist, choices := e.h.A.ChooseDist(frag)
+	if !dist.IsValid() {
+		return fmt.Errorf("exec: randomized adversary returned invalid distribution at %v", frag.Last())
+	}
+	for _, out := range dist.Outcomes() {
+		if out.Value < 0 || out.Value >= len(choices) {
+			return fmt.Errorf("exec: randomized adversary indexed choice %d of %d", out.Value, len(choices))
+		}
+		choice := choices[out.Value]
+		w := weight.Mul(out.Prob)
+		if choice.Halt {
+			switch mon.AtEnd() {
+			case Accepted:
+				e.accepted = e.accepted.Add(w)
+			case Rejected:
+				e.rejected = e.rejected.Add(w)
+			}
+			continue
+		}
+		if depth == 0 {
+			// Horizon: this mass stays undetermined.
+			continue
+		}
+		next := now.Add(e.h.M.DurationOf(choice.Step.Action))
+		for _, succ := range choice.Step.Next.Outcomes() {
+			childMon, status := mon.Observe(choice.Step.Action, succ.Value, next)
+			ws := w.Mul(succ.Prob)
+			switch status {
+			case Accepted:
+				e.accepted = e.accepted.Add(ws)
+			case Rejected:
+				e.rejected = e.rejected.Add(ws)
+			default:
+				if err := e.walk(frag.Extend(choice.Step.Action, succ.Value), childMon, next, ws, depth-1); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/pa"
+	"repro/internal/prob"
+)
+
+// choiceState exposes a genuine nondeterministic choice: from "start",
+// action "left" reaches the target with probability 1/4, action "right"
+// with probability 3/4.
+type choiceState string
+
+func choiceAutomaton() *pa.Automaton[choiceState] {
+	return &pa.Automaton[choiceState]{
+		Name:  "choice",
+		Start: []choiceState{"start"},
+		Steps: func(s choiceState) []pa.Step[choiceState] {
+			if s != "start" {
+				return nil
+			}
+			return []pa.Step[choiceState]{
+				{Action: "left", Next: prob.MustDist(
+					prob.Outcome[choiceState]{Value: "hit", Prob: prob.NewRat(1, 4)},
+					prob.Outcome[choiceState]{Value: "miss", Prob: prob.NewRat(3, 4)},
+				)},
+				{Action: "right", Next: prob.MustDist(
+					prob.Outcome[choiceState]{Value: "hit", Prob: prob.NewRat(3, 4)},
+					prob.Outcome[choiceState]{Value: "miss", Prob: prob.NewRat(1, 4)},
+				)},
+			}
+		},
+	}
+}
+
+func hitMonitor() Monitor[choiceState] {
+	return reachChoiceMonitor{}
+}
+
+type reachChoiceMonitor struct{}
+
+func (reachChoiceMonitor) Start(s choiceState) (Monitor[choiceState], Status) {
+	if s == "hit" {
+		return reachChoiceMonitor{}, Accepted
+	}
+	return reachChoiceMonitor{}, Undetermined
+}
+
+func (reachChoiceMonitor) Observe(_ string, next choiceState, _ prob.Rat) (Monitor[choiceState], Status) {
+	if next == "hit" {
+		return reachChoiceMonitor{}, Accepted
+	}
+	return reachChoiceMonitor{}, Undetermined
+}
+
+func (reachChoiceMonitor) AtEnd() Status { return Rejected }
+
+func exactProb(t *testing.T, h *RandomizedAutomaton[choiceState]) prob.Rat {
+	t.Helper()
+	iv, err := h.Prob(hitMonitor(), EvalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iv.Exact() {
+		t.Fatalf("interval %v not exact", iv)
+	}
+	return iv.Lo
+}
+
+func TestDeterministicallyMatchesDeterministic(t *testing.T) {
+	m := choiceAutomaton()
+	det := adversary.FirstEnabled(m)
+
+	hDet := FromState(m, det, choiceState("start"))
+	ivDet, err := hDet.Prob(hitMonitor(), EvalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hRand := NewRandomized(m, adversary.Deterministically(det), pa.NewFragment(choiceState("start")))
+	got := exactProb(t, hRand)
+	if !got.Equal(ivDet.Lo) {
+		t.Errorf("lifted adversary gives %v, deterministic gives %v", got, ivDet.Lo)
+	}
+	if !got.Equal(prob.NewRat(1, 4)) {
+		t.Errorf("P = %v, want 1/4 (first enabled step is left)", got)
+	}
+}
+
+func TestUniformScheduler(t *testing.T) {
+	m := choiceAutomaton()
+	h := NewRandomized(m, adversary.UniformScheduler(m), pa.NewFragment(choiceState("start")))
+	// Uniform over {left, right}: 1/2·1/4 + 1/2·3/4 = 1/2.
+	if got := exactProb(t, h); !got.Equal(prob.Half()) {
+		t.Errorf("P = %v, want 1/2", got)
+	}
+}
+
+func TestMix(t *testing.T) {
+	m := choiceAutomaton()
+	left := adversary.Memoryless(m, func(choiceState, []pa.Step[choiceState]) int { return 0 })
+	right := adversary.Memoryless(m, func(choiceState, []pa.Step[choiceState]) int { return 1 })
+
+	mixed, err := adversary.Mix(
+		[]adversary.Adversary[choiceState]{left, right},
+		[]prob.Rat{prob.NewRat(1, 3), prob.NewRat(2, 3)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewRandomized(m, mixed, pa.NewFragment(choiceState("start")))
+	// 1/3·1/4 + 2/3·3/4 = 1/12 + 6/12 = 7/12.
+	if got := exactProb(t, h); !got.Equal(prob.NewRat(7, 12)) {
+		t.Errorf("P = %v, want 7/12", got)
+	}
+
+	if _, err := adversary.Mix(
+		[]adversary.Adversary[choiceState]{left},
+		[]prob.Rat{prob.Half(), prob.Half()},
+	); err == nil {
+		t.Error("mismatched Mix accepted")
+	}
+	if _, err := adversary.Mix(
+		[]adversary.Adversary[choiceState]{left, right},
+		[]prob.Rat{prob.Half(), prob.NewRat(1, 3)},
+	); err == nil {
+		t.Error("non-distribution Mix accepted")
+	}
+}
+
+// TestRandomizedNoWorse pins the classic fact the paper relies on
+// implicitly when restricting to deterministic adversaries: for
+// reachability events, every randomized adversary's value is a convex
+// combination of deterministic values, so the deterministic worst case is
+// the true worst case.
+func TestRandomizedNoWorse(t *testing.T) {
+	m := choiceAutomaton()
+	left := adversary.Memoryless(m, func(choiceState, []pa.Step[choiceState]) int { return 0 })
+	right := adversary.Memoryless(m, func(choiceState, []pa.Step[choiceState]) int { return 1 })
+
+	detValues := []prob.Rat{}
+	for _, a := range []adversary.Adversary[choiceState]{left, right} {
+		h := FromState(m, a, choiceState("start"))
+		iv, err := h.Prob(hitMonitor(), EvalConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		detValues = append(detValues, iv.Lo)
+	}
+	detMin := prob.MinRats(detValues...)
+	detMax := prob.MaxRats(detValues...)
+
+	// A sweep of mixtures: every value lies within [detMin, detMax].
+	for num := int64(0); num <= 8; num++ {
+		w := prob.NewRat(num, 8)
+		mixed, err := adversary.Mix(
+			[]adversary.Adversary[choiceState]{left, right},
+			[]prob.Rat{w, prob.One().Sub(w)},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := NewRandomized(m, mixed, pa.NewFragment(choiceState("start")))
+		got := exactProb(t, h)
+		if got.Less(detMin) || detMax.Less(got) {
+			t.Errorf("mixture %v/8 gives %v outside [%v, %v]", num, got, detMin, detMax)
+		}
+	}
+}
+
+func TestHaltingMixture(t *testing.T) {
+	m := choiceAutomaton()
+	// Halt with probability 1/2, otherwise take "right".
+	right := adversary.Memoryless(m, func(choiceState, []pa.Step[choiceState]) int { return 1 })
+	mixed, err := adversary.Mix(
+		[]adversary.Adversary[choiceState]{adversary.Halt[choiceState](), right},
+		[]prob.Rat{prob.Half(), prob.Half()},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewRandomized(m, mixed, pa.NewFragment(choiceState("start")))
+	// Halting rejects (target never reached): 1/2·0 + 1/2·3/4 = 3/8.
+	if got := exactProb(t, h); !got.Equal(prob.NewRat(3, 8)) {
+		t.Errorf("P = %v, want 3/8", got)
+	}
+}

@@ -1,0 +1,209 @@
+package mdp
+
+import (
+	"fmt"
+
+	"repro/internal/prob"
+)
+
+// This file extends the tick-bounded analysis with per-horizon curves,
+// floating-point value iteration (for models too large for exact
+// rationals), and worst-case witness extraction — the machinery behind
+// the "non-trivial lower bound on the time for progress" direction the
+// paper lists as future work in Section 7: the curve of worst-case
+// probabilities as a function of the horizon locates the exact threshold
+// where a (t, p) claim starts to hold.
+
+// ReachWithinTicksLayers is ReachWithinTicks keeping every horizon layer:
+// the result has horizon+1 rows, row h giving the optimal probability of
+// reaching the target within h ticks from each state.
+func (m *MDP) ReachWithinTicksLayers(target []bool, horizon int, goal Goal) ([][]prob.Rat, error) {
+	if len(target) != m.NumStates {
+		return nil, fmt.Errorf("mdp: target mask has %d entries, want %d", len(target), m.NumStates)
+	}
+	if horizon < 0 {
+		return nil, fmt.Errorf("mdp: negative horizon %d", horizon)
+	}
+	order, err := m.nonTickTopo()
+	if err != nil {
+		return nil, err
+	}
+	layers := make([][]prob.Rat, 0, horizon+1)
+	prev := make([]prob.Rat, m.NumStates)
+	for h := 0; h <= horizon; h++ {
+		cur := make([]prob.Rat, m.NumStates)
+		for _, s := range order {
+			cur[s] = m.optOneState(s, target, goal, cur, prev, h > 0)
+		}
+		layers = append(layers, cur)
+		prev = cur
+	}
+	return layers, nil
+}
+
+// ReachWithinTicksFloat is the float64 counterpart of ReachWithinTicks,
+// for products too large for exact rationals. Same semantics, same
+// Zeno-cycle requirement; probabilities are converted once per branch.
+func (m *MDP) ReachWithinTicksFloat(target []bool, horizon int, goal Goal) ([]float64, error) {
+	if len(target) != m.NumStates {
+		return nil, fmt.Errorf("mdp: target mask has %d entries, want %d", len(target), m.NumStates)
+	}
+	if horizon < 0 {
+		return nil, fmt.Errorf("mdp: negative horizon %d", horizon)
+	}
+	order, err := m.nonTickTopo()
+	if err != nil {
+		return nil, err
+	}
+
+	// Cache branch probabilities as floats once.
+	type fTr struct {
+		to int
+		p  float64
+	}
+	type fChoice struct {
+		tick     bool
+		branches []fTr
+	}
+	choices := make([][]fChoice, m.NumStates)
+	for s := range choices {
+		cs := make([]fChoice, len(m.Choices[s]))
+		for ci, c := range m.Choices[s] {
+			fc := fChoice{tick: c.Tick, branches: make([]fTr, len(c.Branches))}
+			for bi, tr := range c.Branches {
+				fc.branches[bi] = fTr{to: tr.To, p: tr.P.Float64()}
+			}
+			cs[ci] = fc
+		}
+		choices[s] = cs
+	}
+
+	prev := make([]float64, m.NumStates)
+	cur := make([]float64, m.NumStates)
+	for h := 0; h <= horizon; h++ {
+		ticksLeft := h > 0
+		for _, s := range order {
+			if target[s] {
+				cur[s] = 1
+				continue
+			}
+			cs := choices[s]
+			if len(cs) == 0 {
+				cur[s] = 0
+				continue
+			}
+			var best float64
+			for ci, c := range cs {
+				var v float64
+				if c.tick && !ticksLeft {
+					v = 0
+				} else {
+					layer := cur
+					if c.tick {
+						layer = prev
+					}
+					for _, tr := range c.branches {
+						v += tr.p * layer[tr.to]
+					}
+				}
+				if ci == 0 || (goal == MinProb && v < best) || (goal == MaxProb && v > best) {
+					best = v
+				}
+			}
+			cur[s] = best
+		}
+		prev, cur = cur, prev
+	}
+	return prev, nil
+}
+
+// WitnessStep is one step of an extracted worst-case schedule.
+type WitnessStep struct {
+	// State is the state index before the step; Choice the index of the
+	// adversary's optimal choice; Action its label.
+	State  int
+	Choice int
+	Action string
+	// Next is the successor followed (the most damning probabilistic
+	// branch); BranchProb its probability.
+	Next       int
+	BranchProb prob.Rat
+}
+
+// WorstWitness extracts a most-damning execution for the MinProb analysis:
+// starting from `from` with the given tick budget, it follows, at every
+// state, the adversary choice minimizing the reach probability and then
+// the probabilistic branch with the smallest continuation value. The walk
+// stops at the target, at budget exhaustion with no zero-duration move
+// left, or after maxLen steps.
+func (m *MDP) WorstWitness(target []bool, horizon int, from int, maxLen int) ([]WitnessStep, error) {
+	layers, err := m.ReachWithinTicksLayers(target, horizon, MinProb)
+	if err != nil {
+		return nil, err
+	}
+	if from < 0 || from >= m.NumStates {
+		return nil, fmt.Errorf("mdp: witness start %d out of range", from)
+	}
+	if maxLen <= 0 {
+		maxLen = 4 * (horizon + 1)
+	}
+
+	var steps []WitnessStep
+	s, h := from, horizon
+	for len(steps) < maxLen && !target[s] {
+		choicesHere := m.Choices[s]
+		if len(choicesHere) == 0 {
+			break
+		}
+		// Value of a choice under budget h.
+		valueOf := func(c Choice) prob.Rat {
+			if c.Tick && h == 0 {
+				return prob.Zero()
+			}
+			layer := layers[h]
+			if c.Tick {
+				layer = layers[h-1]
+			}
+			v := prob.Zero()
+			for _, tr := range c.Branches {
+				v = v.Add(tr.P.Mul(layer[tr.To]))
+			}
+			return v
+		}
+		bestCI := 0
+		bestV := valueOf(choicesHere[0])
+		for ci := 1; ci < len(choicesHere); ci++ {
+			if v := valueOf(choicesHere[ci]); v.Less(bestV) {
+				bestV, bestCI = v, ci
+			}
+		}
+		choice := choicesHere[bestCI]
+		if choice.Tick && h == 0 {
+			// The optimal adversary move is to let time expire.
+			break
+		}
+		layer := layers[h]
+		if choice.Tick {
+			layer = layers[h-1]
+		}
+		// Most damning branch: the successor with the smallest value.
+		best := choice.Branches[0]
+		for _, tr := range choice.Branches[1:] {
+			if layer[tr.To].Less(layer[best.To]) {
+				best = tr
+			}
+		}
+		steps = append(steps, WitnessStep{
+			State:      s,
+			Choice:     bestCI,
+			Action:     choice.Label,
+			Next:       best.To,
+			BranchProb: best.P,
+		})
+		s = best.To
+		if choice.Tick {
+			h--
+		}
+	}
+	return steps, nil
+}

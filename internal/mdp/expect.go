@@ -1,0 +1,243 @@
+package mdp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoConvergence is returned when value iteration fails to converge
+// within the configured iteration budget.
+var ErrNoConvergence = errors.New("mdp: value iteration did not converge")
+
+// VIConfig configures floating-point value iteration.
+type VIConfig struct {
+	// Epsilon is the termination threshold on the max-norm difference of
+	// successive iterates. Zero means 1e-12.
+	Epsilon float64
+	// MaxIter caps the number of sweeps. Zero means 1_000_000.
+	MaxIter int
+}
+
+func (c VIConfig) withDefaults() VIConfig {
+	if c.Epsilon <= 0 {
+		c.Epsilon = 1e-12
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 1_000_000
+	}
+	return c
+}
+
+// MaxExpectedTicks computes, for every state, the supremum over
+// adversaries of the expected number of ticks until a target state is
+// first visited. States from which some adversary avoids the target with
+// positive probability get +Inf; for the rest, Gauss–Seidel value
+// iteration converges to the finite value.
+//
+// In the Lehmann–Rabin reproduction this is the worst-case expected time
+// for some process to enter the critical region, compared against the
+// paper's derived bound of 63 (Section 6.2).
+func (m *MDP) MaxExpectedTicks(target []bool, cfg VIConfig) ([]float64, error) {
+	if len(target) != m.NumStates {
+		return nil, fmt.Errorf("mdp: target mask has %d entries, want %d", len(target), m.NumStates)
+	}
+	cfg = cfg.withDefaults()
+
+	// Finite value exactly on the states where every adversary reaches
+	// the target almost surely.
+	finite := m.MinProbOne(target)
+
+	v := make([]float64, m.NumStates)
+	for s := range v {
+		if !finite[s] && !target[s] {
+			v[s] = math.Inf(1)
+		}
+	}
+
+	// Evaluate states in reverse topological order of zero-duration moves
+	// when available; otherwise any order still converges, only slower.
+	order, err := m.nonTickTopo()
+	if err != nil {
+		order = make([]int, m.NumStates)
+		for i := range order {
+			order[i] = i
+		}
+	}
+
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		delta := 0.0
+		for _, s := range order {
+			if target[s] || math.IsInf(v[s], 1) {
+				continue
+			}
+			choices := m.Choices[s]
+			if len(choices) == 0 {
+				continue
+			}
+			best := math.Inf(-1)
+			for _, c := range choices {
+				val := 0.0
+				if c.Tick {
+					val = 1.0
+				}
+				for _, tr := range c.Branches {
+					val += tr.P.Float64() * v[tr.To]
+				}
+				if val > best {
+					best = val
+				}
+			}
+			if d := math.Abs(best - v[s]); d > delta {
+				delta = d
+			}
+			v[s] = best
+		}
+		if delta <= cfg.Epsilon {
+			return v, nil
+		}
+	}
+	return nil, fmt.Errorf("%w after %d sweeps", ErrNoConvergence, cfg.MaxIter)
+}
+
+// MinExpectedTicks computes, for every state, the infimum over
+// adversaries of the expected number of ticks until a target state is
+// first visited — the cooperative-scheduler counterpart of
+// MaxExpectedTicks, useful for reporting the best-case/worst-case spread
+// of a model. States from which no adversary can reach the target at all
+// get +Inf; value iteration from zero converges to the least fixpoint,
+// which is the min-cost value whenever the minimizing scheduler reaches
+// the target almost surely (true in particular when, as in the
+// Lehmann–Rabin product, every state has a strategy driving it to the
+// target with probability one).
+func (m *MDP) MinExpectedTicks(target []bool, cfg VIConfig) ([]float64, error) {
+	if len(target) != m.NumStates {
+		return nil, fmt.Errorf("mdp: target mask has %d entries, want %d", len(target), m.NumStates)
+	}
+	cfg = cfg.withDefaults()
+
+	reachable := m.MaxProbPositive(target)
+
+	v := make([]float64, m.NumStates)
+	for s := range v {
+		if !reachable[s] && !target[s] {
+			v[s] = math.Inf(1)
+		}
+	}
+
+	order, err := m.nonTickTopo()
+	if err != nil {
+		order = make([]int, m.NumStates)
+		for i := range order {
+			order[i] = i
+		}
+	}
+
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		delta := 0.0
+		for _, s := range order {
+			if target[s] || math.IsInf(v[s], 1) {
+				continue
+			}
+			choices := m.Choices[s]
+			if len(choices) == 0 {
+				continue
+			}
+			best := math.Inf(1)
+			for _, c := range choices {
+				val := 0.0
+				if c.Tick {
+					val = 1.0
+				}
+				for _, tr := range c.Branches {
+					val += tr.P.Float64() * v[tr.To]
+				}
+				if val < best {
+					best = val
+				}
+			}
+			if d := math.Abs(best - v[s]); d > delta {
+				delta = d
+			}
+			v[s] = best
+		}
+		if delta <= cfg.Epsilon {
+			return v, nil
+		}
+	}
+	return nil, fmt.Errorf("%w after %d sweeps", ErrNoConvergence, cfg.MaxIter)
+}
+
+// ReachUnboundedFloat computes, for every state, the optimal probability
+// of eventually reaching the target, by Gauss–Seidel value iteration with
+// qualitative precomputation pinning the probability-0 and probability-1
+// states exactly.
+func (m *MDP) ReachUnboundedFloat(target []bool, goal Goal, cfg VIConfig) ([]float64, error) {
+	if len(target) != m.NumStates {
+		return nil, fmt.Errorf("mdp: target mask has %d entries, want %d", len(target), m.NumStates)
+	}
+	cfg = cfg.withDefaults()
+
+	v := make([]float64, m.NumStates)
+	pinned := make([]bool, m.NumStates)
+	switch goal {
+	case MinProb:
+		one := m.MinProbOne(target)
+		zero := m.Prob0E(target)
+		for s := range v {
+			switch {
+			case target[s] || one[s]:
+				v[s] = 1
+				pinned[s] = true
+			case zero[s]:
+				v[s] = 0
+				pinned[s] = true
+			}
+		}
+	case MaxProb:
+		pos := m.MaxProbPositive(target)
+		for s := range v {
+			switch {
+			case target[s]:
+				v[s] = 1
+				pinned[s] = true
+			case !pos[s]:
+				v[s] = 0
+				pinned[s] = true
+			}
+		}
+	default:
+		return nil, fmt.Errorf("mdp: unknown goal %d", goal)
+	}
+
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		delta := 0.0
+		for s := 0; s < m.NumStates; s++ {
+			if pinned[s] {
+				continue
+			}
+			choices := m.Choices[s]
+			if len(choices) == 0 {
+				continue
+			}
+			var best float64
+			for ci, c := range choices {
+				val := 0.0
+				for _, tr := range c.Branches {
+					val += tr.P.Float64() * v[tr.To]
+				}
+				if ci == 0 || (goal == MinProb && val < best) || (goal == MaxProb && val > best) {
+					best = val
+				}
+			}
+			if d := math.Abs(best - v[s]); d > delta {
+				delta = d
+			}
+			v[s] = best
+		}
+		if delta <= cfg.Epsilon {
+			return v, nil
+		}
+	}
+	return nil, fmt.Errorf("%w after %d sweeps", ErrNoConvergence, cfg.MaxIter)
+}

@@ -1,0 +1,235 @@
+package mdp
+
+// This file contains the qualitative (graph-based) analyses: strongly
+// connected components, reachability, the states from which some adversary
+// avoids a target forever (Prob0E), and the states from which every
+// adversary reaches a target almost surely (MinProbOne). The last is the
+// Zuck–Pnueli-style baseline the paper refines: "with probability 1, some
+// process eventually enters its critical region" is MinProbOne, with no
+// time bound attached.
+
+// successors returns every state reachable in one transition from s, over
+// all choices and branches.
+func (m *MDP) successors(s int) []int {
+	var out []int
+	for _, c := range m.Choices[s] {
+		for _, tr := range c.Branches {
+			out = append(out, tr.To)
+		}
+	}
+	return out
+}
+
+// ReachableFrom returns the mask of states reachable (in the underlying
+// graph, over all choices) from any state in the from mask.
+func (m *MDP) ReachableFrom(from []bool) []bool {
+	seen := make([]bool, m.NumStates)
+	var stack []int
+	for s, in := range from {
+		if in && !seen[s] {
+			seen[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range m.successors(s) {
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	return seen
+}
+
+// CanReach returns the mask of states from which the target mask is
+// reachable in the underlying graph (backward reachability).
+func (m *MDP) CanReach(target []bool) []bool {
+	return m.canReachAvoiding(target, nil)
+}
+
+// canReachAvoiding is backward reachability of target through paths whose
+// intermediate states avoid the blocked mask (blocked target states still
+// count as reached; blocked non-target states are never expanded). A nil
+// blocked mask blocks nothing.
+func (m *MDP) canReachAvoiding(target, blocked []bool) []bool {
+	// Build reverse adjacency once.
+	rev := make([][]int32, m.NumStates)
+	for s := 0; s < m.NumStates; s++ {
+		for _, t := range m.successors(s) {
+			rev[t] = append(rev[t], int32(s))
+		}
+	}
+	seen := make([]bool, m.NumStates)
+	var stack []int
+	for s, in := range target {
+		if in {
+			seen[s] = true
+			if blocked == nil || !blocked[s] {
+				stack = append(stack, s)
+			}
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range rev[s] {
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			if blocked == nil || !blocked[p] {
+				stack = append(stack, int(p))
+			}
+		}
+	}
+	return seen
+}
+
+// SCCs returns the strongly connected components of the underlying graph
+// in reverse topological order (every edge leaving a component goes to an
+// earlier component in the returned list), using an iterative Tarjan
+// algorithm.
+func (m *MDP) SCCs() [][]int {
+	n := m.NumStates
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var (
+		counter int32
+		tarjan  []int32 // Tarjan stack
+		comps   [][]int
+	)
+
+	type frame struct {
+		v    int
+		next int
+	}
+	adj := make([][]int32, n)
+	for s := 0; s < n; s++ {
+		for _, t := range m.successors(s) {
+			adj[s] = append(adj[s], int32(t))
+		}
+	}
+
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		stack := []frame{{v: root}}
+		index[root] = counter
+		low[root] = counter
+		counter++
+		tarjan = append(tarjan, int32(root))
+		onStack[root] = true
+
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(adj[f.v]) {
+				w := int(adj[f.v][f.next])
+				f.next++
+				if index[w] == -1 {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					tarjan = append(tarjan, int32(w))
+					onStack[w] = true
+					stack = append(stack, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// Post-visit: pop the frame, propagate lowlink, emit SCC.
+			v := f.v
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				parent := stack[len(stack)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := tarjan[len(tarjan)-1]
+					tarjan = tarjan[:len(tarjan)-1]
+					onStack[w] = false
+					comp = append(comp, int(w))
+					if int(w) == v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}
+
+// Prob0E returns the mask of states from which some adversary avoids the
+// target forever, i.e. achieves P(eventually target) = 0. It is the
+// greatest set X of non-target states such that every state of X is
+// terminal or has a choice whose branches all stay in X.
+func (m *MDP) Prob0E(target []bool) []bool {
+	in := make([]bool, m.NumStates)
+	for s := range in {
+		in[s] = !target[s]
+	}
+	for changed := true; changed; {
+		changed = false
+		for s := 0; s < m.NumStates; s++ {
+			if !in[s] || m.Terminal(s) {
+				continue
+			}
+			ok := false
+			for _, c := range m.Choices[s] {
+				all := true
+				for _, tr := range c.Branches {
+					if !in[tr.To] {
+						all = false
+						break
+					}
+				}
+				if all {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				in[s] = false
+				changed = true
+			}
+		}
+	}
+	return in
+}
+
+// MinProbOne returns the mask of states from which EVERY adversary reaches
+// the target with probability one: the states that cannot reach, along a
+// path avoiding the target, a state where some adversary then avoids the
+// target forever. (A path through the target does not witness failure —
+// the target has already been visited.) This is the qualitative progress
+// property of Zuck and Pnueli that Section 1 of the paper refines into
+// quantitative time bounds.
+func (m *MDP) MinProbOne(target []bool) []bool {
+	avoid := m.Prob0E(target)
+	canFail := m.canReachAvoiding(avoid, target)
+	out := make([]bool, m.NumStates)
+	for s := range out {
+		out[s] = target[s] || !canFail[s]
+	}
+	return out
+}
+
+// MaxProbPositive returns the mask of states from which some adversary
+// reaches the target with positive probability: backward graph
+// reachability of the target.
+func (m *MDP) MaxProbPositive(target []bool) []bool {
+	return m.CanReach(target)
+}

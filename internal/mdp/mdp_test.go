@@ -1,0 +1,647 @@
+package mdp
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/pa"
+	"repro/internal/prob"
+)
+
+// mask builds a target mask for an MDP of n states.
+func mask(n int, targets ...int) []bool {
+	out := make([]bool, n)
+	for _, t := range targets {
+		out[t] = true
+	}
+	return out
+}
+
+// tickTo builds a deterministic tick choice.
+func tickTo(label string, to int) Choice {
+	return Choice{Label: label, Tick: true, Branches: []Tr{{To: to, P: prob.One()}}}
+}
+
+// moveTo builds a deterministic zero-duration choice.
+func moveTo(label string, to int) Choice {
+	return Choice{Label: label, Branches: []Tr{{To: to, P: prob.One()}}}
+}
+
+// tickCoin builds a tick choice flipping fairly between two successors.
+func tickCoin(label string, a, b int) Choice {
+	return Choice{Label: label, Tick: true, Branches: []Tr{
+		{To: a, P: prob.Half()},
+		{To: b, P: prob.Half()},
+	}}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		m       *MDP
+		wantErr bool
+	}{
+		{
+			name: "valid",
+			m: &MDP{NumStates: 2, Choices: [][]Choice{
+				{tickCoin("flip", 0, 1)},
+				nil,
+			}},
+		},
+		{
+			name:    "shape mismatch",
+			m:       &MDP{NumStates: 3, Choices: make([][]Choice, 2)},
+			wantErr: true,
+		},
+		{
+			name: "target out of range",
+			m: &MDP{NumStates: 1, Choices: [][]Choice{
+				{moveTo("bad", 5)},
+			}},
+			wantErr: true,
+		},
+		{
+			name: "bad distribution",
+			m: &MDP{NumStates: 2, Choices: [][]Choice{
+				{{Label: "half", Branches: []Tr{{To: 1, P: prob.Half()}}}},
+				nil,
+			}},
+			wantErr: true,
+		},
+		{
+			name: "zero probability branch",
+			m: &MDP{NumStates: 2, Choices: [][]Choice{
+				{{Label: "z", Branches: []Tr{{To: 1, P: prob.One()}, {To: 0, P: prob.Zero()}}}},
+				nil,
+			}},
+			wantErr: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.m.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate = %v, wantErr %t", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestReachWithinTicksChain(t *testing.T) {
+	// 0 -tick-> 1 -tick-> 2 (target, absorbing).
+	m := &MDP{NumStates: 3, Choices: [][]Choice{
+		{tickTo("a", 1)},
+		{tickTo("b", 2)},
+		nil,
+	}}
+	target := mask(3, 2)
+	tests := []struct {
+		horizon int
+		want    string
+	}{
+		{horizon: 0, want: "0"},
+		{horizon: 1, want: "0"},
+		{horizon: 2, want: "1"},
+		{horizon: 5, want: "1"},
+	}
+	for _, goal := range []Goal{MinProb, MaxProb} {
+		for _, tt := range tests {
+			v, err := m.ReachWithinTicks(target, tt.horizon, goal)
+			if err != nil {
+				t.Fatalf("ReachWithinTicks: %v", err)
+			}
+			if got := v[0].String(); got != tt.want {
+				t.Errorf("goal %v horizon %d: P = %s, want %s", goal, tt.horizon, got, tt.want)
+			}
+		}
+	}
+}
+
+func TestReachWithinTicksChoice(t *testing.T) {
+	// From 0 the adversary picks: tick to target 1, or tick to sink 2.
+	m := &MDP{NumStates: 3, Choices: [][]Choice{
+		{tickTo("good", 1), tickTo("bad", 2)},
+		nil,
+		{tickTo("stay", 2)},
+	}}
+	target := mask(3, 1)
+
+	vMin, err := m.ReachWithinTicks(target, 10, MinProb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vMin[0].IsZero() {
+		t.Errorf("min P = %v, want 0", vMin[0])
+	}
+	vMax, err := m.ReachWithinTicks(target, 10, MaxProb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vMax[0].IsOne() {
+		t.Errorf("max P = %v, want 1", vMax[0])
+	}
+}
+
+func TestReachWithinTicksGeometric(t *testing.T) {
+	// Each tick flips a fair coin: target 1 or retry 0.
+	m := &MDP{NumStates: 2, Choices: [][]Choice{
+		{tickCoin("flip", 1, 0)},
+		nil,
+	}}
+	target := mask(2, 1)
+	for h, want := range map[int]prob.Rat{
+		0: prob.Zero(),
+		1: prob.Half(),
+		2: prob.NewRat(3, 4),
+		3: prob.NewRat(7, 8),
+	} {
+		v, err := m.ReachWithinTicks(target, h, MinProb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v[0].Equal(want) {
+			t.Errorf("horizon %d: P = %v, want %v", h, v[0], want)
+		}
+	}
+}
+
+func TestReachWithinTicksZeroDurationTail(t *testing.T) {
+	// A zero-duration move after the last tick still counts as within the
+	// bound: 0 -tick-> 1 -move-> 2 (target) is reachable within 1 tick.
+	m := &MDP{NumStates: 3, Choices: [][]Choice{
+		{tickTo("t", 1)},
+		{moveTo("m", 2)},
+		nil,
+	}}
+	target := mask(3, 2)
+	v, err := m.ReachWithinTicks(target, 1, MinProb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v[0].IsOne() {
+		t.Errorf("P = %v, want 1 (zero-duration tail)", v[0])
+	}
+	// But with horizon 0 the tick itself is out of budget.
+	v0, err := m.ReachWithinTicks(target, 0, MaxProb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v0[0].IsZero() {
+		t.Errorf("P = %v at horizon 0, want 0", v0[0])
+	}
+}
+
+func TestReachWithinTicksMinPrefersLateTick(t *testing.T) {
+	// The minimizing adversary at the deadline can tick to discard the
+	// remaining obligation: state 0 chooses a zero-duration move into the
+	// target or a tick into the target. At horizon 0, ticking exceeds the
+	// deadline so min picks it; max picks the free move.
+	m := &MDP{NumStates: 2, Choices: [][]Choice{
+		{moveTo("now", 1), tickTo("later", 1)},
+		nil,
+	}}
+	target := mask(2, 1)
+	vMin, err := m.ReachWithinTicks(target, 0, MinProb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vMin[0].IsZero() {
+		t.Errorf("min P = %v, want 0", vMin[0])
+	}
+	vMax, err := m.ReachWithinTicks(target, 0, MaxProb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vMax[0].IsOne() {
+		t.Errorf("max P = %v, want 1", vMax[0])
+	}
+}
+
+func TestReachWithinTicksZenoCycle(t *testing.T) {
+	m := &MDP{NumStates: 2, Choices: [][]Choice{
+		{moveTo("spin", 0), tickTo("t", 1)},
+		nil,
+	}}
+	_, err := m.ReachWithinTicks(mask(2, 1), 3, MinProb)
+	if !errors.Is(err, ErrZenoCycle) {
+		t.Errorf("err = %v, want ErrZenoCycle", err)
+	}
+}
+
+func TestReachWithinTicksBadInput(t *testing.T) {
+	m := &MDP{NumStates: 1, Choices: [][]Choice{nil}}
+	if _, err := m.ReachWithinTicks(mask(2, 0), 1, MinProb); err == nil {
+		t.Error("mismatched mask accepted")
+	}
+	if _, err := m.ReachWithinTicks(mask(1), -1, MinProb); err == nil {
+		t.Error("negative horizon accepted")
+	}
+}
+
+func TestReachWithinSteps(t *testing.T) {
+	// Cyclic zero-duration MDP: steps-bounded analysis handles cycles.
+	m := &MDP{NumStates: 3, Choices: [][]Choice{
+		{{Label: "flip", Branches: []Tr{{To: 1, P: prob.Half()}, {To: 0, P: prob.Half()}}}},
+		{moveTo("go", 2)},
+		nil,
+	}}
+	target := mask(3, 2)
+	v, err := m.ReachWithinSteps(target, 4, MinProb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paths: flip,go within 4 steps: success after k flips and the move,
+	// k <= 3: 1/2 + 1/4 + 1/8 = 7/8.
+	if want := prob.NewRat(7, 8); !v[0].Equal(want) {
+		t.Errorf("P = %v, want %v", v[0], want)
+	}
+}
+
+func TestOptAt(t *testing.T) {
+	vals := []prob.Rat{prob.Half(), prob.One(), prob.NewRat(1, 4)}
+	got, ok := OptAt(vals, []bool{true, false, true}, MinProb)
+	if !ok || !got.Equal(prob.NewRat(1, 4)) {
+		t.Errorf("OptAt min = %v, %t; want 1/4, true", got, ok)
+	}
+	got, ok = OptAt(vals, []bool{true, true, false}, MaxProb)
+	if !ok || !got.IsOne() {
+		t.Errorf("OptAt max = %v, %t; want 1, true", got, ok)
+	}
+	if _, ok := OptAt(vals, []bool{false, false, false}, MinProb); ok {
+		t.Error("OptAt on empty mask reported ok")
+	}
+}
+
+func TestFromAutomaton(t *testing.T) {
+	// Timed automaton: 0 -tick-> coin: heads(1) absorbing target, tails
+	// back to 0; plus a zero-duration reset choice 0 -> 0? (skipped: keep
+	// it acyclic on non-tick edges).
+	auto := &pa.Automaton[int]{
+		Name:  "timed-coin",
+		Start: []int{0},
+		Steps: func(s int) []pa.Step[int] {
+			if s != 0 {
+				return nil
+			}
+			return []pa.Step[int]{
+				{Action: "tick", Next: prob.MustUniform(1, 0)},
+			}
+		},
+		Duration: func(a string) prob.Rat {
+			if a == "tick" {
+				return prob.One()
+			}
+			return prob.Zero()
+		},
+	}
+	m, ix, err := FromAutomaton(auto, 0)
+	if err != nil {
+		t.Fatalf("FromAutomaton: %v", err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if ix.Len() != 2 {
+		t.Fatalf("indexed %d states, want 2", ix.Len())
+	}
+	id0, ok := ix.ID(0)
+	if !ok {
+		t.Fatal("state 0 not indexed")
+	}
+	if got := ix.State(id0); got != 0 {
+		t.Errorf("State(ID(0)) = %d, want 0", got)
+	}
+	if !m.Choices[id0][0].Tick {
+		t.Error("tick action not marked as tick choice")
+	}
+
+	target := ix.Mask(func(s int) bool { return s == 1 })
+	v, err := m.ReachWithinTicks(target, 2, MinProb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := prob.NewRat(3, 4); !v[id0].Equal(want) {
+		t.Errorf("P = %v, want %v", v[id0], want)
+	}
+
+	if got := ix.Where(func(s int) bool { return s == 1 }); len(got) != 1 {
+		t.Errorf("Where found %d states, want 1", len(got))
+	}
+}
+
+func TestFromAutomatonBadDuration(t *testing.T) {
+	auto := &pa.Automaton[int]{
+		Start: []int{0},
+		Steps: func(s int) []pa.Step[int] {
+			if s != 0 {
+				return nil
+			}
+			return []pa.Step[int]{{Action: "halftick", Next: prob.Point(1)}}
+		},
+		Duration: func(string) prob.Rat { return prob.Half() },
+	}
+	_, _, err := FromAutomaton(auto, 0)
+	if !errors.Is(err, ErrBadDuration) {
+		t.Errorf("err = %v, want ErrBadDuration", err)
+	}
+}
+
+func TestSCCs(t *testing.T) {
+	// 0 <-> 1 -> 2, 2 -> 2 (self loop), 3 isolated.
+	m := &MDP{NumStates: 4, Choices: [][]Choice{
+		{moveTo("a", 1)},
+		{moveTo("b", 0), moveTo("c", 2)},
+		{moveTo("d", 2)},
+		nil,
+	}}
+	comps := m.SCCs()
+	if len(comps) != 3 {
+		t.Fatalf("got %d SCCs, want 3", len(comps))
+	}
+	sizes := map[int]int{}
+	for _, c := range comps {
+		sizes[len(c)]++
+	}
+	if sizes[2] != 1 || sizes[1] != 2 {
+		t.Errorf("component sizes = %v, want one of size 2 and two of size 1", sizes)
+	}
+	// Reverse topological order: the {0,1} component must come after {2}.
+	pos := map[int]int{}
+	for i, c := range comps {
+		for _, s := range c {
+			pos[s] = i
+		}
+	}
+	if pos[2] > pos[0] {
+		t.Errorf("SCC order not reverse topological: pos(2)=%d > pos(0)=%d", pos[2], pos[0])
+	}
+}
+
+func TestQualitative(t *testing.T) {
+	// 0: choice A -> 1 (target), choice B -> 2 (sink with self loop).
+	// 3: single fair-coin choice between 1 and 3 (a.s. reaches target).
+	m := &MDP{NumStates: 4, Choices: [][]Choice{
+		{moveTo("A", 1), moveTo("B", 2)},
+		nil,
+		{moveTo("stay", 2)},
+		{{Label: "flip", Branches: []Tr{{To: 1, P: prob.Half()}, {To: 3, P: prob.Half()}}}},
+	}}
+	target := mask(4, 1)
+
+	avoid := m.Prob0E(target)
+	for s, want := range []bool{true, false, true, false} {
+		if avoid[s] != want {
+			t.Errorf("Prob0E[%d] = %t, want %t", s, avoid[s], want)
+		}
+	}
+
+	one := m.MinProbOne(target)
+	for s, want := range []bool{false, true, false, true} {
+		if one[s] != want {
+			t.Errorf("MinProbOne[%d] = %t, want %t", s, one[s], want)
+		}
+	}
+
+	pos := m.MaxProbPositive(target)
+	for s, want := range []bool{true, true, false, true} {
+		if pos[s] != want {
+			t.Errorf("MaxProbPositive[%d] = %t, want %t", s, pos[s], want)
+		}
+	}
+}
+
+func TestReachableFrom(t *testing.T) {
+	m := &MDP{NumStates: 3, Choices: [][]Choice{
+		{moveTo("a", 1)},
+		nil,
+		{moveTo("b", 0)},
+	}}
+	got := m.ReachableFrom(mask(3, 0))
+	for s, want := range []bool{true, true, false} {
+		if got[s] != want {
+			t.Errorf("ReachableFrom[%d] = %t, want %t", s, got[s], want)
+		}
+	}
+}
+
+func TestMECs(t *testing.T) {
+	// States 0,1 form an end component under the "cycle" choices; state 2
+	// is absorbing with a self-loop (its own MEC); state 3 only leaks.
+	m := &MDP{NumStates: 4, Choices: [][]Choice{
+		{moveTo("to1", 1), moveTo("leak", 2)},
+		{moveTo("to0", 0)},
+		{moveTo("stay", 2)},
+		{moveTo("out", 2)},
+	}}
+	mecs := m.MECs()
+	if len(mecs) != 2 {
+		t.Fatalf("got %d MECs (%v), want 2", len(mecs), mecs)
+	}
+	var found01, found2 bool
+	for _, mec := range mecs {
+		switch {
+		case len(mec.States) == 2 && mec.States[0] == 0 && mec.States[1] == 1:
+			found01 = true
+			// The leaking choice of state 0 must not be in the MEC.
+			if got := mec.Choices[0]; len(got) != 1 || got[0] != 0 {
+				t.Errorf("MEC choices for state 0 = %v, want [0]", got)
+			}
+		case len(mec.States) == 1 && mec.States[0] == 2:
+			found2 = true
+		}
+	}
+	if !found01 || !found2 {
+		t.Errorf("MECs = %+v, want {0,1} and {2}", mecs)
+	}
+}
+
+func TestMaxExpectedTicks(t *testing.T) {
+	t.Run("geometric", func(t *testing.T) {
+		m := &MDP{NumStates: 2, Choices: [][]Choice{
+			{tickCoin("flip", 1, 0)},
+			nil,
+		}}
+		v, err := m.MaxExpectedTicks(mask(2, 1), VIConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(v[0]-2) > 1e-9 {
+			t.Errorf("E = %g, want 2", v[0])
+		}
+	})
+	t.Run("adversary maximizes", func(t *testing.T) {
+		// Choice between a fair coin (E=2) and a 1/4 coin (E=4).
+		m := &MDP{NumStates: 2, Choices: [][]Choice{
+			{
+				tickCoin("fair", 1, 0),
+				{Label: "biased", Tick: true, Branches: []Tr{
+					{To: 1, P: prob.NewRat(1, 4)},
+					{To: 0, P: prob.NewRat(3, 4)},
+				}},
+			},
+			nil,
+		}}
+		v, err := m.MaxExpectedTicks(mask(2, 1), VIConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(v[0]-4) > 1e-9 {
+			t.Errorf("E = %g, want 4", v[0])
+		}
+	})
+	t.Run("escapable target is infinite", func(t *testing.T) {
+		m := &MDP{NumStates: 3, Choices: [][]Choice{
+			{tickTo("good", 1), tickTo("bad", 2)},
+			nil,
+			{tickTo("stay", 2)},
+		}}
+		v, err := m.MaxExpectedTicks(mask(3, 1), VIConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !math.IsInf(v[0], 1) {
+			t.Errorf("E = %g, want +Inf", v[0])
+		}
+	})
+}
+
+func TestMinExpectedTicks(t *testing.T) {
+	t.Run("picks the faster coin", func(t *testing.T) {
+		m := &MDP{NumStates: 2, Choices: [][]Choice{
+			{
+				tickCoin("fair", 1, 0),
+				{Label: "biased", Tick: true, Branches: []Tr{
+					{To: 1, P: prob.NewRat(1, 4)},
+					{To: 0, P: prob.NewRat(3, 4)},
+				}},
+			},
+			nil,
+		}}
+		v, err := m.MinExpectedTicks(mask(2, 1), VIConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(v[0]-2) > 1e-9 {
+			t.Errorf("E_min = %g, want 2 (the fair coin)", v[0])
+		}
+	})
+	t.Run("unreachable target is infinite", func(t *testing.T) {
+		m := &MDP{NumStates: 2, Choices: [][]Choice{
+			{tickTo("stay", 0)},
+			nil,
+		}}
+		v, err := m.MinExpectedTicks(mask(2, 1), VIConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !math.IsInf(v[0], 1) {
+			t.Errorf("E_min = %g, want +Inf", v[0])
+		}
+	})
+	t.Run("min below max", func(t *testing.T) {
+		m := &MDP{NumStates: 2, Choices: [][]Choice{
+			{
+				tickCoin("fair", 1, 0),
+				{Label: "slow", Tick: true, Branches: []Tr{
+					{To: 1, P: prob.NewRat(1, 8)},
+					{To: 0, P: prob.NewRat(7, 8)},
+				}},
+			},
+			nil,
+		}}
+		lo, err := m.MinExpectedTicks(mask(2, 1), VIConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hi, err := m.MaxExpectedTicks(mask(2, 1), VIConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(lo[0] < hi[0]) {
+			t.Errorf("E_min %g not below E_max %g", lo[0], hi[0])
+		}
+	})
+}
+
+func TestReachUnboundedFloat(t *testing.T) {
+	// Geometric reaches the target with probability 1 under the only
+	// adversary; a controllable escape gives min 0 / max 1.
+	m := &MDP{NumStates: 4, Choices: [][]Choice{
+		{tickCoin("flip", 1, 0)},
+		nil,
+		{tickTo("good", 1), tickTo("bad", 3)},
+		{tickTo("stay", 3)},
+	}}
+	target := mask(4, 1)
+
+	vMin, err := m.ReachUnboundedFloat(target, MinProb, VIConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vMin[0]-1) > 1e-9 {
+		t.Errorf("min P(0) = %g, want 1", vMin[0])
+	}
+	if vMin[2] != 0 {
+		t.Errorf("min P(2) = %g, want 0", vMin[2])
+	}
+
+	vMax, err := m.ReachUnboundedFloat(target, MaxProb, VIConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vMax[2] != 1 {
+		t.Errorf("max P(2) = %g, want 1", vMax[2])
+	}
+	if vMax[3] != 0 {
+		t.Errorf("max P(3) = %g, want 0", vMax[3])
+	}
+}
+
+// TestHorizonMonotonicity checks, on a pseudo-randomly generated family of
+// tick-structured MDPs, that reach probabilities are monotone in the
+// horizon and that min never exceeds max.
+func TestHorizonMonotonicity(t *testing.T) {
+	build := func(seed uint32) *MDP {
+		// Three states, state 2 absorbing; choices derived from seed bits.
+		next := func() int { seed = seed*1664525 + 1013904223; return int(seed>>16) % 3 }
+		m := &MDP{NumStates: 3, Choices: make([][]Choice, 3)}
+		for s := 0; s < 2; s++ {
+			nChoices := 1 + next()%2
+			for c := 0; c < nChoices; c++ {
+				a, b := next(), next()
+				if a == b {
+					m.Choices[s] = append(m.Choices[s], tickTo("d", a))
+				} else {
+					m.Choices[s] = append(m.Choices[s], tickCoin("c", a, b))
+				}
+			}
+		}
+		return m
+	}
+	for seed := uint32(1); seed <= 200; seed++ {
+		m := build(seed)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		target := mask(3, 2)
+		var prevMin, prevMax prob.Rat
+		for h := 0; h <= 6; h++ {
+			vMin, err := m.ReachWithinTicks(target, h, MinProb)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			vMax, err := m.ReachWithinTicks(target, h, MaxProb)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if vMax[0].Less(vMin[0]) {
+				t.Fatalf("seed %d horizon %d: max %v < min %v", seed, h, vMax[0], vMin[0])
+			}
+			if h > 0 && (vMin[0].Less(prevMin) || vMax[0].Less(prevMax)) {
+				t.Fatalf("seed %d horizon %d: probabilities not monotone", seed, h)
+			}
+			prevMin, prevMax = vMin[0], vMax[0]
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package mdp
+
+import (
+	"sort"
+
+	"repro/internal/prob"
+)
+
+// MEC is a maximal end component: a set of states together with, for each
+// state, the choices under which the component is closed. Inside an end
+// component an adversary can keep the run forever with probability one;
+// end components are the MDP analogue of the recurrent classes the
+// Zuck–Pnueli liveness argument reasons about.
+type MEC struct {
+	// States lists the member states in increasing order.
+	States []int
+	// Choices maps each member state to the indices of its choices whose
+	// branches all stay inside the component. Every member has at least
+	// one such choice unless the component is the trivial singleton of a
+	// terminal state (which is not reported).
+	Choices map[int][]int
+}
+
+// MECs computes the maximal end components of the MDP with the standard
+// iterative SCC-refinement algorithm. Singleton components without an
+// internal choice (including terminal states) are not reported.
+func (m *MDP) MECs() []MEC {
+	// active[s][c] marks choice c of state s as still usable.
+	active := make([][]bool, m.NumStates)
+	inPlay := make([]bool, m.NumStates)
+	for s := 0; s < m.NumStates; s++ {
+		active[s] = make([]bool, len(m.Choices[s]))
+		for c := range active[s] {
+			active[s][c] = true
+		}
+		inPlay[s] = true
+	}
+
+	var out []MEC
+	// Candidate state sets to refine; start with everything.
+	all := make([]int, m.NumStates)
+	for i := range all {
+		all[i] = i
+	}
+	work := [][]int{all}
+
+	for len(work) > 0 {
+		cand := work[len(work)-1]
+		work = work[:len(work)-1]
+
+		member := make(map[int]bool, len(cand))
+		for _, s := range cand {
+			if inPlay[s] {
+				member[s] = true
+			}
+		}
+		if len(member) == 0 {
+			continue
+		}
+
+		// Restrict choices to those staying inside the candidate set;
+		// states left with no choice leave the candidate set. Iterate to
+		// a fixpoint.
+		for changed := true; changed; {
+			changed = false
+			for s := range member {
+				hasChoice := false
+				for ci, c := range m.Choices[s] {
+					if !active[s][ci] {
+						continue
+					}
+					stays := true
+					for _, tr := range c.Branches {
+						if !member[tr.To] {
+							stays = false
+							break
+						}
+					}
+					if stays {
+						hasChoice = true
+					} else {
+						active[s][ci] = false
+						changed = true
+					}
+				}
+				if !hasChoice {
+					delete(member, s)
+					changed = true
+				}
+			}
+		}
+		if len(member) == 0 {
+			continue
+		}
+
+		// SCC decomposition of the restricted subgraph.
+		comps := sccOfSubgraph(m, member, active)
+		if len(comps) == 1 && len(comps[0]) == len(member) {
+			// The candidate is a single SCC with internal choices
+			// everywhere: a maximal end component.
+			mec := MEC{Choices: make(map[int][]int, len(member))}
+			for s := range member {
+				mec.States = append(mec.States, s)
+				for ci := range m.Choices[s] {
+					if active[s][ci] {
+						mec.Choices[s] = append(mec.Choices[s], ci)
+					}
+				}
+			}
+			sort.Ints(mec.States)
+			out = append(out, mec)
+			continue
+		}
+		for _, comp := range comps {
+			work = append(work, comp)
+		}
+	}
+	return out
+}
+
+// sccOfSubgraph computes SCCs of the member-induced subgraph using only
+// active choices, dropping singleton components without a self-loop.
+func sccOfSubgraph(m *MDP, member map[int]bool, active [][]bool) [][]int {
+	// Map to dense local indices.
+	locals := make([]int, 0, len(member))
+	local := make(map[int]int, len(member))
+	for s := range member {
+		local[s] = len(locals)
+		locals = append(locals, s)
+	}
+	adj := make([][]int32, len(locals))
+	selfLoop := make([]bool, len(locals))
+	for s := range member {
+		ls := local[s]
+		for ci, c := range m.Choices[s] {
+			if !active[s][ci] {
+				continue
+			}
+			for _, tr := range c.Branches {
+				if lt, ok := local[tr.To]; ok {
+					adj[ls] = append(adj[ls], int32(lt))
+					if lt == ls {
+						selfLoop[ls] = true
+					}
+				}
+			}
+		}
+	}
+
+	sub := &MDP{NumStates: len(locals), Choices: make([][]Choice, len(locals))}
+	for ls, targets := range adj {
+		for _, lt := range targets {
+			sub.Choices[ls] = append(sub.Choices[ls], Choice{
+				Branches: []Tr{{To: int(lt), P: prob.One()}},
+			})
+		}
+	}
+	var out [][]int
+	for _, comp := range sub.SCCs() {
+		if len(comp) == 1 && !selfLoop[comp[0]] {
+			continue
+		}
+		global := make([]int, len(comp))
+		for i, lc := range comp {
+			global[i] = locals[lc]
+		}
+		out = append(out, global)
+	}
+	return out
+}

@@ -1,0 +1,227 @@
+package mdp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/prob"
+)
+
+// Goal selects the optimization direction: the adversary of the paper
+// minimizes the probability of good events and maximizes expected time,
+// so worst-case checks of U --t,p--> U' use MinProb.
+type Goal int
+
+// Optimization directions.
+const (
+	// MinProb computes inf over adversaries (worst case for progress
+	// properties).
+	MinProb Goal = iota + 1
+	// MaxProb computes sup over adversaries.
+	MaxProb
+)
+
+func (g Goal) better(a, b prob.Rat) bool {
+	if g == MinProb {
+		return a.Less(b)
+	}
+	return b.Less(a)
+}
+
+// ErrZenoCycle is returned when the zero-duration (non-tick) transition
+// graph has a cycle. Tick-horizon analyses require the digitized model to
+// make every within-window move consume a bounded resource; the sched
+// package guarantees this by construction, and the error flags models
+// that admit Zeno behaviour (time stopped forever), for which the
+// worst-case quantities of the paper are not well defined.
+var ErrZenoCycle = errors.New("mdp: cycle of zero-duration transitions (Zeno behaviour)")
+
+// nonTickTopo returns the states in an order such that every non-tick
+// successor of a state precedes it (reverse topological order of the
+// non-tick edge graph). It returns ErrZenoCycle if that graph is cyclic.
+func (m *MDP) nonTickTopo() ([]int, error) {
+	const (
+		unvisited = 0
+		onStack   = 1
+		done      = 2
+	)
+	color := make([]int8, m.NumStates)
+	order := make([]int, 0, m.NumStates)
+
+	// Iterative DFS with an explicit stack; frame.next tracks progress
+	// through the successor list.
+	type frame struct {
+		state int
+		next  int
+	}
+	succs := func(s int) []int {
+		var out []int
+		for _, c := range m.Choices[s] {
+			if c.Tick {
+				continue
+			}
+			for _, tr := range c.Branches {
+				out = append(out, tr.To)
+			}
+		}
+		return out
+	}
+
+	for root := 0; root < m.NumStates; root++ {
+		if color[root] != unvisited {
+			continue
+		}
+		stack := []frame{{state: root}}
+		color[root] = onStack
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			ss := succs(f.state)
+			if f.next < len(ss) {
+				child := ss[f.next]
+				f.next++
+				switch color[child] {
+				case onStack:
+					return nil, fmt.Errorf("%w: involving state %d", ErrZenoCycle, child)
+				case unvisited:
+					color[child] = onStack
+					stack = append(stack, frame{state: child})
+				}
+				continue
+			}
+			color[f.state] = done
+			order = append(order, f.state)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return order, nil
+}
+
+// ReachWithinTicks computes, for every state, the optimal (per goal)
+// probability that a target state is visited while at most horizon ticks
+// have elapsed. Zero-duration moves after the last tick still count as
+// "within the horizon", matching the paper's "within time t" (time is
+// exactly t after t unit delays).
+//
+// The result is exact. The zero-duration transition graph must be acyclic
+// (see ErrZenoCycle).
+func (m *MDP) ReachWithinTicks(target []bool, horizon int, goal Goal) ([]prob.Rat, error) {
+	if len(target) != m.NumStates {
+		return nil, fmt.Errorf("mdp: target mask has %d entries, want %d", len(target), m.NumStates)
+	}
+	if horizon < 0 {
+		return nil, fmt.Errorf("mdp: negative horizon %d", horizon)
+	}
+	order, err := m.nonTickTopo()
+	if err != nil {
+		return nil, err
+	}
+
+	prev := make([]prob.Rat, m.NumStates) // V_{h-1}
+	cur := make([]prob.Rat, m.NumStates)  // V_h
+	for h := 0; h <= horizon; h++ {
+		for _, s := range order {
+			cur[s] = m.optOneState(s, target, goal, cur, prev, h > 0)
+		}
+		prev, cur = cur, prev
+	}
+	// After the swap, prev holds V_horizon.
+	return prev, nil
+}
+
+// optOneState evaluates the Bellman operator at state s. cur must already
+// hold valid values for every non-tick successor of s (guaranteed by
+// reverse topological order); prev holds the previous tick layer.
+// ticksLeft reports whether a tick is still within the horizon.
+func (m *MDP) optOneState(s int, target []bool, goal Goal, cur, prev []prob.Rat, ticksLeft bool) prob.Rat {
+	if target[s] {
+		return prob.One()
+	}
+	choices := m.Choices[s]
+	if len(choices) == 0 {
+		return prob.Zero()
+	}
+	var best prob.Rat
+	for ci, c := range choices {
+		var v prob.Rat
+		if c.Tick && !ticksLeft {
+			// Taking the tick exceeds the deadline: this alternative
+			// contributes probability zero of meeting the bound.
+			v = prob.Zero()
+		} else {
+			layer := cur
+			if c.Tick {
+				layer = prev
+			}
+			for _, tr := range c.Branches {
+				v = v.Add(tr.P.Mul(layer[tr.To]))
+			}
+		}
+		if ci == 0 || goal.better(v, best) {
+			best = v
+		}
+	}
+	return best
+}
+
+// ReachWithinSteps computes, for every state, the optimal probability that
+// a target state is visited within at most `steps` transitions (of any
+// duration). Unlike ReachWithinTicks it works on arbitrary MDPs, cycles
+// included, because the horizon decreases on every move.
+func (m *MDP) ReachWithinSteps(target []bool, steps int, goal Goal) ([]prob.Rat, error) {
+	if len(target) != m.NumStates {
+		return nil, fmt.Errorf("mdp: target mask has %d entries, want %d", len(target), m.NumStates)
+	}
+	if steps < 0 {
+		return nil, fmt.Errorf("mdp: negative step bound %d", steps)
+	}
+	prev := make([]prob.Rat, m.NumStates)
+	for s := range prev {
+		if target[s] {
+			prev[s] = prob.One()
+		}
+	}
+	for k := 0; k < steps; k++ {
+		cur := make([]prob.Rat, m.NumStates)
+		for s := 0; s < m.NumStates; s++ {
+			if target[s] {
+				cur[s] = prob.One()
+				continue
+			}
+			choices := m.Choices[s]
+			if len(choices) == 0 {
+				continue
+			}
+			var best prob.Rat
+			for ci, c := range choices {
+				var v prob.Rat
+				for _, tr := range c.Branches {
+					v = v.Add(tr.P.Mul(prev[tr.To]))
+				}
+				if ci == 0 || goal.better(v, best) {
+					best = v
+				}
+			}
+			cur[s] = best
+		}
+		prev = cur
+	}
+	return prev, nil
+}
+
+// OptAt aggregates a value vector over a set of states: the worst (for
+// MinProb, the minimum) value among the states in the mask. It returns
+// ok = false when the mask is empty.
+func OptAt(values []prob.Rat, mask []bool, goal Goal) (prob.Rat, bool) {
+	var best prob.Rat
+	found := false
+	for s, in := range mask {
+		if !in {
+			continue
+		}
+		if !found || goal.better(values[s], best) {
+			best = values[s]
+			found = true
+		}
+	}
+	return best, found
+}

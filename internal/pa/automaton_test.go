@@ -1,0 +1,189 @@
+package pa
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/prob"
+)
+
+// walkState is the state of the small test automaton used throughout this
+// package: a random walk on 0..4 with an absorbing top and a
+// nondeterministic choice at state 0.
+type walkState int
+
+// walkAutomaton has, from state 0, two enabled steps ("up" deterministic,
+// "coin" probabilistic); from 1..3 a single probabilistic step; state 4 is
+// absorbing.
+func walkAutomaton() *Automaton[walkState] {
+	return &Automaton[walkState]{
+		Name:  "walk",
+		Start: []walkState{0},
+		Sig:   NewSignature([]string{"up"}, []string{"coin"}),
+		Steps: func(s walkState) []Step[walkState] {
+			switch {
+			case s == 0:
+				return []Step[walkState]{
+					{Action: "up", Next: prob.Point(walkState(1))},
+					{Action: "coin", Next: prob.MustUniform(walkState(0), walkState(2))},
+				}
+			case s < 4:
+				return []Step[walkState]{
+					{Action: "coin", Next: prob.MustUniform(s-1, s+1)},
+				}
+			default:
+				return nil
+			}
+		},
+	}
+}
+
+func TestAutomatonValidate(t *testing.T) {
+	t.Run("valid", func(t *testing.T) {
+		if err := walkAutomaton().Validate(); err != nil {
+			t.Errorf("Validate: %v", err)
+		}
+	})
+	t.Run("no start states", func(t *testing.T) {
+		m := walkAutomaton()
+		m.Start = nil
+		if err := m.Validate(); err == nil {
+			t.Error("Validate accepted empty start set")
+		}
+	})
+	t.Run("nil steps", func(t *testing.T) {
+		m := walkAutomaton()
+		m.Steps = nil
+		if err := m.Validate(); err == nil {
+			t.Error("Validate accepted nil Steps")
+		}
+	})
+	t.Run("invalid distribution", func(t *testing.T) {
+		m := &Automaton[int]{
+			Start: []int{0},
+			Steps: func(int) []Step[int] {
+				return []Step[int]{{Action: "bad", Next: prob.Dist[int]{}}}
+			},
+		}
+		if err := m.Validate(); err == nil {
+			t.Error("Validate accepted invalid distribution")
+		}
+	})
+}
+
+func TestReachable(t *testing.T) {
+	m := walkAutomaton()
+	states, err := m.Reachable(0)
+	if err != nil {
+		t.Fatalf("Reachable: %v", err)
+	}
+	if got, want := len(states), 5; got != want {
+		t.Errorf("reachable %d states, want %d", got, want)
+	}
+	seen := make(map[walkState]bool)
+	for _, s := range states {
+		if seen[s] {
+			t.Errorf("state %v discovered twice", s)
+		}
+		seen[s] = true
+	}
+	for s := walkState(0); s <= 4; s++ {
+		if !seen[s] {
+			t.Errorf("state %v not reachable", s)
+		}
+	}
+}
+
+func TestReachableLimit(t *testing.T) {
+	m := walkAutomaton()
+	_, err := m.Reachable(2)
+	if !errors.Is(err, ErrLimitExceeded) {
+		t.Errorf("err = %v, want ErrLimitExceeded", err)
+	}
+}
+
+func TestCheckReachable(t *testing.T) {
+	if err := walkAutomaton().CheckReachable(0); err != nil {
+		t.Errorf("CheckReachable: %v", err)
+	}
+}
+
+func TestIsFullyProbabilistic(t *testing.T) {
+	t.Run("nondeterministic automaton", func(t *testing.T) {
+		got, err := walkAutomaton().IsFullyProbabilistic(0)
+		if err != nil {
+			t.Fatalf("IsFullyProbabilistic: %v", err)
+		}
+		if got {
+			t.Error("walk automaton reported fully probabilistic")
+		}
+	})
+	t.Run("deterministic chain", func(t *testing.T) {
+		m := &Automaton[int]{
+			Start: []int{0},
+			Steps: func(s int) []Step[int] {
+				if s >= 3 {
+					return nil
+				}
+				return []Step[int]{{Action: "next", Next: prob.Point(s + 1)}}
+			},
+		}
+		got, err := m.IsFullyProbabilistic(0)
+		if err != nil {
+			t.Fatalf("IsFullyProbabilistic: %v", err)
+		}
+		if !got {
+			t.Error("deterministic chain not reported fully probabilistic")
+		}
+	})
+	t.Run("two start states", func(t *testing.T) {
+		m := walkAutomaton()
+		m.Start = []walkState{0, 1}
+		got, err := m.IsFullyProbabilistic(0)
+		if err != nil {
+			t.Fatalf("IsFullyProbabilistic: %v", err)
+		}
+		if got {
+			t.Error("two start states reported fully probabilistic")
+		}
+	})
+}
+
+func TestDurationOf(t *testing.T) {
+	m := walkAutomaton()
+	if got := m.DurationOf("coin"); !got.IsZero() {
+		t.Errorf("DurationOf(coin) = %v, want 0 with nil Duration", got)
+	}
+	m.Duration = func(a string) prob.Rat {
+		if a == "tick" {
+			return prob.One()
+		}
+		return prob.Zero()
+	}
+	if got := m.DurationOf("tick"); !got.IsOne() {
+		t.Errorf("DurationOf(tick) = %v, want 1", got)
+	}
+}
+
+func TestSignature(t *testing.T) {
+	sig := NewSignature([]string{"crit", "rem"}, []string{"flip"})
+	if !sig.IsExternal("crit") {
+		t.Error("crit not external")
+	}
+	if sig.IsExternal("flip") {
+		t.Error("flip reported external")
+	}
+	if sig.IsExternal("unknown") {
+		t.Error("unknown action reported external")
+	}
+}
+
+func TestEnabledFrom(t *testing.T) {
+	m := walkAutomaton()
+	if !m.EnabledFrom(0) {
+		t.Error("state 0 should enable steps")
+	}
+	if m.EnabledFrom(4) {
+		t.Error("state 4 should be absorbing")
+	}
+}

@@ -1,0 +1,159 @@
+package pa
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/prob"
+)
+
+// Fragment is a finite execution fragment s0 a1 s1 a2 s2 ... an sn of a
+// probabilistic automaton: an alternating sequence of states and actions
+// beginning and ending with a state. It corresponds to frag*(M) in
+// Section 2 of the paper.
+//
+// A Fragment is a value: Extend returns a new fragment sharing structure
+// with the receiver, and no method mutates the receiver.
+type Fragment[S comparable] struct {
+	states  []S
+	actions []string
+}
+
+// NewFragment returns the length-zero fragment consisting of the single
+// state s.
+func NewFragment[S comparable](s S) *Fragment[S] {
+	return &Fragment[S]{states: []S{s}}
+}
+
+// FragmentOf builds a fragment from explicit state and action sequences;
+// len(states) must equal len(actions)+1.
+func FragmentOf[S comparable](states []S, actions []string) (*Fragment[S], error) {
+	if len(states) != len(actions)+1 {
+		return nil, fmt.Errorf("pa: fragment with %d states and %d actions", len(states), len(actions))
+	}
+	if len(states) == 0 {
+		return nil, errors.New("pa: empty fragment")
+	}
+	return &Fragment[S]{
+		states:  append([]S(nil), states...),
+		actions: append([]string(nil), actions...),
+	}, nil
+}
+
+// First returns fstate(alpha), the first state of the fragment.
+func (f *Fragment[S]) First() S { return f.states[0] }
+
+// Last returns lstate(alpha), the last state of the fragment.
+func (f *Fragment[S]) Last() S { return f.states[len(f.states)-1] }
+
+// Len returns the number of actions in the fragment.
+func (f *Fragment[S]) Len() int { return len(f.actions) }
+
+// State returns the i-th state, 0 <= i <= Len().
+func (f *Fragment[S]) State(i int) S { return f.states[i] }
+
+// Action returns the i-th action, 0 <= i < Len().
+func (f *Fragment[S]) Action(i int) string { return f.actions[i] }
+
+// States returns a copy of the state sequence.
+func (f *Fragment[S]) States() []S { return append([]S(nil), f.states...) }
+
+// Actions returns a copy of the action sequence.
+func (f *Fragment[S]) Actions() []string { return append([]string(nil), f.actions...) }
+
+// Extend returns the fragment f followed by action a and state s. The
+// receiver is unchanged; the result does not share mutable state with it.
+func (f *Fragment[S]) Extend(a string, s S) *Fragment[S] {
+	states := make([]S, len(f.states), len(f.states)+1)
+	copy(states, f.states)
+	actions := make([]string, len(f.actions), len(f.actions)+1)
+	copy(actions, f.actions)
+	return &Fragment[S]{
+		states:  append(states, s),
+		actions: append(actions, a),
+	}
+}
+
+// Concat returns the concatenation f ⌢ g, defined when lstate(f) =
+// fstate(g) (Section 2 of the paper).
+func (f *Fragment[S]) Concat(g *Fragment[S]) (*Fragment[S], error) {
+	if f.Last() != g.First() {
+		return nil, fmt.Errorf("pa: cannot concatenate: lstate %v != fstate %v", f.Last(), g.First())
+	}
+	out := &Fragment[S]{
+		states:  append(append([]S(nil), f.states...), g.states[1:]...),
+		actions: append(append([]string(nil), f.actions...), g.actions...),
+	}
+	return out, nil
+}
+
+// IsPrefixOf reports whether f <= g in the prefix order on execution
+// fragments.
+func (f *Fragment[S]) IsPrefixOf(g *Fragment[S]) bool {
+	if f.Len() > g.Len() {
+		return false
+	}
+	for i, s := range f.states {
+		if g.states[i] != s {
+			return false
+		}
+	}
+	for i, a := range f.actions {
+		if g.actions[i] != a {
+			return false
+		}
+	}
+	return true
+}
+
+// Suffix returns the fragment from state index i to the end. It shares no
+// mutable state with the receiver.
+func (f *Fragment[S]) Suffix(i int) (*Fragment[S], error) {
+	if i < 0 || i >= len(f.states) {
+		return nil, fmt.Errorf("pa: suffix index %d out of range [0, %d]", i, len(f.states)-1)
+	}
+	return &Fragment[S]{
+		states:  append([]S(nil), f.states[i:]...),
+		actions: append([]string(nil), f.actions[i:]...),
+	}, nil
+}
+
+// DurationIn returns the total time elapsed along the fragment in
+// automaton m, i.e. the sum of the durations of its actions.
+func (f *Fragment[S]) DurationIn(m *Automaton[S]) prob.Rat {
+	total := prob.Zero()
+	for _, a := range f.actions {
+		total = total.Add(m.DurationOf(a))
+	}
+	return total
+}
+
+// ConsistentWith reports whether the fragment is an execution fragment of
+// m: every step (s_i, a_{i+1}, s_{i+1}) must match an enabled step of m
+// whose distribution gives positive probability to the successor.
+func (f *Fragment[S]) ConsistentWith(m *Automaton[S]) bool {
+	for i := 0; i < f.Len(); i++ {
+		matched := false
+		for _, step := range m.Steps(f.states[i]) {
+			if step.Action == f.actions[i] && step.Next.P(f.states[i+1]).Sign() > 0 {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the fragment as "s0 -a1-> s1 -a2-> s2".
+func (f *Fragment[S]) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v", f.states[0])
+	for i, a := range f.actions {
+		fmt.Fprintf(&b, " -%s-> %v", a, f.states[i+1])
+	}
+	return b.String()
+}

@@ -1,0 +1,216 @@
+package pa
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prob"
+)
+
+func TestFragmentBasics(t *testing.T) {
+	f := NewFragment(walkState(0))
+	if got := f.Len(); got != 0 {
+		t.Errorf("Len = %d, want 0", got)
+	}
+	if f.First() != 0 || f.Last() != 0 {
+		t.Errorf("First/Last = %v/%v, want 0/0", f.First(), f.Last())
+	}
+
+	g := f.Extend("up", 1).Extend("coin", 2)
+	if got := g.Len(); got != 2 {
+		t.Errorf("Len = %d, want 2", got)
+	}
+	if g.First() != 0 || g.Last() != 2 {
+		t.Errorf("First/Last = %v/%v, want 0/2", g.First(), g.Last())
+	}
+	if got := g.Action(0); got != "up" {
+		t.Errorf("Action(0) = %q, want up", got)
+	}
+	if got := g.State(1); got != 1 {
+		t.Errorf("State(1) = %v, want 1", got)
+	}
+	if got, want := g.String(), "0 -up-> 1 -coin-> 2"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestFragmentExtendDoesNotMutate(t *testing.T) {
+	f := NewFragment(walkState(0)).Extend("up", 1)
+	g := f.Extend("coin", 2)
+	h := f.Extend("coin", 0)
+	if g.Last() != 2 || h.Last() != 0 {
+		t.Errorf("sibling extensions interfere: %v, %v", g, h)
+	}
+	if f.Len() != 1 {
+		t.Errorf("receiver mutated by Extend: %v", f)
+	}
+}
+
+func TestFragmentOf(t *testing.T) {
+	tests := []struct {
+		name    string
+		states  []walkState
+		actions []string
+		wantErr bool
+	}{
+		{name: "ok", states: []walkState{0, 1, 2}, actions: []string{"up", "coin"}},
+		{name: "single state", states: []walkState{3}, actions: nil},
+		{name: "mismatch", states: []walkState{0, 1}, actions: []string{"a", "b"}, wantErr: true},
+		{name: "empty", states: nil, actions: nil, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := FragmentOf(tt.states, tt.actions)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("FragmentOf err = %v, wantErr = %t", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestFragmentConcat(t *testing.T) {
+	f, err := FragmentOf([]walkState{0, 1}, []string{"up"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := FragmentOf([]walkState{1, 2, 3}, []string{"coin", "coin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg, err := f.Concat(g)
+	if err != nil {
+		t.Fatalf("Concat: %v", err)
+	}
+	if got, want := fg.String(), "0 -up-> 1 -coin-> 2 -coin-> 3"; got != want {
+		t.Errorf("Concat = %q, want %q", got, want)
+	}
+
+	if _, err := g.Concat(f); err == nil {
+		t.Error("Concat with mismatched endpoints succeeded")
+	}
+}
+
+func TestFragmentPrefix(t *testing.T) {
+	f := NewFragment(walkState(0)).Extend("up", 1)
+	g := f.Extend("coin", 2)
+	other := NewFragment(walkState(0)).Extend("coin", 2)
+
+	if !f.IsPrefixOf(g) {
+		t.Error("f not prefix of its extension")
+	}
+	if !f.IsPrefixOf(f) {
+		t.Error("f not prefix of itself")
+	}
+	if g.IsPrefixOf(f) {
+		t.Error("longer fragment reported prefix of shorter")
+	}
+	if other.IsPrefixOf(g) {
+		t.Error("diverging fragment reported prefix")
+	}
+}
+
+func TestFragmentSuffix(t *testing.T) {
+	g := NewFragment(walkState(0)).Extend("up", 1).Extend("coin", 2)
+	suf, err := g.Suffix(1)
+	if err != nil {
+		t.Fatalf("Suffix: %v", err)
+	}
+	if got, want := suf.String(), "1 -coin-> 2"; got != want {
+		t.Errorf("Suffix = %q, want %q", got, want)
+	}
+	// The paper's concatenation identity: alpha = alpha1 ⌢ alpha2 when
+	// alpha2 = Suffix at the cut point.
+	pre, err := FragmentOf(g.States()[:2], g.Actions()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole, err := pre.Concat(suf)
+	if err != nil {
+		t.Fatalf("Concat: %v", err)
+	}
+	if whole.String() != g.String() {
+		t.Errorf("prefix ⌢ suffix = %q, want %q", whole, g)
+	}
+
+	if _, err := g.Suffix(5); err == nil {
+		t.Error("out-of-range Suffix succeeded")
+	}
+	if _, err := g.Suffix(-1); err == nil {
+		t.Error("negative Suffix succeeded")
+	}
+}
+
+func TestFragmentDurationIn(t *testing.T) {
+	m := walkAutomaton()
+	m.Duration = func(a string) prob.Rat {
+		if a == "up" {
+			return prob.One()
+		}
+		return prob.Zero()
+	}
+	f := NewFragment(walkState(0)).Extend("up", 1).Extend("coin", 2).Extend("up", 1)
+	if got := f.DurationIn(m); !got.Equal(prob.FromInt(2)) {
+		t.Errorf("DurationIn = %v, want 2", got)
+	}
+}
+
+func TestFragmentConsistentWith(t *testing.T) {
+	m := walkAutomaton()
+	tests := []struct {
+		name string
+		frag *Fragment[walkState]
+		want bool
+	}{
+		{
+			name: "valid walk",
+			frag: NewFragment(walkState(0)).Extend("up", 1).Extend("coin", 2),
+			want: true,
+		},
+		{
+			name: "wrong action",
+			frag: NewFragment(walkState(0)).Extend("down", 1),
+			want: false,
+		},
+		{
+			name: "zero-probability successor",
+			frag: NewFragment(walkState(1)).Extend("coin", 3),
+			want: false,
+		},
+		{
+			name: "step from absorbing state",
+			frag: NewFragment(walkState(4)).Extend("coin", 3),
+			want: false,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.frag.ConsistentWith(m); got != tt.want {
+				t.Errorf("ConsistentWith = %t, want %t", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestFragmentProperties(t *testing.T) {
+	// Build a fragment from a random action script and check structural
+	// invariants: every Extend result has the previous fragment as a
+	// prefix, and Suffix(0) equals the whole fragment.
+	f := func(script []uint8) bool {
+		frag := NewFragment(walkState(0))
+		for _, b := range script {
+			prev := frag
+			frag = frag.Extend("a", walkState(b%5))
+			if !prev.IsPrefixOf(frag) {
+				return false
+			}
+		}
+		whole, err := frag.Suffix(0)
+		if err != nil {
+			return false
+		}
+		return whole.String() == frag.String() && frag.Len() == len(script)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,101 @@
+package pa
+
+import (
+	"fmt"
+
+	"repro/internal/prob"
+)
+
+// This file implements the paper's patient construction (Section 2): an
+// untimed automaton gains a time component, time-passage steps that only
+// advance the clock, and a start time of zero. Time passage is
+// nondeterministic — the adversary chooses among the offered increments —
+// and non-probabilistic, exactly as the paper requires. To keep the state
+// space finite for exhaustive analysis, increments are multiples of a
+// base quantum and the clock saturates at a horizon.
+
+// TimedState pairs an untimed state with the clock, counted in quanta.
+type TimedState[S comparable] struct {
+	// Base is the untimed state.
+	Base S
+	// Units is the elapsed time in quanta.
+	Units int32
+}
+
+// PassageAction returns the name of the time-passage step advancing k
+// quanta (the paper's ν action, one per offered increment).
+func PassageAction(k int) string { return fmt.Sprintf("ν%d", k) }
+
+// Patient applies the patient construction to m: every original step is
+// preserved (acting on the base component), and every state additionally
+// offers one time-passage step per multiple in increments, each advancing
+// that many quanta of duration quantum. The clock saturates at
+// maxUnits — passage steps that would exceed it are not offered —
+// bounding the state space.
+//
+// The resulting automaton's Duration reports quantum·k for passage steps
+// and zero for original actions, so time-bounded event schemas (package
+// events) evaluate correctly on it.
+func Patient[S comparable](m *Automaton[S], quantum prob.Rat, increments []int, maxUnits int) (*Automaton[TimedState[S]], error) {
+	if quantum.Sign() <= 0 {
+		return nil, fmt.Errorf("pa: time quantum %v must be positive", quantum)
+	}
+	if maxUnits <= 0 {
+		return nil, fmt.Errorf("pa: horizon %d must be positive", maxUnits)
+	}
+	if len(increments) == 0 {
+		return nil, fmt.Errorf("pa: no time-passage increments")
+	}
+	for _, k := range increments {
+		if k <= 0 {
+			return nil, fmt.Errorf("pa: non-positive increment %d", k)
+		}
+	}
+	incs := append([]int(nil), increments...)
+
+	starts := make([]TimedState[S], len(m.Start))
+	for i, s := range m.Start {
+		starts[i] = TimedState[S]{Base: s} // time starts at zero
+	}
+
+	baseDuration := m.Duration
+
+	return &Automaton[TimedState[S]]{
+		Name:  m.Name + "/patient",
+		Start: starts,
+		Sig:   m.Sig,
+		Steps: func(ts TimedState[S]) []Step[TimedState[S]] {
+			var out []Step[TimedState[S]]
+			for _, step := range m.Steps(ts.Base) {
+				out = append(out, Step[TimedState[S]]{
+					Action: step.Action,
+					Next: prob.MapDist(step.Next, func(b S) TimedState[S] {
+						return TimedState[S]{Base: b, Units: ts.Units}
+					}),
+				})
+			}
+			for _, k := range incs {
+				next := ts.Units + int32(k)
+				if int(next) > maxUnits {
+					continue
+				}
+				out = append(out, Step[TimedState[S]]{
+					Action: PassageAction(k),
+					Next:   prob.Point(TimedState[S]{Base: ts.Base, Units: next}),
+				})
+			}
+			return out
+		},
+		Duration: func(action string) prob.Rat {
+			for _, k := range incs {
+				if action == PassageAction(k) {
+					return quantum.Mul(prob.FromInt(int64(k)))
+				}
+			}
+			if baseDuration != nil {
+				return baseDuration(action)
+			}
+			return prob.Zero()
+		},
+	}, nil
+}

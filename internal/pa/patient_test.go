@@ -1,0 +1,112 @@
+package pa
+
+import (
+	"testing"
+
+	"repro/internal/prob"
+)
+
+func TestPatientValidation(t *testing.T) {
+	m := walkAutomaton()
+	if _, err := Patient(m, prob.Zero(), []int{1}, 4); err == nil {
+		t.Error("zero quantum accepted")
+	}
+	if _, err := Patient(m, prob.Half(), nil, 4); err == nil {
+		t.Error("empty increments accepted")
+	}
+	if _, err := Patient(m, prob.Half(), []int{0}, 4); err == nil {
+		t.Error("zero increment accepted")
+	}
+	if _, err := Patient(m, prob.Half(), []int{1}, 0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+}
+
+func TestPatientConstruction(t *testing.T) {
+	m := walkAutomaton()
+	timed, err := Patient(m, prob.Half(), []int{1, 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := timed.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+
+	start := TimedState[walkState]{Base: 0, Units: 0}
+	steps := timed.Steps(start)
+	// Original steps (up, coin) plus two passage steps.
+	var actions []string
+	for _, s := range steps {
+		actions = append(actions, s.Action)
+	}
+	want := map[string]bool{"up": true, "coin": true, "ν1": true, "ν2": true}
+	if len(actions) != 4 {
+		t.Fatalf("steps = %v", actions)
+	}
+	for _, a := range actions {
+		if !want[a] {
+			t.Errorf("unexpected action %q", a)
+		}
+	}
+
+	// Time passage only changes the clock.
+	for _, s := range steps {
+		if s.Action != PassageAction(2) {
+			continue
+		}
+		next, ok := s.Next.IsPoint()
+		if !ok {
+			t.Fatal("passage step is probabilistic")
+		}
+		if next.Base != 0 || next.Units != 2 {
+			t.Errorf("passage leads to %+v", next)
+		}
+	}
+
+	// Durations: quantum 1/2 per unit.
+	if got := timed.DurationOf(PassageAction(2)); !got.IsOne() {
+		t.Errorf("duration of ν2 = %v, want 1", got)
+	}
+	if got := timed.DurationOf("coin"); !got.IsZero() {
+		t.Errorf("duration of coin = %v, want 0", got)
+	}
+}
+
+func TestPatientClockSaturates(t *testing.T) {
+	m := walkAutomaton()
+	timed, err := Patient(m, prob.One(), []int{1, 3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nearHorizon := TimedState[walkState]{Base: 4, Units: 2}
+	steps := timed.Steps(nearHorizon)
+	// Base state 4 is absorbing; only ν1 fits below the horizon.
+	if len(steps) != 1 || steps[0].Action != PassageAction(1) {
+		t.Fatalf("steps near horizon = %v", steps)
+	}
+	atHorizon := TimedState[walkState]{Base: 4, Units: 3}
+	if got := timed.Steps(atHorizon); len(got) != 0 {
+		t.Errorf("steps at horizon = %v, want none", got)
+	}
+}
+
+func TestPatientStateSpaceFinite(t *testing.T) {
+	m := walkAutomaton()
+	timed, err := Patient(m, prob.One(), []int{1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states, err := timed.Reachable(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 walk states × 6 clock values is an upper bound.
+	if len(states) == 0 || len(states) > 30 {
+		t.Errorf("reachable timed states = %d", len(states))
+	}
+	for _, ts := range states {
+		if ts.Units < 0 || ts.Units > 5 {
+			t.Errorf("clock out of range: %+v", ts)
+		}
+	}
+}

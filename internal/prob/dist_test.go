@@ -1,0 +1,246 @@
+package prob
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDist(t *testing.T) {
+	tests := []struct {
+		name     string
+		outcomes []Outcome[string]
+		wantErr  bool
+	}{
+		{
+			name: "fair coin",
+			outcomes: []Outcome[string]{
+				{Value: "heads", Prob: Half()},
+				{Value: "tails", Prob: Half()},
+			},
+		},
+		{
+			name:     "point",
+			outcomes: []Outcome[string]{{Value: "x", Prob: One()}},
+		},
+		{
+			name: "duplicates merge",
+			outcomes: []Outcome[string]{
+				{Value: "x", Prob: Half()},
+				{Value: "x", Prob: Half()},
+			},
+		},
+		{
+			name: "zero weights dropped",
+			outcomes: []Outcome[string]{
+				{Value: "x", Prob: One()},
+				{Value: "y", Prob: Zero()},
+			},
+		},
+		{
+			name: "under one",
+			outcomes: []Outcome[string]{
+				{Value: "x", Prob: Half()},
+			},
+			wantErr: true,
+		},
+		{
+			name: "over one",
+			outcomes: []Outcome[string]{
+				{Value: "x", Prob: One()},
+				{Value: "y", Prob: Half()},
+			},
+			wantErr: true,
+		},
+		{
+			name: "negative",
+			outcomes: []Outcome[string]{
+				{Value: "x", Prob: NewRat(3, 2)},
+				{Value: "y", Prob: NewRat(-1, 2)},
+			},
+			wantErr: true,
+		},
+		{
+			name:    "empty",
+			wantErr: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d, err := NewDist(tt.outcomes...)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("NewDist = %v, want error", d)
+				}
+				if !errors.Is(err, ErrNotADistribution) {
+					t.Errorf("error %v is not ErrNotADistribution", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("NewDist: %v", err)
+			}
+			if !d.IsValid() {
+				t.Errorf("distribution %v is not valid", d)
+			}
+		})
+	}
+}
+
+func TestDistAccessors(t *testing.T) {
+	d := MustDist(
+		Outcome[string]{Value: "a", Prob: NewRat(1, 4)},
+		Outcome[string]{Value: "b", Prob: NewRat(3, 4)},
+	)
+	if got := d.Len(); got != 2 {
+		t.Errorf("Len = %d, want 2", got)
+	}
+	if got := d.P("a"); !got.Equal(NewRat(1, 4)) {
+		t.Errorf("P(a) = %v, want 1/4", got)
+	}
+	if got := d.P("missing"); !got.IsZero() {
+		t.Errorf("P(missing) = %v, want 0", got)
+	}
+	if _, ok := d.IsPoint(); ok {
+		t.Error("two-point distribution reported as point")
+	}
+	if v, ok := Point("only").IsPoint(); !ok || v != "only" {
+		t.Errorf("Point.IsPoint = %q, %t", v, ok)
+	}
+	got := d.ProbOf(func(s string) bool { return s == "a" || s == "b" })
+	if !got.IsOne() {
+		t.Errorf("ProbOf(all) = %v, want 1", got)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	d, err := Uniform(1, 2, 3, 4)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	for _, v := range []int{1, 2, 3, 4} {
+		if got := d.P(v); !got.Equal(NewRat(1, 4)) {
+			t.Errorf("P(%d) = %v, want 1/4", v, got)
+		}
+	}
+	if _, err := Uniform[int](); err == nil {
+		t.Error("Uniform() on empty support succeeded")
+	}
+	if _, err := Uniform(1, 1); err == nil {
+		t.Error("Uniform with duplicates succeeded")
+	}
+}
+
+func TestFlipRat(t *testing.T) {
+	d, err := FlipRat("h", NewRat(1, 3), "t")
+	if err != nil {
+		t.Fatalf("FlipRat: %v", err)
+	}
+	if got := d.P("t"); !got.Equal(NewRat(2, 3)) {
+		t.Errorf("P(t) = %v, want 2/3", got)
+	}
+	if _, err := FlipRat("h", NewRat(3, 2), "t"); err == nil {
+		t.Error("FlipRat with p > 1 succeeded")
+	}
+}
+
+func TestMapDist(t *testing.T) {
+	d := MustUniform(1, 2, 3, 4)
+	even := MapDist(d, func(n int) bool { return n%2 == 0 })
+	if got := even.P(true); !got.Equal(Half()) {
+		t.Errorf("P(even) = %v, want 1/2", got)
+	}
+	if !even.IsValid() {
+		t.Error("mapped distribution is invalid")
+	}
+}
+
+func TestProduct(t *testing.T) {
+	coin := MustUniform("h", "t")
+	die := MustUniform(1, 2, 3)
+	prod := Product(coin, die)
+	if got := prod.Len(); got != 6 {
+		t.Errorf("product support size = %d, want 6", got)
+	}
+	if got := prod.P(Pair[string, int]{First: "h", Second: 2}); !got.Equal(NewRat(1, 6)) {
+		t.Errorf("P(h,2) = %v, want 1/6", got)
+	}
+	if !prod.IsValid() {
+		t.Error("product distribution is invalid")
+	}
+}
+
+func TestPick(t *testing.T) {
+	d := MustDist(
+		Outcome[string]{Value: "a", Prob: NewRat(1, 4)},
+		Outcome[string]{Value: "b", Prob: NewRat(3, 4)},
+	)
+	tests := []struct {
+		r    float64
+		want string
+	}{
+		{r: 0.0, want: "a"},
+		{r: 0.2, want: "a"},
+		{r: 0.25, want: "b"},
+		{r: 0.99, want: "b"},
+	}
+	for _, tt := range tests {
+		if got := d.Pick(tt.r); got != tt.want {
+			t.Errorf("Pick(%g) = %q, want %q", tt.r, got, tt.want)
+		}
+	}
+}
+
+func TestDistString(t *testing.T) {
+	d := MustDist(
+		Outcome[string]{Value: "b", Prob: Half()},
+		Outcome[string]{Value: "a", Prob: Half()},
+	)
+	if got, want := d.String(), "{a:1/2, b:1/2}"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestDistProperties(t *testing.T) {
+	t.Run("uniform over distinct ints is valid", func(t *testing.T) {
+		f := func(vals []int16) bool {
+			seen := map[int16]bool{}
+			var distinct []int16
+			for _, v := range vals {
+				if !seen[v] {
+					seen[v] = true
+					distinct = append(distinct, v)
+				}
+			}
+			if len(distinct) == 0 {
+				return true
+			}
+			d, err := Uniform(distinct...)
+			return err == nil && d.IsValid()
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("MapDist preserves total mass", func(t *testing.T) {
+		f := func(vals []int16) bool {
+			seen := map[int16]bool{}
+			var distinct []int16
+			for _, v := range vals {
+				if !seen[v] {
+					seen[v] = true
+					distinct = append(distinct, v)
+				}
+			}
+			if len(distinct) == 0 {
+				return true
+			}
+			d := MustUniform(distinct...)
+			mapped := MapDist(d, func(v int16) int16 { return v / 3 })
+			return mapped.IsValid()
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Error(err)
+		}
+	})
+}

@@ -1,0 +1,46 @@
+package prob_test
+
+import (
+	"fmt"
+
+	"repro/internal/prob"
+)
+
+// Exact rational arithmetic keeps the paper's probabilities exact:
+// (1/2)·(1/4) composes to 1/8 with no floating-point slack.
+func ExampleRat() {
+	half := prob.Half()
+	quarter := prob.NewRat(1, 4)
+	fmt.Println(half.Mul(quarter))
+	fmt.Println(prob.One().Sub(prob.NewRat(2, 8)))
+	// Output:
+	// 1/8
+	// 3/4
+}
+
+// Distributions validate exactly: weights must sum to one.
+func ExampleNewDist() {
+	d, err := prob.NewDist(
+		prob.Outcome[string]{Value: "left", Prob: prob.Half()},
+		prob.Outcome[string]{Value: "right", Prob: prob.Half()},
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(d.P("left"))
+
+	_, err = prob.NewDist(prob.Outcome[string]{Value: "only", Prob: prob.Half()})
+	fmt.Println(err != nil)
+	// Output:
+	// 1/2
+	// true
+}
+
+// The Lehmann–Rabin expected-time recurrence as a geometric solve:
+// E = 15/2 + (7/8)·E gives E = 60.
+func ExampleSolveGeometric() {
+	e, _ := prob.SolveGeometric(prob.NewRat(15, 2), prob.NewRat(7, 8))
+	fmt.Println(e)
+	// Output: 60
+}

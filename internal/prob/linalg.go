@@ -1,0 +1,82 @@
+package prob
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSingular is returned by SolveLinear when the coefficient matrix is
+// singular.
+var ErrSingular = errors.New("prob: singular linear system")
+
+// SolveLinear solves the linear system A·x = b exactly over the rationals
+// using Gaussian elimination with partial (first-nonzero) pivoting. A must
+// be square with len(A) == len(b); each row of A must have length len(b).
+//
+// It is used by the expected-time machinery of Section 6.2 of the paper,
+// where bounds such as E[V] = 60 arise as the solution of small linear
+// recurrences over phase graphs.
+func SolveLinear(a [][]Rat, b []Rat) ([]Rat, error) {
+	n := len(b)
+	if len(a) != n {
+		return nil, fmt.Errorf("prob: matrix has %d rows, want %d", len(a), n)
+	}
+	// Work on copies: the library never mutates caller data.
+	m := make([][]Rat, n)
+	for i, row := range a {
+		if len(row) != n {
+			return nil, fmt.Errorf("prob: row %d has %d columns, want %d", i, len(row), n)
+		}
+		m[i] = append([]Rat(nil), row...)
+	}
+	rhs := append([]Rat(nil), b...)
+
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if !m[r][col].IsZero() {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, ErrSingular
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		rhs[col], rhs[pivot] = rhs[pivot], rhs[col]
+
+		inv := m[col][col].Inv()
+		for c := col; c < n; c++ {
+			m[col][c] = m[col][c].Mul(inv)
+		}
+		rhs[col] = rhs[col].Mul(inv)
+
+		for r := 0; r < n; r++ {
+			if r == col || m[r][col].IsZero() {
+				continue
+			}
+			factor := m[r][col]
+			for c := col; c < n; c++ {
+				m[r][c] = m[r][c].Sub(factor.Mul(m[col][c]))
+			}
+			rhs[r] = rhs[r].Sub(factor.Mul(rhs[col]))
+		}
+	}
+	return rhs, nil
+}
+
+// SolveGeometric solves the single-unknown recurrence
+//
+//	E = base + coeff·E
+//
+// exactly, returning (base / (1 - coeff)). It returns an error when
+// coeff >= 1, in which case the recurrence has no finite nonnegative
+// solution. This is the shape of the Lehmann–Rabin expected-time bound:
+// E[V] = 1/8·10 + 1/2·(5+E[V]) + 3/8·(10+E[V]) rearranges to
+// E = 7.5 + (7/8)·E, giving E = 60.
+func SolveGeometric(base, coeff Rat) (Rat, error) {
+	if coeff.Cmp(One()) >= 0 {
+		return Rat{}, fmt.Errorf("prob: recurrence coefficient %v >= 1 has no finite solution", coeff)
+	}
+	return base.Div(One().Sub(coeff)), nil
+}

@@ -1,0 +1,131 @@
+package prob
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSolveLinear(t *testing.T) {
+	tests := []struct {
+		name string
+		a    [][]Rat
+		b    []Rat
+		want []string
+	}{
+		{
+			name: "identity",
+			a: [][]Rat{
+				{One(), Zero()},
+				{Zero(), One()},
+			},
+			b:    []Rat{NewRat(3, 7), NewRat(-1, 2)},
+			want: []string{"3/7", "-1/2"},
+		},
+		{
+			name: "2x2",
+			a: [][]Rat{
+				{FromInt(2), FromInt(1)},
+				{FromInt(1), FromInt(3)},
+			},
+			b:    []Rat{FromInt(5), FromInt(10)},
+			want: []string{"1", "3"},
+		},
+		{
+			name: "needs pivoting",
+			a: [][]Rat{
+				{Zero(), One()},
+				{One(), Zero()},
+			},
+			b:    []Rat{FromInt(4), FromInt(9)},
+			want: []string{"9", "4"},
+		},
+		{
+			name: "lehmann-rabin recurrence as a system",
+			// E = 1/8*10 + 1/2*(5+E) + 3/8*(10+E), i.e. (1/8)E = 15/2.
+			a:    [][]Rat{{NewRat(1, 8)}},
+			b:    []Rat{NewRat(15, 2)},
+			want: []string{"60"},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := SolveLinear(tt.a, tt.b)
+			if err != nil {
+				t.Fatalf("SolveLinear: %v", err)
+			}
+			if len(got) != len(tt.want) {
+				t.Fatalf("got %d solutions, want %d", len(got), len(tt.want))
+			}
+			for i := range got {
+				if got[i].String() != tt.want[i] {
+					t.Errorf("x[%d] = %s, want %s", i, got[i], tt.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestSolveLinearErrors(t *testing.T) {
+	t.Run("singular", func(t *testing.T) {
+		a := [][]Rat{
+			{One(), One()},
+			{FromInt(2), FromInt(2)},
+		}
+		if _, err := SolveLinear(a, []Rat{One(), FromInt(2)}); !errors.Is(err, ErrSingular) {
+			t.Errorf("err = %v, want ErrSingular", err)
+		}
+	})
+	t.Run("shape mismatch", func(t *testing.T) {
+		if _, err := SolveLinear([][]Rat{{One()}}, []Rat{One(), One()}); err == nil {
+			t.Error("shape mismatch accepted")
+		}
+		if _, err := SolveLinear([][]Rat{{One(), One()}, {One(), One()}}, []Rat{One()}); err == nil {
+			t.Error("row length mismatch accepted")
+		}
+	})
+}
+
+func TestSolveLinearDoesNotMutate(t *testing.T) {
+	a := [][]Rat{
+		{FromInt(2), FromInt(1)},
+		{FromInt(1), FromInt(3)},
+	}
+	b := []Rat{FromInt(5), FromInt(10)}
+	if _, err := SolveLinear(a, b); err != nil {
+		t.Fatalf("SolveLinear: %v", err)
+	}
+	if !a[0][0].Equal(FromInt(2)) || !b[1].Equal(FromInt(10)) {
+		t.Error("SolveLinear mutated its arguments")
+	}
+}
+
+func TestSolveGeometric(t *testing.T) {
+	tests := []struct {
+		name        string
+		base, coeff Rat
+		want        string
+		wantErr     bool
+	}{
+		{name: "lehmann-rabin E[V]", base: NewRat(15, 2), coeff: NewRat(7, 8), want: "60"},
+		{name: "no retry", base: FromInt(10), coeff: Zero(), want: "10"},
+		{name: "diverges", base: One(), coeff: One(), wantErr: true},
+		{name: "coeff above one", base: One(), coeff: FromInt(2), wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := SolveGeometric(tt.base, tt.coeff)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("SolveGeometric = %v, want error", got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("SolveGeometric: %v", err)
+			}
+			if got.String() != tt.want {
+				t.Errorf("SolveGeometric = %s, want %s", got, tt.want)
+			}
+		})
+	}
+}

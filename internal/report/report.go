@@ -1,0 +1,108 @@
+// Package report defines the machine-readable output format of the
+// checking commands: a JSON document recording, for one model
+// configuration, every checked arrow with its claimed and measured
+// bounds, the composed claim, the expected-time analysis and optional
+// curve data. Exact rationals are serialized as strings ("15/16") so no
+// precision is lost.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/prob"
+)
+
+// Arrow is one checked time-bound statement.
+type Arrow struct {
+	Origin       string `json:"origin,omitempty"`
+	From         string `json:"from"`
+	To           string `json:"to"`
+	Time         string `json:"time"`
+	ClaimedProb  string `json:"claimed_prob"`
+	MeasuredProb string `json:"measured_prob"`
+	WorstState   string `json:"worst_state"`
+	FromStates   int    `json:"from_states"`
+	ToStates     int    `json:"to_states"`
+	Holds        bool   `json:"holds"`
+}
+
+// ArrowFrom converts a check result to its report row.
+func ArrowFrom[S comparable](origin string, r core.CheckResult[S]) Arrow {
+	return Arrow{
+		Origin:       origin,
+		From:         r.Stmt.From.Name,
+		To:           r.Stmt.To.Name,
+		Time:         r.Stmt.Time.String(),
+		ClaimedProb:  r.Stmt.Prob.String(),
+		MeasuredProb: r.WorstProb.String(),
+		WorstState:   fmt.Sprintf("%v", r.WorstState),
+		FromStates:   r.FromCount,
+		ToStates:     r.ToCount,
+		Holds:        r.Holds,
+	}
+}
+
+// CurvePoint is one exact point of a worst-case probability curve.
+type CurvePoint struct {
+	Horizon   int    `json:"horizon"`
+	WorstProb string `json:"worst_prob"`
+}
+
+// CurveFrom converts core curve points.
+func CurveFrom(points []core.CurvePoint) []CurvePoint {
+	out := make([]CurvePoint, len(points))
+	for i, p := range points {
+		out[i] = CurvePoint{Horizon: p.Horizon, WorstProb: p.WorstProb.String()}
+	}
+	return out
+}
+
+// ExpectedTime pairs the derived bound with the measured worst case.
+type ExpectedTime struct {
+	RecurrenceLoop  string  `json:"recurrence_loop,omitempty"`
+	DerivedBound    string  `json:"derived_bound"`
+	MeasuredWorst   float64 `json:"measured_worst,omitempty"`
+	MeasuredAtState string  `json:"measured_at_state,omitempty"`
+}
+
+// Document is the full report for one configuration.
+type Document struct {
+	Model         string        `json:"model"`
+	Procs         int           `json:"procs"`
+	StepsPerTick  int           `json:"steps_per_tick"`
+	ProductStates int           `json:"product_states"`
+	Schema        string        `json:"schema"`
+	Arrows        []Arrow       `json:"arrows"`
+	Composed      *Arrow        `json:"composed,omitempty"`
+	Expected      *ExpectedTime `json:"expected_time,omitempty"`
+	Curve         []CurvePoint  `json:"curve,omitempty"`
+	AllHold       bool          `json:"all_hold"`
+}
+
+// Finalize recomputes the aggregate verdict from the rows.
+func (d *Document) Finalize() {
+	d.AllHold = true
+	for _, a := range d.Arrows {
+		if !a.Holds {
+			d.AllHold = false
+			return
+		}
+	}
+	if d.Composed != nil && !d.Composed.Holds {
+		d.AllHold = false
+	}
+}
+
+// Write emits the document as indented JSON.
+func (d *Document) Write(w io.Writer) error {
+	d.Finalize()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// RatString formats an optional rational for report fields.
+func RatString(r prob.Rat) string { return r.String() }

@@ -1,0 +1,105 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/prob"
+)
+
+func sampleResult() core.CheckResult[int] {
+	return core.CheckResult[int]{
+		Stmt: core.Statement[int]{
+			From:   core.NewSet("T", func(int) bool { return true }),
+			To:     core.NewSet("C", func(int) bool { return false }),
+			Time:   prob.FromInt(13),
+			Prob:   prob.NewRat(1, 8),
+			Schema: core.UnitTimeSchema(1),
+		},
+		Holds:      true,
+		WorstProb:  prob.MustParseRat("15/16"),
+		WorstState: 42,
+		FromCount:  100,
+		ToCount:    10,
+	}
+}
+
+func TestArrowFrom(t *testing.T) {
+	a := ArrowFrom("Section 6.2", sampleResult())
+	if a.From != "T" || a.To != "C" || a.Time != "13" {
+		t.Errorf("arrow = %+v", a)
+	}
+	if a.ClaimedProb != "1/8" || a.MeasuredProb != "15/16" || !a.Holds {
+		t.Errorf("arrow bounds = %+v", a)
+	}
+	if a.WorstState != "42" || a.FromStates != 100 || a.ToStates != 10 {
+		t.Errorf("arrow metadata = %+v", a)
+	}
+}
+
+func TestDocumentWrite(t *testing.T) {
+	doc := Document{
+		Model:         "lehmann-rabin",
+		Procs:         3,
+		StepsPerTick:  1,
+		ProductStates: 9637,
+		Schema:        "Unit-Time(k=1)",
+		Arrows:        []Arrow{ArrowFrom("A.3", sampleResult())},
+		Curve: CurveFrom([]core.CurvePoint{
+			{Horizon: 0, WorstProb: prob.Zero()},
+			{Horizon: 7, WorstProb: prob.NewRat(1, 4)},
+		}),
+	}
+	var buf bytes.Buffer
+	if err := doc.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"model": "lehmann-rabin"`, `"claimed_prob": "1/8"`, `"all_hold": true`, `"worst_prob": "1/4"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing %s:\n%s", want, out)
+		}
+	}
+
+	// Round-trips as valid JSON.
+	var parsed Document
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if parsed.ProductStates != 9637 || len(parsed.Arrows) != 1 || len(parsed.Curve) != 2 {
+		t.Errorf("round-trip = %+v", parsed)
+	}
+}
+
+func TestFinalizeVerdicts(t *testing.T) {
+	good := ArrowFrom("x", sampleResult())
+	bad := good
+	bad.Holds = false
+
+	doc := Document{Arrows: []Arrow{good, bad}}
+	doc.Finalize()
+	if doc.AllHold {
+		t.Error("AllHold true despite failing arrow")
+	}
+
+	doc2 := Document{Arrows: []Arrow{good}, Composed: &bad}
+	doc2.Finalize()
+	if doc2.AllHold {
+		t.Error("AllHold true despite failing composed claim")
+	}
+
+	doc3 := Document{Arrows: []Arrow{good}, Composed: &good}
+	doc3.Finalize()
+	if !doc3.AllHold {
+		t.Error("AllHold false with all rows holding")
+	}
+}
+
+func TestRatString(t *testing.T) {
+	if got := RatString(prob.NewRat(3, 4)); got != "3/4" {
+		t.Errorf("RatString = %q", got)
+	}
+}

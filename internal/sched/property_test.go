@@ -1,0 +1,153 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/pa"
+	"repro/internal/prob"
+)
+
+// randModel is a pseudo-random two-process model driven by a seed: each
+// process's readiness and successor pattern is derived from hashing the
+// state, giving varied but deterministic shapes for property testing.
+type randModel struct {
+	seed uint32
+}
+
+type rmState struct {
+	A, B uint8
+}
+
+func (m *randModel) Name() string     { return "rand" }
+func (m *randModel) NumProcs() int    { return 2 }
+func (m *randModel) Start() []rmState { return []rmState{{}} }
+
+func (m *randModel) hash(s rmState, i int) uint32 {
+	x := m.seed ^ uint32(s.A)<<8 ^ uint32(s.B)<<16 ^ uint32(i)<<24
+	x ^= x >> 13
+	x *= 0x85ebca6b
+	x ^= x >> 16
+	return x
+}
+
+func (m *randModel) Moves(s rmState, i int) []pa.Step[rmState] {
+	h := m.hash(s, i)
+	if h%4 == 0 {
+		return nil // not ready in this state
+	}
+	next := s
+	if i == 0 {
+		next.A = uint8((uint32(s.A) + 1 + h%3) % 16)
+	} else {
+		next.B = uint8((uint32(s.B) + 1 + h%3) % 16)
+	}
+	if h%3 == 0 {
+		other := next
+		if i == 0 {
+			other.A = (other.A + 1) % 16
+		} else {
+			other.B = (other.B + 1) % 16
+		}
+		if other != next {
+			return []pa.Step[rmState]{{
+				Action: "step",
+				Next:   prob.MustUniform(next, other),
+			}}
+		}
+	}
+	return []pa.Step[rmState]{{Action: "step", Next: prob.Point(next)}}
+}
+
+func (m *randModel) UserMoves(rmState, int) []pa.Step[rmState] { return nil }
+
+// TestProductInvariants explores the products of many pseudo-random
+// models and checks the structural invariants of the digitized Unit-Time
+// construction in every reachable state:
+//
+//   - a tick is enabled iff no currently-ready process owes a step;
+//   - an owed process always has budget (owes ⇒ Left > 0);
+//   - budgets never exceed k;
+//   - some choice is always enabled (the product has no deadlocks).
+func TestProductInvariants(t *testing.T) {
+	for seed := uint32(1); seed <= 40; seed++ {
+		for _, k := range []int{1, 2, 3} {
+			model := &randModel{seed: seed}
+			auto, err := Product[rmState](model, Config{StepsPerWindow: k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			states, err := auto.Reachable(20000)
+			if err != nil {
+				t.Fatalf("seed %d k %d: %v", seed, k, err)
+			}
+			for _, ps := range states {
+				steps := auto.Steps(ps)
+				if len(steps) == 0 {
+					t.Fatalf("seed %d k %d: deadlocked product state %v", seed, k, ps)
+				}
+				var readyMask uint16
+				for i := 0; i < 2; i++ {
+					if len(model.Moves(ps.Base, i)) > 0 {
+						readyMask |= 1 << i
+					}
+					budget := int(ps.Left>>(4*i)) & 0xF
+					if budget > k {
+						t.Fatalf("seed %d k %d: budget %d exceeds k at %v", seed, k, budget, ps)
+					}
+					owes := ps.Owes&(1<<i) != 0
+					if owes && budget == 0 {
+						t.Fatalf("seed %d k %d: owed process %d without budget at %v", seed, k, i, ps)
+					}
+				}
+				tickEnabled := false
+				for _, st := range steps {
+					if st.Action == TickAction {
+						tickEnabled = true
+					}
+				}
+				wantTick := ps.Owes&readyMask == 0
+				if tickEnabled != wantTick {
+					t.Fatalf("seed %d k %d: tick enabled = %t, want %t at %v (ready %b)",
+						seed, k, tickEnabled, wantTick, ps, readyMask)
+				}
+			}
+		}
+	}
+}
+
+// TestProductTimeDivergence checks that from every reachable product
+// state a tick remains reachable — the adversary can always let time
+// advance (no induced Zeno trap).
+func TestProductTimeDivergence(t *testing.T) {
+	model := &randModel{seed: 7}
+	auto, err := Product[rmState](model, Config{StepsPerWindow: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	states, err := auto.Reachable(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ps := range states {
+		// Walk greedily: step owed processes until the tick appears;
+		// bounded by total budget.
+		cur := ps
+		for hop := 0; hop < 16; hop++ {
+			var tick bool
+			steps := auto.Steps(cur)
+			for _, st := range steps {
+				if st.Action == TickAction {
+					tick = true
+					break
+				}
+			}
+			if tick {
+				break
+			}
+			if hop == 15 {
+				t.Fatalf("no tick reachable from %v", ps)
+			}
+			cur = steps[0].Next.Support()[0]
+		}
+	}
+}

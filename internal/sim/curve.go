@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// EmpiricalCurve is the Monte Carlo counterpart of the exact worst-case
+// curve (core.WorstCaseCurve): one batch of runs under a single policy
+// yields the empirical probability of reaching the target within t for
+// every requested deadline at once.
+type EmpiricalCurve struct {
+	// Deadlines are the evaluated horizons, ascending.
+	Deadlines []float64
+	// At[i] is the Bernoulli estimate for Deadlines[i].
+	At []stats.Proportion
+}
+
+// Point returns the estimate and its 95% Wilson interval at index i.
+func (c EmpiricalCurve) Point(i int) (est, lo, hi float64, err error) {
+	est, err = c.At[i].Estimate()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	lo, hi, err = c.At[i].Wilson(1.96)
+	return est, lo, hi, err
+}
+
+// EstimateCurve runs trials independent runs under fresh policies from mk
+// and tallies, for every deadline, whether the target was reached by
+// then. Deadlines are sorted; the run budget is max(deadlines)+1.
+func EstimateCurve[S comparable](m sched.Model[S], mk func() Policy[S], target func(S) bool, deadlines []float64, trials int, opts Options[S], rng *rand.Rand) (EmpiricalCurve, error) {
+	if len(deadlines) == 0 {
+		return EmpiricalCurve{}, fmt.Errorf("sim: no deadlines")
+	}
+	ds := append([]float64(nil), deadlines...)
+	sort.Float64s(ds)
+	curve := EmpiricalCurve{
+		Deadlines: ds,
+		At:        make([]stats.Proportion, len(ds)),
+	}
+	if opts.MaxTime <= 0 {
+		opts.MaxTime = ds[len(ds)-1] + 1
+	}
+	for trial := 0; trial < trials; trial++ {
+		res, err := RunOnce(m, mk(), target, opts, rng)
+		if err != nil {
+			return curve, fmt.Errorf("sim: trial %d: %w", trial, err)
+		}
+		for i, d := range ds {
+			curve.At[i].Observe(res.Reached && res.ReachedAt <= d)
+		}
+	}
+	return curve, nil
+}

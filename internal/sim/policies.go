@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// This file provides generic, model-agnostic policies. Model-specific
+// malicious policies (e.g. the conflict-seeking Lehmann–Rabin scheduler)
+// live next to their models.
+
+// Slowest is the laziest legal adversary: it always steps the process with
+// the earliest deadline, exactly at its deadline, taking the first enabled
+// move. When no process is ready it fires pending user moves immediately,
+// and stops once the system is fully quiescent. It maximizes elapsed time
+// per step within the Unit-Time constraint.
+func Slowest[S comparable]() Policy[S] {
+	return Paced[S](1)
+}
+
+// Paced is like Slowest but steps at Now + alpha·(deadline - Now): alpha 1
+// is the slowest legal schedule, small alpha approximates arbitrarily fast
+// processes. It panics at construction on alpha outside (0, 1].
+func Paced[S comparable](alpha float64) Policy[S] {
+	if alpha <= 0 || alpha > 1 {
+		panic("sim: Paced alpha outside (0, 1]")
+	}
+	return PolicyFunc[S](func(v View[S], _ *rand.Rand) (Choice, bool) {
+		if len(v.Ready) == 0 {
+			if len(v.UserMovers) == 0 {
+				return Choice{}, false
+			}
+			return Choice{Proc: v.UserMovers[0], User: true, At: v.Now}, true
+		}
+		proc := v.Ready[0]
+		for _, i := range v.Ready[1:] {
+			if v.Deadline[i] < v.Deadline[proc] {
+				proc = i
+			}
+		}
+		at := v.Now + alpha*(v.DeadlineMin-v.Now)
+		return Choice{Proc: proc, At: at}, true
+	})
+}
+
+// Random schedules a uniformly random ready process (or, with probability
+// pUser when available, a random user move) at a uniformly random legal
+// time, resolving nondeterministic branches uniformly. It approximates an
+// unbiased environment rather than an adversary.
+func Random[S comparable](pUser float64) Policy[S] {
+	return PolicyFunc[S](func(v View[S], rng *rand.Rand) (Choice, bool) {
+		useUser := len(v.UserMovers) > 0 && (len(v.Ready) == 0 || rng.Float64() < pUser)
+		if useUser {
+			proc := v.UserMovers[rng.Intn(len(v.UserMovers))]
+			return Choice{
+				Proc: proc,
+				Move: rng.Intn(v.UserMoveCount[proc]),
+				User: true,
+				At:   v.Now,
+			}, true
+		}
+		if len(v.Ready) == 0 {
+			return Choice{}, false
+		}
+		proc := v.Ready[rng.Intn(len(v.Ready))]
+		span := v.DeadlineMin - v.Now
+		at := v.Now
+		if !math.IsInf(span, 1) && span > 0 {
+			at += rng.Float64() * span
+		}
+		return Choice{Proc: proc, Move: rng.Intn(v.MoveCount[proc]), At: at}, true
+	})
+}

@@ -1,0 +1,256 @@
+// Package sim is the Monte Carlo counterpart of the exact checker: it runs
+// a multi-process model (sched.Model) in dense time under programmable
+// Unit-Time adversaries and estimates reach probabilities and expected
+// times.
+//
+// The engine enforces exactly the Unit-Time schema of Section 6.2 of the
+// paper: every process that is ready (enables an algorithm move) must step
+// within time 1 of becoming ready, time diverges, and the adversary — here
+// called a Policy — freely chooses interleavings, exact step times and the
+// resolution of nondeterministic branches, with complete knowledge of the
+// run so far, including past coin flips. Unlike the digitized checker, the
+// simulator does not quantize step times, so it explores the paper's
+// adversary class directly (one policy at a time).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// View is what a policy sees when asked for its next choice: the current
+// state, the clock, the scheduling obligations, and the moves available.
+type View[S comparable] struct {
+	// State is the current algorithm state.
+	State S
+	// Now is the current time.
+	Now float64
+	// DeadlineMin is the latest time the next step may happen: the
+	// earliest unit-time deadline among ready processes (+Inf if none).
+	DeadlineMin float64
+	// Ready lists processes with algorithm moves, ascending.
+	Ready []int
+	// Deadline maps each ready process to its unit-time deadline.
+	Deadline map[int]float64
+	// MoveCount maps each ready process to its number of algorithm moves
+	// (nondeterministic branches the policy may pick among).
+	MoveCount map[int]int
+	// UserMovers lists processes with user moves available, ascending.
+	UserMovers []int
+	// UserMoveCount maps each user mover to its number of user moves.
+	UserMoveCount map[int]int
+}
+
+// Choice is a policy decision: process Proc performs its Move-th algorithm
+// move (or user move when User is set) at time At.
+type Choice struct {
+	Proc int
+	Move int
+	User bool
+	// At is the time of the step; the engine requires Now <= At <=
+	// DeadlineMin.
+	At float64
+}
+
+// Policy resolves the nondeterminism of a run: it is the operational form
+// of an adversary with complete knowledge of the past. Returning ok =
+// false ends the run; the engine rejects that while any process is ready,
+// since deserting a ready process violates Unit-Time.
+type Policy[S comparable] interface {
+	Choose(v View[S], rng *rand.Rand) (c Choice, ok bool)
+}
+
+// PolicyFunc adapts a function to the Policy interface.
+type PolicyFunc[S comparable] func(v View[S], rng *rand.Rand) (Choice, bool)
+
+// Choose implements Policy.
+func (f PolicyFunc[S]) Choose(v View[S], rng *rand.Rand) (Choice, bool) { return f(v, rng) }
+
+var _ Policy[int] = (PolicyFunc[int])(nil)
+
+// Options configures a run.
+type Options[S comparable] struct {
+	// Start overrides the model's start state when Set is true.
+	Start    S
+	SetStart bool
+	// MaxEvents bounds the number of steps (default 100000).
+	MaxEvents int
+	// MaxTime bounds the clock (default 1000).
+	MaxTime float64
+	// Observer, when non-nil, is called after every applied step with the
+	// step time, acting process, action name and resulting state — the
+	// hook used by the trace recorder.
+	Observer func(t float64, proc int, action string, next S)
+}
+
+func (o Options[S]) withDefaults() Options[S] {
+	if o.MaxEvents <= 0 {
+		o.MaxEvents = 100000
+	}
+	if o.MaxTime <= 0 {
+		o.MaxTime = 1000
+	}
+	return o
+}
+
+// Result reports one run.
+type Result[S comparable] struct {
+	// Reached reports whether the target was hit; ReachedAt is the time.
+	Reached   bool
+	ReachedAt float64
+	// Events is the number of steps taken.
+	Events int
+	// Final is the last state.
+	Final S
+}
+
+// Errors returned by the engine.
+var (
+	ErrPolicyDeserted = errors.New("sim: policy halted while a process was ready (violates Unit-Time)")
+	ErrBadChoice      = errors.New("sim: policy returned an invalid choice")
+)
+
+// RunOnce executes one run of the model under the policy until the target
+// predicate holds, the policy stops in a quiescent state, or a budget is
+// exhausted.
+func RunOnce[S comparable](m sched.Model[S], p Policy[S], target func(S) bool, opts Options[S], rng *rand.Rand) (Result[S], error) {
+	opts = opts.withDefaults()
+	state := m.Start()[0]
+	if opts.SetStart {
+		state = opts.Start
+	}
+	now := 0.0
+	deadlines := make(map[int]float64)
+	refreshDeadlines(m, state, now, deadlines)
+
+	res := Result[S]{Final: state}
+	if target(state) {
+		res.Reached = true
+		res.ReachedAt = 0
+		return res, nil
+	}
+
+	for res.Events < opts.MaxEvents && now <= opts.MaxTime {
+		view := buildView(m, state, now, deadlines)
+		choice, ok := p.Choose(view, rng)
+		if !ok {
+			if len(view.Ready) > 0 {
+				return res, ErrPolicyDeserted
+			}
+			res.Final = state
+			return res, nil
+		}
+		next, t, action, err := applyChoice(m, state, view, choice, rng)
+		if err != nil {
+			return res, err
+		}
+		res.Events++
+		if opts.Observer != nil {
+			opts.Observer(t, choice.Proc, action, next)
+		}
+		// Update deadlines: the stepping process and newly ready
+		// processes get deadline t+1; processes no longer ready are
+		// cleared; everyone else keeps their older (tighter) deadline.
+		delete(deadlines, choice.Proc)
+		now = t
+		refreshDeadlines(m, next, now, deadlines)
+		state = next
+		res.Final = state
+		if target(state) {
+			res.Reached = true
+			res.ReachedAt = now
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+func refreshDeadlines[S comparable](m sched.Model[S], s S, now float64, deadlines map[int]float64) {
+	for i := 0; i < m.NumProcs(); i++ {
+		if len(m.Moves(s, i)) == 0 {
+			delete(deadlines, i)
+			continue
+		}
+		if _, ok := deadlines[i]; !ok {
+			deadlines[i] = now + 1
+		}
+	}
+}
+
+func buildView[S comparable](m sched.Model[S], s S, now float64, deadlines map[int]float64) View[S] {
+	v := View[S]{
+		State:         s,
+		Now:           now,
+		DeadlineMin:   math.Inf(1),
+		Deadline:      make(map[int]float64, len(deadlines)),
+		MoveCount:     make(map[int]int, len(deadlines)),
+		UserMoveCount: make(map[int]int),
+	}
+	for i := 0; i < m.NumProcs(); i++ {
+		if d, ok := deadlines[i]; ok {
+			v.Ready = append(v.Ready, i)
+			v.Deadline[i] = d
+			v.DeadlineMin = math.Min(v.DeadlineMin, d)
+			v.MoveCount[i] = len(m.Moves(s, i))
+		}
+		if n := len(m.UserMoves(s, i)); n > 0 {
+			v.UserMovers = append(v.UserMovers, i)
+			v.UserMoveCount[i] = n
+		}
+	}
+	return v
+}
+
+func applyChoice[S comparable](m sched.Model[S], s S, v View[S], c Choice, rng *rand.Rand) (S, float64, string, error) {
+	var zero S
+	moves := m.Moves(s, c.Proc)
+	if c.User {
+		moves = m.UserMoves(s, c.Proc)
+	}
+	if c.Proc < 0 || c.Proc >= m.NumProcs() || c.Move < 0 || c.Move >= len(moves) {
+		return zero, 0, "", fmt.Errorf("%w: proc %d move %d (user=%t)", ErrBadChoice, c.Proc, c.Move, c.User)
+	}
+	t := c.At
+	if t < v.Now || t > v.DeadlineMin {
+		return zero, 0, "", fmt.Errorf("%w: time %v outside [%v, %v]", ErrBadChoice, t, v.Now, v.DeadlineMin)
+	}
+	next := moves[c.Move].Next.Pick(rng.Float64())
+	return next, t, moves[c.Move].Action, nil
+}
+
+// EstimateReachProb runs trials independent runs and estimates the
+// probability that the target is reached within the given time.
+func EstimateReachProb[S comparable](m sched.Model[S], mk func() Policy[S], target func(S) bool, within float64, trials int, opts Options[S], rng *rand.Rand) (stats.Proportion, error) {
+	var prop stats.Proportion
+	for i := 0; i < trials; i++ {
+		res, err := RunOnce(m, mk(), target, opts, rng)
+		if err != nil {
+			return prop, fmt.Errorf("sim: trial %d: %w", i, err)
+		}
+		prop.Observe(res.Reached && res.ReachedAt <= within)
+	}
+	return prop, nil
+}
+
+// EstimateTimeToTarget runs trials independent runs and summarizes the
+// time to reach the target; runs that never reach it are an error (use a
+// generous Options.MaxTime for almost-sure targets).
+func EstimateTimeToTarget[S comparable](m sched.Model[S], mk func() Policy[S], target func(S) bool, trials int, opts Options[S], rng *rand.Rand) (stats.Summary, error) {
+	var sum stats.Summary
+	for i := 0; i < trials; i++ {
+		res, err := RunOnce(m, mk(), target, opts, rng)
+		if err != nil {
+			return sum, fmt.Errorf("sim: trial %d: %w", i, err)
+		}
+		if !res.Reached {
+			return sum, fmt.Errorf("sim: trial %d did not reach the target within budget (events=%d, state=%v)", i, res.Events, res.Final)
+		}
+		sum.Observe(res.ReachedAt)
+	}
+	return sum, nil
+}

@@ -1,0 +1,160 @@
+// Package stats provides the estimators and confidence intervals used by
+// the Monte Carlo side of the reproduction: Bernoulli proportions with
+// Wilson and Hoeffding intervals, and running summaries of real-valued
+// samples (expected times).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoSamples is returned by estimators queried before any observation.
+var ErrNoSamples = errors.New("stats: no samples")
+
+// Proportion estimates a Bernoulli parameter from successes over trials.
+type Proportion struct {
+	Successes int
+	Trials    int
+}
+
+// Observe records one Bernoulli trial.
+func (p *Proportion) Observe(success bool) {
+	p.Trials++
+	if success {
+		p.Successes++
+	}
+}
+
+// Estimate returns the sample proportion.
+func (p *Proportion) Estimate() (float64, error) {
+	if p.Trials == 0 {
+		return 0, ErrNoSamples
+	}
+	return float64(p.Successes) / float64(p.Trials), nil
+}
+
+// Wilson returns the Wilson score interval at confidence level given by z
+// (e.g. z = 1.96 for 95%). It is well behaved at proportions near 0 and 1,
+// where the normal interval degenerates.
+func (p *Proportion) Wilson(z float64) (lo, hi float64, err error) {
+	if p.Trials == 0 {
+		return 0, 0, ErrNoSamples
+	}
+	n := float64(p.Trials)
+	phat := float64(p.Successes) / n
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (phat + z2/(2*n)) / denom
+	half := z / denom * math.Sqrt(phat*(1-phat)/n+z2/(4*n*n))
+	lo = math.Max(0, center-half)
+	hi = math.Min(1, center+half)
+	return lo, hi, nil
+}
+
+// HoeffdingLower returns a lower confidence bound on the true proportion
+// that holds with probability at least 1-delta, by Hoeffding's inequality.
+// It is the bound used to compare Monte Carlo estimates against the
+// paper's "probability at least p" claims: if HoeffdingLower >= p the
+// claim is supported at confidence 1-delta.
+func (p *Proportion) HoeffdingLower(delta float64) (float64, error) {
+	if p.Trials == 0 {
+		return 0, ErrNoSamples
+	}
+	if delta <= 0 || delta >= 1 {
+		return 0, fmt.Errorf("stats: delta %v outside (0, 1)", delta)
+	}
+	phat := float64(p.Successes) / float64(p.Trials)
+	eps := math.Sqrt(math.Log(1/delta) / (2 * float64(p.Trials)))
+	return math.Max(0, phat-eps), nil
+}
+
+// String formats the proportion with its 95% Wilson interval.
+func (p *Proportion) String() string {
+	est, err := p.Estimate()
+	if err != nil {
+		return "n=0"
+	}
+	lo, hi, _ := p.Wilson(1.96)
+	return fmt.Sprintf("%.4f [%.4f, %.4f] (n=%d)", est, lo, hi, p.Trials)
+}
+
+// Summary accumulates moments and extremes of a real-valued sample.
+type Summary struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Observe records one sample using Welford's online update.
+func (s *Summary) Observe(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		s.min = math.Min(s.min, x)
+		s.max = math.Max(s.max, x)
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// N returns the number of samples.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the sample mean.
+func (s *Summary) Mean() (float64, error) {
+	if s.n == 0 {
+		return 0, ErrNoSamples
+	}
+	return s.mean, nil
+}
+
+// Var returns the unbiased sample variance.
+func (s *Summary) Var() (float64, error) {
+	if s.n < 2 {
+		return 0, ErrNoSamples
+	}
+	return s.m2 / float64(s.n-1), nil
+}
+
+// Min returns the smallest sample.
+func (s *Summary) Min() (float64, error) {
+	if s.n == 0 {
+		return 0, ErrNoSamples
+	}
+	return s.min, nil
+}
+
+// Max returns the largest sample.
+func (s *Summary) Max() (float64, error) {
+	if s.n == 0 {
+		return 0, ErrNoSamples
+	}
+	return s.max, nil
+}
+
+// MeanCI returns a normal-approximation confidence interval on the mean at
+// the given z (1.96 for 95%).
+func (s *Summary) MeanCI(z float64) (lo, hi float64, err error) {
+	v, err := s.Var()
+	if err != nil {
+		return 0, 0, err
+	}
+	half := z * math.Sqrt(v/float64(s.n))
+	return s.mean - half, s.mean + half, nil
+}
+
+// String formats the summary with its 95% interval on the mean.
+func (s *Summary) String() string {
+	if s.n == 0 {
+		return "n=0"
+	}
+	if s.n == 1 {
+		return fmt.Sprintf("%.4f (n=1)", s.mean)
+	}
+	lo, hi, _ := s.MeanCI(1.96)
+	return fmt.Sprintf("%.4f [%.4f, %.4f] min=%.4f max=%.4f (n=%d)", s.mean, lo, hi, s.min, s.max, s.n)
+}

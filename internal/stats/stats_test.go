@@ -1,0 +1,185 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestProportion(t *testing.T) {
+	var p Proportion
+	if _, err := p.Estimate(); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("Estimate on empty = %v, want ErrNoSamples", err)
+	}
+	for i := 0; i < 100; i++ {
+		p.Observe(i%4 == 0)
+	}
+	est, err := p.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 0.25 {
+		t.Errorf("Estimate = %g, want 0.25", est)
+	}
+}
+
+func TestWilson(t *testing.T) {
+	p := Proportion{Successes: 50, Trials: 100}
+	lo, hi, err := p.Wilson(1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Errorf("Wilson = [%g, %g] does not contain 0.5", lo, hi)
+	}
+	if hi-lo > 0.25 {
+		t.Errorf("Wilson width %g too large for n=100", hi-lo)
+	}
+
+	// Degenerate proportions stay within [0, 1].
+	zero := Proportion{Successes: 0, Trials: 10}
+	lo, hi, err = zero.Wilson(1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo < 0 || hi > 1 || lo > hi {
+		t.Errorf("Wilson on zero successes = [%g, %g]", lo, hi)
+	}
+
+	if _, _, err := (&Proportion{}).Wilson(1.96); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("Wilson on empty = %v", err)
+	}
+}
+
+func TestHoeffdingLower(t *testing.T) {
+	p := Proportion{Successes: 900, Trials: 1000}
+	lb, err := p.HoeffdingLower(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb >= 0.9 {
+		t.Errorf("lower bound %g not below the estimate", lb)
+	}
+	if lb < 0.8 {
+		t.Errorf("lower bound %g implausibly loose for n=1000", lb)
+	}
+	if _, err := p.HoeffdingLower(0); err == nil {
+		t.Error("delta 0 accepted")
+	}
+	if _, err := p.HoeffdingLower(1); err == nil {
+		t.Error("delta 1 accepted")
+	}
+	if _, err := (&Proportion{}).HoeffdingLower(0.05); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("HoeffdingLower on empty = %v", err)
+	}
+}
+
+func TestProportionString(t *testing.T) {
+	if got := (&Proportion{}).String(); got != "n=0" {
+		t.Errorf("empty String = %q", got)
+	}
+	p := Proportion{Successes: 1, Trials: 2}
+	if got := p.String(); !strings.Contains(got, "0.5000") || !strings.Contains(got, "n=2") {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	if _, err := s.Mean(); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("Mean on empty = %v", err)
+	}
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		s.Observe(x)
+	}
+	if s.N() != 5 {
+		t.Errorf("N = %d, want 5", s.N())
+	}
+	mean, err := s.Mean()
+	if err != nil || mean != 3 {
+		t.Errorf("Mean = %g, %v; want 3", mean, err)
+	}
+	v, err := s.Var()
+	if err != nil || math.Abs(v-2.5) > 1e-12 {
+		t.Errorf("Var = %g, %v; want 2.5", v, err)
+	}
+	minVal, err := s.Min()
+	if err != nil || minVal != 1 {
+		t.Errorf("Min = %g, %v", minVal, err)
+	}
+	maxVal, err := s.Max()
+	if err != nil || maxVal != 5 {
+		t.Errorf("Max = %g, %v", maxVal, err)
+	}
+	lo, hi, err := s.MeanCI(1.96)
+	if err != nil || lo >= 3 || hi <= 3 {
+		t.Errorf("MeanCI = [%g, %g], %v", lo, hi, err)
+	}
+}
+
+func TestSummarySingleSample(t *testing.T) {
+	var s Summary
+	s.Observe(7)
+	if _, err := s.Var(); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("Var with one sample = %v", err)
+	}
+	if got := s.String(); !strings.Contains(got, "n=1") {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var s Summary
+	if got := s.String(); got != "n=0" {
+		t.Errorf("empty String = %q", got)
+	}
+	s.Observe(1)
+	s.Observe(3)
+	got := s.String()
+	for _, want := range []string{"2.0000", "min=1.0000", "max=3.0000", "n=2"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String = %q missing %q", got, want)
+		}
+	}
+}
+
+func TestSummaryProperties(t *testing.T) {
+	t.Run("mean within min and max", func(t *testing.T) {
+		f := func(xs []int32) bool {
+			var s Summary
+			for _, x := range xs {
+				// Bounded magnitudes: the invariant is a property of the
+				// estimator, not of float64 overflow behaviour.
+				s.Observe(float64(x) / 1024)
+			}
+			if s.N() == 0 {
+				return true
+			}
+			mean, _ := s.Mean()
+			minVal, _ := s.Min()
+			maxVal, _ := s.Max()
+			const slack = 1e-6
+			return mean >= minVal-slack && mean <= maxVal+slack
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("wilson brackets estimate", func(t *testing.T) {
+		f := func(succ uint8, extra uint8) bool {
+			trials := int(succ) + int(extra)
+			if trials == 0 {
+				return true
+			}
+			p := Proportion{Successes: int(succ), Trials: trials}
+			est, _ := p.Estimate()
+			lo, hi, err := p.Wilson(1.96)
+			return err == nil && lo <= est+1e-12 && est <= hi+1e-12 && lo >= 0 && hi <= 1
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Error(err)
+		}
+	})
+}

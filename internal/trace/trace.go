@@ -1,0 +1,68 @@
+// Package trace records and pretty-prints executions of simulated models,
+// in the spirit of the paper's Section 6.1 notation for Lehmann–Rabin
+// states (program counters decorated with direction arrows).
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Event is one recorded step.
+type Event struct {
+	// Time is the (dense) time of the step.
+	Time float64
+	// Proc is the acting process.
+	Proc int
+	// Action is the step's action name, e.g. "flip_2".
+	Action string
+	// State renders the state reached after the step.
+	State string
+}
+
+// Recorder accumulates events; its Observe method matches the sim
+// package's Options.Observer hook (modulo the state-to-string conversion
+// done by the Observer helper).
+type Recorder struct {
+	start  string
+	events []Event
+}
+
+// NewRecorder returns a recorder with the rendered start state.
+func NewRecorder(start string) *Recorder {
+	return &Recorder{start: start}
+}
+
+// Observer adapts the recorder to sim.Options.Observer for a state type
+// rendered by the given function.
+func Observer[S any](r *Recorder, render func(S) string) func(t float64, proc int, action string, next S) {
+	return func(t float64, proc int, action string, next S) {
+		r.events = append(r.events, Event{Time: t, Proc: proc, Action: action, State: render(next)})
+	}
+}
+
+// Events returns the recorded events in order. The caller must not modify
+// the returned slice.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Render formats the trace as a table:
+//
+//	t=0.000            start [R R R]
+//	t=1.000  p0 try_0        [F R R]
+func (r *Recorder) Render() string {
+	var b strings.Builder
+	width := 0
+	for _, e := range r.events {
+		if len(e.Action) > width {
+			width = len(e.Action)
+		}
+	}
+	fmt.Fprintf(&b, "t=%7.3f     %*s  %s\n", 0.0, width, "start", r.start)
+	for _, e := range r.events {
+		fmt.Fprintf(&b, "t=%7.3f  p%d %*s  %s\n", e.Time, e.Proc, width, e.Action, e.State)
+	}
+	return b.String()
+}

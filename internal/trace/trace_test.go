@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder("[R R]")
+	obs := Observer(r, func(s string) string { return s })
+	obs(1.0, 0, "try_0", "[F R]")
+	obs(2.0, 0, "flip_0", "[W← R]")
+
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	events := r.Events()
+	if events[0].Action != "try_0" || events[1].Proc != 0 || events[1].Time != 2.0 {
+		t.Errorf("events = %+v", events)
+	}
+
+	out := r.Render()
+	for _, want := range []string{"start", "[R R]", "p0", "try_0", "flip_0", "[W← R]", "t=  1.000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Count(out, "\n")
+	if lines != 3 {
+		t.Errorf("render has %d lines, want 3", lines)
+	}
+}
+
+func TestRecorderEmpty(t *testing.T) {
+	r := NewRecorder("[start]")
+	out := r.Render()
+	if !strings.Contains(out, "start") || !strings.Contains(out, "[start]") {
+		t.Errorf("empty render = %q", out)
+	}
+	if r.Len() != 0 {
+		t.Errorf("Len = %d, want 0", r.Len())
+	}
+}
+
+func TestObserverWithTypedState(t *testing.T) {
+	type st struct{ X int }
+	r := NewRecorder("X=0")
+	obs := Observer(r, func(s st) string { return "X=" + string(rune('0'+s.X)) })
+	obs(0.5, 1, "inc", st{X: 1})
+	if got := r.Events()[0].State; got != "X=1" {
+		t.Errorf("rendered state = %q, want X=1", got)
+	}
+}

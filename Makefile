@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench vet fmt check lrcheck experiments
+.PHONY: all build test test-short test-race bench vet fmt check lrcheck experiments
 
 all: check
 
@@ -15,6 +15,11 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# The Monte Carlo engine shards trials across goroutines; the race
+# detector runs as part of tier-1 verification.
+test-race:
+	$(GO) test -race ./...
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -24,7 +29,7 @@ vet:
 fmt:
 	gofmt -l .
 
-check: build vet test
+check: build vet test test-race
 
 # The headline reproduction: the paper's table, derivation and bounds.
 lrcheck:

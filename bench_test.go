@@ -10,6 +10,7 @@ package timedpa_test
 
 import (
 	"math/rand"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -284,6 +285,44 @@ func BenchmarkSimExpectedTime(b *testing.B) {
 			b.Fatalf("run did not reach C within the documented bound: %+v", res)
 		}
 	}
+}
+
+// E12 addendum (parallel scaling): trial throughput of the sharded Monte
+// Carlo engine on the Lehmann–Rabin n=8 reach-probability curve. The pool is
+// sized by GOMAXPROCS, so `go test -bench ParallelTrials -cpu 1,4`
+// records the 1-vs-4-worker scaling reported in EXPERIMENTS.md. Every
+// iteration asserts the sharded curve is bit-identical to a one-worker
+// reference — the engine's reproducibility guarantee — and the custom
+// trials/s metric is the quantity the scaling row tracks.
+func BenchmarkParallelTrials(b *testing.B) {
+	const (
+		n      = 8
+		trials = 256
+	)
+	model := dining.MustNew(n)
+	opts := sim.Options[dining.State]{Start: dining.AllAt(n, dining.F), SetStart: true}
+	mk := func() sim.Policy[dining.State] { return dining.KeepTrying(sim.Random[dining.State](0.5)) }
+	deadlines := make([]float64, 16)
+	for i := range deadlines {
+		deadlines[i] = float64(i + 1)
+	}
+	ref, err := sim.EstimateCurveParallel[dining.State](model, mk, dining.InC, deadlines, trials, opts,
+		sim.ParallelOptions{Workers: 1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := sim.EstimateCurveParallel[dining.State](model, mk, dining.InC, deadlines, trials, opts,
+			sim.ParallelOptions{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			b.Fatal("sharded curve differs from the 1-worker reference")
+		}
+	}
+	b.ReportMetric(float64(trials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
 }
 
 // E-extra: the third case study — a full Ben-Or consensus run under the

@@ -13,3 +13,9 @@ func TestRunBadSize(t *testing.T) {
 		t.Error("single-process election accepted")
 	}
 }
+
+func TestRunSampled(t *testing.T) {
+	if err := run([]string{"-n", "3", "-k", "1", "-sample", "200", "-workers", "4"}); err != nil {
+		t.Fatalf("run -sample: %v", err)
+	}
+}

@@ -10,16 +10,20 @@
 // schema directly, one programmable adversary at a time — including a
 // malicious history-aware scheduler that manufactures resource conflicts.
 //
+// Trials are sharded across a worker pool (-workers, default all CPUs) by
+// the parallel engine in internal/sim; for a fixed -seed the estimates are
+// bit-identical whatever the worker count, so -workers only changes
+// wall-clock time.
+//
 // Usage:
 //
 //	lrsim [-sizes 3,5,8] [-policies slowest,random,spiteful] \
-//	      [-trials 2000] [-within 13] [-seed 1]
+//	      [-trials 2000] [-within 13] [-seed 1] [-workers N]
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"strconv"
 	"strings"
@@ -42,7 +46,8 @@ func run(args []string) error {
 	policies := fs.String("policies", "slowest,random,spiteful", "comma-separated policies (slowest, random, spiteful, paced:<alpha>)")
 	trials := fs.Int("trials", 2000, "Monte Carlo trials per configuration")
 	within := fs.Float64("within", 13, "deadline for the probability estimate")
-	seed := fs.Int64("seed", 1, "random seed")
+	seed := fs.Int64("seed", 1, "random seed (per-trial streams are derived from it; results are reproducible for any -workers)")
+	workers := fs.Int("workers", 0, "worker goroutines sharding the trials (0 = all CPUs)")
 	curveMax := fs.Int("curve", 0, "also print the empirical reach-probability curve up to this deadline")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,16 +75,16 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
-			rng := rand.New(rand.NewSource(*seed))
 			opts := sim.Options[dining.State]{
 				Start:    dining.AllAt(n, dining.F),
 				SetStart: true,
 			}
-			probEst, err := sim.EstimateReachProb[dining.State](model, mk, dining.InC, *within, *trials, opts, rng)
+			popts := sim.ParallelOptions{Workers: *workers, Seed: *seed}
+			probEst, err := sim.EstimateReachProbParallel[dining.State](model, mk, dining.InC, *within, *trials, opts, popts)
 			if err != nil {
 				return err
 			}
-			timeEst, err := sim.EstimateTimeToTarget[dining.State](model, mk, dining.InC, *trials, opts, rng)
+			timeEst, err := sim.EstimateTimeToTargetParallel[dining.State](model, mk, dining.InC, *trials, opts, popts)
 			if err != nil {
 				return err
 			}
@@ -105,9 +110,9 @@ func run(args []string) error {
 		for i := range deadlines {
 			deadlines[i] = float64(i + 1)
 		}
-		rng := rand.New(rand.NewSource(*seed))
-		curve, err := sim.EstimateCurve[dining.State](model, mk, dining.InC, deadlines, *trials,
-			sim.Options[dining.State]{Start: dining.AllAt(n, dining.F), SetStart: true}, rng)
+		curve, err := sim.EstimateCurveParallel[dining.State](model, mk, dining.InC, deadlines, *trials,
+			sim.Options[dining.State]{Start: dining.AllAt(n, dining.F), SetStart: true},
+			sim.ParallelOptions{Workers: *workers, Seed: *seed})
 		if err != nil {
 			return err
 		}

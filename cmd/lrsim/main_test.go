@@ -8,6 +8,16 @@ func TestRunSmall(t *testing.T) {
 	}
 }
 
+func TestRunExplicitWorkers(t *testing.T) {
+	// Trials shard across the pool; -workers only changes scheduling, so
+	// any worker count must run cleanly on the same seed.
+	for _, w := range []string{"1", "4"} {
+		if err := run([]string{"-sizes", "3", "-policies", "spiteful", "-trials", "70", "-workers", w}); err != nil {
+			t.Fatalf("run -workers %s: %v", w, err)
+		}
+	}
+}
+
 func TestRunBadInputs(t *testing.T) {
 	tests := [][]string{
 		{"-sizes", "x"},

@@ -6,13 +6,13 @@
 // machine-checked derivation of T --13,1/8--> C, (3) derives the
 // expected-time bound of 63 from the retry recurrence and compares it to
 // the measured worst case, and (4) cross-validates with dense-time Monte
-// Carlo at a ring size far beyond exact reach (n = 12).
+// Carlo at a ring size far beyond exact reach (n = 12), sharding the
+// trials across all CPUs with the parallel engine.
 package main
 
 import (
 	"fmt"
 	"log"
-	"math/rand"
 
 	"repro/internal/dining"
 	"repro/internal/sim"
@@ -66,15 +66,15 @@ func main() {
 		trials = 1000
 	)
 	model := dining.MustNew(n)
-	rng := rand.New(rand.NewSource(7))
 	opts := sim.Options[dining.State]{Start: dining.AllAt(n, dining.F), SetStart: true}
+	popts := sim.ParallelOptions{Seed: 7} // all CPUs; same output for any worker count
 
 	mk := func() sim.Policy[dining.State] { return dining.Spiteful() }
-	within13, err := sim.EstimateReachProb[dining.State](model, mk, dining.InC, 13, trials, opts, rng)
+	within13, err := sim.EstimateReachProbParallel[dining.State](model, mk, dining.InC, 13, trials, opts, popts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	timeToC, err := sim.EstimateTimeToTarget[dining.State](model, mk, dining.InC, trials, opts, rng)
+	timeToC, err := sim.EstimateTimeToTargetParallel[dining.State](model, mk, dining.InC, trials, opts, popts)
 	if err != nil {
 		log.Fatal(err)
 	}

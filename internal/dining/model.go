@@ -294,8 +294,29 @@ func (m *Model) Start() []State {
 	return []State{MustState(locals...)}
 }
 
-// Action names, one namespace per process: "flip_3" etc.
-func actionName(kind string, i int) string { return fmt.Sprintf("%s_%d", kind, i) }
+// Action names, one namespace per process: "flip_3" etc. Moves sits on
+// the simulator's hot path, so the small fixed grid of names is built
+// once up front — a Sprintf per move query showed up as a top allocator
+// in the Monte Carlo engine's profile.
+var actionTable = func() map[string][]string {
+	kinds := []string{"flip", "wait", "second", "drop", "crit", "dropf", "drops", "rem", "try", "exit"}
+	t := make(map[string][]string, len(kinds))
+	for _, k := range kinds {
+		names := make([]string, sched.MaxProcs)
+		for i := range names {
+			names[i] = fmt.Sprintf("%s_%d", k, i)
+		}
+		t[k] = names
+	}
+	return t
+}()
+
+func actionName(kind string, i int) string {
+	if names, ok := actionTable[kind]; ok && i >= 0 && i < len(names) {
+		return names[i]
+	}
+	return fmt.Sprintf("%s_%d", kind, i)
+}
 
 // FlipAction returns the name of process i's coin-flip action, for use in
 // first/next event schemas (Section 4 of the paper).

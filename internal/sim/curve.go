@@ -30,15 +30,27 @@ func (c EmpiricalCurve) Point(i int) (est, lo, hi float64, err error) {
 	return est, lo, hi, err
 }
 
-// EstimateCurve runs trials independent runs under fresh policies from mk
-// and tallies, for every deadline, whether the target was reached by
-// then. Deadlines are sorted; the run budget is max(deadlines)+1.
-func EstimateCurve[S comparable](m sched.Model[S], mk func() Policy[S], target func(S) bool, deadlines []float64, trials int, opts Options[S], rng *rand.Rand) (EmpiricalCurve, error) {
+// curveDeadlines validates and sorts the requested horizons; both the
+// sequential and the parallel curve estimators evaluate this canonical
+// ascending copy.
+func curveDeadlines(deadlines []float64) ([]float64, error) {
 	if len(deadlines) == 0 {
-		return EmpiricalCurve{}, fmt.Errorf("sim: no deadlines")
+		return nil, fmt.Errorf("sim: no deadlines")
 	}
 	ds := append([]float64(nil), deadlines...)
 	sort.Float64s(ds)
+	return ds, nil
+}
+
+// EstimateCurve runs trials independent runs under fresh policies from mk
+// and tallies, for every deadline, whether the target was reached by
+// then. Deadlines are sorted; the run budget is max(deadlines)+1.
+// EstimateCurveParallel is the multi-core variant.
+func EstimateCurve[S comparable](m sched.Model[S], mk func() Policy[S], target func(S) bool, deadlines []float64, trials int, opts Options[S], rng *rand.Rand) (EmpiricalCurve, error) {
+	ds, err := curveDeadlines(deadlines)
+	if err != nil {
+		return EmpiricalCurve{}, err
+	}
 	curve := EmpiricalCurve{
 		Deadlines: ds,
 		At:        make([]stats.Proportion, len(ds)),

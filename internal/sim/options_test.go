@@ -65,11 +65,41 @@ func TestMaxTimeBudget(t *testing.T) {
 }
 
 func TestViewDeadlineMinNoReady(t *testing.T) {
-	v := buildView[flipState](flipper{}, flipState{Heads: true}, 3.5, map[int]float64{})
+	sc := newViewScratch[flipState](1)
+	v := sc.build(flipper{}, flipState{Heads: true}, 3.5)
 	if len(v.Ready) != 0 {
 		t.Fatalf("ready = %v", v.Ready)
 	}
 	if !math.IsInf(v.DeadlineMin, 1) {
 		t.Errorf("DeadlineMin = %g, want +Inf", v.DeadlineMin)
+	}
+}
+
+// TestViewBuffersReused pins the borrowing contract: the engine hands the
+// policy the same backing buffers on every step, so a policy that copies
+// nothing sees its old view mutated — the documented trade for an
+// allocation-free hot loop.
+func TestViewBuffersReused(t *testing.T) {
+	var first View[int]
+	steps := 0
+	probe := PolicyFunc[int](func(v View[int], _ *rand.Rand) (Choice, bool) {
+		if steps == 0 {
+			first = v
+		}
+		steps++
+		return Choice{Proc: 0, At: v.DeadlineMin}, true
+	})
+	_, err := RunOnce[int](ticker{}, probe, func(s int) bool { return s >= 3 },
+		Options[int]{}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps < 3 {
+		t.Fatalf("took %d steps, want >= 3", steps)
+	}
+	// The view captured on step 0 shares buffers with later steps: its
+	// deadline map now reflects the final step, not time 1.
+	if d := first.Deadline[0]; d == 1 {
+		t.Errorf("deadline map was not reused (still %g); the borrowing contract changed", d)
 	}
 }

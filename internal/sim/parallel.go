@@ -1,0 +1,223 @@
+package sim
+
+// This file is the parallel counterpart of the sequential Estimate*
+// entry points: it shards a Monte Carlo trial budget across a bounded
+// worker pool while keeping seeded runs bit-identical for every worker
+// count.
+//
+// Three design rules make that work:
+//
+//  1. Per-trial RNG. Trial i draws its coins from its own rand.Rand
+//     seeded by a SplitMix64 mix of (Seed, i), so the random stream a
+//     trial sees depends only on the root seed and the trial index —
+//     never on which worker ran it or in what order.
+//
+//  2. Fixed chunking. Trials are grouped into fixed-size chunks
+//     (parallelChunkSize, independent of Workers). Each chunk owns a
+//     private accumulator that exactly one worker touches — no locks or
+//     atomics on the hot path — and chunk accumulators are merged in
+//     chunk order after the pool drains. Floating-point merge order is
+//     therefore a function of the trial budget alone, so Summary moments
+//     are bit-identical across worker counts.
+//
+//  3. First-error-wins cancellation. A failing trial (ErrPolicyDeserted,
+//     ErrBadChoice, or an estimator-level failure) flips a stop flag that
+//     the pool polls between trials; remaining work is abandoned promptly
+//     and the error of the lowest-numbered failing chunk is returned,
+//     wrapped with its trial index exactly like the sequential paths.
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// ParallelOptions configures the worker pool of the parallel estimators.
+type ParallelOptions struct {
+	// Workers bounds the number of concurrent trial-running goroutines;
+	// <= 0 means GOMAXPROCS. Results are independent of Workers: only
+	// wall-clock time changes.
+	Workers int
+	// Seed is the root seed from which every trial's private RNG is
+	// derived. Two runs with equal Seed, trial budget and model are
+	// bit-identical, whatever the worker count.
+	Seed int64
+}
+
+func (o ParallelOptions) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+// parallelChunkSize is the number of consecutive trials that share one
+// accumulator. It is a fixed constant — not a function of Workers — so
+// the merge tree, and with it every floating-point rounding decision,
+// is identical however many workers run the chunks. 64 trials is coarse
+// enough to amortize chunk-claim overhead and fine enough to load-balance
+// uneven trial costs.
+const parallelChunkSize = 64
+
+// trialSeed derives the private RNG seed of one trial from the root seed
+// with a SplitMix64-style finalizer, so neighbouring trial indices get
+// statistically independent streams (a raw seed+i would hand correlated
+// states to math/rand's LFSR source).
+func trialSeed(seed int64, trial int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(uint64(trial)+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// RunParallel executes trials independent runs of the model under fresh
+// policies from mk, sharded across a worker pool, and folds each Result
+// into a per-chunk accumulator of type A via observe; chunk accumulators
+// are merged in chunk order with merge and the total returned.
+//
+// observe is called from worker goroutines, but always on the private
+// accumulator of the chunk being run — implementations need no locking as
+// long as they only touch acc. mk must be safe for concurrent use; each
+// policy it returns is used by exactly one trial. An error from a trial or
+// from observe cancels the remaining work (first error wins) and is
+// returned wrapped with its trial index, preserving errors.Is on
+// ErrPolicyDeserted / ErrBadChoice.
+func RunParallel[S comparable, A any](m sched.Model[S], mk func() Policy[S], target func(S) bool,
+	trials int, opts Options[S], popts ParallelOptions,
+	observe func(acc *A, trial int, res Result[S]) error,
+	merge func(dst *A, src A)) (A, error) {
+
+	var total A
+	if trials <= 0 {
+		return total, fmt.Errorf("sim: trial budget %d is not positive", trials)
+	}
+	numChunks := (trials + parallelChunkSize - 1) / parallelChunkSize
+	accs := make([]A, numChunks)
+	errs := make([]error, numChunks)
+
+	var (
+		nextChunk atomic.Int64
+		stop      atomic.Bool
+		wg        sync.WaitGroup
+	)
+	workers := min(popts.workers(), numChunks)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				chunk := int(nextChunk.Add(1)) - 1
+				if chunk >= numChunks {
+					return
+				}
+				lo := chunk * parallelChunkSize
+				hi := min(lo+parallelChunkSize, trials)
+				for i := lo; i < hi; i++ {
+					if stop.Load() {
+						return
+					}
+					rng := rand.New(rand.NewSource(trialSeed(popts.Seed, i)))
+					res, err := RunOnce(m, mk(), target, opts, rng)
+					if err == nil {
+						err = observe(&accs[chunk], i, res)
+					}
+					if err != nil {
+						errs[chunk] = fmt.Errorf("sim: trial %d: %w", i, err)
+						stop.Store(true)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Deterministic error selection: among the chunks that failed, report
+	// the lowest-numbered one — under Workers: 1 this is exactly the first
+	// failing trial, and under any worker count it is a stable choice.
+	for _, err := range errs {
+		if err != nil {
+			return total, err
+		}
+	}
+	for chunk := range accs {
+		merge(&total, accs[chunk])
+	}
+	return total, nil
+}
+
+// EstimateReachProbParallel is the parallel counterpart of
+// EstimateReachProb: it estimates the probability that the target is
+// reached within the given time, sharding trials across popts.Workers.
+// Seeded results are bit-identical for every worker count; they differ
+// from the sequential path, which threads one RNG through all trials.
+func EstimateReachProbParallel[S comparable](m sched.Model[S], mk func() Policy[S], target func(S) bool,
+	within float64, trials int, opts Options[S], popts ParallelOptions) (stats.Proportion, error) {
+	return RunParallel(m, mk, target, trials, opts, popts,
+		func(acc *stats.Proportion, _ int, res Result[S]) error {
+			acc.Observe(res.Reached && res.ReachedAt <= within)
+			return nil
+		},
+		func(dst *stats.Proportion, src stats.Proportion) { dst.Merge(src) })
+}
+
+// EstimateTimeToTargetParallel is the parallel counterpart of
+// EstimateTimeToTarget: it summarizes the time to reach the target over
+// trials independent runs; a run that never reaches it is an error, which
+// cancels the remaining trials (use a generous Options.MaxTime for
+// almost-sure targets).
+func EstimateTimeToTargetParallel[S comparable](m sched.Model[S], mk func() Policy[S], target func(S) bool,
+	trials int, opts Options[S], popts ParallelOptions) (stats.Summary, error) {
+	return RunParallel(m, mk, target, trials, opts, popts,
+		func(acc *stats.Summary, trial int, res Result[S]) error {
+			if !res.Reached {
+				return fmt.Errorf("run did not reach the target within budget (events=%d, state=%v)",
+					res.Events, res.Final)
+			}
+			acc.Observe(res.ReachedAt)
+			return nil
+		},
+		func(dst *stats.Summary, src stats.Summary) { dst.Merge(src) })
+}
+
+// EstimateCurveParallel is the parallel counterpart of EstimateCurve: one
+// sharded batch of runs yields the empirical reach probability for every
+// requested deadline at once. Deadlines are sorted; when opts.MaxTime is
+// unset the run budget is max(deadlines)+1, as in the sequential path.
+func EstimateCurveParallel[S comparable](m sched.Model[S], mk func() Policy[S], target func(S) bool,
+	deadlines []float64, trials int, opts Options[S], popts ParallelOptions) (EmpiricalCurve, error) {
+	ds, err := curveDeadlines(deadlines)
+	if err != nil {
+		return EmpiricalCurve{}, err
+	}
+	if opts.MaxTime <= 0 {
+		opts.MaxTime = ds[len(ds)-1] + 1
+	}
+	at, err := RunParallel(m, mk, target, trials, opts, popts,
+		func(acc *[]stats.Proportion, _ int, res Result[S]) error {
+			if *acc == nil {
+				*acc = make([]stats.Proportion, len(ds))
+			}
+			for i, d := range ds {
+				(*acc)[i].Observe(res.Reached && res.ReachedAt <= d)
+			}
+			return nil
+		},
+		func(dst *[]stats.Proportion, src []stats.Proportion) {
+			if *dst == nil {
+				*dst = make([]stats.Proportion, len(ds))
+			}
+			for i := range src {
+				(*dst)[i].Merge(src[i])
+			}
+		})
+	if err != nil {
+		return EmpiricalCurve{Deadlines: ds}, err
+	}
+	return EmpiricalCurve{Deadlines: ds, At: at}, nil
+}

@@ -19,12 +19,18 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/pa"
 	"repro/internal/sched"
 	"repro/internal/stats"
 )
 
 // View is what a policy sees when asked for its next choice: the current
 // state, the clock, the scheduling obligations, and the moves available.
+//
+// The slices and maps of a View are owned by the engine and reused
+// between steps (the hot loop would otherwise spend most of its time
+// allocating them): they are valid only for the duration of the Choose
+// call, and a policy must copy anything it wants to retain.
 type View[S comparable] struct {
 	// State is the current algorithm state.
 	State S
@@ -80,7 +86,11 @@ type Options[S comparable] struct {
 	SetStart bool
 	// MaxEvents bounds the number of steps (default 100000).
 	MaxEvents int
-	// MaxTime bounds the clock (default 1000).
+	// MaxTime bounds the clock (default 1000). The bound is inclusive: a
+	// step scheduled at a time <= MaxTime is applied and may reach the
+	// target; a step scheduled strictly after MaxTime is never applied —
+	// the run is truncated at the bound with Reached reflecting only what
+	// happened by MaxTime.
 	MaxTime float64
 	// Observer, when non-nil, is called after every applied step with the
 	// step time, acting process, action name and resulting state — the
@@ -125,8 +135,7 @@ func RunOnce[S comparable](m sched.Model[S], p Policy[S], target func(S) bool, o
 		state = opts.Start
 	}
 	now := 0.0
-	deadlines := make(map[int]float64)
-	refreshDeadlines(m, state, now, deadlines)
+	sc := newViewScratch[S](m.NumProcs())
 
 	res := Result[S]{Final: state}
 	if target(state) {
@@ -136,7 +145,7 @@ func RunOnce[S comparable](m sched.Model[S], p Policy[S], target func(S) bool, o
 	}
 
 	for res.Events < opts.MaxEvents && now <= opts.MaxTime {
-		view := buildView(m, state, now, deadlines)
+		view := sc.build(m, state, now)
 		choice, ok := p.Choose(view, rng)
 		if !ok {
 			if len(view.Ready) > 0 {
@@ -145,20 +154,28 @@ func RunOnce[S comparable](m sched.Model[S], p Policy[S], target func(S) bool, o
 			res.Final = state
 			return res, nil
 		}
-		next, t, action, err := applyChoice(m, state, view, choice, rng)
+		next, t, action, err := applyChoice(m, view, choice, sc, rng)
 		if err != nil {
 			return res, err
+		}
+		if t > opts.MaxTime {
+			// The policy's (otherwise legal) step falls past the clock
+			// bound: truncate the run at MaxTime without applying it, so a
+			// late step can never be counted as Reached. Validation above
+			// still runs first — an invalid choice past the bound is an
+			// error, not a quiet truncation.
+			return res, nil
 		}
 		res.Events++
 		if opts.Observer != nil {
 			opts.Observer(t, choice.Proc, action, next)
 		}
-		// Update deadlines: the stepping process and newly ready
-		// processes get deadline t+1; processes no longer ready are
-		// cleared; everyone else keeps their older (tighter) deadline.
-		delete(deadlines, choice.Proc)
+		// The stepping process gives up its deadline; the next build
+		// assigns fresh deadlines t+1 to it and to newly ready processes,
+		// clears processes no longer ready, and keeps everyone else's
+		// older (tighter) deadline.
+		delete(sc.deadlines, choice.Proc)
 		now = t
-		refreshDeadlines(m, next, now, deadlines)
 		state = next
 		res.Final = state
 		if target(state) {
@@ -170,49 +187,96 @@ func RunOnce[S comparable](m sched.Model[S], p Policy[S], target func(S) bool, o
 	return res, nil
 }
 
-func refreshDeadlines[S comparable](m sched.Model[S], s S, now float64, deadlines map[int]float64) {
-	for i := 0; i < m.NumProcs(); i++ {
-		if len(m.Moves(s, i)) == 0 {
-			delete(deadlines, i)
-			continue
-		}
-		if _, ok := deadlines[i]; !ok {
-			deadlines[i] = now + 1
-		}
+// viewScratch holds one run's view buffers and move caches. The engine
+// reuses them across steps, so the hot loop's only steady-state
+// allocations are the ones the model makes inside Moves/UserMoves.
+type viewScratch[S comparable] struct {
+	// deadlines persists across steps: it is the unit-time obligation
+	// bookkeeping (proc -> latest legal step time).
+	deadlines map[int]float64
+	// The remaining fields are rebuilt every step and lent to the policy
+	// through View; see the View doc for the borrowing rule.
+	ready      []int
+	userMovers []int
+	deadline   map[int]float64
+	moveCount  map[int]int
+	userCount  map[int]int
+	moves      [][]pa.Step[S]
+	userMoves  [][]pa.Step[S]
+}
+
+func newViewScratch[S comparable](n int) *viewScratch[S] {
+	return &viewScratch[S]{
+		deadlines: make(map[int]float64, n),
+		deadline:  make(map[int]float64, n),
+		moveCount: make(map[int]int, n),
+		userCount: make(map[int]int, n),
+		moves:     make([][]pa.Step[S], n),
+		userMoves: make([][]pa.Step[S], n),
 	}
 }
 
-func buildView[S comparable](m sched.Model[S], s S, now float64, deadlines map[int]float64) View[S] {
+// build refreshes the deadline bookkeeping for the current state in the
+// same pass that assembles the policy's View, querying each process's
+// moves exactly once per step.
+func (sc *viewScratch[S]) build(m sched.Model[S], s S, now float64) View[S] {
+	sc.ready = sc.ready[:0]
+	sc.userMovers = sc.userMovers[:0]
+	clear(sc.deadline)
+	clear(sc.moveCount)
+	clear(sc.userCount)
 	v := View[S]{
 		State:         s,
 		Now:           now,
 		DeadlineMin:   math.Inf(1),
-		Deadline:      make(map[int]float64, len(deadlines)),
-		MoveCount:     make(map[int]int, len(deadlines)),
-		UserMoveCount: make(map[int]int),
+		Deadline:      sc.deadline,
+		MoveCount:     sc.moveCount,
+		UserMoveCount: sc.userCount,
 	}
 	for i := 0; i < m.NumProcs(); i++ {
-		if d, ok := deadlines[i]; ok {
-			v.Ready = append(v.Ready, i)
-			v.Deadline[i] = d
-			v.DeadlineMin = math.Min(v.DeadlineMin, d)
-			v.MoveCount[i] = len(m.Moves(s, i))
+		moves := m.Moves(s, i)
+		sc.moves[i] = moves
+		if len(moves) == 0 {
+			delete(sc.deadlines, i)
+		} else {
+			d, ok := sc.deadlines[i]
+			if !ok {
+				d = now + 1
+				sc.deadlines[i] = d
+			}
+			sc.ready = append(sc.ready, i)
+			sc.deadline[i] = d
+			if d < v.DeadlineMin {
+				v.DeadlineMin = d
+			}
+			sc.moveCount[i] = len(moves)
 		}
-		if n := len(m.UserMoves(s, i)); n > 0 {
-			v.UserMovers = append(v.UserMovers, i)
-			v.UserMoveCount[i] = n
+		user := m.UserMoves(s, i)
+		sc.userMoves[i] = user
+		if len(user) > 0 {
+			sc.userMovers = append(sc.userMovers, i)
+			sc.userCount[i] = len(user)
 		}
 	}
+	v.Ready = sc.ready
+	v.UserMovers = sc.userMovers
 	return v
 }
 
-func applyChoice[S comparable](m sched.Model[S], s S, v View[S], c Choice, rng *rand.Rand) (S, float64, string, error) {
+func applyChoice[S comparable](m sched.Model[S], v View[S], c Choice, sc *viewScratch[S], rng *rand.Rand) (S, float64, string, error) {
 	var zero S
-	moves := m.Moves(s, c.Proc)
-	if c.User {
-		moves = m.UserMoves(s, c.Proc)
+	// Validate the process index before consulting the move caches:
+	// Moves / UserMoves implementations are entitled to index per-process
+	// arrays, so an out-of-range index from a malicious policy must
+	// become ErrBadChoice here, never a panic inside the model.
+	if c.Proc < 0 || c.Proc >= m.NumProcs() {
+		return zero, 0, "", fmt.Errorf("%w: proc %d move %d (user=%t)", ErrBadChoice, c.Proc, c.Move, c.User)
 	}
-	if c.Proc < 0 || c.Proc >= m.NumProcs() || c.Move < 0 || c.Move >= len(moves) {
+	moves := sc.moves[c.Proc]
+	if c.User {
+		moves = sc.userMoves[c.Proc]
+	}
+	if c.Move < 0 || c.Move >= len(moves) {
 		return zero, 0, "", fmt.Errorf("%w: proc %d move %d (user=%t)", ErrBadChoice, c.Proc, c.Move, c.User)
 	}
 	t := c.At

@@ -64,6 +64,44 @@ func (twoPhase) Moves(s twoState, i int) []pa.Step[twoState] {
 
 func (twoPhase) UserMoves(s twoState, i int) []pa.Step[twoState] { return nil }
 
+// indexer is a model whose Moves/UserMoves index a per-process array, as
+// real models do — an out-of-range process index from a policy would
+// panic inside the model if the engine did not validate it first.
+type ixState struct{ Done [2]bool }
+
+type indexer struct{}
+
+func (indexer) Name() string     { return "indexer" }
+func (indexer) NumProcs() int    { return 2 }
+func (indexer) Start() []ixState { return []ixState{{}} }
+
+func (indexer) Moves(s ixState, i int) []pa.Step[ixState] {
+	if s.Done[i] {
+		return nil
+	}
+	next := s
+	next.Done[i] = true
+	return []pa.Step[ixState]{{Action: "go", Next: prob.Point(next)}}
+}
+
+func (indexer) UserMoves(s ixState, i int) []pa.Step[ixState] {
+	_ = s.Done[i]
+	return nil
+}
+
+// ticker is a one-process model that is always ready: state counts steps.
+type ticker struct{}
+
+func (ticker) Name() string  { return "ticker" }
+func (ticker) NumProcs() int { return 1 }
+func (ticker) Start() []int  { return []int{0} }
+
+func (ticker) Moves(s int, i int) []pa.Step[int] {
+	return []pa.Step[int]{{Action: "tick", Next: prob.Point(s + 1)}}
+}
+
+func (ticker) UserMoves(int, int) []pa.Step[int] { return nil }
+
 func TestRunOnceSlowest(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	res, err := RunOnce[flipState](flipper{}, Slowest[flipState](), func(s flipState) bool { return s.Heads },
@@ -196,6 +234,67 @@ func TestBadChoicesRejected(t *testing.T) {
 				t.Errorf("err = %v, want ErrBadChoice", err)
 			}
 		})
+	}
+}
+
+// TestMaliciousProcIndexRejected is the regression test for the
+// validation-order bug: applyChoice used to call m.Moves(s, c.Proc) before
+// range-checking c.Proc, so a policy returning an out-of-range process
+// panicked inside the model instead of yielding ErrBadChoice.
+func TestMaliciousProcIndexRejected(t *testing.T) {
+	for _, c := range []Choice{
+		{Proc: 5, At: 0},
+		{Proc: -1, At: 0},
+		{Proc: 2, User: true, At: 0},
+	} {
+		malicious := PolicyFunc[ixState](func(View[ixState], *rand.Rand) (Choice, bool) {
+			return c, true
+		})
+		rng := rand.New(rand.NewSource(1))
+		_, err := RunOnce[ixState](indexer{}, malicious, func(ixState) bool { return false },
+			Options[ixState]{}, rng)
+		if !errors.Is(err, ErrBadChoice) {
+			t.Errorf("choice %+v: err = %v, want ErrBadChoice", c, err)
+		}
+	}
+}
+
+// TestRunOnceMaxTimeTruncation pins the Options.MaxTime boundary
+// semantics: steps at times <= MaxTime are applied (inclusive bound);
+// a step strictly past MaxTime is never applied or counted, so a run
+// cannot report Reached at a time beyond the clock bound.
+func TestRunOnceMaxTimeTruncation(t *testing.T) {
+	// Slowest steps the always-ready ticker at t = 1, 2, 3, ...
+	run := func(maxTime float64, target func(int) bool) Result[int] {
+		t.Helper()
+		res, err := RunOnce[int](ticker{}, Slowest[int](), target, Options[int]{MaxTime: maxTime},
+			rand.New(rand.NewSource(1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	// The step at t=3 falls past MaxTime 2.5 and must not be applied.
+	res := run(2.5, func(s int) bool { return s >= 3 })
+	if res.Reached || res.Events != 2 || res.Final != 2 {
+		t.Errorf("MaxTime 2.5: %+v, want unreached with 2 events", res)
+	}
+
+	// A step exactly at the bound is applied: the bound is inclusive.
+	res = run(2, func(s int) bool { return s >= 2 })
+	if !res.Reached || res.ReachedAt != 2 {
+		t.Errorf("MaxTime 2: %+v, want reached at exactly 2", res)
+	}
+
+	// Truncation, not error: the run ends cleanly and never reports a
+	// reach time past the bound.
+	res = run(10, func(s int) bool { return s >= 4 })
+	if !res.Reached || res.ReachedAt != 4 {
+		t.Errorf("MaxTime 10: %+v, want reached at 4", res)
+	}
+	if res.ReachedAt > 10 {
+		t.Errorf("reach time %v past MaxTime", res.ReachedAt)
 	}
 }
 

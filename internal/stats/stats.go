@@ -27,6 +27,15 @@ func (p *Proportion) Observe(success bool) {
 	}
 }
 
+// Merge folds another proportion into p, as if every trial recorded in o
+// had been observed on p directly. It is the combine step used by the
+// parallel Monte Carlo engine: counts are exact, so merging is associative
+// and order-independent.
+func (p *Proportion) Merge(o Proportion) {
+	p.Successes += o.Successes
+	p.Trials += o.Trials
+}
+
 // Estimate returns the sample proportion.
 func (p *Proportion) Estimate() (float64, error) {
 	if p.Trials == 0 {
@@ -101,6 +110,30 @@ func (s *Summary) Observe(x float64) {
 	s.m2 += delta * (x - s.mean)
 }
 
+// Merge folds another summary into s using the parallel-Welford combine of
+// Chan, Golub and LeVeque: the merged moments equal (up to floating-point
+// rounding) those of observing both sample streams into one summary. Merge
+// order affects only rounding, not the value; the parallel engine merges
+// per-chunk summaries in a fixed order so seeded runs stay bit-identical
+// across worker counts.
+func (s *Summary) Merge(o Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	n1, n2 := float64(s.n), float64(o.n)
+	delta := o.mean - s.mean
+	n := n1 + n2
+	s.mean += delta * n2 / n
+	s.m2 += o.m2 + delta*delta*n1*n2/n
+	s.n += o.n
+	s.min = math.Min(s.min, o.min)
+	s.max = math.Max(s.max, o.max)
+}
+
 // N returns the number of samples.
 func (s *Summary) N() int { return s.n }
 
@@ -137,17 +170,27 @@ func (s *Summary) Max() (float64, error) {
 }
 
 // MeanCI returns a normal-approximation confidence interval on the mean at
-// the given z (1.96 for 95%).
+// the given z (1.96 for 95%). An interval needs a variance estimate, so
+// fewer than two samples is an explicit error: MeanCI returns ErrNoSamples
+// and lo, hi = mean, mean (not 0, 0) so that callers which ignore the
+// error still report a point centered on the data they have rather than a
+// silently fabricated [0, 0].
 func (s *Summary) MeanCI(z float64) (lo, hi float64, err error) {
+	if s.n < 2 {
+		return s.mean, s.mean, fmt.Errorf("%w: MeanCI needs n >= 2, have n=%d", ErrNoSamples, s.n)
+	}
 	v, err := s.Var()
 	if err != nil {
-		return 0, 0, err
+		return s.mean, s.mean, err
 	}
 	half := z * math.Sqrt(v/float64(s.n))
 	return s.mean - half, s.mean + half, nil
 }
 
-// String formats the summary with its 95% interval on the mean.
+// String formats the summary with its 95% interval on the mean. The
+// interval needs at least two samples, so n == 0 renders as "n=0" and
+// n == 1 as the bare sample with no interval — String never shows a
+// fabricated [0.0000, 0.0000] bound.
 func (s *Summary) String() string {
 	if s.n == 0 {
 		return "n=0"

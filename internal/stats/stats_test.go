@@ -3,6 +3,7 @@ package stats
 import (
 	"errors"
 	"math"
+	"math/rand"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -142,6 +143,114 @@ func TestSummaryString(t *testing.T) {
 		if !strings.Contains(got, want) {
 			t.Errorf("String = %q missing %q", got, want)
 		}
+	}
+}
+
+func TestProportionMerge(t *testing.T) {
+	a := Proportion{Successes: 3, Trials: 10}
+	b := Proportion{Successes: 2, Trials: 5}
+	a.Merge(b)
+	if a.Successes != 5 || a.Trials != 15 {
+		t.Errorf("merged = %+v, want {5 15}", a)
+	}
+	var empty Proportion
+	a.Merge(empty)
+	if a.Successes != 5 || a.Trials != 15 {
+		t.Errorf("merge of empty changed counts: %+v", a)
+	}
+}
+
+func TestSummaryMergeEdgeCases(t *testing.T) {
+	var a, b Summary
+	a.Merge(b) // empty ∪ empty
+	if a.N() != 0 {
+		t.Errorf("empty merge N = %d", a.N())
+	}
+	b.Observe(2)
+	b.Observe(4)
+	a.Merge(b) // empty ∪ nonempty adopts b wholesale
+	if mean, _ := a.Mean(); a.N() != 2 || mean != 3 {
+		t.Errorf("merge into empty: n=%d mean=%v", a.N(), a.mean)
+	}
+	var c Summary
+	a.Merge(c) // nonempty ∪ empty is a no-op
+	if mean, _ := a.Mean(); a.N() != 2 || mean != 3 {
+		t.Errorf("merge of empty: n=%d mean=%v", a.N(), a.mean)
+	}
+}
+
+// TestSummaryMergeEqualsSequential is the property the parallel Monte
+// Carlo engine relies on: splitting one sample stream at random cut
+// points, summarizing each segment separately and merging in order gives
+// the same moments and extremes as observing the stream sequentially.
+func TestSummaryMergeEqualsSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 200; round++ {
+		n := 1 + rng.Intn(400)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*10 + 5
+		}
+
+		var seq Summary
+		for _, x := range xs {
+			seq.Observe(x)
+		}
+
+		// Split the stream at random cut points (possibly empty segments —
+		// merging an empty summary must be a no-op).
+		var merged Summary
+		for lo := 0; lo < n; {
+			hi := lo + rng.Intn(n-lo+1)
+			var part Summary
+			for _, x := range xs[lo:hi] {
+				part.Observe(x)
+			}
+			merged.Merge(part)
+			lo = hi
+		}
+
+		if merged.N() != seq.N() {
+			t.Fatalf("round %d: N = %d, want %d", round, merged.N(), seq.N())
+		}
+		approxEq := func(name string, got, want float64) {
+			scale := math.Max(1, math.Abs(want))
+			if math.Abs(got-want) > 1e-9*scale {
+				t.Errorf("round %d: %s = %v, want %v", round, name, got, want)
+			}
+		}
+		gm, _ := merged.Mean()
+		wm, _ := seq.Mean()
+		approxEq("mean", gm, wm)
+		if n >= 2 {
+			gv, _ := merged.Var()
+			wv, _ := seq.Var()
+			approxEq("var", gv, wv)
+		}
+		gmin, _ := merged.Min()
+		wmin, _ := seq.Min()
+		gmax, _ := merged.Max()
+		wmax, _ := seq.Max()
+		if gmin != wmin || gmax != wmax {
+			t.Errorf("round %d: extremes [%v, %v], want [%v, %v]", round, gmin, gmax, wmin, wmax)
+		}
+	}
+}
+
+func TestMeanCIInsufficientSamples(t *testing.T) {
+	var s Summary
+	if lo, hi, err := s.MeanCI(1.96); !errors.Is(err, ErrNoSamples) || lo != 0 || hi != 0 {
+		t.Errorf("empty MeanCI = [%v, %v], %v; want [0, 0] with ErrNoSamples", lo, hi, err)
+	}
+	s.Observe(7)
+	lo, hi, err := s.MeanCI(1.96)
+	if !errors.Is(err, ErrNoSamples) {
+		t.Errorf("n=1 MeanCI err = %v, want ErrNoSamples", err)
+	}
+	// Callers that ignore the error get a point interval at the sample,
+	// not a fabricated [0, 0].
+	if lo != 7 || hi != 7 {
+		t.Errorf("n=1 MeanCI = [%v, %v], want [7, 7]", lo, hi)
 	}
 }
 

@@ -1,8 +1,25 @@
 # Convenience targets for the timedpa reproduction.
+#
+# Check matrix (what `make check` runs and why):
+#
+#   target      command                          catches
+#   ----------  -------------------------------  ----------------------------------
+#   build       go build ./...                   compile errors across all packages
+#   vet         go vet (+ staticcheck if found)  suspicious constructs, dead code
+#   test        go test ./...                    unit + integration + fuzz seed corpus
+#   test-race   go test -race ./...              data races in the sharded Monte
+#                                                Carlo engine and checkpoint sink
+#
+# staticcheck is optional: `make vet` runs it when it is on PATH and
+# prints a skip notice otherwise, so `make check` works on a bare Go
+# toolchain. Longer fuzzing of the engine against adversarial policies is
+# split out as `make fuzz` (FUZZTIME=30s by default) because it is
+# open-ended; the fuzz seed corpus still runs in every plain `go test`.
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: all build test test-short test-race bench vet fmt check lrcheck experiments
+.PHONY: all build test test-short test-race bench vet fmt fuzz check lrcheck experiments
 
 all: check
 
@@ -25,9 +42,20 @@ bench:
 
 vet:
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go vet still ran)"; \
+	fi
 
 fmt:
 	gofmt -l .
+
+# Fuzz the simulation engine against adversarial policies (bad process
+# indices, desertion, out-of-range branch picks, illegal step times,
+# panics): RunOnce must return typed errors, never crash.
+fuzz:
+	$(GO) test ./internal/sim -run='^$$' -fuzz=FuzzRunOnceAdversarial -fuzztime=$(FUZZTIME)
 
 check: build vet test test-race
 

@@ -9,6 +9,7 @@
 package timedpa_test
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"sync"
@@ -306,14 +307,14 @@ func BenchmarkParallelTrials(b *testing.B) {
 	for i := range deadlines {
 		deadlines[i] = float64(i + 1)
 	}
-	ref, err := sim.EstimateCurveParallel[dining.State](model, mk, dining.InC, deadlines, trials, opts,
+	ref, _, err := sim.EstimateCurveParallel[dining.State](context.Background(), model, mk, dining.InC, deadlines, trials, opts,
 		sim.ParallelOptions{Workers: 1, Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		got, err := sim.EstimateCurveParallel[dining.State](model, mk, dining.InC, deadlines, trials, opts,
+		got, _, err := sim.EstimateCurveParallel[dining.State](context.Background(), model, mk, dining.InC, deadlines, trials, opts,
 			sim.ParallelOptions{Seed: 1})
 		if err != nil {
 			b.Fatal(err)

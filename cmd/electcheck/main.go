@@ -11,16 +11,28 @@
 // expected election time is compared against the derived bound. For a
 // fixed -seed the sampled estimate is bit-identical for any worker count.
 //
+// The sampling stage is resilient: SIGINT/SIGTERM or an expired -budget
+// drains in-flight chunks and prints the partial estimate with its
+// completed-trial count; -checkpoint/-resume persist and restore progress
+// bit-identically, and -quarantine tolerates panicking trials (each
+// recorded with a single-RunOnce repro seed).
+//
 // Usage:
 //
 //	electcheck [-n procs] [-k steps-per-window] \
-//	           [-sample trials] [-workers N] [-seed 1]
+//	           [-sample trials] [-workers N] [-seed 1] \
+//	           [-budget 10m] [-checkpoint state.json] [-resume state.json] \
+//	           [-quarantine N]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"text/tabwriter"
 
 	"repro/internal/election"
@@ -28,21 +40,55 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(context.Background(), os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "electcheck:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// usageError reports a bad flag value together with the usage text.
+func usageError(fs *flag.FlagSet, format string, args ...any) error {
+	fs.Usage()
+	return fmt.Errorf(format, args...)
+}
+
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("electcheck", flag.ContinueOnError)
 	n := fs.Int("n", 4, "number of processes")
 	k := fs.Int("k", 1, "steps per process per unit-time window")
 	sample := fs.Int("sample", 0, "also run this many dense-time Monte Carlo election trials (0 = off)")
 	workers := fs.Int("workers", 0, "worker goroutines sharding -sample trials (0 = all CPUs)")
 	seed := fs.Int64("seed", 1, "root seed for -sample trials (reproducible for any -workers)")
+	budget := fs.Duration("budget", 0, "wall-clock budget for the whole run; on expiry the sampling stage drains and prints partial estimates (0 = none)")
+	checkpoint := fs.String("checkpoint", "", "persist -sample progress to this JSON state file as trials complete")
+	resume := fs.String("resume", "", "resume -sample from this state file (and keep updating it); bit-identical to an uninterrupted run")
+	quarantine := fs.Int("quarantine", 0, "panicking -sample trials tolerated (recorded with repro seeds, excluded) before aborting")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	switch {
+	case *n <= 0:
+		return usageError(fs, "-n must be positive, got %d", *n)
+	case *k <= 0:
+		return usageError(fs, "-k must be positive, got %d", *k)
+	case *sample < 0:
+		return usageError(fs, "-sample must be >= 0, got %d", *sample)
+	case *workers < 0:
+		return usageError(fs, "-workers must be >= 0, got %d", *workers)
+	case *budget < 0:
+		return usageError(fs, "-budget must be >= 0, got %v", *budget)
+	case *quarantine < 0:
+		return usageError(fs, "-quarantine must be >= 0, got %d", *quarantine)
+	}
+
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	context.AfterFunc(ctx, stop) // second signal kills the process the default way
+	if *budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, *budget, fmt.Errorf("wall-clock budget %v expired", *budget))
+		defer cancel()
 	}
 
 	fmt.Printf("coin-flipping leader election: n=%d, digitized Unit-Time with k=%d\n", *n, *k)
@@ -96,11 +142,49 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		sum, err := sim.EstimateTimeToTargetParallel[election.State](model,
+		ckPath := *checkpoint
+		if ckPath == "" {
+			ckPath = *resume
+		}
+		popts := sim.ParallelOptions{Workers: *workers, Seed: *seed, MaxPanics: *quarantine}
+		var cs sim.CheckpointSet
+		const label = "sample"
+		if ckPath != "" {
+			if *resume != "" {
+				if cs, err = sim.LoadCheckpointSet(*resume); err != nil {
+					return err
+				}
+			} else {
+				cs = sim.CheckpointSet{}
+			}
+			popts.Resume = cs[label]
+			popts.CheckpointSink = func(cp *sim.Checkpoint) error {
+				cs[label] = cp
+				return cs.Save(ckPath)
+			}
+		}
+		sum, rep, err := sim.EstimateTimeToTargetParallel[election.State](ctx, model,
 			func() sim.Policy[election.State] { return sim.Slowest[election.State]() },
 			election.State.HasLeader, *sample,
-			sim.Options[election.State]{},
-			sim.ParallelOptions{Workers: *workers, Seed: *seed})
+			sim.Options[election.State]{}, popts)
+		if rep.Quarantined > 0 {
+			fmt.Fprintf(os.Stderr, "electcheck: %d panicking trials quarantined:\n", rep.Quarantined)
+			for _, pr := range rep.Panics {
+				fmt.Fprintf(os.Stderr, "  trial %d panicked: %s — replay: sim.RunOnce with rand.NewSource(%d)\n", pr.Trial, pr.Value, pr.Seed)
+			}
+		}
+		if errors.Is(err, sim.ErrInterrupted) {
+			fmt.Printf("\nMonte Carlo cross-check interrupted: %s\n", rep)
+			if rep.Completed > 0 {
+				fmt.Printf("partial time to leader: %s (no bound verdict from a partial sample)\n", sum.String())
+			}
+			if ckPath != "" {
+				fmt.Printf("resume bit-identically with: electcheck -resume %s (plus the original flags)\n", ckPath)
+			} else {
+				fmt.Println("(run with -checkpoint FILE to make interrupted progress resumable)")
+			}
+			return fmt.Errorf("interrupted after %d/%d sampled trials: %w", rep.Completed, rep.Total, context.Cause(ctx))
+		}
 		if err != nil {
 			return err
 		}

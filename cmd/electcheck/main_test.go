@@ -1,21 +1,78 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sim"
+)
 
 func TestRunSmall(t *testing.T) {
-	if err := run([]string{"-n", "3", "-k", "1"}); err != nil {
+	if err := run(context.Background(), []string{"-n", "3", "-k", "1"}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunBadSize(t *testing.T) {
-	if err := run([]string{"-n", "1"}); err == nil {
+	if err := run(context.Background(), []string{"-n", "1"}); err == nil {
 		t.Error("single-process election accepted")
 	}
 }
 
 func TestRunSampled(t *testing.T) {
-	if err := run([]string{"-n", "3", "-k", "1", "-sample", "200", "-workers", "4"}); err != nil {
+	if err := run(context.Background(), []string{"-n", "3", "-k", "1", "-sample", "200", "-workers", "4"}); err != nil {
 		t.Fatalf("run -sample: %v", err)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	tests := [][]string{
+		{"-n", "0"},
+		{"-n", "-4"},
+		{"-k", "0"},
+		{"-k", "-1"},
+		{"-sample", "-10"},
+		{"-workers", "-1"},
+		{"-quarantine", "-1"},
+		{"-budget", "-5s"},
+	}
+	for _, args := range tests {
+		if err := run(context.Background(), args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunSampledCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, []string{"-n", "3", "-sample", "500"})
+	if err == nil {
+		t.Fatal("cancelled sampled run reported success")
+	}
+}
+
+func TestRunSampledCheckpointResume(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "state.json")
+	base := []string{"-n", "3", "-sample", "300", "-seed", "5"}
+	if err := run(context.Background(), append(base, "-checkpoint", ck, "-workers", "2")); err != nil {
+		t.Fatalf("checkpointed run: %v", err)
+	}
+	cs, err := sim.LoadCheckpointSet(ck)
+	if err != nil {
+		t.Fatalf("load checkpoint: %v", err)
+	}
+	cp := cs["sample"]
+	if cp == nil || !cp.Complete() {
+		t.Fatalf("sample stage checkpoint missing or incomplete: %+v", cp)
+	}
+	// Resuming from the complete state file re-derives the estimate from
+	// stored chunks; mismatched parameters must refuse.
+	if err := run(context.Background(), append(base, "-resume", ck, "-workers", "1")); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if err := run(context.Background(), append(base, "-resume", ck, "-seed", "6")); err == nil {
+		t.Error("resume with mismatched -seed accepted")
 	}
 }

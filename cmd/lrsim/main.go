@@ -15,18 +15,33 @@
 // bit-identical whatever the worker count, so -workers only changes
 // wall-clock time.
 //
+// The run is resilient: SIGINT/SIGTERM or an expired -budget drains
+// in-flight work and prints partial estimates (with the trial count
+// actually completed) instead of discarding everything; -checkpoint
+// persists chunk-granularity progress as a JSON state file, and -resume
+// continues from one bit-identically — a resumed run prints exactly the
+// estimates an uninterrupted run would have. Panicking trials are
+// quarantined up to -quarantine, each recorded with the RNG seed that
+// replays the crash in a single sim.RunOnce.
+//
 // Usage:
 //
 //	lrsim [-sizes 3,5,8] [-policies slowest,random,spiteful] \
-//	      [-trials 2000] [-within 13] [-seed 1] [-workers N]
+//	      [-trials 2000] [-within 13] [-seed 1] [-workers N] \
+//	      [-budget 10m] [-checkpoint state.json] [-resume state.json] \
+//	      [-quarantine N]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"text/tabwriter"
 
 	"repro/internal/dining"
@@ -34,13 +49,19 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(context.Background(), os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "lrsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// usageError reports a bad flag value together with the usage text.
+func usageError(fs *flag.FlagSet, format string, args ...any) error {
+	fs.Usage()
+	return fmt.Errorf(format, args...)
+}
+
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("lrsim", flag.ContinueOnError)
 	sizes := fs.String("sizes", "3,5,8", "comma-separated ring sizes")
 	policies := fs.String("policies", "slowest,random,spiteful", "comma-separated policies (slowest, random, spiteful, paced:<alpha>)")
@@ -49,21 +70,93 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed (per-trial streams are derived from it; results are reproducible for any -workers)")
 	workers := fs.Int("workers", 0, "worker goroutines sharding the trials (0 = all CPUs)")
 	curveMax := fs.Int("curve", 0, "also print the empirical reach-probability curve up to this deadline")
+	budget := fs.Duration("budget", 0, "wall-clock budget; on expiry in-flight chunks drain and partial estimates print with a resume token (0 = none)")
+	checkpoint := fs.String("checkpoint", "", "persist chunk-granularity progress to this JSON state file as trials complete")
+	resume := fs.String("resume", "", "resume from this state file (and keep updating it); the final estimates are bit-identical to an uninterrupted run")
+	quarantine := fs.Int("quarantine", 0, "panicking trials tolerated per estimate (recorded with repro seeds, excluded from it) before aborting")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	switch {
+	case *trials <= 0:
+		return usageError(fs, "-trials must be positive, got %d", *trials)
+	case *workers < 0:
+		return usageError(fs, "-workers must be >= 0, got %d", *workers)
+	case *within <= 0:
+		return usageError(fs, "-within must be positive, got %g", *within)
+	case *curveMax < 0:
+		return usageError(fs, "-curve must be >= 0, got %d", *curveMax)
+	case *budget < 0:
+		return usageError(fs, "-budget must be >= 0, got %v", *budget)
+	case *quarantine < 0:
+		return usageError(fs, "-quarantine must be >= 0, got %d", *quarantine)
+	}
 	ns, err := parseSizes(*sizes)
 	if err != nil {
-		return err
+		return usageError(fs, "%v", err)
 	}
 	names := strings.Split(*policies, ",")
+
+	// SIGINT/SIGTERM cancel the context for a graceful drain; stop() is
+	// re-armed the moment that happens, so a second signal kills the
+	// process the default way instead of being swallowed.
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+	if *budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, *budget, fmt.Errorf("wall-clock budget %v expired", *budget))
+		defer cancel()
+	}
+
+	// The checkpoint state file maps a stage label (size × policy ×
+	// estimator) to its resume token; -resume without -checkpoint keeps
+	// updating the same file.
+	ckPath := *checkpoint
+	if ckPath == "" {
+		ckPath = *resume
+	}
+	var cs sim.CheckpointSet
+	if *resume != "" {
+		if cs, err = sim.LoadCheckpointSet(*resume); err != nil {
+			return err
+		}
+	} else if ckPath != "" {
+		cs = sim.CheckpointSet{}
+	}
+	makePopts := func(label string) sim.ParallelOptions {
+		popts := sim.ParallelOptions{Workers: *workers, Seed: *seed, MaxPanics: *quarantine}
+		if cs != nil {
+			popts.Resume = cs[label]
+			popts.CheckpointSink = func(cp *sim.Checkpoint) error {
+				cs[label] = cp
+				return cs.Save(ckPath)
+			}
+		}
+		return popts
+	}
 
 	fmt.Printf("Lehmann–Rabin Monte Carlo: start = all processes trying (flip-ready), trials = %d\n", *trials)
 	fmt.Printf("paper claims: P[reach C within 13] >= 1/8 = 0.125 from any trying state; E[time to C] <= 63\n\n")
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "n\tpolicy\tP[C within %g] (95%% Wilson)\tE[time to C] (95%% CI)\n", *within)
+
+	// interrupted finalizes a partially completed run: flush what we
+	// have, point at the resume token, and report the cancellation cause.
+	interrupted := func(stage string, rep sim.RunReport) error {
+		tw.Flush()
+		fmt.Printf("\ninterrupted during %s: %s\n", stage, rep)
+		if ckPath != "" {
+			fmt.Printf("resume bit-identically with: lrsim -resume %s (plus the original flags)\n", ckPath)
+		} else {
+			fmt.Println("(run with -checkpoint FILE to make interrupted progress resumable)")
+		}
+		return fmt.Errorf("interrupted during %s after %d/%d trials: %w",
+			stage, rep.Completed, rep.Total, context.Cause(ctx))
+	}
+
 	for _, n := range ns {
 		for _, name := range names {
 			name = strings.TrimSpace(name)
@@ -79,12 +172,26 @@ func run(args []string) error {
 				Start:    dining.AllAt(n, dining.F),
 				SetStart: true,
 			}
-			popts := sim.ParallelOptions{Workers: *workers, Seed: *seed}
-			probEst, err := sim.EstimateReachProbParallel[dining.State](model, mk, dining.InC, *within, *trials, opts, popts)
+			stage := fmt.Sprintf("n=%d/%s", n, name)
+			probEst, probRep, err := sim.EstimateReachProbParallel[dining.State](ctx, model, mk, dining.InC,
+				*within, *trials, opts, makePopts(stage+"/reach"))
+			reportQuarantine(stage+"/reach", probRep)
+			if errors.Is(err, sim.ErrInterrupted) {
+				if probRep.Completed > 0 {
+					fmt.Fprintf(tw, "%d\t%s\t%s [partial: %s]\t-\n", n, name, probEst.String(), probRep)
+				}
+				return interrupted(stage+"/reach", probRep)
+			}
 			if err != nil {
 				return err
 			}
-			timeEst, err := sim.EstimateTimeToTargetParallel[dining.State](model, mk, dining.InC, *trials, opts, popts)
+			timeEst, timeRep, err := sim.EstimateTimeToTargetParallel[dining.State](ctx, model, mk, dining.InC,
+				*trials, opts, makePopts(stage+"/time"))
+			reportQuarantine(stage+"/time", timeRep)
+			if errors.Is(err, sim.ErrInterrupted) {
+				fmt.Fprintf(tw, "%d\t%s\t%s\t%s [partial: %s]\n", n, name, probEst.String(), timeEst.String(), timeRep)
+				return interrupted(stage+"/time", timeRep)
+			}
 			if err != nil {
 				return err
 			}
@@ -110,13 +217,21 @@ func run(args []string) error {
 		for i := range deadlines {
 			deadlines[i] = float64(i + 1)
 		}
-		curve, err := sim.EstimateCurveParallel[dining.State](model, mk, dining.InC, deadlines, *trials,
+		stage := fmt.Sprintf("n=%d/%s/curve@%d", n, name, *curveMax)
+		curve, curveRep, err := sim.EstimateCurveParallel[dining.State](ctx, model, mk, dining.InC, deadlines, *trials,
 			sim.Options[dining.State]{Start: dining.AllAt(n, dining.F), SetStart: true},
-			sim.ParallelOptions{Workers: *workers, Seed: *seed})
-		if err != nil {
+			makePopts(stage))
+		reportQuarantine(stage, curveRep)
+		partial := ""
+		if errors.Is(err, sim.ErrInterrupted) {
+			if curveRep.Completed == 0 {
+				return interrupted(stage, curveRep)
+			}
+			partial = fmt.Sprintf(" [partial: %s]", curveRep)
+		} else if err != nil {
 			return err
 		}
-		fmt.Printf("\nempirical P[C within t] at n=%d under %s (the Monte Carlo analogue of lrcheck -curve):\n", n, name)
+		fmt.Printf("\nempirical P[C within t] at n=%d under %s (the Monte Carlo analogue of lrcheck -curve)%s:\n", n, name, partial)
 		for i := range curve.Deadlines {
 			est, lo, hi, err := curve.Point(i)
 			if err != nil {
@@ -124,8 +239,24 @@ func run(args []string) error {
 			}
 			fmt.Printf("  t=%-4g %.4f [%.4f, %.4f]\n", curve.Deadlines[i], est, lo, hi)
 		}
+		if partial != "" {
+			return interrupted(stage, curveRep)
+		}
 	}
 	return nil
+}
+
+// reportQuarantine lists quarantined panics with their repro seeds; the
+// quarantine keeps a crashing trial from killing the run, but every crash
+// stays loudly visible and individually replayable.
+func reportQuarantine(stage string, rep sim.RunReport) {
+	if rep.Quarantined == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "lrsim: %s: %d panicking trials quarantined (excluded from the estimate):\n", stage, rep.Quarantined)
+	for _, pr := range rep.Panics {
+		fmt.Fprintf(os.Stderr, "  trial %d panicked: %s — replay: sim.RunOnce with rand.NewSource(%d)\n", pr.Trial, pr.Value, pr.Seed)
+	}
 }
 
 func parseSizes(s string) ([]int, error) {
@@ -134,6 +265,9 @@ func parseSizes(s string) ([]int, error) {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil {
 			return nil, fmt.Errorf("bad ring size %q: %v", part, err)
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("ring size must be positive, got %d", n)
 		}
 		out = append(out, n)
 	}

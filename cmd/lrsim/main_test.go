@@ -1,9 +1,44 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// captureRun runs the CLI with stdout redirected to a pipe and returns
+// what it printed, so resume runs can be compared byte-for-byte.
+func captureRun(t *testing.T, ctx context.Context, args []string) (string, error) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan string)
+	go func() {
+		var sb strings.Builder
+		if _, err := io.Copy(&sb, r); err != nil {
+			t.Errorf("drain stdout pipe: %v", err)
+		}
+		done <- sb.String()
+	}()
+	old := os.Stdout
+	os.Stdout = w
+	runErr := run(ctx, args)
+	os.Stdout = old
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return <-done, runErr
+}
 
 func TestRunSmall(t *testing.T) {
-	if err := run([]string{"-sizes", "3", "-policies", "slowest,random,spiteful,paced:0.5", "-trials", "20"}); err != nil {
+	if err := run(context.Background(), []string{"-sizes", "3", "-policies", "slowest,random,spiteful,paced:0.5", "-trials", "20"}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
@@ -12,7 +47,7 @@ func TestRunExplicitWorkers(t *testing.T) {
 	// Trials shard across the pool; -workers only changes scheduling, so
 	// any worker count must run cleanly on the same seed.
 	for _, w := range []string{"1", "4"} {
-		if err := run([]string{"-sizes", "3", "-policies", "spiteful", "-trials", "70", "-workers", w}); err != nil {
+		if err := run(context.Background(), []string{"-sizes", "3", "-policies", "spiteful", "-trials", "70", "-workers", w}); err != nil {
 			t.Fatalf("run -workers %s: %v", w, err)
 		}
 	}
@@ -25,9 +60,21 @@ func TestRunBadInputs(t *testing.T) {
 		{"-sizes", "3", "-policies", "paced:2"},
 		{"-sizes", "3", "-policies", "paced:x"},
 		{"-sizes", "1", "-trials", "1"},
+		// Flag validation: negative or zero values must be rejected up
+		// front with a usage message, not fed to the engine.
+		{"-sizes", "3", "-trials", "-5"},
+		{"-sizes", "3", "-trials", "0"},
+		{"-sizes", "3", "-workers", "-1"},
+		{"-sizes", "0"},
+		{"-sizes", "-3"},
+		{"-sizes", "3", "-within", "0"},
+		{"-sizes", "3", "-within", "-2"},
+		{"-sizes", "3", "-curve", "-1"},
+		{"-sizes", "3", "-quarantine", "-1"},
+		{"-sizes", "3", "-budget", "-1s"},
 	}
 	for _, args := range tests {
-		if err := run(args); err == nil {
+		if err := run(context.Background(), args); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
 	}
@@ -44,7 +91,71 @@ func TestParseSizes(t *testing.T) {
 }
 
 func TestRunCurve(t *testing.T) {
-	if err := run([]string{"-sizes", "3", "-policies", "slowest", "-trials", "30", "-curve", "6"}); err != nil {
+	if err := run(context.Background(), []string{"-sizes", "3", "-policies", "slowest", "-trials", "30", "-curve", "6"}); err != nil {
 		t.Fatalf("run -curve: %v", err)
+	}
+}
+
+func TestRunCancelledBeforeStart(t *testing.T) {
+	// A context cancelled before any chunk is claimed must surface
+	// ErrInterrupted (wrapped) rather than fabricate results.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, []string{"-sizes", "3", "-policies", "slowest", "-trials", "50"})
+	if err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+}
+
+func TestCheckpointResumeIdenticalOutput(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "state.json")
+	args := func(extra ...string) []string {
+		return append([]string{"-sizes", "3", "-policies", "slowest,spiteful", "-trials", "200", "-seed", "7", "-curve", "4"}, extra...)
+	}
+
+	want, err := captureRun(t, context.Background(), args())
+	if err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+
+	// A checkpointed run must produce the same output and leave a
+	// loadable state file behind.
+	gotCk, err := captureRun(t, context.Background(), args("-checkpoint", ck, "-workers", "3"))
+	if err != nil {
+		t.Fatalf("checkpointed run: %v", err)
+	}
+	if gotCk != want {
+		t.Errorf("checkpointed output differs from baseline:\n--- want\n%s\n--- got\n%s", want, gotCk)
+	}
+	cs, err := sim.LoadCheckpointSet(ck)
+	if err != nil {
+		t.Fatalf("load checkpoint: %v", err)
+	}
+	if len(cs) == 0 {
+		t.Fatal("checkpoint file holds no stages")
+	}
+	for label, cp := range cs {
+		if !cp.Complete() {
+			t.Errorf("stage %q checkpoint incomplete: %d/%d trials", label, cp.Done(), cp.Trials)
+		}
+	}
+
+	// Resuming from the completed state file — with a different worker
+	// count — must reproduce the baseline byte-for-byte.
+	gotRes, err := captureRun(t, context.Background(), args("-resume", ck, "-workers", "1"))
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if gotRes != want {
+		t.Errorf("resumed output differs from baseline:\n--- want\n%s\n--- got\n%s", want, gotRes)
+	}
+
+	// Resuming under mismatched parameters must refuse, not silently
+	// blend incompatible estimates.
+	if err := run(context.Background(), args("-resume", ck, "-seed", "8")); err == nil {
+		t.Error("resume with mismatched -seed accepted")
+	} else if !strings.Contains(err.Error(), "checkpoint") {
+		t.Errorf("mismatched resume error does not mention checkpoint: %v", err)
 	}
 }

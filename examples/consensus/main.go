@@ -13,9 +13,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"os/signal"
 
 	"repro/internal/consensus"
 	"repro/internal/prob"
@@ -25,6 +29,13 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("consensus: ")
+
+	// On SIGINT the sweep stops between trials and reports the evidence
+	// gathered so far (with its correspondingly weaker Hoeffding bound);
+	// a second SIGINT kills the process outright.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	context.AfterFunc(ctx, stop)
 
 	model := consensus.MustNew(3, 1)
 	rng := rand.New(rand.NewSource(42))
@@ -42,7 +53,11 @@ func main() {
 	fmt.Printf("Ben-Or consensus, n=3, f=1, %d adversarial runs per claim, δ=%g\n\n", trials, delta)
 	fmt.Println("random scheduler with random crash injection:")
 	for _, c := range claims {
-		ev, err := consensus.TestClaim(model, c, nil, trials, delta, rng)
+		ev, err := consensus.TestClaim(ctx, model, c, nil, trials, delta, rng)
+		if errors.Is(err, sim.ErrInterrupted) {
+			fmt.Printf("  partial (%d/%d trials): %s\n", ev.Estimate.Trials, trials, ev)
+			log.Fatal(err)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -57,7 +72,11 @@ func main() {
 		return consensus.CrashLastReporter(sim.Random[consensus.State](0))
 	}
 	for _, c := range claims {
-		ev, err := consensus.TestClaim(model, c, mk, trials, delta, rng)
+		ev, err := consensus.TestClaim(ctx, model, c, mk, trials, delta, rng)
+		if errors.Is(err, sim.ErrInterrupted) {
+			fmt.Printf("  partial (%d/%d trials): %s\n", ev.Estimate.Trials, trials, ev)
+			log.Fatal(err)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}

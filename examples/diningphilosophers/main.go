@@ -11,8 +11,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"repro/internal/dining"
 	"repro/internal/sim"
@@ -61,6 +64,12 @@ func main() {
 		eLoop, bound, worst, worstState)
 
 	// ----- Monte Carlo at n = 12 -----
+	// SIGINT drains in-flight work and reports how far the sweep got
+	// instead of discarding it; a second SIGINT kills the process.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+	context.AfterFunc(ctx, stopSignals)
+
 	const (
 		n      = 12
 		trials = 1000
@@ -70,13 +79,13 @@ func main() {
 	popts := sim.ParallelOptions{Seed: 7} // all CPUs; same output for any worker count
 
 	mk := func() sim.Policy[dining.State] { return dining.Spiteful() }
-	within13, err := sim.EstimateReachProbParallel[dining.State](model, mk, dining.InC, 13, trials, opts, popts)
+	within13, rep13, err := sim.EstimateReachProbParallel[dining.State](ctx, model, mk, dining.InC, 13, trials, opts, popts)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatalf("%v (%s)", err, rep13)
 	}
-	timeToC, err := sim.EstimateTimeToTargetParallel[dining.State](model, mk, dining.InC, trials, opts, popts)
+	timeToC, repT, err := sim.EstimateTimeToTargetParallel[dining.State](ctx, model, mk, dining.InC, trials, opts, popts)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatalf("%v (%s)", err, repT)
 	}
 	fmt.Printf("\nMonte Carlo, n=%d, spiteful scheduler, %d runs:\n", n, trials)
 	fmt.Printf("  P[some process in C within 13] = %s   (paper guarantees ≥ 0.125)\n", within13.String())

@@ -1,6 +1,7 @@
 package consensus
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -62,8 +63,16 @@ func (e Evidence) String() string {
 // TestClaim runs trials independent adversarial schedules and gathers the
 // evidence for the claim. The policy factory supplies the adversary; nil
 // means a random scheduler with random early crashes.
-func TestClaim(m *Model, c Claim, mk func() sim.Policy[State], trials int, delta float64, rng *rand.Rand) (Evidence, error) {
+//
+// Cancelling ctx stops between trials and returns the Evidence gathered
+// so far together with an error wrapping sim.ErrInterrupted, so a partial
+// sweep still yields its (weaker) Hoeffding bound over the trials that
+// did run.
+func TestClaim(ctx context.Context, m *Model, c Claim, mk func() sim.Policy[State], trials int, delta float64, rng *rand.Rand) (Evidence, error) {
 	ev := Evidence{Claim: c, Delta: delta}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if mk == nil {
 		mk = func() sim.Policy[State] { return RandomCrashes(sim.Random[State](0), 0.05) }
 	}
@@ -74,6 +83,10 @@ func TestClaim(m *Model, c Claim, mk func() sim.Policy[State], trials int, delta
 	unanimous, unanimousVal := isUnanimous(c.Inputs)
 
 	for trial := 0; trial < trials; trial++ {
+		if ctx.Err() != nil {
+			return finishEvidence(ev, c, delta,
+				fmt.Errorf("%w after %d/%d consensus trials: %v", sim.ErrInterrupted, trial, trials, context.Cause(ctx)))
+		}
 		res, err := sim.RunOnce[State](m, mk(), State.AllCorrectDecided, sim.Options[State]{
 			Start:     start,
 			SetStart:  true,
@@ -96,13 +109,24 @@ func TestClaim(m *Model, c Claim, mk func() sim.Policy[State], trials int, delta
 		ev.Estimate.Observe(res.Reached && res.ReachedAt <= c.Within)
 	}
 
+	return finishEvidence(ev, c, delta, nil)
+}
+
+// finishEvidence computes the Hoeffding bound and verdict over however
+// many trials Observe saw, passing runErr (e.g. an interruption) through.
+// With zero completed trials the bound is left at its zero value and the
+// claim stays unsupported.
+func finishEvidence(ev Evidence, c Claim, delta float64, runErr error) (Evidence, error) {
+	if ev.Estimate.Trials == 0 {
+		return ev, runErr
+	}
 	lo, err := ev.Estimate.HoeffdingLower(delta)
 	if err != nil {
 		return ev, err
 	}
 	ev.HoeffdingLo = lo
 	ev.Supported = lo >= c.Prob.Float64() && ev.AgreementViolations == 0 && ev.ValidityViolations == 0
-	return ev, nil
+	return ev, runErr
 }
 
 func isUnanimous(inputs []uint8) (bool, uint8) {

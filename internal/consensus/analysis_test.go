@@ -1,6 +1,8 @@
 package consensus
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -17,7 +19,7 @@ func TestClaimUnanimousFast(t *testing.T) {
 		Prob:   prob.MustParseRat("9/10"),
 	}
 	rng := rand.New(rand.NewSource(1))
-	ev, err := TestClaim(m, claim, nil, 600, 0.01, rng)
+	ev, err := TestClaim(context.Background(), m, claim, nil, 600, 0.01, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +40,7 @@ func TestClaimSplitStart(t *testing.T) {
 		Prob:   prob.MustParseRat("3/4"),
 	}
 	rng := rand.New(rand.NewSource(2))
-	ev, err := TestClaim(m, claim, nil, 600, 0.01, rng)
+	ev, err := TestClaim(context.Background(), m, claim, nil, 600, 0.01, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +56,7 @@ func TestClaimUnsupportable(t *testing.T) {
 	// under the slowest scheduler and we use random ones).
 	claim := Claim{Inputs: []uint8{0, 1, 0}, Within: 0.1, Prob: prob.Half()}
 	rng := rand.New(rand.NewSource(3))
-	ev, err := TestClaim(m, claim, nil, 100, 0.05, rng)
+	ev, err := TestClaim(context.Background(), m, claim, nil, 100, 0.05, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +71,7 @@ func TestClaimUnsupportable(t *testing.T) {
 func TestClaimBadInputs(t *testing.T) {
 	m := MustNew(3, 1)
 	rng := rand.New(rand.NewSource(1))
-	if _, err := TestClaim(m, Claim{Inputs: []uint8{1}, Within: 5, Prob: prob.Half()}, nil, 10, 0.05, rng); err == nil {
+	if _, err := TestClaim(context.Background(), m, Claim{Inputs: []uint8{1}, Within: 5, Prob: prob.Half()}, nil, 10, 0.05, rng); err == nil {
 		t.Error("short input vector accepted")
 	}
 }
@@ -86,7 +88,7 @@ func TestCrashLastReporterAttack(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(4))
 	mk := func() sim.Policy[State] { return CrashLastReporter(sim.Random[State](0)) }
-	ev, err := TestClaim(m, claim, mk, 500, 0.01, rng)
+	ev, err := TestClaim(context.Background(), m, claim, mk, 500, 0.01, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,5 +98,48 @@ func TestCrashLastReporterAttack(t *testing.T) {
 	}
 	if !ev.Supported {
 		t.Errorf("claim unsupported under targeted crashes: %s", ev)
+	}
+}
+
+// TestClaimInterrupted cancels the sweep mid-way: TestClaim must stop
+// between trials, return the partial Evidence with a Hoeffding bound over
+// the trials that did run, and wrap sim.ErrInterrupted.
+func TestClaimInterrupted(t *testing.T) {
+	m := MustNew(3, 1)
+	claim := Claim{Inputs: []uint8{1, 1, 1}, Within: 15, Prob: prob.MustParseRat("9/10")}
+
+	// Pre-cancelled: no trials run, zero evidence, still typed.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	ev, err := TestClaim(cancelled, m, claim, nil, 100, 0.01, rand.New(rand.NewSource(1)))
+	if !errors.Is(err, sim.ErrInterrupted) {
+		t.Fatalf("pre-cancelled sweep: err = %v, want ErrInterrupted", err)
+	}
+	if ev.Estimate.Trials != 0 || ev.Supported {
+		t.Errorf("pre-cancelled sweep produced evidence: %+v", ev)
+	}
+
+	// Cancel after a fixed number of trials via a policy factory that
+	// counts invocations (one per trial), so the cut point is exact.
+	ctx, cancelMid := context.WithCancel(context.Background())
+	defer cancelMid()
+	const stopAfter = 30
+	made := 0
+	mk := func() sim.Policy[State] {
+		made++
+		if made == stopAfter {
+			cancelMid()
+		}
+		return RandomCrashes(sim.Random[State](0), 0.05)
+	}
+	ev, err = TestClaim(ctx, m, claim, mk, 100, 0.01, rand.New(rand.NewSource(2)))
+	if !errors.Is(err, sim.ErrInterrupted) {
+		t.Fatalf("mid-sweep cancel: err = %v, want ErrInterrupted", err)
+	}
+	if ev.Estimate.Trials != stopAfter {
+		t.Errorf("partial evidence has %d trials, want %d", ev.Estimate.Trials, stopAfter)
+	}
+	if ev.HoeffdingLo <= 0 {
+		t.Errorf("partial evidence missing Hoeffding bound: %+v", ev)
 	}
 }

@@ -1,0 +1,186 @@
+package sim
+
+// Checkpoint/resume for the parallel Monte Carlo engine.
+//
+// The parallel engine already merges fixed-size chunk accumulators in
+// chunk order, and every trial's RNG is a pure function of (root seed,
+// trial index). A checkpoint therefore only needs the serialized
+// accumulators of the chunks that completed: a resumed run restores them,
+// re-runs only the missing chunks (whose trials regenerate the exact same
+// coin flips), and merges everything in the same order — so an
+// interrupted-and-resumed run is bit-identical to an uninterrupted one,
+// for any worker count on either side of the interruption.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// checkpointVersion guards the on-disk format.
+const checkpointVersion = 1
+
+// ErrCheckpointMismatch reports a resume token that does not belong to the
+// run being started (different seed, trial budget, chunk size, estimator
+// kind, or format version). Resuming such a token would silently corrupt
+// the estimate, so the engine refuses.
+var ErrCheckpointMismatch = errors.New("sim: checkpoint does not match this run")
+
+// ChunkRecord is the serialized accumulator of one completed chunk.
+type ChunkRecord struct {
+	// Index is the chunk index (trials [Index*chunkSize, ...)).
+	Index int `json:"index"`
+	// Acc is the chunk accumulator, marshaled by encoding/json.
+	Acc json.RawMessage `json:"acc"`
+}
+
+// PanicRecord is the serializable form of a quarantined TrialPanicError:
+// enough to reproduce the crash (trial index + trial seed) without keeping
+// the live panic value alive.
+type PanicRecord struct {
+	Trial int    `json:"trial"`
+	Seed  int64  `json:"seed"`
+	Value string `json:"value"`
+	Stack string `json:"stack,omitempty"`
+}
+
+// Checkpoint is a resume token for one parallel estimator run: the
+// identity of the run (seed, budget, chunking, estimator kind) plus the
+// accumulators of every chunk completed so far and the panics quarantined
+// so far. It marshals to a stable, human-inspectable JSON document.
+type Checkpoint struct {
+	Version   int    `json:"version"`
+	Kind      string `json:"kind,omitempty"`
+	Seed      int64  `json:"seed"`
+	Trials    int    `json:"trials"`
+	ChunkSize int    `json:"chunk_size"`
+	// Chunks holds one record per completed chunk, sorted by index.
+	Chunks []ChunkRecord `json:"chunks"`
+	// Panics lists the quarantined trials, sorted by trial index; they
+	// count against the quarantine budget of a resumed run.
+	Panics []PanicRecord `json:"panics,omitempty"`
+}
+
+// Done reports how many of the requested trials are covered by completed
+// chunks (including any quarantined trials inside them).
+func (c *Checkpoint) Done() int {
+	done := 0
+	for _, cr := range c.Chunks {
+		done += c.chunkLen(cr.Index)
+	}
+	return done
+}
+
+// Complete reports whether every chunk of the run is recorded.
+func (c *Checkpoint) Complete() bool { return c.Done() >= c.Trials }
+
+func (c *Checkpoint) numChunks() int {
+	return (c.Trials + c.ChunkSize - 1) / c.ChunkSize
+}
+
+// chunkLen is the number of trials in chunk i (the last chunk is ragged).
+func (c *Checkpoint) chunkLen(i int) int {
+	lo := i * c.ChunkSize
+	hi := min(lo+c.ChunkSize, c.Trials)
+	return hi - lo
+}
+
+// sortRecords orders chunk and panic records canonically so the marshaled
+// form is independent of the completion order of a particular run.
+func (c *Checkpoint) sortRecords() {
+	sort.Slice(c.Chunks, func(i, j int) bool { return c.Chunks[i].Index < c.Chunks[j].Index })
+	sort.Slice(c.Panics, func(i, j int) bool { return c.Panics[i].Trial < c.Panics[j].Trial })
+}
+
+// validateFor checks that the token belongs to a run with the given
+// parameters and that its records are well formed.
+func (c *Checkpoint) validateFor(kind string, seed int64, trials, chunkSize int) error {
+	switch {
+	case c.Version != checkpointVersion:
+		return fmt.Errorf("%w: format version %d, want %d", ErrCheckpointMismatch, c.Version, checkpointVersion)
+	case c.Kind != kind:
+		return fmt.Errorf("%w: estimator kind %q, want %q", ErrCheckpointMismatch, c.Kind, kind)
+	case c.Seed != seed:
+		return fmt.Errorf("%w: root seed %d, want %d", ErrCheckpointMismatch, c.Seed, seed)
+	case c.Trials != trials:
+		return fmt.Errorf("%w: trial budget %d, want %d", ErrCheckpointMismatch, c.Trials, trials)
+	case c.ChunkSize != chunkSize:
+		return fmt.Errorf("%w: chunk size %d, want %d", ErrCheckpointMismatch, c.ChunkSize, chunkSize)
+	}
+	seen := make(map[int]bool, len(c.Chunks))
+	for _, cr := range c.Chunks {
+		if cr.Index < 0 || cr.Index >= c.numChunks() {
+			return fmt.Errorf("%w: chunk index %d outside [0, %d)", ErrCheckpointMismatch, cr.Index, c.numChunks())
+		}
+		if seen[cr.Index] {
+			return fmt.Errorf("%w: duplicate chunk index %d", ErrCheckpointMismatch, cr.Index)
+		}
+		seen[cr.Index] = true
+	}
+	for _, pr := range c.Panics {
+		if pr.Trial < 0 || pr.Trial >= c.Trials {
+			return fmt.Errorf("%w: quarantined trial %d outside [0, %d)", ErrCheckpointMismatch, pr.Trial, c.Trials)
+		}
+	}
+	return nil
+}
+
+// CheckpointSet maps a caller-chosen stage label to its checkpoint — the
+// on-disk unit used by the CLIs, which run several estimator stages
+// (sizes × policies × estimators) against one state file.
+type CheckpointSet map[string]*Checkpoint
+
+// LoadCheckpointSet reads a state file written by Save. A missing file is
+// not an error: it returns an empty set, so "-resume path" on a first run
+// simply starts fresh.
+func LoadCheckpointSet(path string) (CheckpointSet, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return CheckpointSet{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sim: reading checkpoint file: %w", err)
+	}
+	var cs CheckpointSet
+	if err := json.Unmarshal(data, &cs); err != nil {
+		return nil, fmt.Errorf("sim: parsing checkpoint file %s: %w", path, err)
+	}
+	if cs == nil {
+		cs = CheckpointSet{}
+	}
+	return cs, nil
+}
+
+// Save writes the set atomically (temp file + rename in the target
+// directory), so a crash mid-write can never leave a truncated state file:
+// a reader sees either the previous checkpoint or the new one.
+func (cs CheckpointSet) Save(path string) error {
+	for _, cp := range cs {
+		cp.sortRecords()
+	}
+	data, err := json.MarshalIndent(cs, "", " ")
+	if err != nil {
+		return fmt.Errorf("sim: marshaling checkpoint set: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("sim: writing checkpoint file: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), path)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sim: writing checkpoint file: %w", werr)
+	}
+	return nil
+}

@@ -47,6 +47,12 @@ func curveDeadlines(deadlines []float64) ([]float64, error) {
 // then. Deadlines are sorted; the run budget is max(deadlines)+1.
 // EstimateCurveParallel is the multi-core variant.
 func EstimateCurve[S comparable](m sched.Model[S], mk func() Policy[S], target func(S) bool, deadlines []float64, trials int, opts Options[S], rng *rand.Rand) (EmpiricalCurve, error) {
+	if err := validateEstimate(m, mk, target, trials); err != nil {
+		return EmpiricalCurve{}, err
+	}
+	if rng == nil {
+		return EmpiricalCurve{}, fmt.Errorf("%w: nil RNG", ErrInvalidArgument)
+	}
 	ds, err := curveDeadlines(deadlines)
 	if err != nil {
 		return EmpiricalCurve{}, err

@@ -1,0 +1,89 @@
+package sim
+
+// Fuzzing the engine against adversarial policies: whatever a policy does
+// — out-of-range process indices, out-of-range branch picks, illegal step
+// times, deserting ready processes, or panicking outright — RunOnce must
+// return a typed error (ErrBadChoice, ErrPolicyDeserted, *TrialPanicError)
+// or a valid Result, and never crash or hang. Run with
+//
+//	go test ./internal/sim -run='^$' -fuzz=FuzzRunOnceAdversarial
+//
+// (`make fuzz` wraps a short run); the seed corpus below also executes on
+// every plain `go test`.
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// fuzzPolicy misbehaves according to mode, seeded by the fuzzer.
+func fuzzPolicy(mode, procOff, moveOff byte, jitter uint16) Policy[ixState] {
+	step := 0
+	return PolicyFunc[ixState](func(v View[ixState], rng *rand.Rand) (Choice, bool) {
+		step++
+		// Pick a legal baseline first so every mode can also reach deeper
+		// engine states before misbehaving.
+		var c Choice
+		if len(v.Ready) > 0 {
+			c = Choice{Proc: v.Ready[int(procOff)%len(v.Ready)], At: v.Now}
+		}
+		switch mode % 6 {
+		case 0: // desert, possibly while processes are ready
+			return Choice{}, false
+		case 1: // out-of-range (including negative) process index
+			c.Proc = int(procOff) - 128
+			return c, true
+		case 2: // out-of-range branch pick
+			c.Move = int(moveOff) + 1
+			return c, true
+		case 3: // step time outside [Now, DeadlineMin]
+			c.At = v.Now - 1 - float64(jitter)
+			if jitter%2 == 0 {
+				c.At = v.DeadlineMin + 1 + float64(jitter)
+			}
+			return c, true
+		case 4: // panic mid-run
+			if step > int(jitter)%3 {
+				panic("fuzz policy panic")
+			}
+			return c, true
+		default: // legal play, misbehaving only via the user-move flag
+			c.User = moveOff%2 == 0 && len(v.UserMovers) == 0
+			return c, true
+		}
+	})
+}
+
+func FuzzRunOnceAdversarial(f *testing.F) {
+	f.Add(int64(1), byte(0), byte(0), byte(0), uint16(0))
+	f.Add(int64(2), byte(1), byte(130), byte(3), uint16(7))
+	f.Add(int64(3), byte(2), byte(5), byte(200), uint16(2))
+	f.Add(int64(4), byte(3), byte(255), byte(0), uint16(1))
+	f.Add(int64(5), byte(4), byte(9), byte(1), uint16(4))
+	f.Add(int64(6), byte(5), byte(77), byte(77), uint16(9))
+
+	f.Fuzz(func(t *testing.T, seed int64, mode, procOff, moveOff byte, jitter uint16) {
+		rng := rand.New(rand.NewSource(seed))
+		pol := fuzzPolicy(mode, procOff, moveOff, jitter)
+		opts := Options[ixState]{MaxEvents: 200, MaxTime: 100}
+		res, err := RunOnce[ixState](indexer{}, pol, func(s ixState) bool { return s.Done[0] && s.Done[1] }, opts, rng)
+		if err != nil {
+			var pe *TrialPanicError
+			switch {
+			case errors.Is(err, ErrBadChoice), errors.Is(err, ErrPolicyDeserted), errors.As(err, &pe):
+				// the three typed failure modes the engine promises
+			default:
+				t.Fatalf("untyped engine error: %v", err)
+			}
+			return
+		}
+		if res.Events > opts.MaxEvents {
+			t.Fatalf("run exceeded MaxEvents: %d > %d", res.Events, opts.MaxEvents)
+		}
+		if res.Reached && (res.ReachedAt < 0 || res.ReachedAt > opts.MaxTime || math.IsNaN(res.ReachedAt)) {
+			t.Fatalf("reached at illegal time %v", res.ReachedAt)
+		}
+	})
+}

@@ -25,17 +25,49 @@ package sim
 //     the pool polls between trials; remaining work is abandoned promptly
 //     and the error of the lowest-numbered failing chunk is returned,
 //     wrapped with its trial index exactly like the sequential paths.
+//
+// On top of that sits the resilient run controller:
+//
+//   - Cancellation. Every entry point takes a context. When it is
+//     cancelled (deadline, SIGINT, ...), workers stop claiming chunks but
+//     drain the chunks they are on, so every started-and-finished chunk
+//     is preserved; the run returns the merged partial estimate, a
+//     RunReport with the trial count actually folded in, a resume token,
+//     and ErrInterrupted.
+//
+//   - Panic quarantine. A trial that panics (in the policy, the model,
+//     the target or observe) is recovered into a TrialPanicError naming
+//     the trial index and its private RNG seed — a one-line repro — and
+//     up to ParallelOptions.MaxPanics such trials are quarantined
+//     (recorded, excluded from the estimate) before the run aborts.
+//
+//   - Checkpoint/resume. Because chunks merge deterministically in
+//     order, the serialized accumulators of completed chunks are a
+//     sufficient resume token: ParallelOptions.CheckpointSink persists
+//     them as each chunk completes, and ParallelOptions.Resume restores
+//     them so only missing chunks re-run — bit-identically, since each
+//     trial's coins depend only on (Seed, trial index).
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/sched"
 	"repro/internal/stats"
 )
+
+// ErrInterrupted reports a run stopped by context cancellation before all
+// trials completed. The accompanying accumulator and RunReport still carry
+// the partial estimate over every completed chunk, and the report's
+// Checkpoint is the resume token.
+var ErrInterrupted = errors.New("sim: run interrupted")
 
 // ParallelOptions configures the worker pool of the parallel estimators.
 type ParallelOptions struct {
@@ -47,6 +79,29 @@ type ParallelOptions struct {
 	// derived. Two runs with equal Seed, trial budget and model are
 	// bit-identical, whatever the worker count.
 	Seed int64
+	// MaxPanics is the panic quarantine budget: up to MaxPanics panicking
+	// trials are recorded (see RunReport.Panics) and excluded from the
+	// estimate before the run aborts with the offending TrialPanicError.
+	// The default 0 aborts on the first panic. Panic records restored
+	// from Resume count against the budget.
+	MaxPanics int
+	// Resume, when non-nil, restores the completed chunks of a previous
+	// (interrupted) run with the same seed, trial budget and estimator,
+	// so only the missing chunks are executed. The final estimate is
+	// bit-identical to an uninterrupted run. A token from a different run
+	// is rejected with ErrCheckpointMismatch.
+	Resume *Checkpoint
+	// CheckpointSink, when non-nil, receives the growing checkpoint
+	// after every completed chunk. Calls are serialized by the engine;
+	// the *Checkpoint is engine-owned and valid only for the duration of
+	// the call (persist it — e.g. CheckpointSet.Save — rather than
+	// retaining the pointer). A sink error aborts the run.
+	CheckpointSink func(*Checkpoint) error
+
+	// kind identifies the estimator (and its parameters) producing the
+	// accumulators, so a checkpoint cannot be resumed into a different
+	// estimator. Set by the Estimate*Parallel wrappers.
+	kind string
 }
 
 func (o ParallelOptions) workers() int {
@@ -61,8 +116,16 @@ func (o ParallelOptions) workers() int {
 // the merge tree, and with it every floating-point rounding decision,
 // is identical however many workers run the chunks. 64 trials is coarse
 // enough to amortize chunk-claim overhead and fine enough to load-balance
-// uneven trial costs.
+// uneven trial costs. It is also the checkpoint granularity: an
+// interrupted run loses at most the chunks still in flight.
 const parallelChunkSize = 64
+
+// chunkLenFor is the number of trials in the given chunk of a run with
+// the given budget (the final chunk is ragged).
+func chunkLenFor(trials, chunk int) int {
+	lo := chunk * parallelChunkSize
+	return min(lo+parallelChunkSize, trials) - lo
+}
 
 // trialSeed derives the private RNG seed of one trial from the root seed
 // with a SplitMix64-style finalizer, so neighbouring trial indices get
@@ -73,6 +136,98 @@ func trialSeed(seed int64, trial int) int64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return int64(z ^ (z >> 31))
+}
+
+// RunReport describes what a parallel run actually did — essential when
+// the run ended early, since a partial estimate is only interpretable
+// together with the trial count behind it (fewer trials mean wider
+// confidence intervals, never a biased point estimate: the completed
+// chunk set is independent of trial outcomes).
+type RunReport struct {
+	// Total is the requested trial budget.
+	Total int
+	// Completed is the number of trials whose observations are folded
+	// into the returned accumulator (excludes quarantined trials).
+	Completed int
+	// Resumed is how many of the completed trials were restored from
+	// ParallelOptions.Resume rather than re-run.
+	Resumed int
+	// Quarantined counts panicking trials excluded from the estimate;
+	// Panics has one record per such trial, each naming the private RNG
+	// seed that replays the crash in a single RunOnce (sim.ReproTrial).
+	Quarantined int
+	Panics      []PanicRecord
+	// Interrupted reports that the run stopped before covering Total
+	// trials; the error returned alongside matches ErrInterrupted.
+	Interrupted bool
+	// Checkpoint is the resume token covering every completed chunk.
+	// Pass it as ParallelOptions.Resume (or persist it with
+	// CheckpointSet.Save) to continue the run bit-identically.
+	Checkpoint *Checkpoint
+}
+
+// String summarizes the report in one line.
+func (r RunReport) String() string {
+	s := fmt.Sprintf("%d/%d trials", r.Completed, r.Total)
+	var notes []string
+	if r.Resumed > 0 {
+		notes = append(notes, fmt.Sprintf("%d restored from checkpoint", r.Resumed))
+	}
+	if r.Quarantined > 0 {
+		notes = append(notes, fmt.Sprintf("%d panicking trials quarantined", r.Quarantined))
+	}
+	if r.Interrupted {
+		notes = append(notes, "interrupted")
+	}
+	if len(notes) > 0 {
+		s += " (" + strings.Join(notes, ", ") + ")"
+	}
+	return s
+}
+
+// runControl is the shared mutable state of the resilient controller: the
+// growing checkpoint, the checkpoint sink, and the quarantine budget.
+// All access is serialized by mu; workers touch it only at chunk
+// completion and on panic, never on the per-trial hot path.
+type runControl struct {
+	mu        sync.Mutex
+	cp        *Checkpoint
+	sink      func(*Checkpoint) error
+	maxPanics int
+	panics    int // quarantined so far (restored + this run), for the budget
+}
+
+// allowPanic consumes one unit of the quarantine budget; it reports false
+// when the budget is exhausted and the run must abort.
+func (rc *runControl) allowPanic() bool {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.panics >= rc.maxPanics {
+		return false
+	}
+	rc.panics++
+	return true
+}
+
+// complete commits a finished chunk to the checkpoint: the serialized
+// accumulator, any panics quarantined inside the chunk, and a sink
+// notification. Only complete chunks are ever recorded, so a resume can
+// trust every record it restores.
+func (rc *runControl) complete(chunk int, acc any, panics []PanicRecord) error {
+	raw, err := json.Marshal(acc)
+	if err != nil {
+		return fmt.Errorf("sim: marshaling chunk %d accumulator: %w", chunk, err)
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.cp.Chunks = append(rc.cp.Chunks, ChunkRecord{Index: chunk, Acc: raw})
+	rc.cp.Panics = append(rc.cp.Panics, panics...)
+	if rc.sink != nil {
+		if err := rc.sink(rc.cp); err != nil {
+			return fmt.Errorf("sim: checkpoint sink: %w", err)
+		}
+	}
+	return nil
 }
 
 // RunParallel executes trials independent runs of the model under fresh
@@ -87,68 +242,173 @@ func trialSeed(seed int64, trial int) int64 {
 // from observe cancels the remaining work (first error wins) and is
 // returned wrapped with its trial index, preserving errors.Is on
 // ErrPolicyDeserted / ErrBadChoice.
-func RunParallel[S comparable, A any](m sched.Model[S], mk func() Policy[S], target func(S) bool,
+//
+// Cancellation of ctx does not discard completed work: workers drain the
+// chunks they are running, and RunParallel returns the merged partial
+// accumulator, a RunReport carrying the completed-trial count and a
+// resume token, and an error matching ErrInterrupted. A panicking trial
+// becomes a *TrialPanicError, quarantined under popts.MaxPanics.
+// Checkpointing requires A to round-trip through encoding/json (the
+// built-in estimator accumulators all do).
+//
+// The returned RunReport is meaningful on every path, including errors.
+func RunParallel[S comparable, A any](ctx context.Context, m sched.Model[S], mk func() Policy[S], target func(S) bool,
 	trials int, opts Options[S], popts ParallelOptions,
 	observe func(acc *A, trial int, res Result[S]) error,
-	merge func(dst *A, src A)) (A, error) {
+	merge func(dst *A, src A)) (A, RunReport, error) {
 
 	var total A
-	if trials <= 0 {
-		return total, fmt.Errorf("sim: trial budget %d is not positive", trials)
+	rep := RunReport{Total: trials}
+	if err := validateEstimate(m, mk, target, trials); err != nil {
+		return total, rep, err
 	}
+	if observe == nil {
+		return total, rep, fmt.Errorf("%w: nil observe func", ErrInvalidArgument)
+	}
+	if merge == nil {
+		return total, rep, fmt.Errorf("%w: nil merge func", ErrInvalidArgument)
+	}
+	if popts.MaxPanics < 0 {
+		return total, rep, fmt.Errorf("%w: negative quarantine budget %d", ErrInvalidArgument, popts.MaxPanics)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
 	numChunks := (trials + parallelChunkSize - 1) / parallelChunkSize
 	accs := make([]A, numChunks)
+	done := make([]bool, numChunks)
 	errs := make([]error, numChunks)
+
+	rc := &runControl{
+		cp: &Checkpoint{
+			Version:   checkpointVersion,
+			Kind:      popts.kind,
+			Seed:      popts.Seed,
+			Trials:    trials,
+			ChunkSize: parallelChunkSize,
+		},
+		sink:      popts.CheckpointSink,
+		maxPanics: popts.MaxPanics,
+	}
+	if popts.Resume != nil {
+		if err := popts.Resume.validateFor(popts.kind, popts.Seed, trials, parallelChunkSize); err != nil {
+			return total, rep, err
+		}
+		for _, cr := range popts.Resume.Chunks {
+			if err := json.Unmarshal(cr.Acc, &accs[cr.Index]); err != nil {
+				return total, rep, fmt.Errorf("sim: restoring chunk %d accumulator: %w", cr.Index, err)
+			}
+			done[cr.Index] = true
+			rep.Resumed += chunkLenFor(trials, cr.Index)
+		}
+		rc.cp.Chunks = append(rc.cp.Chunks, popts.Resume.Chunks...)
+		rc.cp.Panics = append(rc.cp.Panics, popts.Resume.Panics...)
+		rc.panics = len(popts.Resume.Panics)
+	}
 
 	var (
 		nextChunk atomic.Int64
 		stop      atomic.Bool
 		wg        sync.WaitGroup
 	)
+
+	// runChunk executes every trial of one unclaimed chunk and commits
+	// the chunk on completion. A nil return with done[chunk] still false
+	// means the chunk was abandoned because another chunk failed.
+	runChunk := func(chunk int) error {
+		lo := chunk * parallelChunkSize
+		hi := min(lo+parallelChunkSize, trials)
+		var chunkPanics []PanicRecord
+		for i := lo; i < hi; i++ {
+			if stop.Load() {
+				return nil // first error wins; this chunk is abandoned
+			}
+			seed := trialSeed(popts.Seed, i)
+			rng := rand.New(rand.NewSource(seed))
+			res, err := RunOnce(m, mk(), target, opts, rng)
+			var pe *TrialPanicError
+			if errors.As(err, &pe) {
+				pe.Trial, pe.Seed = i, seed
+				if !rc.allowPanic() {
+					return pe
+				}
+				chunkPanics = append(chunkPanics, PanicRecord{
+					Trial: i, Seed: seed, Value: fmt.Sprint(pe.Value), Stack: pe.Stack,
+				})
+				continue // quarantined: recorded, excluded from the estimate
+			}
+			if err == nil {
+				err = observe(&accs[chunk], i, res)
+			}
+			if err != nil {
+				return fmt.Errorf("sim: trial %d: %w", i, err)
+			}
+		}
+		if err := rc.complete(chunk, &accs[chunk], chunkPanics); err != nil {
+			return err
+		}
+		done[chunk] = true
+		return nil
+	}
+
 	workers := min(popts.workers(), numChunks)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for !stop.Load() {
+			// ctx is polled only when claiming a chunk: on cancellation a
+			// worker drains the chunk it is on (every trial is bounded by
+			// Options.MaxEvents/MaxTime), so completed work is never lost.
+			for !stop.Load() && ctx.Err() == nil {
 				chunk := int(nextChunk.Add(1)) - 1
 				if chunk >= numChunks {
 					return
 				}
-				lo := chunk * parallelChunkSize
-				hi := min(lo+parallelChunkSize, trials)
-				for i := lo; i < hi; i++ {
-					if stop.Load() {
-						return
-					}
-					rng := rand.New(rand.NewSource(trialSeed(popts.Seed, i)))
-					res, err := RunOnce(m, mk(), target, opts, rng)
-					if err == nil {
-						err = observe(&accs[chunk], i, res)
-					}
-					if err != nil {
-						errs[chunk] = fmt.Errorf("sim: trial %d: %w", i, err)
-						stop.Store(true)
-						return
-					}
+				if done[chunk] {
+					continue // restored from the resume token
+				}
+				if err := runChunk(chunk); err != nil {
+					errs[chunk] = err
+					stop.Store(true)
+					return
 				}
 			}
 		}()
 	}
 	wg.Wait()
 
+	rc.cp.sortRecords()
+	rep.Panics = append([]PanicRecord(nil), rc.cp.Panics...)
+	rep.Quarantined = len(rep.Panics)
+	rep.Checkpoint = rc.cp
+
 	// Deterministic error selection: among the chunks that failed, report
 	// the lowest-numbered one — under Workers: 1 this is exactly the first
 	// failing trial, and under any worker count it is a stable choice.
 	for _, err := range errs {
 		if err != nil {
-			return total, err
+			return total, rep, err
 		}
 	}
+
+	covered := 0
 	for chunk := range accs {
-		merge(&total, accs[chunk])
+		if done[chunk] {
+			merge(&total, accs[chunk])
+			covered += chunkLenFor(trials, chunk)
+		}
 	}
-	return total, nil
+	rep.Completed = covered - rep.Quarantined
+	if covered < trials {
+		rep.Interrupted = true
+		cause := context.Cause(ctx)
+		if cause == nil {
+			cause = errors.New("run stopped early")
+		}
+		return total, rep, fmt.Errorf("%w after %d/%d trials: %v", ErrInterrupted, covered, trials, cause)
+	}
+	return total, rep, nil
 }
 
 // EstimateReachProbParallel is the parallel counterpart of
@@ -156,9 +416,12 @@ func RunParallel[S comparable, A any](m sched.Model[S], mk func() Policy[S], tar
 // reached within the given time, sharding trials across popts.Workers.
 // Seeded results are bit-identical for every worker count; they differ
 // from the sequential path, which threads one RNG through all trials.
-func EstimateReachProbParallel[S comparable](m sched.Model[S], mk func() Policy[S], target func(S) bool,
-	within float64, trials int, opts Options[S], popts ParallelOptions) (stats.Proportion, error) {
-	return RunParallel(m, mk, target, trials, opts, popts,
+// The RunReport carries partial-run and quarantine details; see
+// RunParallel for the cancellation, checkpoint and panic semantics.
+func EstimateReachProbParallel[S comparable](ctx context.Context, m sched.Model[S], mk func() Policy[S], target func(S) bool,
+	within float64, trials int, opts Options[S], popts ParallelOptions) (stats.Proportion, RunReport, error) {
+	popts.kind = fmt.Sprintf("reachprob(within=%v)", within)
+	return RunParallel(ctx, m, mk, target, trials, opts, popts,
 		func(acc *stats.Proportion, _ int, res Result[S]) error {
 			acc.Observe(res.Reached && res.ReachedAt <= within)
 			return nil
@@ -170,10 +433,13 @@ func EstimateReachProbParallel[S comparable](m sched.Model[S], mk func() Policy[
 // EstimateTimeToTarget: it summarizes the time to reach the target over
 // trials independent runs; a run that never reaches it is an error, which
 // cancels the remaining trials (use a generous Options.MaxTime for
-// almost-sure targets).
-func EstimateTimeToTargetParallel[S comparable](m sched.Model[S], mk func() Policy[S], target func(S) bool,
-	trials int, opts Options[S], popts ParallelOptions) (stats.Summary, error) {
-	return RunParallel(m, mk, target, trials, opts, popts,
+// almost-sure targets). The RunReport carries partial-run and quarantine
+// details; see RunParallel for the cancellation, checkpoint and panic
+// semantics.
+func EstimateTimeToTargetParallel[S comparable](ctx context.Context, m sched.Model[S], mk func() Policy[S], target func(S) bool,
+	trials int, opts Options[S], popts ParallelOptions) (stats.Summary, RunReport, error) {
+	popts.kind = "timetotarget"
+	return RunParallel(ctx, m, mk, target, trials, opts, popts,
 		func(acc *stats.Summary, trial int, res Result[S]) error {
 			if !res.Reached {
 				return fmt.Errorf("run did not reach the target within budget (events=%d, state=%v)",
@@ -189,16 +455,19 @@ func EstimateTimeToTargetParallel[S comparable](m sched.Model[S], mk func() Poli
 // sharded batch of runs yields the empirical reach probability for every
 // requested deadline at once. Deadlines are sorted; when opts.MaxTime is
 // unset the run budget is max(deadlines)+1, as in the sequential path.
-func EstimateCurveParallel[S comparable](m sched.Model[S], mk func() Policy[S], target func(S) bool,
-	deadlines []float64, trials int, opts Options[S], popts ParallelOptions) (EmpiricalCurve, error) {
+// The RunReport carries partial-run and quarantine details; see
+// RunParallel for the cancellation, checkpoint and panic semantics.
+func EstimateCurveParallel[S comparable](ctx context.Context, m sched.Model[S], mk func() Policy[S], target func(S) bool,
+	deadlines []float64, trials int, opts Options[S], popts ParallelOptions) (EmpiricalCurve, RunReport, error) {
 	ds, err := curveDeadlines(deadlines)
 	if err != nil {
-		return EmpiricalCurve{}, err
+		return EmpiricalCurve{}, RunReport{Total: trials}, err
 	}
 	if opts.MaxTime <= 0 {
 		opts.MaxTime = ds[len(ds)-1] + 1
 	}
-	at, err := RunParallel(m, mk, target, trials, opts, popts,
+	popts.kind = fmt.Sprintf("curve(deadlines=%v)", ds)
+	at, rep, err := RunParallel(ctx, m, mk, target, trials, opts, popts,
 		func(acc *[]stats.Proportion, _ int, res Result[S]) error {
 			if *acc == nil {
 				*acc = make([]stats.Proportion, len(ds))
@@ -209,6 +478,9 @@ func EstimateCurveParallel[S comparable](m sched.Model[S], mk func() Policy[S], 
 			return nil
 		},
 		func(dst *[]stats.Proportion, src []stats.Proportion) {
+			if src == nil {
+				return
+			}
 			if *dst == nil {
 				*dst = make([]stats.Proportion, len(ds))
 			}
@@ -216,8 +488,10 @@ func EstimateCurveParallel[S comparable](m sched.Model[S], mk func() Policy[S], 
 				(*dst)[i].Merge(src[i])
 			}
 		})
-	if err != nil {
-		return EmpiricalCurve{Deadlines: ds}, err
+	if at == nil {
+		// Zero completed chunks (e.g. cancelled at once): an empty curve
+		// with well-formed points, not a nil slice.
+		at = make([]stats.Proportion, len(ds))
 	}
-	return EmpiricalCurve{Deadlines: ds, At: at}, nil
+	return EmpiricalCurve{Deadlines: ds, At: at}, rep, err
 }

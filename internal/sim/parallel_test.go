@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -26,12 +27,12 @@ func TestParallelDeterministicAcrossWorkers(t *testing.T) {
 	var sums []stats.Summary
 	for _, workers := range []int{1, 2, 8} {
 		popts := ParallelOptions{Workers: workers, Seed: 42}
-		prop, err := EstimateReachProbParallel[flipState](flipper{}, mkSlowest, heads, 2, trials, opts, popts)
+		prop, _, err := EstimateReachProbParallel[flipState](context.Background(), flipper{}, mkSlowest, heads, 2, trials, opts, popts)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
 		props = append(props, prop)
-		sum, err := EstimateTimeToTargetParallel[flipState](flipper{}, mkSlowest, heads, trials, opts, popts)
+		sum, _, err := EstimateTimeToTargetParallel[flipState](context.Background(), flipper{}, mkSlowest, heads, trials, opts, popts)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -53,11 +54,11 @@ func TestParallelDeterministicAcrossWorkers(t *testing.T) {
 // root seed: distinct seeds must yield distinct trial streams.
 func TestParallelSeedChangesResults(t *testing.T) {
 	opts := Options[flipState]{}
-	a, err := EstimateTimeToTargetParallel[flipState](flipper{}, mkSlowest, heads, 300, opts, ParallelOptions{Seed: 1})
+	a, _, err := EstimateTimeToTargetParallel[flipState](context.Background(), flipper{}, mkSlowest, heads, 300, opts, ParallelOptions{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := EstimateTimeToTargetParallel[flipState](flipper{}, mkSlowest, heads, 300, opts, ParallelOptions{Seed: 2})
+	b, _, err := EstimateTimeToTargetParallel[flipState](context.Background(), flipper{}, mkSlowest, heads, 300, opts, ParallelOptions{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestParallelSeedChangesResults(t *testing.T) {
 // TestEstimateReachProbParallelValue checks statistical correctness:
 // P[heads within time 2] under the slowest policy is 3/4.
 func TestEstimateReachProbParallelValue(t *testing.T) {
-	prop, err := EstimateReachProbParallel[flipState](flipper{}, mkSlowest, heads, 2, 4000,
+	prop, _, err := EstimateReachProbParallel[flipState](context.Background(), flipper{}, mkSlowest, heads, 2, 4000,
 		Options[flipState]{}, ParallelOptions{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
@@ -89,7 +90,7 @@ func TestEstimateReachProbParallelValue(t *testing.T) {
 // TestEstimateTimeToTargetParallelValue checks the geometric mean-time
 // value (2 for a fair coin at unit pace) through the parallel path.
 func TestEstimateTimeToTargetParallelValue(t *testing.T) {
-	sum, err := EstimateTimeToTargetParallel[flipState](flipper{}, mkSlowest, heads, 4000,
+	sum, _, err := EstimateTimeToTargetParallel[flipState](context.Background(), flipper{}, mkSlowest, heads, 4000,
 		Options[flipState]{}, ParallelOptions{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
@@ -110,7 +111,7 @@ func TestEstimateCurveParallelDeterministic(t *testing.T) {
 	deadlines := []float64{3, 1, 2} // unsorted on purpose
 	var curves []EmpiricalCurve
 	for _, workers := range []int{1, 6} {
-		c, err := EstimateCurveParallel[flipState](flipper{}, mkSlowest, heads, deadlines, 500,
+		c, _, err := EstimateCurveParallel[flipState](context.Background(), flipper{}, mkSlowest, heads, deadlines, 500,
 			Options[flipState]{}, ParallelOptions{Workers: workers, Seed: 3})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
@@ -135,7 +136,7 @@ func TestEstimateCurveParallelDeterministic(t *testing.T) {
 		}
 		prev = est
 	}
-	if _, err := EstimateCurveParallel[flipState](flipper{}, mkSlowest, heads, nil, 10,
+	if _, _, err := EstimateCurveParallel[flipState](context.Background(), flipper{}, mkSlowest, heads, nil, 10,
 		Options[flipState]{}, ParallelOptions{}); err == nil {
 		t.Error("empty deadlines accepted")
 	}
@@ -160,7 +161,7 @@ func TestParallelErrorSemantics(t *testing.T) {
 				return Choice{}, false
 			})
 		}
-		_, err := EstimateReachProbParallel[flipState](flipper{}, quit, heads, 2, 10_000,
+		_, _, err := EstimateReachProbParallel[flipState](context.Background(), flipper{}, quit, heads, 2, 10_000,
 			Options[flipState]{}, ParallelOptions{Workers: 8, Seed: 1})
 		if !errors.Is(err, ErrPolicyDeserted) {
 			t.Errorf("err = %v, want ErrPolicyDeserted", err)
@@ -172,7 +173,7 @@ func TestParallelErrorSemantics(t *testing.T) {
 				return Choice{Proc: 99, At: 0}, true
 			})
 		}
-		_, err := EstimateReachProbParallel[flipState](flipper{}, malicious, heads, 2, 10_000,
+		_, _, err := EstimateReachProbParallel[flipState](context.Background(), flipper{}, malicious, heads, 2, 10_000,
 			Options[flipState]{}, ParallelOptions{Workers: 8, Seed: 1})
 		if !errors.Is(err, ErrBadChoice) {
 			t.Errorf("err = %v, want ErrBadChoice", err)
@@ -180,7 +181,7 @@ func TestParallelErrorSemantics(t *testing.T) {
 	})
 	t.Run("unreached target is an error", func(t *testing.T) {
 		never := func(flipState) bool { return false }
-		_, err := EstimateTimeToTargetParallel[flipState](flipper{}, mkSlowest, never, 64,
+		_, _, err := EstimateTimeToTargetParallel[flipState](context.Background(), flipper{}, mkSlowest, never, 64,
 			Options[flipState]{MaxEvents: 50}, ParallelOptions{Workers: 4, Seed: 1})
 		if err == nil {
 			t.Error("unreachable target accepted")
@@ -188,14 +189,14 @@ func TestParallelErrorSemantics(t *testing.T) {
 	})
 	t.Run("workers one reports the first failing trial", func(t *testing.T) {
 		never := func(flipState) bool { return false }
-		_, err := EstimateTimeToTargetParallel[flipState](flipper{}, mkSlowest, never, 64,
+		_, _, err := EstimateTimeToTargetParallel[flipState](context.Background(), flipper{}, mkSlowest, never, 64,
 			Options[flipState]{MaxEvents: 50}, ParallelOptions{Workers: 1, Seed: 1})
 		if err == nil || !strings.HasPrefix(err.Error(), "sim: trial 0:") {
 			t.Errorf("err = %v, want it to name trial 0", err)
 		}
 	})
 	t.Run("non-positive trial budget", func(t *testing.T) {
-		if _, err := EstimateReachProbParallel[flipState](flipper{}, mkSlowest, heads, 2, 0,
+		if _, _, err := EstimateReachProbParallel[flipState](context.Background(), flipper{}, mkSlowest, heads, 2, 0,
 			Options[flipState]{}, ParallelOptions{}); err == nil {
 			t.Error("zero trials accepted")
 		}
@@ -209,7 +210,7 @@ func TestRunParallelCustomAccumulator(t *testing.T) {
 		Runs   int
 		Events int
 	}
-	got, err := RunParallel[flipState](flipper{}, mkSlowest, heads, 200,
+	got, _, err := RunParallel[flipState](context.Background(), flipper{}, mkSlowest, heads, 200,
 		Options[flipState]{}, ParallelOptions{Workers: 4, Seed: 5},
 		func(acc *tally, _ int, res Result[flipState]) error {
 			acc.Runs++

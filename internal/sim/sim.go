@@ -123,12 +123,53 @@ type Result[S comparable] struct {
 var (
 	ErrPolicyDeserted = errors.New("sim: policy halted while a process was ready (violates Unit-Time)")
 	ErrBadChoice      = errors.New("sim: policy returned an invalid choice")
+	// ErrInvalidArgument reports a malformed call (nil model, policy,
+	// policy factory, target or RNG, or a non-positive trial budget): the
+	// engine rejects it up front with a clear error instead of panicking
+	// deep inside a run.
+	ErrInvalidArgument = errors.New("sim: invalid argument")
 )
+
+// validateEstimate is the shared argument check of every estimator entry
+// point, sequential and parallel.
+func validateEstimate[S comparable](m sched.Model[S], mk func() Policy[S], target func(S) bool, trials int) error {
+	if m == nil {
+		return fmt.Errorf("%w: nil model", ErrInvalidArgument)
+	}
+	if mk == nil {
+		return fmt.Errorf("%w: nil policy factory", ErrInvalidArgument)
+	}
+	if target == nil {
+		return fmt.Errorf("%w: nil target predicate", ErrInvalidArgument)
+	}
+	if trials <= 0 {
+		return fmt.Errorf("%w: trial budget %d is not positive", ErrInvalidArgument, trials)
+	}
+	return nil
+}
 
 // RunOnce executes one run of the model under the policy until the target
 // predicate holds, the policy stops in a quiescent state, or a budget is
 // exhausted.
-func RunOnce[S comparable](m sched.Model[S], p Policy[S], target func(S) bool, opts Options[S], rng *rand.Rand) (Result[S], error) {
+//
+// RunOnce never propagates a panic from the policy, the model, the target
+// predicate or the observer: a panic is recovered into a *TrialPanicError
+// (with the partial Result accumulated so far), so a single crashing trial
+// is an error the caller can quarantine, not a process abort.
+func RunOnce[S comparable](m sched.Model[S], p Policy[S], target func(S) bool, opts Options[S], rng *rand.Rand) (res Result[S], err error) {
+	if m == nil {
+		return Result[S]{}, fmt.Errorf("%w: nil model", ErrInvalidArgument)
+	}
+	if p == nil {
+		return Result[S]{}, fmt.Errorf("%w: nil policy", ErrInvalidArgument)
+	}
+	if target == nil {
+		return Result[S]{}, fmt.Errorf("%w: nil target predicate", ErrInvalidArgument)
+	}
+	if rng == nil {
+		return Result[S]{}, fmt.Errorf("%w: nil RNG", ErrInvalidArgument)
+	}
+	defer recoverTrialPanic(&err)
 	opts = opts.withDefaults()
 	state := m.Start()[0]
 	if opts.SetStart {
@@ -137,7 +178,7 @@ func RunOnce[S comparable](m sched.Model[S], p Policy[S], target func(S) bool, o
 	now := 0.0
 	sc := newViewScratch[S](m.NumProcs())
 
-	res := Result[S]{Final: state}
+	res = Result[S]{Final: state}
 	if target(state) {
 		res.Reached = true
 		res.ReachedAt = 0
@@ -291,6 +332,12 @@ func applyChoice[S comparable](m sched.Model[S], v View[S], c Choice, sc *viewSc
 // probability that the target is reached within the given time.
 func EstimateReachProb[S comparable](m sched.Model[S], mk func() Policy[S], target func(S) bool, within float64, trials int, opts Options[S], rng *rand.Rand) (stats.Proportion, error) {
 	var prop stats.Proportion
+	if err := validateEstimate(m, mk, target, trials); err != nil {
+		return prop, err
+	}
+	if rng == nil {
+		return prop, fmt.Errorf("%w: nil RNG", ErrInvalidArgument)
+	}
 	for i := 0; i < trials; i++ {
 		res, err := RunOnce(m, mk(), target, opts, rng)
 		if err != nil {
@@ -306,6 +353,12 @@ func EstimateReachProb[S comparable](m sched.Model[S], mk func() Policy[S], targ
 // generous Options.MaxTime for almost-sure targets).
 func EstimateTimeToTarget[S comparable](m sched.Model[S], mk func() Policy[S], target func(S) bool, trials int, opts Options[S], rng *rand.Rand) (stats.Summary, error) {
 	var sum stats.Summary
+	if err := validateEstimate(m, mk, target, trials); err != nil {
+		return sum, err
+	}
+	if rng == nil {
+		return sum, fmt.Errorf("%w: nil RNG", ErrInvalidArgument)
+	}
 	for i := 0; i < trials; i++ {
 		res, err := RunOnce(m, mk(), target, opts, rng)
 		if err != nil {

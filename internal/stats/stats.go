@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -132,6 +133,38 @@ func (s *Summary) Merge(o Summary) {
 	s.n += o.n
 	s.min = math.Min(s.min, o.min)
 	s.max = math.Max(s.max, o.max)
+}
+
+// summaryJSON is the serialized form of a Summary. The fields are the raw
+// Welford state, not derived quantities: restoring them reproduces the
+// accumulator bit-for-bit (encoding/json renders float64 with the shortest
+// round-tripping representation), which the checkpoint/resume path of the
+// parallel Monte Carlo engine relies on for bit-identical resumed runs.
+type summaryJSON struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// MarshalJSON serializes the raw accumulator state.
+func (s Summary) MarshalJSON() ([]byte, error) {
+	return json.Marshal(summaryJSON{N: s.n, Mean: s.mean, M2: s.m2, Min: s.min, Max: s.max})
+}
+
+// UnmarshalJSON restores an accumulator serialized by MarshalJSON,
+// bit-identically.
+func (s *Summary) UnmarshalJSON(data []byte) error {
+	var j summaryJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if j.N < 0 {
+		return fmt.Errorf("stats: summary with negative sample count %d", j.N)
+	}
+	*s = Summary{n: j.N, mean: j.Mean, m2: j.M2, min: j.Min, max: j.Max}
+	return nil
 }
 
 // N returns the number of samples.

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"errors"
 	"math"
 	"math/rand"
@@ -291,4 +292,71 @@ func TestSummaryProperties(t *testing.T) {
 			t.Error(err)
 		}
 	})
+}
+
+// TestSummaryJSONRoundTrip pins the bit-exactness guarantee the parallel
+// engine's checkpoint/resume path relies on: a Summary serialized with
+// MarshalJSON and restored with UnmarshalJSON is identical down to the
+// last bit of its Welford state, for arbitrary sample streams.
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		var s Summary
+		n := rng.Intn(50)
+		for i := 0; i < n; i++ {
+			// Mix magnitudes and signs so mean/m2 are not round numbers.
+			s.Observe((rng.Float64() - 0.3) * math.Pow(10, float64(rng.Intn(7)-3)))
+		}
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Summary
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got != s {
+			t.Fatalf("round trip changed the accumulator: %+v -> %+v (json %s)", s, got, data)
+		}
+	}
+}
+
+// TestSummaryJSONMergeEquivalence: restoring two serialized halves and
+// merging them behaves exactly like merging the live accumulators.
+func TestSummaryJSONMergeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var a, b Summary
+	for i := 0; i < 40; i++ {
+		a.Observe(rng.NormFloat64())
+		b.Observe(rng.NormFloat64() * 3)
+	}
+	direct := a
+	direct.Merge(b)
+
+	ser := func(s Summary) Summary {
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out Summary
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	restored := ser(a)
+	restored.Merge(ser(b))
+	if restored != direct {
+		t.Errorf("merge after round trip %+v != direct merge %+v", restored, direct)
+	}
+}
+
+func TestSummaryJSONRejectsNegativeCount(t *testing.T) {
+	var s Summary
+	if err := json.Unmarshal([]byte(`{"n":-3}`), &s); err == nil {
+		t.Error("negative sample count accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"n":`), &s); err == nil {
+		t.Error("truncated document accepted")
+	}
 }

@@ -9,17 +9,21 @@
 #   test        go test ./...                    unit + integration + fuzz seed corpus
 #   test-race   go test -race ./...              data races in the sharded Monte
 #                                                Carlo engine and checkpoint sink
+#   bench-smoke go test -bench -benchtime=1x     benchmarks that stopped compiling
+#                                                or assert a broken paper bound
+#   vuln        govulncheck (if installed)       known-vulnerable dependency use
 #
-# staticcheck is optional: `make vet` runs it when it is on PATH and
-# prints a skip notice otherwise, so `make check` works on a bare Go
-# toolchain. Longer fuzzing of the engine against adversarial policies is
-# split out as `make fuzz` (FUZZTIME=30s by default) because it is
-# open-ended; the fuzz seed corpus still runs in every plain `go test`.
+# staticcheck and govulncheck are optional: the targets run them when they
+# are on PATH and print a skip notice otherwise, so `make check` works on
+# a bare Go toolchain. Longer fuzzing of the engine against adversarial
+# policies is split out as `make fuzz` (FUZZTIME=30s by default) because
+# it is open-ended; the fuzz seed corpus still runs in every plain
+# `go test`.
 
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test test-short test-race bench vet fmt fuzz check lrcheck experiments
+.PHONY: all build test test-short test-race bench bench-smoke bench-json vuln vet fmt fuzz check lrcheck experiments
 
 all: check
 
@@ -40,6 +44,28 @@ test-race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# One iteration of every benchmark: catches benchmarks that no longer
+# compile or whose asserted paper bounds broke, without paying for a full
+# measurement run.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Machine-readable benchmark artifact: the parallel-engine throughput row
+# and the metrics-overhead pair (whose equal allocs/op columns prove the
+# telemetry hook allocates nothing per trial), post-processed from the
+# `go test -json` stream into BENCH_sim.json by cmd/benchjson.
+bench-json:
+	$(GO) test -run='^$$' -bench='BenchmarkParallelTrials|BenchmarkMetricsOverhead' -benchmem -json . \
+		| $(GO) run ./cmd/benchjson -o BENCH_sim.json
+	@echo "wrote BENCH_sim.json"
+
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		echo "govulncheck ./..."; govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping"; \
+	fi
+
 vet:
 	$(GO) vet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
@@ -57,7 +83,7 @@ fmt:
 fuzz:
 	$(GO) test ./internal/sim -run='^$$' -fuzz=FuzzRunOnceAdversarial -fuzztime=$(FUZZTIME)
 
-check: build vet test test-race
+check: build vet test test-race bench-smoke vuln
 
 # The headline reproduction: the paper's table, derivation and bounds.
 lrcheck:

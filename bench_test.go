@@ -23,6 +23,7 @@ import (
 	"repro/internal/events"
 	"repro/internal/exec"
 	"repro/internal/mdp"
+	"repro/internal/obs"
 	"repro/internal/pa"
 	"repro/internal/prob"
 	"repro/internal/sched"
@@ -431,5 +432,43 @@ func BenchmarkEnumerateProduct(b *testing.B) {
 		if m.NumStates == 0 {
 			b.Fatal("empty product")
 		}
+	}
+}
+
+// Observability overhead: the same parallel run with the telemetry hook
+// disabled (nil Metrics — the default every existing caller gets) and
+// enabled (the registry-backed obs.SimMetrics the CLIs install). The
+// acceptance criterion is the allocs/op column: both modes must report the
+// same allocation count, proving instrumentation adds zero allocations to
+// the per-trial hot path; the ns/op delta is the (atomic-counter) price of
+// a live progress display.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	const (
+		n      = 8
+		trials = 256
+	)
+	model := dining.MustNew(n)
+	opts := sim.Options[dining.State]{Start: dining.AllAt(n, dining.F), SetStart: true}
+	mk := func() sim.Policy[dining.State] { return dining.KeepTrying(sim.Random[dining.State](0.5)) }
+
+	modes := []struct {
+		name string
+		met  sim.Metrics
+	}{
+		{"disabled", nil},
+		{"enabled", obs.NewSimMetrics(obs.NewRegistry(), trials)},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, _, err := sim.EstimateReachProbParallel[dining.State](context.Background(), model, mk, dining.InC,
+					13, trials, opts, sim.ParallelOptions{Seed: 1, Metrics: mode.met})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(trials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+		})
 	}
 }

@@ -1,0 +1,150 @@
+// Command benchjson turns `go test -bench` output into a machine-readable
+// JSON artifact. It accepts either the raw benchmark text or the `go test
+// -json` event stream (each line a test2json record) on stdin, extracts
+// the benchmark result lines, and writes one JSON document with every
+// parsed metric — ns/op, B/op, allocs/op, and custom b.ReportMetric
+// columns such as trials/s.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchmem -json ./... | benchjson -o BENCH_sim.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the full benchmark name including sub-benchmarks and the
+	// GOMAXPROCS suffix, e.g. "BenchmarkMetricsOverhead/enabled-4".
+	Name string `json:"name"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value for every reported column.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the document benchjson writes.
+type Report struct {
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// event is the subset of a test2json record benchjson needs.
+type event struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Test    string `json:"Test"`
+	Output  string `json:"Output"`
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	var out string
+	switch {
+	case len(args) == 0:
+	case len(args) == 2 && args[0] == "-o":
+		out = args[1]
+	default:
+		return fmt.Errorf("usage: benchjson [-o file] < bench-output")
+	}
+
+	report := Report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: []Result{},
+	}
+	// test2json splits a benchmark result across output events — the name
+	// (ending in "\t", no newline) arrives separately from the metrics —
+	// so JSON-stream fragments are reassembled per test until a newline
+	// completes the logical line.
+	pending := map[string]string{}
+	sc := bufio.NewScanner(stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		// `go test -json` wraps every output line in a JSON record; raw
+		// bench output is used as-is.
+		if strings.HasPrefix(line, "{") {
+			var e event
+			if err := json.Unmarshal([]byte(line), &e); err == nil {
+				if e.Action != "output" {
+					continue
+				}
+				key := e.Package + "\x00" + e.Test
+				buf := pending[key] + e.Output
+				if !strings.HasSuffix(buf, "\n") {
+					pending[key] = buf
+					continue
+				}
+				delete(pending, key)
+				line = strings.TrimSuffix(buf, "\n")
+			}
+		}
+		if r, ok := parseBenchLine(line); ok {
+			report.Benchmarks = append(report.Benchmarks, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(report.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark result lines found in input")
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+// parseBenchLine parses one benchmark result line:
+//
+//	BenchmarkFoo/sub-4   100   12345 ns/op   7747 trials/s   24 B/op   3 allocs/op
+//
+// Fields after the iteration count come in value/unit pairs.
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	if len(r.Metrics) == 0 {
+		return Result{}, false
+	}
+	return r, true
+}

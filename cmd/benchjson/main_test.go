@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const rawBench = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkParallelTrials-4   	      37	  31460580 ns/op	      8137 trials/s	24263347 B/op	  462018 allocs/op
+BenchmarkMetricsOverhead/disabled-4 	       5	  33045894 ns/op	      7747 trials/s	24263347 B/op	  462018 allocs/op
+BenchmarkMetricsOverhead/enabled-4  	       5	  34445218 ns/op	      7432 trials/s	24263360 B/op	  462019 allocs/op
+PASS
+`
+
+func TestParseBenchLine(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkMetricsOverhead/enabled-4  	       5	  34445218 ns/op	 7432 trials/s	24263360 B/op	  462019 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.Name != "BenchmarkMetricsOverhead/enabled-4" || r.Iterations != 5 {
+		t.Errorf("parsed %+v", r)
+	}
+	want := map[string]float64{"ns/op": 34445218, "trials/s": 7432, "B/op": 24263360, "allocs/op": 462019}
+	for unit, v := range want {
+		if r.Metrics[unit] != v {
+			t.Errorf("metric %s = %g, want %g", unit, r.Metrics[unit], v)
+		}
+	}
+
+	for _, line := range []string{"", "PASS", "goos: linux", "Benchmark x y", "BenchmarkFoo 10"} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("non-result line %q parsed", line)
+		}
+	}
+}
+
+func TestRunRawAndJSONInput(t *testing.T) {
+	// Raw bench text on stdin, JSON document on stdout.
+	var sb strings.Builder
+	if err := run(nil, strings.NewReader(rawBench), &sb); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(sb.String()), &rep); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if len(rep.Benchmarks) != 3 || rep.GoVersion == "" {
+		t.Fatalf("report = %+v", rep)
+	}
+
+	// The same lines arriving as a `go test -json` stream, written to -o.
+	// test2json splits each result line into a name fragment (no newline)
+	// and a metrics fragment, so the stream is built the way the real tool
+	// emits it.
+	var jsonl strings.Builder
+	emit := func(e event) {
+		b, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jsonl.Write(b)
+		jsonl.WriteByte('\n')
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(rawBench, "\n"), "\n") {
+		if name, rest, ok := strings.Cut(line, " "); ok && strings.HasPrefix(name, "Benchmark") {
+			emit(event{Action: "output", Package: "repro", Test: name, Output: name + " \t"})
+			emit(event{Action: "output", Package: "repro", Test: name, Output: rest + "\n"})
+			continue
+		}
+		emit(event{Action: "output", Package: "repro", Output: line + "\n"})
+	}
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-o", out}, strings.NewReader(jsonl.String()), nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep2 Report
+	if err := json.Unmarshal(data, &rep2); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Benchmarks) != 3 || rep2.Benchmarks[2].Metrics["allocs/op"] != 462019 {
+		t.Errorf("json-stream report = %+v", rep2)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-x"}, strings.NewReader(""), nil); err == nil {
+		t.Error("bad args accepted")
+	}
+	if err := run(nil, strings.NewReader("no benchmarks here\n"), nil); err == nil {
+		t.Error("benchmark-free input accepted")
+	}
+}

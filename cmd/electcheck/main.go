@@ -17,12 +17,17 @@
 // bit-identically, and -quarantine tolerates panicking trials (each
 // recorded with a single-RunOnce repro seed).
 //
+// The run is observable with the same flags as lrsim: -progress for a
+// live sampling progress line, -manifest for a JSONL run manifest,
+// -metrics-out for a final metrics snapshot, -pprof for live profiling.
+//
 // Usage:
 //
 //	electcheck [-n procs] [-k steps-per-window] \
 //	           [-sample trials] [-workers N] [-seed 1] \
 //	           [-budget 10m] [-checkpoint state.json] [-resume state.json] \
-//	           [-quarantine N]
+//	           [-quarantine N] [-progress 2s] [-manifest run.jsonl] \
+//	           [-metrics-out metrics.json] [-pprof localhost:6060]
 package main
 
 import (
@@ -34,8 +39,10 @@ import (
 	"os/signal"
 	"syscall"
 	"text/tabwriter"
+	"time"
 
 	"repro/internal/election"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -63,6 +70,10 @@ func run(ctx context.Context, args []string) error {
 	checkpoint := fs.String("checkpoint", "", "persist -sample progress to this JSON state file as trials complete")
 	resume := fs.String("resume", "", "resume -sample from this state file (and keep updating it); bit-identical to an uninterrupted run")
 	quarantine := fs.Int("quarantine", 0, "panicking -sample trials tolerated (recorded with repro seeds, excluded) before aborting")
+	progress := fs.Duration("progress", 0, "print a live -sample progress line to stderr at this interval (0 = off)")
+	manifest := fs.String("manifest", "", "record a JSONL run manifest (events + final summary) to this file")
+	metricsOut := fs.String("metrics-out", "", "write the final metrics registry snapshot as JSON to this file")
+	pprof := fs.String("pprof", "", "serve /debug/pprof, /debug/vars and /debug/metrics on this address for the duration of the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -80,19 +91,46 @@ func run(ctx context.Context, args []string) error {
 		return usageError(fs, "-budget must be >= 0, got %v", *budget)
 	case *quarantine < 0:
 		return usageError(fs, "-quarantine must be >= 0, got %d", *quarantine)
+	case *progress < 0:
+		return usageError(fs, "-progress must be >= 0, got %v", *progress)
 	}
 
+	flagValues := map[string]string{}
+	fs.VisitAll(func(f *flag.Flag) { flagValues[f.Name] = f.Value.String() })
+	ins, err := obs.Setup(obs.Config{
+		Tool:        "electcheck",
+		Seed:        *seed,
+		Options:     flagValues,
+		Resume:      *resume,
+		TotalTrials: *sample,
+		Progress:    *progress,
+		MetricsOut:  *metricsOut,
+		Manifest:    *manifest,
+		Pprof:       *pprof,
+	})
+	if err != nil {
+		return usageError(fs, "%v", err)
+	}
+	runErr := analysis(ctx, ins, *n, *k, *sample, *workers, *seed, *budget, *checkpoint, *resume, *quarantine)
+	if cerr := ins.Close(runErr); cerr != nil && runErr == nil {
+		runErr = cerr
+	}
+	return runErr
+}
+
+func analysis(ctx context.Context, ins *obs.Instrumentation, n, k, sample, workers int, seed int64,
+	budget time.Duration, checkpoint, resume string, quarantine int) error {
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	context.AfterFunc(ctx, stop) // second signal kills the process the default way
-	if *budget > 0 {
+	if budget > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeoutCause(ctx, *budget, fmt.Errorf("wall-clock budget %v expired", *budget))
+		ctx, cancel = context.WithTimeoutCause(ctx, budget, fmt.Errorf("wall-clock budget %v expired", budget))
 		defer cancel()
 	}
 
-	fmt.Printf("coin-flipping leader election: n=%d, digitized Unit-Time with k=%d\n", *n, *k)
-	a, err := election.NewAnalysis(*n, *k, 0)
+	fmt.Printf("coin-flipping leader election: n=%d, digitized Unit-Time with k=%d\n", n, k)
+	a, err := election.NewAnalysis(n, k, 0)
 	if err != nil {
 		return err
 	}
@@ -137,21 +175,24 @@ func run(ctx context.Context, args []string) error {
 	fmt.Printf("\nExpected election time: derived bound Σ 2/p_k = %v ≈ %.4f; measured worst case %.4f\n",
 		bound, bound.Float64(), worst)
 
-	if *sample > 0 {
-		model, err := election.New(*n)
+	if sample > 0 {
+		model, err := election.New(n)
 		if err != nil {
 			return err
 		}
-		ckPath := *checkpoint
+		ckPath := checkpoint
 		if ckPath == "" {
-			ckPath = *resume
+			ckPath = resume
 		}
-		popts := sim.ParallelOptions{Workers: *workers, Seed: *seed, MaxPanics: *quarantine}
+		popts := sim.ParallelOptions{Workers: workers, Seed: seed, MaxPanics: quarantine}
+		if sm := ins.Metrics(); sm != nil {
+			popts.Metrics = sm
+		}
 		var cs sim.CheckpointSet
 		const label = "sample"
 		if ckPath != "" {
-			if *resume != "" {
-				if cs, err = sim.LoadCheckpointSet(*resume); err != nil {
+			if resume != "" {
+				if cs, err = sim.LoadCheckpointSet(resume); err != nil {
 					return err
 				}
 			} else {
@@ -163,10 +204,12 @@ func run(ctx context.Context, args []string) error {
 				return cs.Save(ckPath)
 			}
 		}
+		ins.PhaseStart(label)
 		sum, rep, err := sim.EstimateTimeToTargetParallel[election.State](ctx, model,
 			func() sim.Policy[election.State] { return sim.Slowest[election.State]() },
-			election.State.HasLeader, *sample,
+			election.State.HasLeader, sample,
 			sim.Options[election.State]{}, popts)
+		ins.PhaseDone(label, sum.String(), rep.String(), err)
 		if rep.Quarantined > 0 {
 			fmt.Fprintf(os.Stderr, "electcheck: %d panicking trials quarantined:\n", rep.Quarantined)
 			for _, pr := range rep.Panics {
@@ -193,7 +236,7 @@ func run(ctx context.Context, args []string) error {
 			return err
 		}
 		fmt.Printf("\nMonte Carlo cross-check (%d dense-time trials, slowest scheduler): time to leader %s\n",
-			*sample, sum.String())
+			sample, sum.String())
 		if mean > bound.Float64() {
 			return fmt.Errorf("sampled mean election time %.4f exceeds the derived bound %.4f", mean, bound.Float64())
 		}

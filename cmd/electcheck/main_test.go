@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -74,5 +75,57 @@ func TestRunSampledCheckpointResume(t *testing.T) {
 	}
 	if err := run(context.Background(), append(base, "-resume", ck, "-seed", "6")); err == nil {
 		t.Error("resume with mismatched -seed accepted")
+	}
+}
+
+func TestRunBadObservabilityFlags(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "no", "such", "dir")
+	tests := [][]string{
+		{"-n", "3", "-progress", "-1s"},
+		{"-n", "3", "-manifest", filepath.Join(missing, "run.jsonl")},
+		{"-n", "3", "-metrics-out", filepath.Join(missing, "m.json")},
+		{"-n", "3", "-pprof", "bad addr:xyz"},
+	}
+	for _, args := range tests {
+		if err := run(context.Background(), args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+// TestRunSampledManifest: a sampled run records its sampling phase and the
+// engine's counters in the manifest; an unsampled run still closes the
+// manifest cleanly with no phases.
+func TestRunSampledManifest(t *testing.T) {
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "run.jsonl")
+	if err := run(context.Background(), []string{"-n", "3", "-sample", "128", "-seed", "5",
+		"-manifest", manifest}); err != nil {
+		t.Fatalf("sampled run: %v", err)
+	}
+	log, err := obs.LoadManifest(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta := log.Meta(); meta == nil || meta.Tool != "electcheck" || meta.Seed != 5 {
+		t.Fatalf("manifest meta = %+v", log.Meta())
+	}
+	if log.Summary == nil || len(log.Summary.Phases) != 1 || log.Summary.Phases[0].Name != "sample" {
+		t.Fatalf("summary = %+v", log.Summary)
+	}
+	if got := log.Summary.Metrics.Counters["sim.trials_completed"]; got != 128 {
+		t.Errorf("manifest counted %d trials, want 128", got)
+	}
+
+	bare := filepath.Join(dir, "bare.jsonl")
+	if err := run(context.Background(), []string{"-n", "3", "-manifest", bare}); err != nil {
+		t.Fatalf("unsampled run: %v", err)
+	}
+	log, err = obs.LoadManifest(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Summary == nil || len(log.Summary.Phases) != 0 {
+		t.Errorf("unsampled summary = %+v", log.Summary)
 	}
 }

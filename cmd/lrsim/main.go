@@ -24,12 +24,23 @@
 // quarantined up to -quarantine, each recorded with the RNG seed that
 // replays the crash in a single sim.RunOnce.
 //
+// The run is observable: -progress prints a live line (trials/sec, ETA,
+// running estimate with confidence half-width, quarantine count,
+// checkpoint age) at the given interval; -manifest records a JSONL event
+// log plus a final JSON summary (seed, every flag value, build version,
+// per-phase timings, metrics snapshot) that documents the run and replays
+// it (obs.ReplayArgs); -metrics-out dumps the final metrics registry as
+// JSON; -pprof serves net/http/pprof, expvar and the live metrics on the
+// given address for the duration of the run. All of it rides the engine's
+// telemetry hook, which costs nothing when no flag is set.
+//
 // Usage:
 //
 //	lrsim [-sizes 3,5,8] [-policies slowest,random,spiteful] \
 //	      [-trials 2000] [-within 13] [-seed 1] [-workers N] \
 //	      [-budget 10m] [-checkpoint state.json] [-resume state.json] \
-//	      [-quarantine N]
+//	      [-quarantine N] [-progress 2s] [-manifest run.jsonl] \
+//	      [-metrics-out metrics.json] [-pprof localhost:6060]
 package main
 
 import (
@@ -43,8 +54,10 @@ import (
 	"strings"
 	"syscall"
 	"text/tabwriter"
+	"time"
 
 	"repro/internal/dining"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -74,6 +87,10 @@ func run(ctx context.Context, args []string) error {
 	checkpoint := fs.String("checkpoint", "", "persist chunk-granularity progress to this JSON state file as trials complete")
 	resume := fs.String("resume", "", "resume from this state file (and keep updating it); the final estimates are bit-identical to an uninterrupted run")
 	quarantine := fs.Int("quarantine", 0, "panicking trials tolerated per estimate (recorded with repro seeds, excluded from it) before aborting")
+	progress := fs.Duration("progress", 0, "print a live progress line to stderr at this interval (0 = off)")
+	manifest := fs.String("manifest", "", "record a JSONL run manifest (events + final summary) to this file")
+	metricsOut := fs.String("metrics-out", "", "write the final metrics registry snapshot as JSON to this file")
+	pprof := fs.String("pprof", "", "serve /debug/pprof, /debug/vars and /debug/metrics on this address for the duration of the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -91,6 +108,8 @@ func run(ctx context.Context, args []string) error {
 		return usageError(fs, "-budget must be >= 0, got %v", *budget)
 	case *quarantine < 0:
 		return usageError(fs, "-quarantine must be >= 0, got %d", *quarantine)
+	case *progress < 0:
+		return usageError(fs, "-progress must be >= 0, got %v", *progress)
 	}
 	ns, err := parseSizes(*sizes)
 	if err != nil {
@@ -98,35 +117,97 @@ func run(ctx context.Context, args []string) error {
 	}
 	names := strings.Split(*policies, ",")
 
+	// The manifest records every flag at its effective value: together
+	// with the tool name this is the full reproduction recipe.
+	flagValues := map[string]string{}
+	fs.VisitAll(func(f *flag.Flag) { flagValues[f.Name] = f.Value.String() })
+	stages := 2 * len(ns) * len(names)
+	if *curveMax > 0 {
+		stages++
+	}
+	ins, err := obs.Setup(obs.Config{
+		Tool:        "lrsim",
+		Seed:        *seed,
+		Options:     flagValues,
+		Resume:      *resume,
+		TotalTrials: stages * *trials,
+		Progress:    *progress,
+		MetricsOut:  *metricsOut,
+		Manifest:    *manifest,
+		Pprof:       *pprof,
+	})
+	if err != nil {
+		return usageError(fs, "%v", err)
+	}
+
+	// The experiment body runs inside a closure so every exit path —
+	// success, interrupt, estimator error — flushes the instrumentation
+	// sinks with the run's actual outcome.
+	runErr := func() error {
+		return experiments(ctx, ins, params{
+			ns: ns, names: names, trials: *trials, within: *within,
+			seed: *seed, workers: *workers, curveMax: *curveMax,
+			budget: *budget, checkpoint: *checkpoint, resume: *resume,
+			quarantine: *quarantine,
+		})
+	}()
+	if cerr := ins.Close(runErr); cerr != nil && runErr == nil {
+		runErr = cerr
+	}
+	return runErr
+}
+
+// params carries the validated flag values into the experiment body.
+type params struct {
+	ns         []int
+	names      []string
+	trials     int
+	within     float64
+	seed       int64
+	workers    int
+	curveMax   int
+	budget     time.Duration
+	checkpoint string
+	resume     string
+	quarantine int
+}
+
+func experiments(ctx context.Context, ins *obs.Instrumentation, p params) error {
+	ns, names := p.ns, p.names
+
 	// SIGINT/SIGTERM cancel the context for a graceful drain; stop() is
 	// re-armed the moment that happens, so a second signal kills the
 	// process the default way instead of being swallowed.
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	context.AfterFunc(ctx, stop)
-	if *budget > 0 {
+	if p.budget > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeoutCause(ctx, *budget, fmt.Errorf("wall-clock budget %v expired", *budget))
+		ctx, cancel = context.WithTimeoutCause(ctx, p.budget, fmt.Errorf("wall-clock budget %v expired", p.budget))
 		defer cancel()
 	}
 
 	// The checkpoint state file maps a stage label (size × policy ×
 	// estimator) to its resume token; -resume without -checkpoint keeps
 	// updating the same file.
-	ckPath := *checkpoint
+	ckPath := p.checkpoint
 	if ckPath == "" {
-		ckPath = *resume
+		ckPath = p.resume
 	}
 	var cs sim.CheckpointSet
-	if *resume != "" {
-		if cs, err = sim.LoadCheckpointSet(*resume); err != nil {
+	var err error
+	if p.resume != "" {
+		if cs, err = sim.LoadCheckpointSet(p.resume); err != nil {
 			return err
 		}
 	} else if ckPath != "" {
 		cs = sim.CheckpointSet{}
 	}
 	makePopts := func(label string) sim.ParallelOptions {
-		popts := sim.ParallelOptions{Workers: *workers, Seed: *seed, MaxPanics: *quarantine}
+		popts := sim.ParallelOptions{Workers: p.workers, Seed: p.seed, MaxPanics: p.quarantine}
+		if sm := ins.Metrics(); sm != nil {
+			popts.Metrics = sm
+		}
 		if cs != nil {
 			popts.Resume = cs[label]
 			popts.CheckpointSink = func(cp *sim.Checkpoint) error {
@@ -137,11 +218,11 @@ func run(ctx context.Context, args []string) error {
 		return popts
 	}
 
-	fmt.Printf("Lehmann–Rabin Monte Carlo: start = all processes trying (flip-ready), trials = %d\n", *trials)
+	fmt.Printf("Lehmann–Rabin Monte Carlo: start = all processes trying (flip-ready), trials = %d\n", p.trials)
 	fmt.Printf("paper claims: P[reach C within 13] >= 1/8 = 0.125 from any trying state; E[time to C] <= 63\n\n")
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "n\tpolicy\tP[C within %g] (95%% Wilson)\tE[time to C] (95%% CI)\n", *within)
+	fmt.Fprintf(tw, "n\tpolicy\tP[C within %g] (95%% Wilson)\tE[time to C] (95%% CI)\n", p.within)
 
 	// interrupted finalizes a partially completed run: flush what we
 	// have, point at the resume token, and report the cancellation cause.
@@ -173,8 +254,10 @@ func run(ctx context.Context, args []string) error {
 				SetStart: true,
 			}
 			stage := fmt.Sprintf("n=%d/%s", n, name)
+			ins.PhaseStart(stage + "/reach")
 			probEst, probRep, err := sim.EstimateReachProbParallel[dining.State](ctx, model, mk, dining.InC,
-				*within, *trials, opts, makePopts(stage+"/reach"))
+				p.within, p.trials, opts, makePopts(stage+"/reach"))
+			ins.PhaseDone(stage+"/reach", probEst.String(), probRep.String(), err)
 			reportQuarantine(stage+"/reach", probRep)
 			if errors.Is(err, sim.ErrInterrupted) {
 				if probRep.Completed > 0 {
@@ -185,8 +268,10 @@ func run(ctx context.Context, args []string) error {
 			if err != nil {
 				return err
 			}
+			ins.PhaseStart(stage + "/time")
 			timeEst, timeRep, err := sim.EstimateTimeToTargetParallel[dining.State](ctx, model, mk, dining.InC,
-				*trials, opts, makePopts(stage+"/time"))
+				p.trials, opts, makePopts(stage+"/time"))
+			ins.PhaseDone(stage+"/time", timeEst.String(), timeRep.String(), err)
 			reportQuarantine(stage+"/time", timeRep)
 			if errors.Is(err, sim.ErrInterrupted) {
 				fmt.Fprintf(tw, "%d\t%s\t%s\t%s [partial: %s]\n", n, name, probEst.String(), timeEst.String(), timeRep)
@@ -202,7 +287,7 @@ func run(ctx context.Context, args []string) error {
 		return err
 	}
 
-	if *curveMax > 0 {
+	if p.curveMax > 0 {
 		n := ns[0]
 		name := strings.TrimSpace(names[0])
 		model, err := dining.New(n)
@@ -213,14 +298,16 @@ func run(ctx context.Context, args []string) error {
 		if err != nil {
 			return err
 		}
-		deadlines := make([]float64, *curveMax)
+		deadlines := make([]float64, p.curveMax)
 		for i := range deadlines {
 			deadlines[i] = float64(i + 1)
 		}
-		stage := fmt.Sprintf("n=%d/%s/curve@%d", n, name, *curveMax)
-		curve, curveRep, err := sim.EstimateCurveParallel[dining.State](ctx, model, mk, dining.InC, deadlines, *trials,
+		stage := fmt.Sprintf("n=%d/%s/curve@%d", n, name, p.curveMax)
+		ins.PhaseStart(stage)
+		curve, curveRep, err := sim.EstimateCurveParallel[dining.State](ctx, model, mk, dining.InC, deadlines, p.trials,
 			sim.Options[dining.State]{Start: dining.AllAt(n, dining.F), SetStart: true},
 			makePopts(stage))
+		ins.PhaseDone(stage, fmt.Sprintf("curve over %d deadlines", len(curve.Deadlines)), curveRep.String(), err)
 		reportQuarantine(stage, curveRep)
 		partial := ""
 		if errors.Is(err, sim.ErrInterrupted) {

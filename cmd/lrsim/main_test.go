@@ -2,12 +2,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -157,5 +159,113 @@ func TestCheckpointResumeIdenticalOutput(t *testing.T) {
 		t.Error("resume with mismatched -seed accepted")
 	} else if !strings.Contains(err.Error(), "checkpoint") {
 		t.Errorf("mismatched resume error does not mention checkpoint: %v", err)
+	}
+}
+
+func TestRunBadObservabilityFlags(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "no", "such", "dir")
+	tests := [][]string{
+		{"-sizes", "3", "-progress", "-1s"},
+		{"-sizes", "3", "-manifest", filepath.Join(missing, "run.jsonl")},
+		{"-sizes", "3", "-metrics-out", filepath.Join(missing, "m.json")},
+		{"-sizes", "3", "-pprof", "bad addr:xyz"},
+	}
+	for _, args := range tests {
+		if err := run(context.Background(), args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+// TestManifestRoundTrip is the acceptance criterion for run manifests: a
+// recorded run's manifest must carry enough (seed + flag values) to replay
+// the run and reproduce the same estimates bit-for-bit.
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "run.jsonl")
+	metricsOut := filepath.Join(dir, "metrics.json")
+	args := []string{"-sizes", "3", "-policies", "slowest,spiteful", "-trials", "90", "-seed", "13",
+		"-progress", "50ms", "-manifest", manifest, "-metrics-out", metricsOut}
+
+	want, err := captureRun(t, context.Background(), args)
+	if err != nil {
+		t.Fatalf("recorded run: %v", err)
+	}
+
+	log, err := obs.LoadManifest(manifest)
+	if err != nil {
+		t.Fatalf("load manifest: %v", err)
+	}
+	meta := log.Meta()
+	if meta == nil || meta.Tool != "lrsim" || meta.Seed != 13 {
+		t.Fatalf("manifest meta = %+v", meta)
+	}
+	if log.Summary == nil {
+		t.Fatal("manifest has no final summary")
+	}
+	if got := len(log.Summary.Phases); got != 4 {
+		t.Errorf("summary has %d phases, want 4 (2 policies x 2 estimators)", got)
+	}
+	for _, ph := range log.Summary.Phases {
+		if ph.Err != "" || ph.EndUnixNs < ph.StartUnixNs || ph.Estimate == "" {
+			t.Errorf("phase %+v malformed", ph)
+		}
+	}
+	const trialsRecorded = 4 * 90
+	if got := log.Summary.Metrics.Counters["sim.trials_completed"]; got != trialsRecorded {
+		t.Errorf("manifest metrics counted %d trials, want %d", got, trialsRecorded)
+	}
+
+	// Replay from the manifest alone: reconstruct the command line from
+	// the recorded flag values (dropping the observability flags) and
+	// compare stdout byte-for-byte.
+	replay := obs.ReplayArgs(meta.Options, "manifest", "metrics-out", "progress", "pprof",
+		"checkpoint", "resume", "budget")
+	got, err := captureRun(t, context.Background(), replay)
+	if err != nil {
+		t.Fatalf("replayed run %v: %v", replay, err)
+	}
+	if got != want {
+		t.Errorf("replayed output differs from recorded run:\n--- want\n%s\n--- got\n%s", want, got)
+	}
+
+	// The metrics snapshot is valid JSON naming the core instruments.
+	data, err := os.ReadFile(metricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics-out is not a JSON snapshot: %v", err)
+	}
+	if snap.Counters["sim.trials_completed"] != trialsRecorded {
+		t.Errorf("metrics-out counters = %+v", snap.Counters)
+	}
+	if h, ok := snap.Histograms["sim.trial_steps"]; !ok || h.Count != trialsRecorded {
+		t.Errorf("metrics-out trial_steps histogram = %+v", snap.Histograms)
+	}
+}
+
+// TestProgressLine: -progress emits at least one self-describing progress
+// line on the requested writer (stderr in production; captured here).
+func TestProgressOutput(t *testing.T) {
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "run.jsonl")
+	if err := run(context.Background(), []string{"-sizes", "3", "-policies", "slowest", "-trials", "60",
+		"-progress", "1ms", "-manifest", manifest}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	log, err := obs.LoadManifest(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var progress int
+	for _, e := range log.Events {
+		if e.Event == "progress" {
+			progress++
+		}
+	}
+	if progress == 0 {
+		t.Error("manifest recorded no progress samples")
 	}
 }

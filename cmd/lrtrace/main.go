@@ -3,10 +3,14 @@
 // paper's Section 6.1 notation (program counters with direction arrows) —
 // Figure 1 of the paper, animated.
 //
+// With -jsonl the trace is also streamed, step by step as it happens, to
+// a JSONL file in the run-manifest schema (obs.Event with "step" records),
+// so single-run traces and sweep telemetry share one set of tooling.
+//
 // Usage:
 //
 //	lrtrace [-n ring] [-policy slowest|random|spiteful] [-seed 1] \
-//	        [-until-c] [-max-events 60]
+//	        [-until-c] [-max-events 60] [-jsonl trace.jsonl]
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"os"
 
 	"repro/internal/dining"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -34,8 +39,17 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	untilC := fs.Bool("until-c", true, "stop when some process enters its critical region")
 	maxEvents := fs.Int("max-events", 60, "event budget")
+	jsonl := fs.String("jsonl", "", "also stream the trace as JSONL (run-manifest step events) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *n <= 0 {
+		fs.Usage()
+		return fmt.Errorf("-n must be positive, got %d", *n)
+	}
+	if *maxEvents <= 0 {
+		fs.Usage()
+		return fmt.Errorf("-max-events must be positive, got %d", *maxEvents)
 	}
 
 	model := dining.MustNew(*n)
@@ -58,6 +72,28 @@ func run(args []string) error {
 		target = func(dining.State) bool { return false }
 	}
 
+	// -jsonl streams each step into a manifest-schema event log as it is
+	// recorded; the file is created (and the address validated) before the
+	// run starts, matching the other tools' up-front flag checks.
+	var mw *obs.ManifestWriter
+	if *jsonl != "" {
+		f, err := os.Create(*jsonl)
+		if err != nil {
+			fs.Usage()
+			return fmt.Errorf("-jsonl: %w", err)
+		}
+		defer f.Close()
+		flagValues := map[string]string{}
+		fs.VisitAll(func(fl *flag.Flag) { flagValues[fl.Name] = fl.Value.String() })
+		mw = obs.NewManifestWriter(f, obs.RunMeta{
+			Tool:    "lrtrace",
+			Version: obs.Version(),
+			Seed:    *seed,
+			Options: flagValues,
+		})
+		rec.Stream(mw)
+	}
+
 	rng := rand.New(rand.NewSource(*seed))
 	res, err := sim.RunOnce[dining.State](model, pol, target, sim.Options[dining.State]{
 		Start:     start,
@@ -65,6 +101,11 @@ func run(args []string) error {
 		MaxEvents: *maxEvents,
 		Observer:  trace.Observer(rec, dining.State.String),
 	}, rng)
+	if mw != nil {
+		if cerr := mw.Close(nil, err); cerr != nil && err == nil {
+			return fmt.Errorf("-jsonl: %w", cerr)
+		}
+	}
 	if err != nil {
 		return err
 	}

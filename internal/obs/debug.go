@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler is the live-profiling surface the -pprof flag serves:
+//
+//	/debug/pprof/...  net/http/pprof (CPU, heap, goroutine, trace, ...)
+//	/debug/vars       expvar (cmdline, memstats, published registries)
+//	/debug/metrics    the registry snapshot as JSON
+//
+// A private mux (rather than http.DefaultServeMux) keeps repeated
+// in-process runs from fighting over global handler registration.
+func DebugHandler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	if reg != nil {
+		mux.Handle("/debug/metrics", reg.Handler())
+	}
+	return mux
+}
+
+// DebugServer is a running debug endpoint; Addr is the bound address
+// (useful with ":0").
+type DebugServer struct {
+	Addr string
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// ServeDebug binds addr, publishes the registry under the expvar name
+// "sim_metrics", and serves DebugHandler in a background goroutine. A bad
+// or busy address surfaces here, synchronously — the CLIs use that as
+// up-front -pprof validation.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: -pprof listen %s: %w", addr, err)
+	}
+	if reg != nil {
+		reg.PublishExpvar("sim_metrics")
+	}
+	srv := &http.Server{Handler: DebugHandler(reg)}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return &DebugServer{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil
+}
+
+// Close shuts the server down.
+func (d *DebugServer) Close() error { return d.srv.Close() }

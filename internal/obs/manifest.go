@@ -1,0 +1,346 @@
+package obs
+
+// Run manifests: a JSONL event log plus a final JSON summary that together
+// make a recorded run a regenerable artifact. The manifest records
+// everything needed to reproduce the run bit-for-bit — seed, flag values,
+// toolchain/VCS version — alongside what actually happened: per-phase
+// timings, progress samples, per-step trace events, a final metrics
+// snapshot, and the resume lineage of checkpointed runs.
+//
+// The same Event schema carries both sweep telemetry (phase/progress
+// events from the CLIs) and single-run traces (step events from
+// internal/trace), so one set of tooling reads both.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ManifestVersion guards the on-disk event schema.
+const ManifestVersion = 1
+
+// RunMeta identifies one recorded run: the tool, its version, the seed and
+// the full flag assignment, plus the resume lineage when the run continued
+// an earlier one.
+type RunMeta struct {
+	// ManifestVersion is the schema version of the event log.
+	ManifestVersion int `json:"manifest_version"`
+	// Tool is the producing command ("lrsim", "electcheck", "lrtrace").
+	Tool string `json:"tool"`
+	// Version identifies the build: the VCS revision when available
+	// (Version()), so a manifest names the exact code that produced it.
+	Version string `json:"version"`
+	// Seed is the root RNG seed of the run.
+	Seed int64 `json:"seed"`
+	// Options maps every flag of the producing command to its effective
+	// value (defaults included) — together with Seed this is the
+	// reproduction recipe; see ReplayArgs.
+	Options map[string]string `json:"options,omitempty"`
+	// Resume is the state file the run resumed from, if any — the lineage
+	// link between a manifest and its interrupted ancestor.
+	Resume string `json:"resume,omitempty"`
+	// StartUnixNs is the wall-clock start of the run.
+	StartUnixNs int64 `json:"start_unix_ns"`
+}
+
+// Phase is one timed stage of a run (an estimator sweep, an analysis
+// pass). Estimate and Report carry the stage's rendered outcome so a
+// manifest alone documents what the run printed.
+type Phase struct {
+	Name        string `json:"name"`
+	StartUnixNs int64  `json:"start_unix_ns"`
+	EndUnixNs   int64  `json:"end_unix_ns,omitempty"`
+	Estimate    string `json:"estimate,omitempty"`
+	Report      string `json:"report,omitempty"`
+	Err         string `json:"error,omitempty"`
+}
+
+// StepEvent is one recorded simulation step — the schema shared between
+// lrtrace streaming output and any future per-step sweep telemetry.
+type StepEvent struct {
+	T      float64 `json:"t"`
+	Proc   int     `json:"proc"`
+	Action string  `json:"action"`
+	State  string  `json:"state,omitempty"`
+}
+
+// Summary is the final record of a run: meta, per-phase timings, the
+// closing metrics snapshot, and the overall outcome.
+type Summary struct {
+	Meta        RunMeta   `json:"meta"`
+	Phases      []Phase   `json:"phases,omitempty"`
+	Metrics     *Snapshot `json:"metrics,omitempty"`
+	EndUnixNs   int64     `json:"end_unix_ns"`
+	Interrupted bool      `json:"interrupted,omitempty"`
+	Err         string    `json:"error,omitempty"`
+}
+
+// Event is one JSONL record of a manifest. Exactly one payload field is
+// set, discriminated by Event.
+type Event struct {
+	// Event is the record kind: "run_start", "phase_start", "phase_done",
+	// "progress", "step", or "run_done".
+	Event      string            `json:"event"`
+	TimeUnixNs int64             `json:"time_unix_ns"`
+	Meta       *RunMeta          `json:"meta,omitempty"`
+	Phase      *Phase            `json:"phase,omitempty"`
+	Progress   *ProgressSnapshot `json:"progress,omitempty"`
+	Step       *StepEvent        `json:"step,omitempty"`
+	Summary    *Summary          `json:"summary,omitempty"`
+}
+
+// ManifestWriter streams Events as JSONL. It is safe for concurrent use
+// (manifest writes are cold-path; a mutex serializes encoding) and keeps
+// the growing Summary so Close can emit the final record without the
+// caller re-assembling it.
+type ManifestWriter struct {
+	mu      sync.Mutex
+	enc     *json.Encoder
+	meta    RunMeta
+	phases  []Phase
+	open    map[string]int // phase name -> index into phases
+	werr    error
+	closed  bool
+	started time.Time
+}
+
+// NewManifestWriter emits the run_start event for meta onto w and returns
+// the writer. meta.ManifestVersion and StartUnixNs are stamped here.
+func NewManifestWriter(w io.Writer, meta RunMeta) *ManifestWriter {
+	now := time.Now()
+	meta.ManifestVersion = ManifestVersion
+	meta.StartUnixNs = now.UnixNano()
+	mw := &ManifestWriter{
+		enc:     json.NewEncoder(w),
+		meta:    meta,
+		open:    map[string]int{},
+		started: now,
+	}
+	mw.emit(Event{Event: "run_start", Meta: &mw.meta})
+	return mw
+}
+
+// emit writes one event; the caller must not hold mu.
+func (mw *ManifestWriter) emit(e Event) {
+	mw.mu.Lock()
+	defer mw.mu.Unlock()
+	mw.emitLocked(e)
+}
+
+func (mw *ManifestWriter) emitLocked(e Event) {
+	if mw.werr != nil || mw.closed {
+		return
+	}
+	if e.TimeUnixNs == 0 {
+		e.TimeUnixNs = time.Now().UnixNano()
+	}
+	mw.werr = mw.enc.Encode(e)
+}
+
+// PhaseStart opens a named phase and records its start time.
+func (mw *ManifestWriter) PhaseStart(name string) {
+	mw.mu.Lock()
+	defer mw.mu.Unlock()
+	ph := Phase{Name: name, StartUnixNs: time.Now().UnixNano()}
+	mw.open[name] = len(mw.phases)
+	mw.phases = append(mw.phases, ph)
+	mw.emitLocked(Event{Event: "phase_start", Phase: &ph})
+}
+
+// PhaseDone closes a phase with its rendered estimate, run report and
+// error (nil for success). Closing a phase that was never started opens
+// and closes it at once, with equal start and end stamps.
+func (mw *ManifestWriter) PhaseDone(name, estimate, report string, err error) {
+	mw.mu.Lock()
+	defer mw.mu.Unlock()
+	now := time.Now().UnixNano()
+	i, ok := mw.open[name]
+	if !ok {
+		i = len(mw.phases)
+		mw.phases = append(mw.phases, Phase{Name: name, StartUnixNs: now})
+	}
+	delete(mw.open, name)
+	ph := &mw.phases[i]
+	ph.EndUnixNs = now
+	ph.Estimate = estimate
+	ph.Report = report
+	if err != nil {
+		ph.Err = err.Error()
+	}
+	done := *ph
+	mw.emitLocked(Event{Event: "phase_done", Phase: &done})
+}
+
+// Progress records one progress sample (the reporter tees its ticks here).
+func (mw *ManifestWriter) Progress(s ProgressSnapshot) {
+	mw.emit(Event{Event: "progress", Progress: &s})
+}
+
+// Step records one simulation step; the method matches the trace package's
+// Sink interface, so a ManifestWriter can stream a recorder directly.
+func (mw *ManifestWriter) Step(t float64, proc int, action, state string) {
+	mw.emit(Event{Event: "step", Step: &StepEvent{T: t, Proc: proc, Action: action, State: state}})
+}
+
+// Close emits the run_done summary (with the final metrics snapshot and
+// the run's outcome) and returns the first write error, if any. Further
+// events are dropped.
+func (mw *ManifestWriter) Close(metrics *Snapshot, runErr error) error {
+	mw.mu.Lock()
+	defer mw.mu.Unlock()
+	if mw.closed {
+		return mw.werr
+	}
+	sum := Summary{
+		Meta:      mw.meta,
+		Phases:    mw.phases,
+		Metrics:   metrics,
+		EndUnixNs: time.Now().UnixNano(),
+	}
+	if runErr != nil {
+		sum.Err = runErr.Error()
+	}
+	mw.emitLocked(Event{Event: "run_done", Summary: &sum})
+	mw.closed = true
+	return mw.werr
+}
+
+// ManifestLog is a parsed manifest: the full event stream plus the final
+// summary, when the run closed cleanly.
+type ManifestLog struct {
+	Events  []Event
+	Summary *Summary
+}
+
+// Meta returns the run_start metadata, falling back to the summary's copy.
+func (l *ManifestLog) Meta() *RunMeta {
+	for i := range l.Events {
+		if l.Events[i].Event == "run_start" && l.Events[i].Meta != nil {
+			return l.Events[i].Meta
+		}
+	}
+	if l.Summary != nil {
+		return &l.Summary.Meta
+	}
+	return nil
+}
+
+// Steps returns the step events in order.
+func (l *ManifestLog) Steps() []StepEvent {
+	var out []StepEvent
+	for i := range l.Events {
+		if l.Events[i].Event == "step" && l.Events[i].Step != nil {
+			out = append(out, *l.Events[i].Step)
+		}
+	}
+	return out
+}
+
+// ReadManifest parses a JSONL manifest stream. A truncated log (a run that
+// died before Close) is not an error: Summary is simply nil.
+func ReadManifest(r io.Reader) (*ManifestLog, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	log := &ManifestLog{}
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("obs: manifest line %d: %w", line, err)
+		}
+		if e.Event == "run_start" && e.Meta != nil && e.Meta.ManifestVersion != ManifestVersion {
+			return nil, fmt.Errorf("obs: manifest version %d, want %d", e.Meta.ManifestVersion, ManifestVersion)
+		}
+		log.Events = append(log.Events, e)
+		if e.Event == "run_done" && e.Summary != nil {
+			log.Summary = e.Summary
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading manifest: %w", err)
+	}
+	return log, nil
+}
+
+// LoadManifest reads a manifest file written via NewManifestWriter.
+func LoadManifest(path string) (*ManifestLog, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: opening manifest: %w", err)
+	}
+	defer f.Close()
+	return ReadManifest(f)
+}
+
+// ReplayArgs turns a recorded flag assignment back into a command line,
+// skipping the given flags (observability and lifecycle flags that do not
+// affect the estimates). Flags are emitted sorted by name, so the result
+// is deterministic, and in single-token -name=value form, which the flag
+// package accepts for boolean and non-boolean flags alike. Reproducing a
+// run is then:
+//
+//	meta := log.Meta()
+//	args := obs.ReplayArgs(meta.Options, "manifest", "progress", ...)
+//	// run the tool named by meta.Tool with args
+func ReplayArgs(options map[string]string, skip ...string) []string {
+	drop := make(map[string]bool, len(skip))
+	for _, s := range skip {
+		drop[s] = true
+	}
+	names := make([]string, 0, len(options))
+	for name := range options {
+		if !drop[name] {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	args := make([]string, 0, len(names))
+	for _, name := range names {
+		args = append(args, "-"+name+"="+options[name])
+	}
+	return args
+}
+
+// Version identifies the running build for manifest provenance: the VCS
+// revision (plus "-dirty" when the tree was modified) from the embedded
+// build info, the module version for tagged builds, or "unknown" for
+// plain `go test` binaries.
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	var rev, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				modified = "-dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		return rev + modified
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	return "unknown"
+}

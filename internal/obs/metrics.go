@@ -1,0 +1,266 @@
+// Package obs is the observability layer of the simulation runtime: a
+// lock-free metrics registry (atomic counters, gauges and fixed-bucket
+// histograms), a live progress reporter for long Monte Carlo sweeps, JSONL
+// run manifests that make recorded experiments regenerable artifacts, and
+// a pprof/expvar debug server for profiling runs in flight.
+//
+// The design rule throughout is that the *hot path pays nothing*: every
+// mutation an instrument supports (Counter.Add, Gauge.Set,
+// Histogram.Observe) is a handful of atomic operations with zero
+// allocations, so the parallel trial engine can call them once per trial
+// without perturbing the workload it measures. Registration, snapshots,
+// progress lines and manifest events are cold paths and use ordinary
+// locking.
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready to
+// use; all methods are safe for concurrent use and allocation-free.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the value to stay monotone; Add does not
+// enforce it).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down (e.g. in-flight chunks). The
+// zero value is ready to use; all methods are safe for concurrent use and
+// allocation-free.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores an absolute value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// atomicFloat is a float64 with a lock-free Add, stored as IEEE-754 bits
+// behind a CAS loop. Concurrent adds serialize through the CAS; there is
+// no blocking and no allocation.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Add(x float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+x)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Value() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Histogram counts observations into fixed upper-inclusive buckets:
+// bucket i holds samples x with bounds[i-1] < x <= bounds[i], and a final
+// overflow bucket holds x > bounds[len-1]. Alongside the buckets it keeps
+// the raw moment sums (count, Σx, Σx²), so a snapshot yields a running
+// mean and CI via stats.MeanCIFromMoments without any locking.
+//
+// Observe is wait-free on the bucket counters (one atomic add after a
+// binary search of an immutable bounds slice) plus two CAS-loop float
+// adds, and never allocates.
+type Histogram struct {
+	bounds []float64 // immutable after construction, ascending
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomicFloat
+	sumsq  atomicFloat
+}
+
+// NewHistogram returns a histogram over the given ascending bucket upper
+// bounds. It panics on unsorted or empty bounds — bucket layout is a
+// programming decision, not runtime input.
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("obs: histogram bounds not ascending: %v", bounds))
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(x float64) {
+	// SearchFloat64s returns the smallest i with bounds[i] >= x — exactly
+	// the upper-inclusive bucket; len(bounds) is the overflow bucket.
+	i := sort.SearchFloat64s(h.bounds, x)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(x)
+	h.sumsq.Add(x * x)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Under
+// concurrent Observe calls the copy is near-consistent (counters are read
+// one by one), and exact once observers are quiescent.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts has one entry per bound
+	// plus a final overflow bucket.
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	SumSq  float64   `json:"sumsq"`
+}
+
+// Snapshot copies the current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    h.sum.Value(),
+		SumSq:  h.sumsq.Value(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry,
+// serializable as one JSON document (the `-metrics-out` format and the
+// metrics section of a run manifest).
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Registry is a named collection of instruments. Registration
+// (get-or-create) locks; the returned instrument handles are what the hot
+// path uses, so steady-state updates never touch the registry again.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the counter with the given name, creating it on first
+// use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it with
+// the given bounds on first use. Later calls return the existing histogram
+// and ignore the bounds argument.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(bounds...)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot copies the current value of every instrument.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// Handler serves the registry snapshot as JSON — mounted at /debug/metrics
+// by the debug server.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(r.Snapshot())
+	})
+}
+
+// expvarRegs maps a published expvar name to the registry currently behind
+// it. expvar.Publish panics on duplicate names and offers no unpublish, so
+// repeated CLI invocations inside one process (tests) re-point the
+// indirection instead of re-publishing.
+var expvarRegs = struct {
+	mu   sync.Mutex
+	regs map[string]*Registry
+}{regs: map[string]*Registry{}}
+
+// PublishExpvar exports the registry's snapshot as the expvar variable
+// with the given name (visible at /debug/vars alongside memstats). Calling
+// it again with the same name re-points the variable at the new registry;
+// the latest registry wins.
+func (r *Registry) PublishExpvar(name string) {
+	expvarRegs.mu.Lock()
+	defer expvarRegs.mu.Unlock()
+	if _, ok := expvarRegs.regs[name]; !ok {
+		expvar.Publish(name, expvar.Func(func() any {
+			expvarRegs.mu.Lock()
+			reg := expvarRegs.regs[name]
+			expvarRegs.mu.Unlock()
+			return reg.Snapshot()
+		}))
+	}
+	expvarRegs.regs[name] = r
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// ProgressReporter periodically renders a SimMetrics snapshot as one line
+// on a writer (the -progress flag), and optionally tees each snapshot into
+// a run manifest as a "progress" event — so a sweep's trajectory is both
+// watchable live and preserved in the artifact.
+type ProgressReporter struct {
+	w        io.Writer
+	interval time.Duration
+	metrics  *SimMetrics
+	manifest *ManifestWriter
+
+	mu   sync.Mutex
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewProgressReporter returns a reporter emitting to w every interval.
+// manifest may be nil; w may be nil to record progress events only.
+func NewProgressReporter(w io.Writer, interval time.Duration, metrics *SimMetrics, manifest *ManifestWriter) *ProgressReporter {
+	return &ProgressReporter{w: w, interval: interval, metrics: metrics, manifest: manifest}
+}
+
+// Start launches the reporting goroutine. Starting a running reporter is a
+// no-op.
+func (p *ProgressReporter) Start() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stop != nil {
+		return
+	}
+	p.stop = make(chan struct{})
+	p.done = make(chan struct{})
+	go p.loop(p.stop, p.done)
+}
+
+func (p *ProgressReporter) loop(stop, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			p.report()
+		case <-stop:
+			return
+		}
+	}
+}
+
+func (p *ProgressReporter) report() {
+	s := p.metrics.Progress()
+	if p.w != nil {
+		fmt.Fprintf(p.w, "progress: %s\n", s)
+	}
+	if p.manifest != nil {
+		p.manifest.Progress(s)
+	}
+}
+
+// Stop halts the goroutine and emits one final snapshot, so even a run
+// shorter than the interval leaves a closing progress line. Stopping a
+// stopped (or never started) reporter is a no-op.
+func (p *ProgressReporter) Stop() {
+	p.mu.Lock()
+	stop, done := p.stop, p.done
+	p.stop, p.done = nil, nil
+	p.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+	p.report()
+}

@@ -1,0 +1,40 @@
+package sim
+
+// Metrics is the engine's telemetry hook: RunParallel reports every trial,
+// chunk and checkpoint event of a run through it when
+// ParallelOptions.Metrics is non-nil. obs.NewSimMetrics returns the
+// standard implementation (the match is structural; neither package
+// imports the other).
+//
+// Contract:
+//
+//   - Implementations must be safe for concurrent use: trial and chunk
+//     methods are called from worker goroutines.
+//   - Implementations must not allocate or block on the trial methods —
+//     they sit on the hot path of every trial. Atomic counters and
+//     fixed-bucket histograms qualify; logging and channels do not.
+//   - The hook observes, never steers: returning is its only effect on
+//     the run, and the estimate is bit-identical with or without it.
+//
+// When the field is nil the engine's hot path pays exactly one nil check
+// per trial and allocates nothing — guarded by TestMetricsAddZeroAllocs
+// and BenchmarkMetricsOverhead.
+type Metrics interface {
+	// TrialDone reports one successfully completed trial: its index, the
+	// steps it took, its wall-clock cost, and whether/when it reached the
+	// target (reachedAt is meaningful only when reached).
+	TrialDone(trial, events int, seconds float64, reached bool, reachedAt float64)
+	// TrialQuarantined reports a panicking trial excluded from the
+	// estimate.
+	TrialQuarantined(trial int)
+	// ChunkActive moves the in-flight chunk count: +1 when a worker
+	// claims a chunk, -1 when it finishes or abandons it.
+	ChunkActive(delta int)
+	// ChunkDone reports one committed chunk and its trial count.
+	ChunkDone(chunk, trials int)
+	// TrialsRestored reports trials restored from a resume token rather
+	// than re-run (at most once per run, before workers start).
+	TrialsRestored(n int)
+	// CheckpointSaved reports one successful checkpoint-sink call.
+	CheckpointSaved()
+}

@@ -41,6 +41,12 @@ package sim
 //     up to ParallelOptions.MaxPanics such trials are quarantined
 //     (recorded, excluded from the estimate) before the run aborts.
 //
+//   - Telemetry. ParallelOptions.Metrics, when set, observes every trial
+//     (step count, wall-time, outcome), chunk claim/commit, quarantine and
+//     checkpoint save — the feed behind live progress reporting and run
+//     manifests (internal/obs). The hook is observation-only and free when
+//     unset: one nil check per trial, zero extra allocations.
+//
 //   - Checkpoint/resume. Because chunks merge deterministically in
 //     order, the serialized accumulators of completed chunks are a
 //     sufficient resume token: ParallelOptions.CheckpointSink persists
@@ -58,6 +64,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/sched"
 	"repro/internal/stats"
@@ -97,6 +104,12 @@ type ParallelOptions struct {
 	// the call (persist it — e.g. CheckpointSet.Save — rather than
 	// retaining the pointer). A sink error aborts the run.
 	CheckpointSink func(*Checkpoint) error
+	// Metrics, when non-nil, receives the run's telemetry: per-trial
+	// step counts, wall-times and outcomes, chunk lifecycle, quarantines
+	// and checkpoint saves. It observes only — the estimate is
+	// bit-identical with or without it. When nil, the hot path pays one
+	// nil check per trial and zero extra allocations (see Metrics).
+	Metrics Metrics
 
 	// kind identifies the estimator (and its parameters) producing the
 	// accumulators, so a checkpoint cannot be resumed into a different
@@ -193,6 +206,7 @@ type runControl struct {
 	mu        sync.Mutex
 	cp        *Checkpoint
 	sink      func(*Checkpoint) error
+	metrics   Metrics // may be nil; notified after successful sink calls
 	maxPanics int
 	panics    int // quarantined so far (restored + this run), for the budget
 }
@@ -225,6 +239,9 @@ func (rc *runControl) complete(chunk int, acc any, panics []PanicRecord) error {
 	if rc.sink != nil {
 		if err := rc.sink(rc.cp); err != nil {
 			return fmt.Errorf("sim: checkpoint sink: %w", err)
+		}
+		if rc.metrics != nil {
+			rc.metrics.CheckpointSaved()
 		}
 	}
 	return nil
@@ -280,6 +297,7 @@ func RunParallel[S comparable, A any](ctx context.Context, m sched.Model[S], mk 
 	done := make([]bool, numChunks)
 	errs := make([]error, numChunks)
 
+	met := popts.Metrics
 	rc := &runControl{
 		cp: &Checkpoint{
 			Version:   checkpointVersion,
@@ -289,6 +307,7 @@ func RunParallel[S comparable, A any](ctx context.Context, m sched.Model[S], mk 
 			ChunkSize: parallelChunkSize,
 		},
 		sink:      popts.CheckpointSink,
+		metrics:   met,
 		maxPanics: popts.MaxPanics,
 	}
 	if popts.Resume != nil {
@@ -305,6 +324,9 @@ func RunParallel[S comparable, A any](ctx context.Context, m sched.Model[S], mk 
 		rc.cp.Chunks = append(rc.cp.Chunks, popts.Resume.Chunks...)
 		rc.cp.Panics = append(rc.cp.Panics, popts.Resume.Panics...)
 		rc.panics = len(popts.Resume.Panics)
+		if met != nil && rep.Resumed > 0 {
+			met.TrialsRestored(rep.Resumed)
+		}
 	}
 
 	var (
@@ -326,6 +348,10 @@ func RunParallel[S comparable, A any](ctx context.Context, m sched.Model[S], mk 
 			}
 			seed := trialSeed(popts.Seed, i)
 			rng := rand.New(rand.NewSource(seed))
+			var t0 time.Time
+			if met != nil {
+				t0 = time.Now()
+			}
 			res, err := RunOnce(m, mk(), target, opts, rng)
 			var pe *TrialPanicError
 			if errors.As(err, &pe) {
@@ -333,12 +359,18 @@ func RunParallel[S comparable, A any](ctx context.Context, m sched.Model[S], mk 
 				if !rc.allowPanic() {
 					return pe
 				}
+				if met != nil {
+					met.TrialQuarantined(i)
+				}
 				chunkPanics = append(chunkPanics, PanicRecord{
 					Trial: i, Seed: seed, Value: fmt.Sprint(pe.Value), Stack: pe.Stack,
 				})
 				continue // quarantined: recorded, excluded from the estimate
 			}
 			if err == nil {
+				if met != nil {
+					met.TrialDone(i, res.Events, time.Since(t0).Seconds(), res.Reached, res.ReachedAt)
+				}
 				err = observe(&accs[chunk], i, res)
 			}
 			if err != nil {
@@ -349,6 +381,9 @@ func RunParallel[S comparable, A any](ctx context.Context, m sched.Model[S], mk 
 			return err
 		}
 		done[chunk] = true
+		if met != nil {
+			met.ChunkDone(chunk, hi-lo)
+		}
 		return nil
 	}
 
@@ -368,7 +403,14 @@ func RunParallel[S comparable, A any](ctx context.Context, m sched.Model[S], mk 
 				if done[chunk] {
 					continue // restored from the resume token
 				}
-				if err := runChunk(chunk); err != nil {
+				if met != nil {
+					met.ChunkActive(1)
+				}
+				err := runChunk(chunk)
+				if met != nil {
+					met.ChunkActive(-1)
+				}
+				if err != nil {
 					errs[chunk] = err
 					stop.Store(true)
 					return

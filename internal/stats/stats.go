@@ -63,6 +63,50 @@ func (p *Proportion) Wilson(z float64) (lo, hi float64, err error) {
 	return lo, hi, nil
 }
 
+// WilsonHalfWidth returns the half-width of the Wilson interval at the
+// given z — the ±ε a live progress display shows next to the running point
+// estimate. It is the "CI so far" companion of Wilson: cheap enough to
+// recompute on every progress tick.
+func (p *Proportion) WilsonHalfWidth(z float64) (float64, error) {
+	lo, hi, err := p.Wilson(z)
+	if err != nil {
+		return 0, err
+	}
+	return (hi - lo) / 2, nil
+}
+
+// MeanCIFromMoments returns the sample mean and the half-width of its
+// normal-approximation confidence interval at the given z, computed from
+// the raw moment sums (n, Σx, Σx²).
+//
+// It is the CI-so-far API for lock-free telemetry: a metrics layer that
+// accumulates moments with atomic adds cannot maintain a Welford state
+// (Summary.Observe is a read-modify-write of two fields), but n, Σx and
+// Σx² are each a single atomic float add, and this function turns a
+// snapshot of them into mean ± half. The textbook variance
+// (Σx² - (Σx)²/n) / (n-1) is less numerically stable than Welford —
+// acceptable for a progress display, not a replacement for Summary; a
+// negative variance from catastrophic cancellation is clamped to zero.
+//
+// With n == 0 it returns ErrNoSamples; with n == 1 the mean is exact but
+// no interval exists, so it returns mean, 0 and ErrNoSamples, matching
+// the Summary.MeanCI convention of never fabricating a bound.
+func MeanCIFromMoments(n int64, sum, sumsq float64, z float64) (mean, half float64, err error) {
+	if n <= 0 {
+		return 0, 0, ErrNoSamples
+	}
+	mean = sum / float64(n)
+	if n < 2 {
+		return mean, 0, fmt.Errorf("%w: interval needs n >= 2, have n=%d", ErrNoSamples, n)
+	}
+	v := (sumsq - sum*sum/float64(n)) / float64(n-1)
+	if v < 0 {
+		v = 0
+	}
+	half = z * math.Sqrt(v/float64(n))
+	return mean, half, nil
+}
+
 // HoeffdingLower returns a lower confidence bound on the true proportion
 // that holds with probability at least 1-delta, by Hoeffding's inequality.
 // It is the bound used to compare Monte Carlo estimates against the

@@ -360,3 +360,80 @@ func TestSummaryJSONRejectsNegativeCount(t *testing.T) {
 		t.Error("truncated document accepted")
 	}
 }
+
+func TestWilsonHalfWidth(t *testing.T) {
+	p := Proportion{Successes: 30, Trials: 100}
+	lo, hi, err := p.Wilson(1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := p.WilsonHalfWidth(1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (hi - lo) / 2; math.Abs(half-want) > 1e-15 {
+		t.Errorf("WilsonHalfWidth = %g, want %g", half, want)
+	}
+	if _, err := (&Proportion{}).WilsonHalfWidth(1.96); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("WilsonHalfWidth on empty = %v, want ErrNoSamples", err)
+	}
+}
+
+func TestMeanCIFromMoments(t *testing.T) {
+	// Against the Welford reference: the moment-sum CI must agree with
+	// Summary.MeanCI on the same sample (up to floating-point noise).
+	rng := rand.New(rand.NewSource(11))
+	var s Summary
+	var n int64
+	var sum, sumsq float64
+	for i := 0; i < 500; i++ {
+		x := rng.NormFloat64()*3 + 10
+		s.Observe(x)
+		n++
+		sum += x
+		sumsq += x * x
+	}
+	mean, half, err := MeanCIFromMoments(n, sum, sumsq, 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMean, _ := s.Mean()
+	wantLo, wantHi, err := s.MeanCI(1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHalf := (wantHi - wantLo) / 2
+	if math.Abs(mean-wantMean) > 1e-9 {
+		t.Errorf("mean = %g, Welford reference %g", mean, wantMean)
+	}
+	if math.Abs(half-wantHalf) > 1e-9 {
+		t.Errorf("half-width = %g, Welford reference %g", half, wantHalf)
+	}
+}
+
+func TestMeanCIFromMomentsEdgeCases(t *testing.T) {
+	if _, _, err := MeanCIFromMoments(0, 0, 0, 1.96); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("n=0: err = %v, want ErrNoSamples", err)
+	}
+	// n=1: exact mean, no interval, explicit error — mirrors Summary.MeanCI.
+	mean, half, err := MeanCIFromMoments(1, 7.5, 56.25, 1.96)
+	if !errors.Is(err, ErrNoSamples) {
+		t.Errorf("n=1: err = %v, want ErrNoSamples", err)
+	}
+	if mean != 7.5 || half != 0 {
+		t.Errorf("n=1: mean, half = %g, %g; want 7.5, 0", mean, half)
+	}
+	// Catastrophic cancellation (all samples identical, huge magnitude):
+	// the clamped variance must yield half = 0, never NaN.
+	const x = 1e9 + 0.125
+	mean, half, err = MeanCIFromMoments(4, 4*x, 4*x*x, 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(half) || half < 0 {
+		t.Errorf("cancellation: half = %g, want clamped >= 0", half)
+	}
+	if math.Abs(mean-x) > 1 {
+		t.Errorf("cancellation: mean = %g, want ~%g", mean, x)
+	}
+}

@@ -6,6 +6,7 @@ package trace
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Event is one recorded step.
@@ -20,12 +21,24 @@ type Event struct {
 	State string
 }
 
+// Sink receives steps as they are recorded — the streaming counterpart of
+// Recorder.Events. obs.ManifestWriter satisfies it (the match is
+// structural; neither package imports the other), so a recorder can tee a
+// live run into a JSONL manifest with Recorder.Stream.
+type Sink interface {
+	Step(t float64, proc int, action, state string)
+}
+
 // Recorder accumulates events; its Observe method matches the sim
 // package's Options.Observer hook (modulo the state-to-string conversion
-// done by the Observer helper).
+// done by the Observer helper). A Recorder is safe for concurrent use:
+// parallel trials may share one observer, and a streaming sink may be
+// drained while recording continues.
 type Recorder struct {
+	mu     sync.Mutex
 	start  string
 	events []Event
+	sink   Sink
 }
 
 // NewRecorder returns a recorder with the rendered start state.
@@ -33,26 +46,60 @@ func NewRecorder(start string) *Recorder {
 	return &Recorder{start: start}
 }
 
+// Stream tees every subsequently recorded event into s as it arrives, in
+// addition to accumulating it. Events recorded before the call are not
+// replayed (use Events for those); a nil s stops streaming.
+func (r *Recorder) Stream(s Sink) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sink = s
+}
+
+// record appends one event and forwards it to the streaming sink, if any.
+// The sink is called outside the lock so a slow writer cannot serialize
+// recording more than it must — ordering of the accumulated slice is still
+// the recording order.
+func (r *Recorder) record(e Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	sink := r.sink
+	r.mu.Unlock()
+	if sink != nil {
+		sink.Step(e.Time, e.Proc, e.Action, e.State)
+	}
+}
+
 // Observer adapts the recorder to sim.Options.Observer for a state type
 // rendered by the given function.
 func Observer[S any](r *Recorder, render func(S) string) func(t float64, proc int, action string, next S) {
 	return func(t float64, proc int, action string, next S) {
-		r.events = append(r.events, Event{Time: t, Proc: proc, Action: action, State: render(next)})
+		r.record(Event{Time: t, Proc: proc, Action: action, State: render(next)})
 	}
 }
 
-// Events returns the recorded events in order. The caller must not modify
-// the returned slice.
-func (r *Recorder) Events() []Event { return r.events }
+// Events returns a snapshot of the recorded events in order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
 
 // Len returns the number of recorded events.
-func (r *Recorder) Len() int { return len(r.events) }
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
 
 // Render formats the trace as a table:
 //
 //	t=0.000            start [R R R]
 //	t=1.000  p0 try_0        [F R R]
 func (r *Recorder) Render() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	var b strings.Builder
 	width := 0
 	for _, e := range r.events {

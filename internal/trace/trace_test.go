@@ -2,6 +2,7 @@ package trace
 
 import (
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -50,4 +51,73 @@ func TestObserverWithTypedState(t *testing.T) {
 	if got := r.Events()[0].State; got != "X=1" {
 		t.Errorf("rendered state = %q, want X=1", got)
 	}
+}
+
+// collectSink records streamed steps; the mutex makes it usable from the
+// concurrent test below.
+type collectSink struct {
+	mu    sync.Mutex
+	steps []Event
+}
+
+func (c *collectSink) Step(t float64, proc int, action, state string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.steps = append(c.steps, Event{Time: t, Proc: proc, Action: action, State: state})
+}
+
+func TestRecorderStream(t *testing.T) {
+	r := NewRecorder("[R]")
+	obs := Observer(r, func(s string) string { return s })
+	obs(1, 0, "before", "[A]") // recorded before streaming starts: not replayed
+
+	var sink collectSink
+	r.Stream(&sink)
+	obs(2, 0, "during", "[B]")
+	r.Stream(nil) // detach
+	obs(3, 0, "after", "[C]")
+
+	if len(sink.steps) != 1 || sink.steps[0].Action != "during" || sink.steps[0].Time != 2 {
+		t.Errorf("streamed steps = %+v, want just the 'during' event", sink.steps)
+	}
+	if r.Len() != 3 {
+		t.Errorf("Len = %d, want 3 (streaming must not replace accumulation)", r.Len())
+	}
+}
+
+// TestRecorderConcurrent: one recorder shared by several goroutines (as
+// parallel trials sharing an observer would) must lose no events and
+// stream each exactly once; -race checks the locking.
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder("[start]")
+	var sink collectSink
+	r.Stream(&sink)
+	obs := Observer(r, func(s string) string { return s })
+
+	const goroutines, perG = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				obs(float64(i), g, "step", "[s]")
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := r.Len(); got != goroutines*perG {
+		t.Errorf("Len = %d, want %d", got, goroutines*perG)
+	}
+	if got := len(sink.steps); got != goroutines*perG {
+		t.Errorf("streamed %d steps, want %d", got, goroutines*perG)
+	}
+	// Reading while nothing writes: Events returns a stable snapshot.
+	ev := r.Events()
+	ev[0].Action = "mutated"
+	if r.Events()[0].Action == "mutated" {
+		t.Error("Events returned the internal slice, not a snapshot")
+	}
+	_ = r.Render()
 }

@@ -13,6 +13,13 @@
 #                                                or assert a broken paper bound
 #   vuln        govulncheck (if installed)       known-vulnerable dependency use
 #
+# Performance regressions are gated separately by `make bench-diff`: it
+# re-measures the engine benchmarks and diffs them against the committed
+# BENCH_sim.json baseline with `benchjson -compare` (exit 1 when any
+# metric moves >10% in the bad direction). It is not part of `make check`
+# because a measurement run takes minutes; run it before committing
+# changes to internal/sim, internal/prob or internal/obs.
+#
 # staticcheck and govulncheck are optional: the targets run them when they
 # are on PATH and print a skip notice otherwise, so `make check` works on
 # a bare Go toolchain. Longer fuzzing of the engine against adversarial
@@ -23,7 +30,13 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test test-short test-race bench bench-smoke bench-json vuln vet fmt fuzz check lrcheck experiments
+.PHONY: all build test test-short test-race bench bench-smoke bench-json bench-diff vuln vet fmt fuzz check lrcheck experiments
+
+# Benchmarks recorded in BENCH_sim.json and gated by bench-diff: the
+# parallel-engine throughput row, the metrics-overhead pair, and the
+# compiled-vs-uncompiled ablations for the election and consensus case
+# studies.
+BENCH_GATE = BenchmarkParallelTrials|BenchmarkMetricsOverhead|BenchmarkElectionTrials|BenchmarkConsensusTrials
 
 all: check
 
@@ -50,14 +63,22 @@ bench:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
-# Machine-readable benchmark artifact: the parallel-engine throughput row
-# and the metrics-overhead pair (whose equal allocs/op columns prove the
-# telemetry hook allocates nothing per trial), post-processed from the
-# `go test -json` stream into BENCH_sim.json by cmd/benchjson.
+# Machine-readable benchmark artifact: the engine benchmarks named in
+# BENCH_GATE (the metrics-overhead pair's equal allocs/op columns prove
+# the telemetry hook allocates nothing per trial), post-processed from
+# the `go test -json` stream into BENCH_sim.json by cmd/benchjson.
 bench-json:
-	$(GO) test -run='^$$' -bench='BenchmarkParallelTrials|BenchmarkMetricsOverhead' -benchmem -json . \
+	$(GO) test -run='^$$' -bench='$(BENCH_GATE)' -benchmem -json . \
 		| $(GO) run ./cmd/benchjson -o BENCH_sim.json
 	@echo "wrote BENCH_sim.json"
+
+# Perf-regression gate: re-measure the gated benchmarks into a temp file
+# and diff against the committed baseline; exits non-zero when any
+# metric regressed more than 10%.
+bench-diff:
+	$(GO) test -run='^$$' -bench='$(BENCH_GATE)' -benchmem -json . \
+		| $(GO) run ./cmd/benchjson -o /tmp/bench_new.json
+	$(GO) run ./cmd/benchjson -compare BENCH_sim.json /tmp/bench_new.json -threshold 0.10
 
 vuln:
 	@if command -v govulncheck >/dev/null 2>&1; then \

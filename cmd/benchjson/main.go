@@ -5,9 +5,17 @@
 // parsed metric — ns/op, B/op, allocs/op, and custom b.ReportMetric
 // columns such as trials/s.
 //
+// With -compare, benchjson is a perf-regression gate instead: it diffs
+// two of its own JSON artifacts and exits non-zero when any metric moved
+// in the bad direction by more than the threshold. Units ending in "/op"
+// (ns/op, B/op, allocs/op) regress upward; units ending in "/s"
+// (trials/s) regress downward; anything else is reported but never fails
+// the gate. Benchmarks present only in the old file are noted, not fatal.
+//
 // Usage:
 //
 //	go test -run='^$' -bench=. -benchmem -json ./... | benchjson -o BENCH_sim.json
+//	benchjson -compare BENCH_sim.json new.json [-threshold 0.10]
 package main
 
 import (
@@ -17,8 +25,10 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 )
 
 func main() {
@@ -61,8 +71,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	case len(args) == 0:
 	case len(args) == 2 && args[0] == "-o":
 		out = args[1]
+	case len(args) >= 1 && args[0] == "-compare":
+		return compare(args[1:], stdout)
 	default:
-		return fmt.Errorf("usage: benchjson [-o file] < bench-output")
+		return fmt.Errorf("usage: benchjson [-o file] < bench-output\n       benchjson -compare old.json new.json [-threshold 0.10]")
 	}
 
 	report := Report{
@@ -119,6 +131,109 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 	return os.WriteFile(out, data, 0o644)
+}
+
+// compare implements `benchjson -compare old.json new.json [-threshold t]`:
+// every metric of every old benchmark is diffed against the new artifact
+// and a relative move past the threshold in the bad direction is a
+// regression, reported with a non-nil error so the gate exits 1.
+func compare(args []string, stdout io.Writer) error {
+	threshold := 0.10
+	switch {
+	case len(args) == 2:
+	case len(args) == 4 && args[2] == "-threshold":
+		v, err := strconv.ParseFloat(args[3], 64)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("-threshold wants a positive fraction, got %q", args[3])
+		}
+		threshold = v
+	default:
+		return fmt.Errorf("usage: benchjson -compare old.json new.json [-threshold 0.10]")
+	}
+	oldRep, err := loadReport(args[0])
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(args[1])
+	if err != nil {
+		return err
+	}
+	newByName := map[string]Result{}
+	for _, r := range newRep.Benchmarks {
+		newByName[r.Name] = r
+	}
+
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tmetric\told\tnew\tdelta\tverdict")
+	regressions, missing := 0, 0
+	for _, old := range oldRep.Benchmarks {
+		cur, ok := newByName[old.Name]
+		if !ok {
+			missing++
+			fmt.Fprintf(tw, "%s\t-\t-\t-\t-\tmissing in %s\n", old.Name, args[1])
+			continue
+		}
+		units := make([]string, 0, len(old.Metrics))
+		for unit := range old.Metrics {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			ov := old.Metrics[unit]
+			nv, ok := cur.Metrics[unit]
+			if !ok {
+				fmt.Fprintf(tw, "%s\t%s\t%g\t-\t-\tmetric missing\n", old.Name, unit, ov)
+				continue
+			}
+			if ov == 0 {
+				fmt.Fprintf(tw, "%s\t%s\t0\t%g\t-\tno baseline\n", old.Name, unit, nv)
+				continue
+			}
+			delta := (nv - ov) / ov
+			verdict := "ok"
+			switch {
+			case strings.HasSuffix(unit, "/op") && delta > threshold:
+				verdict = "REGRESSION"
+				regressions++
+			case strings.HasSuffix(unit, "/s") && delta < -threshold:
+				verdict = "REGRESSION"
+				regressions++
+			case strings.HasSuffix(unit, "/op") && delta < -threshold,
+				strings.HasSuffix(unit, "/s") && delta > threshold:
+				verdict = "improved"
+			case !strings.HasSuffix(unit, "/op") && !strings.HasSuffix(unit, "/s"):
+				verdict = "info"
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%g\t%g\t%+.1f%%\t%s\n", old.Name, unit, ov, nv, 100*delta, verdict)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if missing > 0 {
+		fmt.Fprintf(stdout, "note: %d benchmark(s) missing from %s (not fatal)\n", missing, args[1])
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d metric(s) regressed more than %.0f%% vs %s", regressions, 100*threshold, args[0])
+	}
+	fmt.Fprintf(stdout, "no regressions past %.0f%% vs %s\n", 100*threshold, args[0])
+	return nil
+}
+
+// loadReport reads one benchjson artifact from disk.
+func loadReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return Report{}, fmt.Errorf("%s: no benchmarks in report", path)
+	}
+	return rep, nil
 }
 
 // parseBenchLine parses one benchmark result line:

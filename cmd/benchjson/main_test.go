@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -97,5 +98,101 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run(nil, strings.NewReader("no benchmarks here\n"), nil); err == nil {
 		t.Error("benchmark-free input accepted")
+	}
+}
+
+// writeReport marshals a Report fixture to a temp file for -compare tests.
+func writeReport(t *testing.T, dir, name string, results ...Result) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(Report{GoVersion: "go", GOOS: "linux", GOARCH: "amd64", Benchmarks: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompare(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json",
+		Result{Name: "BenchmarkA-4", Iterations: 10, Metrics: map[string]float64{
+			"ns/op": 1000, "allocs/op": 500, "trials/s": 7000, "widgets": 3,
+		}},
+		Result{Name: "BenchmarkGone-4", Iterations: 10, Metrics: map[string]float64{"ns/op": 1}},
+	)
+
+	// Within threshold everywhere (and a dropped benchmark): the gate passes.
+	ok := writeReport(t, dir, "ok.json",
+		Result{Name: "BenchmarkA-4", Iterations: 10, Metrics: map[string]float64{
+			"ns/op": 1050, "allocs/op": 90, "trials/s": 6800, "widgets": 9,
+		}})
+	var sb strings.Builder
+	if err := run([]string{"-compare", oldPath, ok}, nil, &sb); err != nil {
+		t.Fatalf("within-threshold compare failed: %v\n%s", err, sb.String())
+	}
+	for _, want := range []string{"improved", "missing", "no regressions"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("compare output lacks %q:\n%s", want, sb.String())
+		}
+	}
+
+	// A /op metric up past the threshold: exit with an error.
+	slow := writeReport(t, dir, "slow.json",
+		Result{Name: "BenchmarkA-4", Iterations: 10, Metrics: map[string]float64{
+			"ns/op": 1200, "allocs/op": 500, "trials/s": 7000, "widgets": 3,
+		}})
+	sb.Reset()
+	if err := run([]string{"-compare", oldPath, slow}, nil, &sb); err == nil {
+		t.Errorf("ns/op regression passed the gate:\n%s", sb.String())
+	}
+
+	// A /s metric down past the threshold: also an error; a custom unit
+	// ("widgets") moving wildly is informational only.
+	thr := writeReport(t, dir, "thr.json",
+		Result{Name: "BenchmarkA-4", Iterations: 10, Metrics: map[string]float64{
+			"ns/op": 1000, "allocs/op": 500, "trials/s": 5000, "widgets": 400,
+		}})
+	sb.Reset()
+	err := run([]string{"-compare", oldPath, thr}, nil, &sb)
+	if err == nil {
+		t.Errorf("trials/s regression passed the gate:\n%s", sb.String())
+	}
+	if !strings.Contains(err.Error(), "1 metric(s) regressed") {
+		t.Errorf("widgets should not count as a regression: %v", err)
+	}
+	// A looser threshold lets the same diff through.
+	sb.Reset()
+	if err := run([]string{"-compare", oldPath, thr, "-threshold", "0.5"}, nil, &sb); err != nil {
+		t.Errorf("loose threshold still failed: %v", err)
+	}
+}
+
+func TestCompareBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	good := writeReport(t, dir, "good.json",
+		Result{Name: "BenchmarkA-4", Iterations: 1, Metrics: map[string]float64{"ns/op": 1}})
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"benchmarks":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"-compare"},
+		{"-compare", good},
+		{"-compare", good, good, "-threshold", "0"},
+		{"-compare", good, good, "-threshold", "x"},
+		{"-compare", good, good, "extra", "args"},
+		{"-compare", filepath.Join(dir, "nope.json"), good},
+		{"-compare", good, empty},
+	} {
+		if err := run(args, nil, io.Discard); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+	// Identical files: trivially no regressions.
+	if err := run([]string{"-compare", good, good}, nil, io.Discard); err != nil {
+		t.Errorf("self-compare failed: %v", err)
 	}
 }

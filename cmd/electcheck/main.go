@@ -27,7 +27,11 @@
 //	           [-sample trials] [-workers N] [-seed 1] \
 //	           [-budget 10m] [-checkpoint state.json] [-resume state.json] \
 //	           [-quarantine N] [-progress 2s] [-manifest run.jsonl] \
-//	           [-metrics-out metrics.json] [-pprof localhost:6060]
+//	           [-metrics-out metrics.json] [-pprof localhost:6060] [-nocompile]
+//
+// The sampled model is compiled (sim.Compile) before the run; -nocompile
+// disables the transition cache for debugging or perf comparison — the
+// printed estimate is byte-identical either way.
 package main
 
 import (
@@ -43,6 +47,7 @@ import (
 
 	"repro/internal/election"
 	"repro/internal/obs"
+	"repro/internal/sched"
 	"repro/internal/sim"
 )
 
@@ -74,6 +79,7 @@ func run(ctx context.Context, args []string) error {
 	manifest := fs.String("manifest", "", "record a JSONL run manifest (events + final summary) to this file")
 	metricsOut := fs.String("metrics-out", "", "write the final metrics registry snapshot as JSON to this file")
 	pprof := fs.String("pprof", "", "serve /debug/pprof, /debug/vars and /debug/metrics on this address for the duration of the run")
+	nocompile := fs.Bool("nocompile", false, "disable the compiled-model transition cache for -sample (estimates are identical; for debugging and perf comparison)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -111,7 +117,7 @@ func run(ctx context.Context, args []string) error {
 	if err != nil {
 		return usageError(fs, "%v", err)
 	}
-	runErr := analysis(ctx, ins, *n, *k, *sample, *workers, *seed, *budget, *checkpoint, *resume, *quarantine)
+	runErr := analysis(ctx, ins, *n, *k, *sample, *workers, *seed, *budget, *checkpoint, *resume, *quarantine, *nocompile)
 	if cerr := ins.Close(runErr); cerr != nil && runErr == nil {
 		runErr = cerr
 	}
@@ -119,7 +125,7 @@ func run(ctx context.Context, args []string) error {
 }
 
 func analysis(ctx context.Context, ins *obs.Instrumentation, n, k, sample, workers int, seed int64,
-	budget time.Duration, checkpoint, resume string, quarantine int) error {
+	budget time.Duration, checkpoint, resume string, quarantine int, nocompile bool) error {
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	context.AfterFunc(ctx, stop) // second signal kills the process the default way
@@ -176,15 +182,19 @@ func analysis(ctx context.Context, ins *obs.Instrumentation, n, k, sample, worke
 		bound, bound.Float64(), worst)
 
 	if sample > 0 {
-		model, err := election.New(n)
+		var model sched.Model[election.State]
+		model, err = election.New(n)
 		if err != nil {
 			return err
+		}
+		if !nocompile {
+			model = sim.Compile[election.State](model)
 		}
 		ckPath := checkpoint
 		if ckPath == "" {
 			ckPath = resume
 		}
-		popts := sim.ParallelOptions{Workers: workers, Seed: seed, MaxPanics: quarantine}
+		popts := sim.ParallelOptions{Workers: workers, Seed: seed, MaxPanics: quarantine, NoCompile: nocompile}
 		if sm := ins.Metrics(); sm != nil {
 			popts.Metrics = sm
 		}

@@ -2,7 +2,10 @@ package main
 
 import (
 	"context"
+	"io"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/obs"
@@ -128,4 +131,47 @@ func TestRunSampledManifest(t *testing.T) {
 	if log.Summary == nil || len(log.Summary.Phases) != 0 {
 		t.Errorf("unsampled summary = %+v", log.Summary)
 	}
+}
+
+// TestNoCompileIdenticalOutput: sampling with the compiled-model layer
+// (the default) must print a byte-identical report to -nocompile.
+func TestNoCompileIdenticalOutput(t *testing.T) {
+	args := []string{"-n", "3", "-k", "1", "-sample", "200", "-seed", "3", "-workers", "4"}
+	compiled, err := captureRun(t, context.Background(), args)
+	if err != nil {
+		t.Fatalf("compiled run: %v", err)
+	}
+	direct, err := captureRun(t, context.Background(), append(args, "-nocompile"))
+	if err != nil {
+		t.Fatalf("-nocompile run: %v", err)
+	}
+	if compiled != direct {
+		t.Errorf("output differs with -nocompile:\ncompiled:\n%s\ndirect:\n%s", compiled, direct)
+	}
+}
+
+// captureRun runs the CLI with stdout redirected to a pipe and returns
+// what it printed, so two runs can be compared byte-for-byte.
+func captureRun(t *testing.T, ctx context.Context, args []string) (string, error) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan string)
+	go func() {
+		var sb strings.Builder
+		if _, err := io.Copy(&sb, r); err != nil {
+			t.Errorf("drain stdout pipe: %v", err)
+		}
+		done <- sb.String()
+	}()
+	old := os.Stdout
+	os.Stdout = w
+	runErr := run(ctx, args)
+	os.Stdout = old
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return <-done, runErr
 }

@@ -40,7 +40,13 @@
 //	      [-trials 2000] [-within 13] [-seed 1] [-workers N] \
 //	      [-budget 10m] [-checkpoint state.json] [-resume state.json] \
 //	      [-quarantine N] [-progress 2s] [-manifest run.jsonl] \
-//	      [-metrics-out metrics.json] [-pprof localhost:6060]
+//	      [-metrics-out metrics.json] [-pprof localhost:6060] [-nocompile]
+//
+// The model is compiled once per ring size (sim.Compile: a shared
+// transition cache plus frozen samplers) and reused across every
+// estimate, so later stages run fully warm; -nocompile switches the
+// cache off for debugging or perf comparison — the printed estimates
+// are byte-identical either way.
 package main
 
 import (
@@ -58,6 +64,7 @@ import (
 
 	"repro/internal/dining"
 	"repro/internal/obs"
+	"repro/internal/sched"
 	"repro/internal/sim"
 )
 
@@ -91,6 +98,7 @@ func run(ctx context.Context, args []string) error {
 	manifest := fs.String("manifest", "", "record a JSONL run manifest (events + final summary) to this file")
 	metricsOut := fs.String("metrics-out", "", "write the final metrics registry snapshot as JSON to this file")
 	pprof := fs.String("pprof", "", "serve /debug/pprof, /debug/vars and /debug/metrics on this address for the duration of the run")
+	nocompile := fs.Bool("nocompile", false, "disable the compiled-model transition cache (estimates are identical; for debugging and perf comparison)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -148,7 +156,7 @@ func run(ctx context.Context, args []string) error {
 			ns: ns, names: names, trials: *trials, within: *within,
 			seed: *seed, workers: *workers, curveMax: *curveMax,
 			budget: *budget, checkpoint: *checkpoint, resume: *resume,
-			quarantine: *quarantine,
+			quarantine: *quarantine, nocompile: *nocompile,
 		})
 	}()
 	if cerr := ins.Close(runErr); cerr != nil && runErr == nil {
@@ -170,6 +178,7 @@ type params struct {
 	checkpoint string
 	resume     string
 	quarantine int
+	nocompile  bool
 }
 
 func experiments(ctx context.Context, ins *obs.Instrumentation, p params) error {
@@ -203,8 +212,28 @@ func experiments(ctx context.Context, ins *obs.Instrumentation, p params) error 
 	} else if ckPath != "" {
 		cs = sim.CheckpointSet{}
 	}
+	// One compiled model per ring size, shared by every stage that uses
+	// that size (reach, time, curve): the transition cache built during
+	// the first estimate serves the rest warm. With -nocompile the raw
+	// model is used and RunParallel is told not to compile it either.
+	models := map[int]sched.Model[dining.State]{}
+	newModel := func(n int) (sched.Model[dining.State], error) {
+		if m, ok := models[n]; ok {
+			return m, nil
+		}
+		var m sched.Model[dining.State]
+		m, err := dining.New(n)
+		if err != nil {
+			return nil, err
+		}
+		if !p.nocompile {
+			m = sim.Compile[dining.State](m)
+		}
+		models[n] = m
+		return m, nil
+	}
 	makePopts := func(label string) sim.ParallelOptions {
-		popts := sim.ParallelOptions{Workers: p.workers, Seed: p.seed, MaxPanics: p.quarantine}
+		popts := sim.ParallelOptions{Workers: p.workers, Seed: p.seed, MaxPanics: p.quarantine, NoCompile: p.nocompile}
 		if sm := ins.Metrics(); sm != nil {
 			popts.Metrics = sm
 		}
@@ -241,7 +270,7 @@ func experiments(ctx context.Context, ins *obs.Instrumentation, p params) error 
 	for _, n := range ns {
 		for _, name := range names {
 			name = strings.TrimSpace(name)
-			model, err := dining.New(n)
+			model, err := newModel(n)
 			if err != nil {
 				return err
 			}
@@ -290,7 +319,7 @@ func experiments(ctx context.Context, ins *obs.Instrumentation, p params) error 
 	if p.curveMax > 0 {
 		n := ns[0]
 		name := strings.TrimSpace(names[0])
-		model, err := dining.New(n)
+		model, err := newModel(n)
 		if err != nil {
 			return err
 		}

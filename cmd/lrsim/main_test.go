@@ -269,3 +269,22 @@ func TestProgressOutput(t *testing.T) {
 		t.Error("manifest recorded no progress samples")
 	}
 }
+
+// TestNoCompileIdenticalOutput: the compiled-model layer (on by default)
+// is a pure performance change — the full printed report, including the
+// curve section, must be byte-identical with and without -nocompile.
+func TestNoCompileIdenticalOutput(t *testing.T) {
+	args := []string{"-sizes", "3,4", "-policies", "random,slowest", "-trials", "48",
+		"-within", "13", "-curve", "5", "-seed", "7", "-workers", "4"}
+	compiled, err := captureRun(t, context.Background(), args)
+	if err != nil {
+		t.Fatalf("compiled run: %v", err)
+	}
+	direct, err := captureRun(t, context.Background(), append(args, "-nocompile"))
+	if err != nil {
+		t.Fatalf("-nocompile run: %v", err)
+	}
+	if compiled != direct {
+		t.Errorf("output differs with -nocompile:\ncompiled:\n%s\ndirect:\n%s", compiled, direct)
+	}
+}

@@ -1,0 +1,147 @@
+// Compiled-vs-direct identity across the three case studies: the
+// compiled-model layer (sim.Compile, on by default in every parallel
+// entry point) must be a pure performance change — for every model,
+// seed and worker count, estimates are DeepEqual to the uncompiled
+// engine's, including through the checkpoint/resume path. The
+// in-package half of this property (hand-built models, user moves,
+// RunOnce) lives in internal/sim; the CLI tests additionally assert
+// byte-identical output with and without -nocompile.
+package timedpa_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/dining"
+	"repro/internal/election"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+var identitySeeds = []int64{1, 2, 3}
+var identityWorkers = []int{1, 2, 8}
+
+// runPair runs the same estimate with the compiled layer on and off and
+// returns both results for comparison.
+func runPair[T any](t *testing.T, run func(popts sim.ParallelOptions) (T, sim.RunReport, error), seed int64, workers int) (compiled, direct T) {
+	t.Helper()
+	base := sim.ParallelOptions{Seed: seed, Workers: workers}
+	noc := base
+	noc.NoCompile = true
+	compiled, repC, errC := run(base)
+	direct, repU, errU := run(noc)
+	if errC != nil || errU != nil {
+		t.Fatalf("seed=%d workers=%d: errs compiled=%v direct=%v", seed, workers, errC, errU)
+	}
+	if repC.Completed != repU.Completed {
+		t.Fatalf("seed=%d workers=%d: completed %d (compiled) != %d (direct)", seed, workers, repC.Completed, repU.Completed)
+	}
+	return compiled, direct
+}
+
+func TestCompiledIdentityDining(t *testing.T) {
+	const n, trials = 4, 192
+	model := dining.MustNew(n)
+	opts := sim.Options[dining.State]{Start: dining.AllAt(n, dining.F), SetStart: true}
+	mk := func() sim.Policy[dining.State] { return dining.KeepTrying(sim.Random[dining.State](0.5)) }
+	deadlines := []float64{2, 4, 8, 13}
+	for _, seed := range identitySeeds {
+		for _, workers := range identityWorkers {
+			got, want := runPair(t, func(popts sim.ParallelOptions) (sim.EmpiricalCurve, sim.RunReport, error) {
+				return sim.EstimateCurveParallel[dining.State](context.Background(), model, mk, dining.InC, deadlines, trials, opts, popts)
+			}, seed, workers)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("dining seed=%d workers=%d: compiled curve %+v != direct %+v", seed, workers, got, want)
+			}
+		}
+	}
+}
+
+func TestCompiledIdentityElection(t *testing.T) {
+	const n, trials = 3, 192
+	model := election.MustNew(n)
+	mk := func() sim.Policy[election.State] { return sim.Slowest[election.State]() }
+	for _, seed := range identitySeeds {
+		for _, workers := range identityWorkers {
+			got, want := runPair(t, func(popts sim.ParallelOptions) (sim.EmpiricalCurve, sim.RunReport, error) {
+				return sim.EstimateCurveParallel[election.State](context.Background(), model, mk, election.State.HasLeader,
+					[]float64{4, 8, 16}, trials, sim.Options[election.State]{}, popts)
+			}, seed, workers)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("election seed=%d workers=%d: compiled curve %+v != direct %+v", seed, workers, got, want)
+			}
+		}
+	}
+}
+
+func TestCompiledIdentityConsensus(t *testing.T) {
+	const trials = 192
+	model := consensus.MustNew(3, 1)
+	start, err := model.StartWith([]uint8{0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := sim.Options[consensus.State]{Start: start, SetStart: true, MaxEvents: 20000}
+	mk := func() sim.Policy[consensus.State] {
+		return consensus.CrashLastReporter(sim.Random[consensus.State](0))
+	}
+	for _, seed := range identitySeeds {
+		for _, workers := range identityWorkers {
+			got, want := runPair(t, func(popts sim.ParallelOptions) (stats.Proportion, sim.RunReport, error) {
+				return sim.EstimateReachProbParallel[consensus.State](context.Background(), model, mk,
+					consensus.State.AllCorrectDecided, 100, trials, opts, popts)
+			}, seed, workers)
+			if got != want {
+				t.Errorf("consensus seed=%d workers=%d: compiled %+v != direct %+v", seed, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestCompiledIdentityResume drives the checkpoint/resume path on a real
+// model: a compiled run interrupted mid-flight and resumed must equal
+// the direct engine's uninterrupted run bit-for-bit.
+func TestCompiledIdentityResume(t *testing.T) {
+	const n, trials = 4, 640
+	model := dining.MustNew(n)
+	opts := sim.Options[dining.State]{Start: dining.AllAt(n, dining.F), SetStart: true}
+	mk := func() sim.Policy[dining.State] { return dining.KeepTrying(sim.Random[dining.State](0.5)) }
+
+	want, _, err := sim.EstimateReachProbParallel[dining.State](context.Background(), model, mk, dining.InC, 13, trials, opts,
+		sim.ParallelOptions{Seed: 5, NoCompile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	chunks := 0
+	popts := sim.ParallelOptions{
+		Seed: 5, Workers: 2,
+		CheckpointSink: func(*sim.Checkpoint) error {
+			if chunks++; chunks == 3 {
+				cancel()
+			}
+			return nil
+		},
+	}
+	_, rep, err := sim.EstimateReachProbParallel[dining.State](ctx, model, mk, dining.InC, 13, trials, opts, popts)
+	if !errors.Is(err, sim.ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+
+	got, rep2, err := sim.EstimateReachProbParallel[dining.State](context.Background(), model, mk, dining.InC, 13, trials, opts,
+		sim.ParallelOptions{Seed: 5, Workers: 8, Resume: rep.Checkpoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Resumed != rep.Completed || rep2.Completed != trials {
+		t.Fatalf("resume accounting: %v then %v", rep, rep2)
+	}
+	if got != want {
+		t.Errorf("compiled interrupt+resume %+v != direct uninterrupted %+v", got, want)
+	}
+}

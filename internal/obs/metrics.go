@@ -111,6 +111,88 @@ func (h *Histogram) Observe(x float64) {
 	h.sumsq.Add(x * x)
 }
 
+// ObserveN records the sample x, n times, at the cost of a single
+// observation. It is how a batch of trials sharing one measured value
+// (e.g. a chunk's mean per-trial wall-time) is folded in without n
+// rounds of atomics.
+func (h *Histogram) ObserveN(x float64, n int64) {
+	if n <= 0 {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, x)
+	h.counts[i].Add(n)
+	h.count.Add(n)
+	fn := float64(n)
+	h.sum.Add(x * fn)
+	h.sumsq.Add(x * x * fn)
+}
+
+// maxBatchBuckets bounds the stack-allocated bucket accumulator of the
+// batch observers; histograms with more buckets (none of the defaults
+// come close) fall back to per-sample Observe.
+const maxBatchBuckets = 64
+
+// ObserveBatch records every sample of xs, accumulating bucket counts
+// and moment sums locally and touching each shared counter at most once
+// — the batched form of Observe for callers that already hold a chunk of
+// samples. It allocates nothing.
+func (h *Histogram) ObserveBatch(xs []float64) {
+	if len(xs) == 0 {
+		return
+	}
+	if len(h.counts) > maxBatchBuckets {
+		for _, x := range xs {
+			h.Observe(x)
+		}
+		return
+	}
+	var local [maxBatchBuckets]int64
+	var sum, sumsq float64
+	for _, x := range xs {
+		local[sort.SearchFloat64s(h.bounds, x)]++
+		sum += x
+		sumsq += x * x
+	}
+	for i, n := range local[:len(h.counts)] {
+		if n != 0 {
+			h.counts[i].Add(n)
+		}
+	}
+	h.count.Add(int64(len(xs)))
+	h.sum.Add(sum)
+	h.sumsq.Add(sumsq)
+}
+
+// ObserveIntBatch is ObserveBatch for integer-valued samples (e.g. step
+// counts), sparing the caller a conversion buffer.
+func (h *Histogram) ObserveIntBatch(xs []int64) {
+	if len(xs) == 0 {
+		return
+	}
+	if len(h.counts) > maxBatchBuckets {
+		for _, v := range xs {
+			h.Observe(float64(v))
+		}
+		return
+	}
+	var local [maxBatchBuckets]int64
+	var sum, sumsq float64
+	for _, v := range xs {
+		x := float64(v)
+		local[sort.SearchFloat64s(h.bounds, x)]++
+		sum += x
+		sumsq += x * x
+	}
+	for i, n := range local[:len(h.counts)] {
+		if n != 0 {
+			h.counts[i].Add(n)
+		}
+	}
+	h.count.Add(int64(len(xs)))
+	h.sum.Add(sum)
+	h.sumsq.Add(sumsq)
+}
+
 // HistogramSnapshot is a point-in-time copy of a histogram. Under
 // concurrent Observe calls the copy is near-consistent (counters are read
 // one by one), and exact once observers are quiescent.

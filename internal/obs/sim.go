@@ -84,6 +84,26 @@ func (m *SimMetrics) TrialDone(trial, events int, seconds float64, reached bool,
 	}
 }
 
+// TrialBatchDone records one committed chunk of trials at once — the
+// batched form of TrialDone (sim's BatchMetrics extension, which the
+// engine prefers when available): bucket counts and moment sums are
+// accumulated locally and each instrument is touched once per chunk
+// instead of once per trial. seconds is the chunk's total wall-clock
+// cost; the per-trial seconds histogram receives the chunk mean for each
+// trial, since batching removes per-trial clock reads by design.
+func (m *SimMetrics) TrialBatchDone(trials, reached int, events []int64, reachTimes []float64, seconds float64) {
+	if trials <= 0 {
+		return
+	}
+	m.trials.Add(int64(trials))
+	m.steps.ObserveIntBatch(events)
+	m.seconds.ObserveN(seconds/float64(trials), int64(trials))
+	if reached > 0 {
+		m.reached.Add(int64(reached))
+		m.reachTime.ObserveBatch(reachTimes)
+	}
+}
+
 // TrialQuarantined records one panicking trial excluded from the estimate.
 func (m *SimMetrics) TrialQuarantined(trial int) { m.quarantined.Inc() }
 

@@ -1,0 +1,94 @@
+package prob
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFrozenBitIdentical is the bit-identity property behind the compiled
+// simulation engine: Frozen.Pick must return exactly what Dist.Pick
+// returns for every r, including draws that land on accumulated-rounding
+// boundaries.
+func TestFrozenBitIdentical(t *testing.T) {
+	dists := []Dist[int]{
+		Point(7),
+		MustUniform(1, 2, 3),
+		MustUniform(0, 1, 2, 3, 4, 5, 6),
+		MustDist(
+			Outcome[int]{Value: 10, Prob: NewRat(1, 3)},
+			Outcome[int]{Value: 20, Prob: NewRat(1, 6)},
+			Outcome[int]{Value: 30, Prob: NewRat(1, 2)},
+		),
+		// Weights whose float64 conversions do not sum to exactly 1, so
+		// the fallback branch is reachable for r near 1.
+		MustDist(
+			Outcome[int]{Value: 1, Prob: NewRat(1, 7)},
+			Outcome[int]{Value: 2, Prob: NewRat(2, 7)},
+			Outcome[int]{Value: 3, Prob: NewRat(4, 7)},
+		),
+	}
+	rng := rand.New(rand.NewSource(42))
+	for di, d := range dists {
+		f := Freeze(d)
+		if f.Len() != d.Len() {
+			t.Fatalf("dist %d: frozen len %d != dist len %d", di, f.Len(), d.Len())
+		}
+		for i := 0; i < 20000; i++ {
+			r := rng.Float64()
+			if got, want := f.Pick(r), d.Pick(r); got != want {
+				t.Fatalf("dist %d: Pick(%v) = %v, want %v", di, r, got, want)
+			}
+		}
+		// Boundary draws: exactly the cumulative weights, their
+		// neighbours, and the edges of [0, 1).
+		for _, v := range d.Support() {
+			acc := 0.0
+			for _, w := range d.Support() {
+				acc += d.P(w).Float64()
+				if w == v {
+					break
+				}
+			}
+			for _, r := range []float64{0, acc, nextAfterDown(acc), 0.9999999999999999} {
+				if r < 0 || r >= 1 {
+					continue
+				}
+				if got, want := f.Pick(r), d.Pick(r); got != want {
+					t.Fatalf("dist %d: boundary Pick(%v) = %v, want %v", di, r, got, want)
+				}
+			}
+		}
+	}
+}
+
+func nextAfterDown(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return x * (1 - 1e-16)
+}
+
+func TestFrozenEmptyPanicsLikeDist(t *testing.T) {
+	var d Dist[int]
+	var f Frozen[int]
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s on empty distribution did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Dist.Pick", func() { d.Pick(0.5) })
+	mustPanic("Frozen.Pick", func() { f.Pick(0.5) })
+	mustPanic("Freeze().Pick", func() { Freeze(d).Pick(0.5) })
+}
+
+func TestFrozenPoint(t *testing.T) {
+	f := Freeze(Point("x"))
+	for _, r := range []float64{0, 0.5, 0.9999999999999999} {
+		if got := f.Pick(r); got != "x" {
+			t.Errorf("Pick(%v) = %q on a point distribution", r, got)
+		}
+	}
+}

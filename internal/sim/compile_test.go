@@ -1,0 +1,346 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/pa"
+	"repro/internal/prob"
+	"repro/internal/sched"
+)
+
+// userFlip is a one-process model with both an algorithm move and a user
+// move, so compiled runs exercise the userFrozen sampling path: the user
+// move "arm"s the process, the algorithm move then flips until heads.
+type ufState struct {
+	Armed bool
+	Heads bool
+}
+
+type userFlip struct{}
+
+func (userFlip) Name() string     { return "user-flip" }
+func (userFlip) NumProcs() int    { return 1 }
+func (userFlip) Start() []ufState { return []ufState{{}} }
+
+func (userFlip) Moves(s ufState, i int) []pa.Step[ufState] {
+	if !s.Armed || s.Heads {
+		return nil
+	}
+	return []pa.Step[ufState]{{
+		Action: "flip",
+		Next: prob.MustDist(
+			prob.Outcome[ufState]{Value: ufState{Armed: true, Heads: true}, Prob: prob.Half()},
+			prob.Outcome[ufState]{Value: ufState{Armed: true}, Prob: prob.Half()},
+		),
+	}}
+}
+
+func (userFlip) UserMoves(s ufState, i int) []pa.Step[ufState] {
+	if s.Armed {
+		return nil
+	}
+	return []pa.Step[ufState]{{Action: "arm", Next: prob.Point(ufState{Armed: true})}}
+}
+
+var _ sched.Model[ufState] = userFlip{}
+
+// mkUserFlip arms the process with the user move when nothing is ready,
+// then plays the slowest legal schedule.
+func mkUserFlip() Policy[ufState] {
+	return PolicyFunc[ufState](func(v View[ufState], _ *rand.Rand) (Choice, bool) {
+		if len(v.Ready) > 0 {
+			return Choice{Proc: v.Ready[0], Move: 0, At: v.DeadlineMin}, true
+		}
+		if len(v.UserMovers) > 0 {
+			return Choice{Proc: v.UserMovers[0], Move: 0, User: true, At: v.Now}, true
+		}
+		return Choice{}, false
+	})
+}
+
+func ufHeads(s ufState) bool { return s.Heads }
+
+func TestCompileIdentityAndIdempotence(t *testing.T) {
+	c := Compile[flipState](flipper{})
+	if _, ok := c.(*Compiled[flipState]); !ok {
+		t.Fatalf("Compile(flipper) = %T, want *Compiled", c)
+	}
+	if again := Compile(c); again != c {
+		t.Errorf("Compile(Compile(m)) = %p, want the same compiled model %p", again, c)
+	}
+	if got := Compile[flipState](nil); got != nil {
+		t.Errorf("Compile(nil) = %v, want nil", got)
+	}
+	if c.Name() != "flipper" || c.NumProcs() != 1 {
+		t.Errorf("compiled model delegation: name %q procs %d", c.Name(), c.NumProcs())
+	}
+}
+
+// impureModel violates the sched.Model purity contract: every Moves call
+// returns a different action name.
+type impureModel struct{ calls atomic.Int64 }
+
+func (m *impureModel) Name() string       { return "impure" }
+func (m *impureModel) NumProcs() int      { return 1 }
+func (m *impureModel) Start() []flipState { return []flipState{{}} }
+
+func (m *impureModel) Moves(s flipState, i int) []pa.Step[flipState] {
+	if s.Heads {
+		return nil
+	}
+	action := "even"
+	if m.calls.Add(1)%2 == 1 {
+		action = "odd"
+	}
+	return []pa.Step[flipState]{{Action: action, Next: prob.Point(flipState{Heads: true})}}
+}
+
+func (m *impureModel) UserMoves(flipState, int) []pa.Step[flipState] { return nil }
+
+// panickyModel panics on any Moves query.
+type panickyModel struct{}
+
+func (panickyModel) Name() string                                  { return "panicky" }
+func (panickyModel) NumProcs() int                                 { return 1 }
+func (panickyModel) Start() []flipState                            { return []flipState{{}} }
+func (panickyModel) Moves(flipState, int) []pa.Step[flipState]     { panic("model bug") }
+func (panickyModel) UserMoves(flipState, int) []pa.Step[flipState] { return nil }
+
+func TestCompilePurityPassThrough(t *testing.T) {
+	impure := &impureModel{}
+	if got := Compile[flipState](impure); got != sched.Model[flipState](impure) {
+		t.Errorf("Compile(impure) = %T, want the model passed through uncompiled", got)
+	}
+	if got := Compile[flipState](panickyModel{}); got != sched.Model[flipState](panickyModel{}) {
+		t.Errorf("Compile(panicky) = %T, want the model passed through uncompiled", got)
+	}
+	// The pass-through keeps panic semantics: the model's panic surfaces
+	// inside the trial as a quarantinable TrialPanicError, exactly as
+	// uncompiled.
+	_, err := RunOnce[flipState](panickyModel{}, Slowest[flipState](), heads, Options[flipState]{}, rand.New(rand.NewSource(1)))
+	var pe *TrialPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("RunOnce on panicky model: err = %v, want TrialPanicError", err)
+	}
+}
+
+// TestCompiledBitIdentical is the in-package half of the compiled-vs-direct
+// property: for every (seed, worker count), the default compiled run and
+// the NoCompile run produce DeepEqual estimates and reports, on models
+// with and without user moves.
+func TestCompiledBitIdentical(t *testing.T) {
+	const trials = 500
+	for _, seed := range []int64{1, 2, 3} {
+		for _, workers := range []int{1, 2, 8} {
+			base := ParallelOptions{Seed: seed, Workers: workers}
+			noc := base
+			noc.NoCompile = true
+
+			sumC, repC, errC := EstimateTimeToTargetParallel[flipState](context.Background(), flipper{}, mkSlowest, heads, trials, Options[flipState]{}, base)
+			sumU, repU, errU := EstimateTimeToTargetParallel[flipState](context.Background(), flipper{}, mkSlowest, heads, trials, Options[flipState]{}, noc)
+			if errC != nil || errU != nil {
+				t.Fatalf("seed=%d workers=%d: errs %v / %v", seed, workers, errC, errU)
+			}
+			if !reflect.DeepEqual(sumC, sumU) {
+				t.Errorf("seed=%d workers=%d: compiled summary %v != uncompiled %v", seed, workers, sumC, sumU)
+			}
+			if repC.Completed != repU.Completed {
+				t.Errorf("seed=%d workers=%d: completed %d != %d", seed, workers, repC.Completed, repU.Completed)
+			}
+
+			propC, _, errC := EstimateReachProbParallel[ufState](context.Background(), userFlip{}, mkUserFlip, ufHeads, 8, trials, Options[ufState]{}, base)
+			propU, _, errU := EstimateReachProbParallel[ufState](context.Background(), userFlip{}, mkUserFlip, ufHeads, 8, trials, Options[ufState]{}, noc)
+			if errC != nil || errU != nil {
+				t.Fatalf("user-flip seed=%d workers=%d: errs %v / %v", seed, workers, errC, errU)
+			}
+			if propC != propU {
+				t.Errorf("user-flip seed=%d workers=%d: compiled %+v != uncompiled %+v", seed, workers, propC, propU)
+			}
+		}
+	}
+}
+
+// TestCompiledRunOnceMatchesUncompiled drives RunOnce directly with a
+// pre-compiled model: the full Result must match the uncompiled run for
+// the same seed, including step counts and final states.
+func TestCompiledRunOnceMatchesUncompiled(t *testing.T) {
+	cm := Compile[ufState](userFlip{})
+	for seed := int64(0); seed < 50; seed++ {
+		want, err1 := RunOnce[ufState](userFlip{}, mkUserFlip(), ufHeads, Options[ufState]{}, rand.New(rand.NewSource(seed)))
+		got, err2 := RunOnce[ufState](cm, mkUserFlip(), ufHeads, Options[ufState]{}, rand.New(rand.NewSource(seed)))
+		if err1 != nil || err2 != nil {
+			t.Fatalf("seed=%d: errs %v / %v", seed, err1, err2)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed=%d: compiled result %+v != uncompiled %+v", seed, got, want)
+		}
+	}
+}
+
+// TestCompiledInterruptResume: the checkpoint/resume cycle under the
+// compiled engine reproduces the uncompiled uninterrupted run bit-for-bit.
+func TestCompiledInterruptResume(t *testing.T) {
+	const trials = 2000
+	want, _, err := EstimateTimeToTargetParallel[flipState](context.Background(), flipper{}, mkSlowest, heads, trials,
+		Options[flipState]{}, ParallelOptions{Seed: 7, NoCompile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	popts := interruptAfterChunks(ParallelOptions{Seed: 7, Workers: 4}, cancel, 3)
+	_, rep, err := EstimateTimeToTargetParallel[flipState](ctx, flipper{}, mkSlowest, heads, trials, Options[flipState]{}, popts)
+	cancel()
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	got, rep2, err := EstimateTimeToTargetParallel[flipState](context.Background(), flipper{}, mkSlowest, heads, trials,
+		Options[flipState]{}, ParallelOptions{Seed: 7, Workers: 2, Resume: rep.Checkpoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Resumed != rep.Completed || rep2.Completed != trials {
+		t.Fatalf("resume accounting: %v then %v", rep, rep2)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("compiled interrupt+resume %v != uncompiled uninterrupted %v", got.String(), want.String())
+	}
+}
+
+// badDist is a hand-built model whose only step embeds the zero
+// prob.Dist — historically a Pick panic deep in the engine.
+type badDist struct{}
+
+func (badDist) Name() string       { return "bad-dist" }
+func (badDist) NumProcs() int      { return 1 }
+func (badDist) Start() []flipState { return []flipState{{}} }
+
+func (badDist) Moves(s flipState, i int) []pa.Step[flipState] {
+	if s.Heads {
+		return nil
+	}
+	return []pa.Step[flipState]{{Action: "broken"}} // zero-value Next
+}
+
+func (badDist) UserMoves(flipState, int) []pa.Step[flipState] { return nil }
+
+// TestBadModelEmptyDist: an empty successor distribution is a typed,
+// wrappable ErrBadModel on both engines — not a quarantined panic.
+func TestBadModelEmptyDist(t *testing.T) {
+	_, err := RunOnce[flipState](badDist{}, Slowest[flipState](), heads, Options[flipState]{}, rand.New(rand.NewSource(1)))
+	if !errors.Is(err, ErrBadModel) {
+		t.Fatalf("RunOnce err = %v, want ErrBadModel", err)
+	}
+	var pe *TrialPanicError
+	if errors.As(err, &pe) {
+		t.Fatalf("empty distribution was quarantined as a panic: %v", err)
+	}
+
+	for _, nocompile := range []bool{false, true} {
+		_, rep, err := EstimateReachProbParallel[flipState](context.Background(), badDist{}, mkSlowest, heads, 2, 100,
+			Options[flipState]{}, ParallelOptions{Seed: 1, MaxPanics: 5, NoCompile: nocompile})
+		if !errors.Is(err, ErrBadModel) {
+			t.Errorf("nocompile=%t: parallel err = %v, want ErrBadModel", nocompile, err)
+		}
+		if rep.Quarantined != 0 {
+			t.Errorf("nocompile=%t: %d trials quarantined; ErrBadModel must not consume the panic budget", nocompile, rep.Quarantined)
+		}
+	}
+}
+
+// batchCounting implements BatchMetrics on top of countingMetrics-style
+// atomic counters, recording how the engine batches.
+type batchCounting struct {
+	countingMetrics
+	batches     atomic.Int64
+	batchTrials atomic.Int64
+	batchReach  atomic.Int64
+	batchSteps  atomic.Int64
+}
+
+func (b *batchCounting) TrialBatchDone(trials, reached int, events []int64, reachTimes []float64, seconds float64) {
+	b.batches.Add(1)
+	b.batchTrials.Add(int64(trials))
+	b.batchReach.Add(int64(reached))
+	for _, e := range events {
+		b.batchSteps.Add(e)
+	}
+	if len(reachTimes) != reached {
+		panic("reachTimes length disagrees with reached count")
+	}
+}
+
+// TestBatchMetricsCallPattern: a BatchMetrics hook sees no per-trial
+// TrialDone calls, exactly one batch per committed chunk, and the same
+// totals the per-trial interface reports.
+func TestBatchMetricsCallPattern(t *testing.T) {
+	const trials = 300 // 4 full chunks + one ragged chunk of 44
+	// Per-trial reference: a plain countingMetrics hook on the identical
+	// run records the totals the batch path must reproduce.
+	var ref countingMetrics
+	refProp, _, err := EstimateReachProbParallel[flipState](context.Background(), flipper{}, mkSlowest, heads, 3, trials,
+		Options[flipState]{}, ParallelOptions{Seed: 9, Workers: 4, Metrics: &ref})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bm := &batchCounting{}
+	prop, rep, err := EstimateReachProbParallel[flipState](context.Background(), flipper{}, mkSlowest, heads, 3, trials,
+		Options[flipState]{}, ParallelOptions{Seed: 9, Workers: 4, Metrics: bm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != trials {
+		t.Fatalf("completed %d/%d", rep.Completed, trials)
+	}
+	if prop != refProp {
+		t.Fatalf("batch hook perturbed the estimate: %+v != %+v", prop, refProp)
+	}
+	if got := bm.trials.Load(); got != 0 {
+		t.Errorf("TrialDone called %d times despite batch support", got)
+	}
+	wantChunks := int64((trials + parallelChunkSize - 1) / parallelChunkSize)
+	if got := bm.batches.Load(); got != wantChunks {
+		t.Errorf("TrialBatchDone called %d times, want one per chunk (%d)", got, wantChunks)
+	}
+	if got := bm.batchTrials.Load(); got != trials {
+		t.Errorf("batched trial total %d, want %d", got, trials)
+	}
+	if got, want := bm.batchReach.Load(), ref.reached.Load(); got != want {
+		t.Errorf("batched reached total %d, per-trial hook saw %d", got, want)
+	}
+	if got, want := bm.batchSteps.Load(), ref.events.Load(); got != want {
+		t.Errorf("batched step total %d, per-trial hook saw %d", got, want)
+	}
+}
+
+// TestCompiledCacheSharedAcrossRuns: one compiled model reused by
+// consecutive runs answers the second run from the warm cache (no new
+// interned states for the same seed), and the estimates agree.
+func TestCompiledCacheSharedAcrossRuns(t *testing.T) {
+	cm := Compile[flipState](flipper{}).(*Compiled[flipState])
+	first, _, err := EstimateReachProbParallel[flipState](context.Background(), cm, mkSlowest, heads, 5, 400,
+		Options[flipState]{}, ParallelOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := cm.count.Load()
+	if warm == 0 {
+		t.Fatal("no states interned after a full run")
+	}
+	second, _, err := EstimateReachProbParallel[flipState](context.Background(), cm, mkSlowest, heads, 5, 400,
+		Options[flipState]{}, ParallelOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.count.Load() != warm {
+		t.Errorf("second identical run grew the cache: %d -> %d states", warm, cm.count.Load())
+	}
+	if first != second {
+		t.Errorf("warm-cache run %+v != cold-cache run %+v", second, first)
+	}
+}

@@ -38,3 +38,37 @@ type Metrics interface {
 	// CheckpointSaved reports one successful checkpoint-sink call.
 	CheckpointSaved()
 }
+
+// BatchMetrics is an optional extension of Metrics. When the hook passed
+// as ParallelOptions.Metrics also implements it, the engine stops calling
+// TrialDone per trial and instead buffers each chunk's outcomes in
+// chunk-local arrays (plain stores, no shared-memory traffic) and flushes
+// them with one TrialBatchDone at chunk commit — the fix for the
+// measurable per-trial cost of timestamping and atomic instrument updates
+// under high trial rates.
+//
+// Semantics relative to the per-trial interface:
+//
+//   - TrialBatchDone covers only the successfully completed trials of
+//     one committed chunk; quarantined trials are still reported
+//     individually through TrialQuarantined, and a chunk abandoned by
+//     first-error-wins cancellation reports nothing (it is not part of
+//     the estimate either).
+//   - seconds is the chunk's total wall-clock time, replacing per-trial
+//     timing: batching exists precisely to keep clock reads off the
+//     trial loop, so per-trial durations are no longer observable.
+//   - The signature uses only builtin types, preserving the structural
+//     (no-import) match with implementations such as obs.SimMetrics.
+//
+// The same contract as Metrics applies: concurrent-safe, observation
+// only. The slices are engine-owned and valid only for the duration of
+// the call.
+type BatchMetrics interface {
+	Metrics
+	// TrialBatchDone reports one committed chunk: trials successfully
+	// completed, how many reached the target, each trial's step count
+	// (events, in trial order), the reach times of the reached trials
+	// (reachTimes, in trial order), and the chunk's total wall-clock
+	// seconds.
+	TrialBatchDone(trials, reached int, events []int64, reachTimes []float64, seconds float64)
+}

@@ -65,8 +65,8 @@ func TestMaxTimeBudget(t *testing.T) {
 }
 
 func TestViewDeadlineMinNoReady(t *testing.T) {
-	sc := newViewScratch[flipState](1)
-	v := sc.build(flipper{}, flipState{Heads: true}, 3.5)
+	sc := newViewScratch[flipState](flipper{})
+	v := sc.build(flipState{Heads: true}, 3.5)
 	if len(v.Ready) != 0 {
 		t.Fatalf("ready = %v", v.Ready)
 	}

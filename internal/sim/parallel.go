@@ -108,8 +108,17 @@ type ParallelOptions struct {
 	// step counts, wall-times and outcomes, chunk lifecycle, quarantines
 	// and checkpoint saves. It observes only — the estimate is
 	// bit-identical with or without it. When nil, the hot path pays one
-	// nil check per trial and zero extra allocations (see Metrics).
+	// nil check per trial and zero extra allocations (see Metrics). An
+	// implementation that also satisfies BatchMetrics is fed whole chunks
+	// at once, keeping per-trial atomics off the hot path.
 	Metrics Metrics
+	// NoCompile disables the compiled-model layer: by default every
+	// parallel entry point wraps the model with Compile (a shared
+	// transition cache plus frozen samplers; a no-op for models that fail
+	// the purity spot-check). Results are bit-identical either way — the
+	// escape hatch exists for debugging and perf comparison, not
+	// correctness.
+	NoCompile bool
 
 	// kind identifies the estimator (and its parameters) producing the
 	// accumulators, so a checkpoint cannot be resumed into a different
@@ -291,6 +300,12 @@ func RunParallel[S comparable, A any](ctx context.Context, m sched.Model[S], mk 
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if !popts.NoCompile {
+		// Share one transition cache across all workers. Compile is
+		// idempotent, so pre-compiled models (the CLIs and benchmarks
+		// reuse one across calls to stay warm) pass straight through.
+		m = Compile(m)
+	}
 
 	numChunks := (trials + parallelChunkSize - 1) / parallelChunkSize
 	accs := make([]A, numChunks)
@@ -335,6 +350,12 @@ func RunParallel[S comparable, A any](ctx context.Context, m sched.Model[S], mk 
 		wg        sync.WaitGroup
 	)
 
+	// A hook that understands batches is fed whole chunks: per-trial
+	// outcomes accumulate in chunk-local buffers (plain stores, no
+	// atomics) and flush once at chunk commit, timed at chunk
+	// granularity. Everything else still sees per-trial TrialDone calls.
+	bmet, batch := met.(BatchMetrics)
+
 	// runChunk executes every trial of one unclaimed chunk and commits
 	// the chunk on completion. A nil return with done[chunk] still false
 	// means the chunk was abandoned because another chunk failed.
@@ -342,6 +363,16 @@ func RunParallel[S comparable, A any](ctx context.Context, m sched.Model[S], mk 
 		lo := chunk * parallelChunkSize
 		hi := min(lo+parallelChunkSize, trials)
 		var chunkPanics []PanicRecord
+		var (
+			batchEvents [parallelChunkSize]int64
+			batchReach  [parallelChunkSize]float64
+			batchN      int
+			batchHits   int
+			chunkT0     time.Time
+		)
+		if batch {
+			chunkT0 = time.Now()
+		}
 		for i := lo; i < hi; i++ {
 			if stop.Load() {
 				return nil // first error wins; this chunk is abandoned
@@ -349,7 +380,7 @@ func RunParallel[S comparable, A any](ctx context.Context, m sched.Model[S], mk 
 			seed := trialSeed(popts.Seed, i)
 			rng := rand.New(rand.NewSource(seed))
 			var t0 time.Time
-			if met != nil {
+			if met != nil && !batch {
 				t0 = time.Now()
 			}
 			res, err := RunOnce(m, mk(), target, opts, rng)
@@ -368,7 +399,14 @@ func RunParallel[S comparable, A any](ctx context.Context, m sched.Model[S], mk 
 				continue // quarantined: recorded, excluded from the estimate
 			}
 			if err == nil {
-				if met != nil {
+				if batch {
+					batchEvents[batchN] = int64(res.Events)
+					batchN++
+					if res.Reached {
+						batchReach[batchHits] = res.ReachedAt
+						batchHits++
+					}
+				} else if met != nil {
 					met.TrialDone(i, res.Events, time.Since(t0).Seconds(), res.Reached, res.ReachedAt)
 				}
 				err = observe(&accs[chunk], i, res)
@@ -381,6 +419,10 @@ func RunParallel[S comparable, A any](ctx context.Context, m sched.Model[S], mk 
 			return err
 		}
 		done[chunk] = true
+		if batch && batchN > 0 {
+			bmet.TrialBatchDone(batchN, batchHits, batchEvents[:batchN], batchReach[:batchHits],
+				time.Since(chunkT0).Seconds())
+		}
 		if met != nil {
 			met.ChunkDone(chunk, hi-lo)
 		}

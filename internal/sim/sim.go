@@ -27,10 +27,12 @@ import (
 // View is what a policy sees when asked for its next choice: the current
 // state, the clock, the scheduling obligations, and the moves available.
 //
-// The slices and maps of a View are owned by the engine and reused
-// between steps (the hot loop would otherwise spend most of its time
-// allocating them): they are valid only for the duration of the Choose
-// call, and a policy must copy anything it wants to retain.
+// The slices and maps of a View are owned by the engine and must not be
+// modified: under an uncompiled model they are reused between steps (the
+// hot loop would otherwise spend most of its time allocating them), and
+// under a compiled model (Compile) they are cache entries shared across
+// trials and workers. Either way they are valid only for the duration of
+// the Choose call, and a policy must copy anything it wants to retain.
 type View[S comparable] struct {
 	// State is the current algorithm state.
 	State S
@@ -123,6 +125,12 @@ type Result[S comparable] struct {
 var (
 	ErrPolicyDeserted = errors.New("sim: policy halted while a process was ready (violates Unit-Time)")
 	ErrBadChoice      = errors.New("sim: policy returned an invalid choice")
+	// ErrBadModel reports a model that handed the engine an invalid step —
+	// today, a step whose successor distribution is empty (the zero
+	// prob.Dist in a hand-built pa.Step). The engine detects it before
+	// sampling, so the run fails with a typed, wrappable error instead of
+	// a quarantined Pick panic.
+	ErrBadModel = errors.New("sim: model returned an invalid step")
 	// ErrInvalidArgument reports a malformed call (nil model, policy,
 	// policy factory, target or RNG, or a non-positive trial budget): the
 	// engine rejects it up front with a clear error instead of panicking
@@ -176,7 +184,7 @@ func RunOnce[S comparable](m sched.Model[S], p Policy[S], target func(S) bool, o
 		state = opts.Start
 	}
 	now := 0.0
-	sc := newViewScratch[S](m.NumProcs())
+	sc := newViewScratch[S](m)
 
 	res = Result[S]{Final: state}
 	if target(state) {
@@ -186,7 +194,7 @@ func RunOnce[S comparable](m sched.Model[S], p Policy[S], target func(S) bool, o
 	}
 
 	for res.Events < opts.MaxEvents && now <= opts.MaxTime {
-		view := sc.build(m, state, now)
+		view := sc.build(state, now)
 		choice, ok := p.Choose(view, rng)
 		if !ok {
 			if len(view.Ready) > 0 {
@@ -195,7 +203,7 @@ func RunOnce[S comparable](m sched.Model[S], p Policy[S], target func(S) bool, o
 			res.Final = state
 			return res, nil
 		}
-		next, t, action, err := applyChoice(m, view, choice, sc, rng)
+		next, t, action, err := applyChoice(view, choice, sc, rng)
 		if err != nil {
 			return res, err
 		}
@@ -230,37 +238,61 @@ func RunOnce[S comparable](m sched.Model[S], p Policy[S], target func(S) bool, o
 
 // viewScratch holds one run's view buffers and move caches. The engine
 // reuses them across steps, so the hot loop's only steady-state
-// allocations are the ones the model makes inside Moves/UserMoves.
+// allocations are the ones the model makes inside Moves/UserMoves — and
+// under a compiled model (cm non-nil) not even those: build serves the
+// shared cache entry of the current state instead of querying the model.
 type viewScratch[S comparable] struct {
+	m sched.Model[S]
+	// n is m.NumProcs(), hoisted once per run: the per-step loop and
+	// every choice validation would otherwise call through the interface
+	// on each iteration.
+	n int
+	// cm is non-nil when m is a compiled model; cur is the cache entry
+	// of the state the last build saw, consumed by applyChoice.
+	cm  *Compiled[S]
+	cur *stateEntry[S]
 	// deadlines persists across steps: it is the unit-time obligation
 	// bookkeeping (proc -> latest legal step time).
 	deadlines map[int]float64
-	// The remaining fields are rebuilt every step and lent to the policy
-	// through View; see the View doc for the borrowing rule.
+	// deadline is rebuilt every step and lent to the policy through
+	// View; see the View doc for the borrowing rule.
+	deadline map[int]float64
+	// The remaining fields are used only on the uncompiled path (the
+	// compiled path shares its cache entry's slices and maps instead).
 	ready      []int
 	userMovers []int
-	deadline   map[int]float64
 	moveCount  map[int]int
 	userCount  map[int]int
 	moves      [][]pa.Step[S]
 	userMoves  [][]pa.Step[S]
 }
 
-func newViewScratch[S comparable](n int) *viewScratch[S] {
-	return &viewScratch[S]{
+func newViewScratch[S comparable](m sched.Model[S]) *viewScratch[S] {
+	n := m.NumProcs()
+	sc := &viewScratch[S]{
+		m:         m,
+		n:         n,
 		deadlines: make(map[int]float64, n),
 		deadline:  make(map[int]float64, n),
-		moveCount: make(map[int]int, n),
-		userCount: make(map[int]int, n),
-		moves:     make([][]pa.Step[S], n),
-		userMoves: make([][]pa.Step[S], n),
 	}
+	if cm, ok := m.(*Compiled[S]); ok {
+		sc.cm = cm
+		return sc
+	}
+	sc.moveCount = make(map[int]int, n)
+	sc.userCount = make(map[int]int, n)
+	sc.moves = make([][]pa.Step[S], n)
+	sc.userMoves = make([][]pa.Step[S], n)
+	return sc
 }
 
 // build refreshes the deadline bookkeeping for the current state in the
 // same pass that assembles the policy's View, querying each process's
-// moves exactly once per step.
-func (sc *viewScratch[S]) build(m sched.Model[S], s S, now float64) View[S] {
+// moves exactly once per step (or not at all when the state is compiled).
+func (sc *viewScratch[S]) build(s S, now float64) View[S] {
+	if sc.cm != nil {
+		return sc.buildCompiled(s, now)
+	}
 	sc.ready = sc.ready[:0]
 	sc.userMovers = sc.userMovers[:0]
 	clear(sc.deadline)
@@ -274,8 +306,8 @@ func (sc *viewScratch[S]) build(m sched.Model[S], s S, now float64) View[S] {
 		MoveCount:     sc.moveCount,
 		UserMoveCount: sc.userCount,
 	}
-	for i := 0; i < m.NumProcs(); i++ {
-		moves := m.Moves(s, i)
+	for i := 0; i < sc.n; i++ {
+		moves := sc.m.Moves(s, i)
 		sc.moves[i] = moves
 		if len(moves) == 0 {
 			delete(sc.deadlines, i)
@@ -292,7 +324,7 @@ func (sc *viewScratch[S]) build(m sched.Model[S], s S, now float64) View[S] {
 			}
 			sc.moveCount[i] = len(moves)
 		}
-		user := m.UserMoves(s, i)
+		user := sc.m.UserMoves(s, i)
 		sc.userMoves[i] = user
 		if len(user) > 0 {
 			sc.userMovers = append(sc.userMovers, i)
@@ -304,18 +336,66 @@ func (sc *viewScratch[S]) build(m sched.Model[S], s S, now float64) View[S] {
 	return v
 }
 
-func applyChoice[S comparable](m sched.Model[S], v View[S], c Choice, sc *viewScratch[S], rng *rand.Rand) (S, float64, string, error) {
+// buildCompiled assembles the View from the state's cache entry: the
+// ready/userMovers slices and the move-count maps are the entry's own
+// (immutable, shared across trials and workers), and only the deadline
+// bookkeeping — inherently per-run — is recomputed. The resulting View
+// is field-for-field what the uncompiled build produces.
+func (sc *viewScratch[S]) buildCompiled(s S, now float64) View[S] {
+	e := sc.cm.entry(s)
+	sc.cur = e
+	v := View[S]{
+		State:         s,
+		Now:           now,
+		DeadlineMin:   math.Inf(1),
+		Ready:         e.ready,
+		Deadline:      sc.deadline,
+		MoveCount:     e.moveCount,
+		UserMovers:    e.userMovers,
+		UserMoveCount: e.userCount,
+	}
+	// Processes that stopped being ready give up their obligation, as in
+	// the uncompiled pass.
+	for i := range sc.deadlines {
+		if e.readyMask&(1<<uint(i)) == 0 {
+			delete(sc.deadlines, i)
+		}
+	}
+	clear(sc.deadline)
+	for _, i := range e.ready {
+		d, ok := sc.deadlines[i]
+		if !ok {
+			d = now + 1
+			sc.deadlines[i] = d
+		}
+		sc.deadline[i] = d
+		if d < v.DeadlineMin {
+			v.DeadlineMin = d
+		}
+	}
+	return v
+}
+
+func applyChoice[S comparable](v View[S], c Choice, sc *viewScratch[S], rng *rand.Rand) (S, float64, string, error) {
 	var zero S
 	// Validate the process index before consulting the move caches:
 	// Moves / UserMoves implementations are entitled to index per-process
 	// arrays, so an out-of-range index from a malicious policy must
 	// become ErrBadChoice here, never a panic inside the model.
-	if c.Proc < 0 || c.Proc >= m.NumProcs() {
+	if c.Proc < 0 || c.Proc >= sc.n {
 		return zero, 0, "", fmt.Errorf("%w: proc %d move %d (user=%t)", ErrBadChoice, c.Proc, c.Move, c.User)
 	}
-	moves := sc.moves[c.Proc]
-	if c.User {
-		moves = sc.userMoves[c.Proc]
+	var moves []pa.Step[S]
+	if e := sc.cur; e != nil {
+		moves = e.moves[c.Proc]
+		if c.User {
+			moves = e.userMoves[c.Proc]
+		}
+	} else {
+		moves = sc.moves[c.Proc]
+		if c.User {
+			moves = sc.userMoves[c.Proc]
+		}
 	}
 	if c.Move < 0 || c.Move >= len(moves) {
 		return zero, 0, "", fmt.Errorf("%w: proc %d move %d (user=%t)", ErrBadChoice, c.Proc, c.Move, c.User)
@@ -324,8 +404,26 @@ func applyChoice[S comparable](m sched.Model[S], v View[S], c Choice, sc *viewSc
 	if t < v.Now || t > v.DeadlineMin {
 		return zero, 0, "", fmt.Errorf("%w: time %v outside [%v, %v]", ErrBadChoice, t, v.Now, v.DeadlineMin)
 	}
-	next := moves[c.Move].Next.Pick(rng.Float64())
-	return next, t, moves[c.Move].Action, nil
+	step := &moves[c.Move]
+	// An empty successor distribution (the zero prob.Dist in a hand-built
+	// step) would panic inside Pick; detect it before drawing so the run
+	// fails with a typed error and — because the check precedes the draw
+	// on both paths — compiled and uncompiled runs consume identical
+	// random streams.
+	if step.Next.Len() == 0 {
+		return zero, 0, "", fmt.Errorf("%w: proc %d action %q has an empty successor distribution", ErrBadModel, c.Proc, step.Action)
+	}
+	var next S
+	if e := sc.cur; e != nil {
+		fr := e.frozen[c.Proc]
+		if c.User {
+			fr = e.userFrozen[c.Proc]
+		}
+		next = fr[c.Move].Pick(rng.Float64())
+	} else {
+		next = step.Next.Pick(rng.Float64())
+	}
+	return next, t, step.Action, nil
 }
 
 // EstimateReachProb runs trials independent runs and estimates the

@@ -11,6 +11,8 @@
 #                                                Carlo engine and checkpoint sink
 #   bench-smoke go test -bench -benchtime=1x     benchmarks that stopped compiling
 #                                                or assert a broken paper bound
+#   chaos-smoke go test -race -run TestChaos     one seeded fault/kill/corruption
+#                                                storm per chaos package
 #   vuln        govulncheck (if installed)       known-vulnerable dependency use
 #
 # Performance regressions are gated separately by `make bench-diff`: it
@@ -30,7 +32,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test test-short test-race bench bench-smoke bench-json bench-diff vuln vet fmt fuzz check lrcheck experiments
+.PHONY: all build test test-short test-race bench bench-smoke bench-json bench-diff vuln vet fmt fuzz chaos chaos-smoke check lrcheck experiments
 
 # Benchmarks recorded in BENCH_sim.json and gated by bench-diff: the
 # parallel-engine throughput row, the metrics-overhead pair, and the
@@ -98,13 +100,32 @@ vet:
 fmt:
 	gofmt -l .
 
-# Fuzz the simulation engine against adversarial policies (bad process
-# indices, desertion, out-of-range branch picks, illegal step times,
-# panics): RunOnce must return typed errors, never crash.
+# Fuzz the engine and the artifact layer. Each -fuzz run is a separate
+# invocation (Go allows one fuzz target per run):
+#   RunOnceAdversarial  adversarial policies: typed errors, never a crash
+#   LoadCheckpointSet   hostile checkpoint bytes: ErrCorruptArtifact, never a panic
+#   ReadManifest        hostile manifest JSONL: ErrCorruptManifest, never a panic
 fuzz:
 	$(GO) test ./internal/sim -run='^$$' -fuzz=FuzzRunOnceAdversarial -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/sim -run='^$$' -fuzz=FuzzLoadCheckpointSet -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/obs -run='^$$' -fuzz=FuzzReadManifest -fuzztime=$(FUZZTIME)
 
-check: build vet test test-race bench-smoke vuln
+# Chaos packages: seeded fault/kill/corruption storms against the
+# artifact layer (in-process, injected filesystem faults) and the real
+# CLIs (SIGKILLed subprocesses). Failures print the storm seed; replay
+# with CHAOS_SEED=<seed>.
+CHAOS_PKGS = ./internal/sim ./cmd/lrsim ./cmd/electcheck
+CHAOS_STORMS ?= 8
+
+# The full chaos suite: many storms per package, race detector on.
+chaos:
+	CHAOS_STORMS=$(CHAOS_STORMS) $(GO) test -race -run 'TestChaos' -v $(CHAOS_PKGS)
+
+# One race-enabled storm per package; cheap enough to gate every check.
+chaos-smoke:
+	CHAOS_STORMS=1 $(GO) test -race -run 'TestChaos' -count=1 $(CHAOS_PKGS)
+
+check: build vet test test-race bench-smoke chaos-smoke vuln
 
 # The headline reproduction: the paper's table, derivation and bounds.
 lrcheck:

@@ -26,7 +26,8 @@
 //	electcheck [-n procs] [-k steps-per-window] \
 //	           [-sample trials] [-workers N] [-seed 1] \
 //	           [-budget 10m] [-checkpoint state.json] [-resume state.json] \
-//	           [-quarantine N] [-progress 2s] [-manifest run.jsonl] \
+//	           [-keep 3] [-quarantine N] [-trial-timeout 30s] \
+//	           [-progress 2s] [-manifest run.jsonl] \
 //	           [-metrics-out metrics.json] [-pprof localhost:6060] [-nocompile]
 //
 // The sampled model is compiled (sim.Compile) before the run; -nocompile
@@ -41,6 +42,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"text/tabwriter"
 	"time"
@@ -75,6 +77,8 @@ func run(ctx context.Context, args []string) error {
 	checkpoint := fs.String("checkpoint", "", "persist -sample progress to this JSON state file as trials complete")
 	resume := fs.String("resume", "", "resume -sample from this state file (and keep updating it); bit-identical to an uninterrupted run")
 	quarantine := fs.Int("quarantine", 0, "panicking -sample trials tolerated (recorded with repro seeds, excluded) before aborting")
+	trialTimeout := fs.Duration("trial-timeout", 0, "per-trial watchdog: quarantine a -sample trial that runs longer than this wall-clock budget (0 = off)")
+	keep := fs.Int("keep", 3, "checkpoint generations to retain (current + keep-1 backups); loads fall back to the newest valid one")
 	progress := fs.Duration("progress", 0, "print a live -sample progress line to stderr at this interval (0 = off)")
 	manifest := fs.String("manifest", "", "record a JSONL run manifest (events + final summary) to this file")
 	metricsOut := fs.String("metrics-out", "", "write the final metrics registry snapshot as JSON to this file")
@@ -97,6 +101,10 @@ func run(ctx context.Context, args []string) error {
 		return usageError(fs, "-budget must be >= 0, got %v", *budget)
 	case *quarantine < 0:
 		return usageError(fs, "-quarantine must be >= 0, got %d", *quarantine)
+	case *trialTimeout < 0:
+		return usageError(fs, "-trial-timeout must be >= 0, got %v", *trialTimeout)
+	case *keep < 1:
+		return usageError(fs, "-keep must be >= 1, got %d", *keep)
 	case *progress < 0:
 		return usageError(fs, "-progress must be >= 0, got %v", *progress)
 	}
@@ -117,7 +125,8 @@ func run(ctx context.Context, args []string) error {
 	if err != nil {
 		return usageError(fs, "%v", err)
 	}
-	runErr := analysis(ctx, ins, *n, *k, *sample, *workers, *seed, *budget, *checkpoint, *resume, *quarantine, *nocompile)
+	runErr := analysis(ctx, ins, *n, *k, *sample, *workers, *seed, *budget, *checkpoint, *resume, *quarantine,
+		*trialTimeout, *keep, *nocompile)
 	if cerr := ins.Close(runErr); cerr != nil && runErr == nil {
 		runErr = cerr
 	}
@@ -125,7 +134,8 @@ func run(ctx context.Context, args []string) error {
 }
 
 func analysis(ctx context.Context, ins *obs.Instrumentation, n, k, sample, workers int, seed int64,
-	budget time.Duration, checkpoint, resume string, quarantine int, nocompile bool) error {
+	budget time.Duration, checkpoint, resume string, quarantine int,
+	trialTimeout time.Duration, keep int, nocompile bool) error {
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	context.AfterFunc(ctx, stop) // second signal kills the process the default way
@@ -190,11 +200,16 @@ func analysis(ctx context.Context, ins *obs.Instrumentation, n, k, sample, worke
 		if !nocompile {
 			model = sim.Compile[election.State](model)
 		}
+		store := &sim.ArtifactStore{Keep: keep}
+		if sm := ins.Metrics(); sm != nil {
+			store.Metrics = sm
+		}
 		ckPath := checkpoint
 		if ckPath == "" {
 			ckPath = resume
 		}
-		popts := sim.ParallelOptions{Workers: workers, Seed: seed, MaxPanics: quarantine, NoCompile: nocompile}
+		popts := sim.ParallelOptions{Workers: workers, Seed: seed, MaxPanics: quarantine,
+			NoCompile: nocompile, TrialTimeout: trialTimeout}
 		if sm := ins.Metrics(); sm != nil {
 			popts.Metrics = sm
 		}
@@ -202,8 +217,18 @@ func analysis(ctx context.Context, ins *obs.Instrumentation, n, k, sample, worke
 		const label = "sample"
 		if ckPath != "" {
 			if resume != "" {
-				if cs, err = sim.LoadCheckpointSet(resume); err != nil {
-					return err
+				loaded, info, lerr := store.Load(resume)
+				if lerr != nil {
+					return lerr
+				}
+				cs = loaded
+				if len(info.Corrupt) > 0 {
+					fmt.Fprintf(os.Stderr, "electcheck: corrupt checkpoint generation(s) skipped: %s\n",
+						strings.Join(info.Corrupt, ", "))
+				}
+				if info.Generation > 0 {
+					fmt.Fprintf(os.Stderr, "electcheck: resuming from backup generation %d (%s)\n",
+						info.Generation, info.Path)
 				}
 			} else {
 				cs = sim.CheckpointSet{}
@@ -211,7 +236,7 @@ func analysis(ctx context.Context, ins *obs.Instrumentation, n, k, sample, worke
 			popts.Resume = cs[label]
 			popts.CheckpointSink = func(cp *sim.Checkpoint) error {
 				cs[label] = cp
-				return cs.Save(ckPath)
+				return store.Save(ckPath, cs)
 			}
 		}
 		ins.PhaseStart(label)
@@ -221,9 +246,14 @@ func analysis(ctx context.Context, ins *obs.Instrumentation, n, k, sample, worke
 			sim.Options[election.State]{}, popts)
 		ins.PhaseDone(label, sum.String(), rep.String(), err)
 		if rep.Quarantined > 0 {
-			fmt.Fprintf(os.Stderr, "electcheck: %d panicking trials quarantined:\n", rep.Quarantined)
+			fmt.Fprintf(os.Stderr, "electcheck: %d trials quarantined (%d panicked, %d stalled):\n",
+				rep.Quarantined, rep.Quarantined-rep.Stalled, rep.Stalled)
 			for _, pr := range rep.Panics {
-				fmt.Fprintf(os.Stderr, "  trial %d panicked: %s — replay: sim.RunOnce with rand.NewSource(%d)\n", pr.Trial, pr.Value, pr.Seed)
+				verb := "panicked"
+				if pr.Kind == sim.RecordStalled {
+					verb = "stalled"
+				}
+				fmt.Fprintf(os.Stderr, "  trial %d %s: %s — replay: sim.RunOnce with rand.NewSource(%d)\n", pr.Trial, verb, pr.Value, pr.Seed)
 			}
 		}
 		if errors.Is(err, sim.ErrInterrupted) {

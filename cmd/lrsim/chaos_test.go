@@ -1,0 +1,195 @@
+package main
+
+// CLI-level chaos: the test re-executes itself as a real lrsim process
+// (TestMain trampoline), SIGKILLs it mid-run while it checkpoints,
+// corrupts the newest checkpoint generation between legs, and resumes
+// until a leg completes cleanly. The surviving leg's stdout must be
+// byte-identical to an uninterrupted run — crashes and corruption may
+// cost progress, never correctness.
+//
+// Every random decision of a storm derives from one seed, printed via
+// t.Logf (visible on failure and under -v); replay a failing storm with
+// CHAOS_SEED=<seed> go test -run TestChaos ./cmd/lrsim/. CHAOS_STORMS
+// scales the number of storms (the `make chaos` target raises it).
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMain doubles as the lrsim entrypoint: with LRSIM_RUN_CLI=1 the
+// test binary IS lrsim (arguments go straight to run), which lets the
+// storm below spawn and SIGKILL real OS processes without a separate
+// build step.
+func TestMain(m *testing.M) {
+	if os.Getenv("LRSIM_RUN_CLI") == "1" {
+		if err := run(context.Background(), os.Args[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, "lrsim:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// chaosSeedCLI returns the storm seed: CHAOS_SEED when set (replay),
+// fresh otherwise. The seed is logged so a failure is always replayable.
+func chaosSeedCLI(t *testing.T) int64 {
+	t.Helper()
+	if s := os.Getenv("CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("CHAOS_SEED %q: %v", s, err)
+		}
+		t.Logf("chaos: replaying CHAOS_SEED=%d", v)
+		return v
+	}
+	v := time.Now().UnixNano()
+	t.Logf("chaos seed %d (replay with CHAOS_SEED=%d)", v, v)
+	return v
+}
+
+// chaosStormsCLI returns how many storms to run: CHAOS_STORMS when set,
+// else the given default.
+func chaosStormsCLI(t *testing.T, def int) int {
+	t.Helper()
+	if s := os.Getenv("CHAOS_STORMS"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			t.Fatalf("CHAOS_STORMS %q: %v", s, err)
+		}
+		return v
+	}
+	return def
+}
+
+// runCLI spawns a re-exec'd lrsim with args; when kill > 0 the process
+// is SIGKILLed after that delay (the delay racing the run is the point).
+func runCLI(t *testing.T, args []string, kill time.Duration) (stdout, stderr string, err error) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "LRSIM_RUN_CLI=1")
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var timer *time.Timer
+	if kill > 0 {
+		timer = time.AfterFunc(kill, func() { _ = cmd.Process.Kill() })
+	}
+	err = cmd.Wait()
+	if timer != nil {
+		timer.Stop()
+	}
+	return out.String(), errb.String(), err
+}
+
+// killed reports whether the child died from our SIGKILL rather than
+// exiting on its own.
+func killed(err error) bool {
+	var ee *exec.ExitError
+	return errors.As(err, &ee) && ee.ExitCode() == -1
+}
+
+// genFile names generation g the way the artifact store does.
+func genFile(path string, g int) string {
+	if g == 0 {
+		return path
+	}
+	return fmt.Sprintf("%s.g%d", path, g)
+}
+
+// corruptState damages the current checkpoint generation the way a
+// failing disk would: truncation or a bit flip.
+func corruptState(t *testing.T, rng *rand.Rand, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil || len(data) == 0 {
+		return // nothing saved yet; nothing to corrupt
+	}
+	switch rng.Intn(2) {
+	case 0:
+		data = data[:rng.Intn(len(data))]
+	case 1:
+		data[rng.Intn(len(data))] ^= 1 << uint(rng.Intn(8))
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosKillResumeStorm: a checkpointing lrsim process is SIGKILLed
+// at a random point in its run, its newest state file randomly corrupted,
+// and resumed (with a rotating worker count) until one leg survives; that
+// leg's stdout must match an uninterrupted run byte-for-byte.
+func TestChaosKillResumeStorm(t *testing.T) {
+	base := []string{"-sizes", "4", "-policies", "slowest,spiteful", "-trials", "448", "-seed", "11", "-curve", "4"}
+
+	start := time.Now()
+	want, _, err := runCLI(t, base, 0)
+	if err != nil {
+		t.Fatalf("uninterrupted run: %v", err)
+	}
+	baseDur := time.Since(start)
+
+	seed := chaosSeedCLI(t)
+	storms := chaosStormsCLI(t, 1)
+	for storm := 0; storm < storms; storm++ {
+		rng := rand.New(rand.NewSource(seed + int64(storm)))
+		dir := t.TempDir()
+		ck := filepath.Join(dir, "state.json")
+
+		completed := false
+		for leg := 0; leg < 60 && !completed; leg++ {
+			args := append(append([]string{}, base...),
+				"-workers", strconv.Itoa([]int{1, 2, 8}[leg%3]))
+			if _, err := os.Stat(ck); err == nil {
+				args = append(args, "-resume", ck)
+			} else {
+				args = append(args, "-checkpoint", ck)
+			}
+			// Uniform over 1.5x the uninterrupted duration: most kills land
+			// mid-run, but enough legs outlive the timer to converge.
+			kill := time.Duration(rng.Int63n(int64(baseDur)*3/2 + 1))
+			stdout, stderr, err := runCLI(t, args, kill)
+			switch {
+			case err == nil:
+				// The storm's verdict: byte-identical to the uninterrupted run.
+				if stdout != want {
+					t.Fatalf("storm %d (seed %d): resumed output differs from uninterrupted run:\n--- want\n%s\n--- got\n%s",
+						storm, seed, want, stdout)
+				}
+				completed = true
+			case killed(err):
+				// The crash we injected; the next leg resumes.
+			case strings.Contains(stderr, "checkpoint"):
+				// Every generation corrupted (possible when a kill lands
+				// inside rotation and the storm then hits the survivor):
+				// progress is lost, correctness is not — wipe and restart.
+				for g := 0; g < 8; g++ {
+					os.Remove(genFile(ck, g))
+				}
+			default:
+				t.Fatalf("storm %d leg %d (seed %d): unexpected failure: %v\nstderr:\n%s",
+					storm, leg, seed, err, stderr)
+			}
+			if !completed && rng.Float64() < 0.4 {
+				corruptState(t, rng, ck)
+			}
+		}
+		if !completed {
+			t.Fatalf("storm %d (seed %d): did not converge in 60 legs", storm, seed)
+		}
+	}
+}

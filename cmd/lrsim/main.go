@@ -39,7 +39,8 @@
 //	lrsim [-sizes 3,5,8] [-policies slowest,random,spiteful] \
 //	      [-trials 2000] [-within 13] [-seed 1] [-workers N] \
 //	      [-budget 10m] [-checkpoint state.json] [-resume state.json] \
-//	      [-quarantine N] [-progress 2s] [-manifest run.jsonl] \
+//	      [-keep 3] [-quarantine N] [-trial-timeout 30s] \
+//	      [-progress 2s] [-manifest run.jsonl] \
 //	      [-metrics-out metrics.json] [-pprof localhost:6060] [-nocompile]
 //
 // The model is compiled once per ring size (sim.Compile: a shared
@@ -93,7 +94,9 @@ func run(ctx context.Context, args []string) error {
 	budget := fs.Duration("budget", 0, "wall-clock budget; on expiry in-flight chunks drain and partial estimates print with a resume token (0 = none)")
 	checkpoint := fs.String("checkpoint", "", "persist chunk-granularity progress to this JSON state file as trials complete")
 	resume := fs.String("resume", "", "resume from this state file (and keep updating it); the final estimates are bit-identical to an uninterrupted run")
-	quarantine := fs.Int("quarantine", 0, "panicking trials tolerated per estimate (recorded with repro seeds, excluded from it) before aborting")
+	quarantine := fs.Int("quarantine", 0, "panicking or stalled trials tolerated per estimate (recorded with repro seeds, excluded from it) before aborting")
+	trialTimeout := fs.Duration("trial-timeout", 0, "per-trial watchdog: quarantine a trial that runs longer than this wall-clock budget (0 = off)")
+	keep := fs.Int("keep", 3, "checkpoint generations to retain (state.json, state.json.g1, ...); loads fall back to the newest valid one")
 	progress := fs.Duration("progress", 0, "print a live progress line to stderr at this interval (0 = off)")
 	manifest := fs.String("manifest", "", "record a JSONL run manifest (events + final summary) to this file")
 	metricsOut := fs.String("metrics-out", "", "write the final metrics registry snapshot as JSON to this file")
@@ -118,6 +121,10 @@ func run(ctx context.Context, args []string) error {
 		return usageError(fs, "-quarantine must be >= 0, got %d", *quarantine)
 	case *progress < 0:
 		return usageError(fs, "-progress must be >= 0, got %v", *progress)
+	case *trialTimeout < 0:
+		return usageError(fs, "-trial-timeout must be >= 0, got %v", *trialTimeout)
+	case *keep < 1:
+		return usageError(fs, "-keep must be >= 1, got %d", *keep)
 	}
 	ns, err := parseSizes(*sizes)
 	if err != nil {
@@ -157,6 +164,7 @@ func run(ctx context.Context, args []string) error {
 			seed: *seed, workers: *workers, curveMax: *curveMax,
 			budget: *budget, checkpoint: *checkpoint, resume: *resume,
 			quarantine: *quarantine, nocompile: *nocompile,
+			trialTimeout: *trialTimeout, keep: *keep,
 		})
 	}()
 	if cerr := ins.Close(runErr); cerr != nil && runErr == nil {
@@ -167,18 +175,20 @@ func run(ctx context.Context, args []string) error {
 
 // params carries the validated flag values into the experiment body.
 type params struct {
-	ns         []int
-	names      []string
-	trials     int
-	within     float64
-	seed       int64
-	workers    int
-	curveMax   int
-	budget     time.Duration
-	checkpoint string
-	resume     string
-	quarantine int
-	nocompile  bool
+	ns           []int
+	names        []string
+	trials       int
+	within       float64
+	seed         int64
+	workers      int
+	curveMax     int
+	budget       time.Duration
+	checkpoint   string
+	resume       string
+	quarantine   int
+	nocompile    bool
+	trialTimeout time.Duration
+	keep         int
 }
 
 func experiments(ctx context.Context, ins *obs.Instrumentation, p params) error {
@@ -198,16 +208,29 @@ func experiments(ctx context.Context, ins *obs.Instrumentation, p params) error 
 
 	// The checkpoint state file maps a stage label (size × policy ×
 	// estimator) to its resume token; -resume without -checkpoint keeps
-	// updating the same file.
+	// updating the same file. All state-file I/O goes through the durable
+	// artifact store: checksummed envelopes, -keep generations, automatic
+	// fallback to the newest valid one, retried transient write faults.
+	store := &sim.ArtifactStore{Keep: p.keep}
+	if sm := ins.Metrics(); sm != nil {
+		store.Metrics = sm
+	}
 	ckPath := p.checkpoint
 	if ckPath == "" {
 		ckPath = p.resume
 	}
 	var cs sim.CheckpointSet
-	var err error
 	if p.resume != "" {
-		if cs, err = sim.LoadCheckpointSet(p.resume); err != nil {
+		loaded, info, err := store.Load(p.resume)
+		if err != nil {
 			return err
+		}
+		cs = loaded
+		if len(info.Corrupt) > 0 {
+			fmt.Fprintf(os.Stderr, "lrsim: corrupt checkpoint generation(s) skipped: %s\n", strings.Join(info.Corrupt, ", "))
+		}
+		if info.Generation > 0 {
+			fmt.Fprintf(os.Stderr, "lrsim: resuming from backup generation %d (%s)\n", info.Generation, info.Path)
 		}
 	} else if ckPath != "" {
 		cs = sim.CheckpointSet{}
@@ -233,7 +256,8 @@ func experiments(ctx context.Context, ins *obs.Instrumentation, p params) error 
 		return m, nil
 	}
 	makePopts := func(label string) sim.ParallelOptions {
-		popts := sim.ParallelOptions{Workers: p.workers, Seed: p.seed, MaxPanics: p.quarantine, NoCompile: p.nocompile}
+		popts := sim.ParallelOptions{Workers: p.workers, Seed: p.seed, MaxPanics: p.quarantine,
+			NoCompile: p.nocompile, TrialTimeout: p.trialTimeout}
 		if sm := ins.Metrics(); sm != nil {
 			popts.Metrics = sm
 		}
@@ -241,7 +265,7 @@ func experiments(ctx context.Context, ins *obs.Instrumentation, p params) error 
 			popts.Resume = cs[label]
 			popts.CheckpointSink = func(cp *sim.Checkpoint) error {
 				cs[label] = cp
-				return cs.Save(ckPath)
+				return store.Save(ckPath, cs)
 			}
 		}
 		return popts
@@ -362,16 +386,22 @@ func experiments(ctx context.Context, ins *obs.Instrumentation, p params) error 
 	return nil
 }
 
-// reportQuarantine lists quarantined panics with their repro seeds; the
-// quarantine keeps a crashing trial from killing the run, but every crash
-// stays loudly visible and individually replayable.
+// reportQuarantine lists quarantined trials — panics and watchdog stalls
+// — with their repro seeds; the quarantine keeps a crashing or stuck
+// trial from killing the run, but every one stays loudly visible and
+// individually replayable.
 func reportQuarantine(stage string, rep sim.RunReport) {
 	if rep.Quarantined == 0 {
 		return
 	}
-	fmt.Fprintf(os.Stderr, "lrsim: %s: %d panicking trials quarantined (excluded from the estimate):\n", stage, rep.Quarantined)
+	fmt.Fprintf(os.Stderr, "lrsim: %s: %d trials quarantined (%d panicked, %d stalled; excluded from the estimate):\n",
+		stage, rep.Quarantined, rep.Quarantined-rep.Stalled, rep.Stalled)
 	for _, pr := range rep.Panics {
-		fmt.Fprintf(os.Stderr, "  trial %d panicked: %s — replay: sim.RunOnce with rand.NewSource(%d)\n", pr.Trial, pr.Value, pr.Seed)
+		verb := "panicked"
+		if pr.Kind == sim.RecordStalled {
+			verb = "stalled"
+		}
+		fmt.Fprintf(os.Stderr, "  trial %d %s: %s — replay: sim.RunOnce with rand.NewSource(%d)\n", pr.Trial, verb, pr.Value, pr.Seed)
 	}
 }
 

@@ -1,0 +1,85 @@
+package fault
+
+// The clock seam: the per-trial watchdog in internal/sim measures trial
+// wall-time through a Clock so tests can drive time by hand (FakeClock)
+// instead of sleeping, keeping stall detection deterministic.
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts the two time operations the watchdog needs.
+type Clock interface {
+	// Now reports the current time.
+	Now() time.Time
+	// After returns a channel that delivers one value once d has
+	// elapsed, like time.After.
+	After(d time.Duration) <-chan time.Time
+}
+
+type wallClock struct{}
+
+// Wall is the production Clock: the real wall clock.
+var Wall Clock = wallClock{}
+
+func (wallClock) Now() time.Time                         { return time.Now() }
+func (wallClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// FakeClock is a manually driven Clock for deterministic tests: time
+// moves only when Advance is called, and pending After channels fire the
+// moment the clock passes their deadline. Safe for concurrent use.
+type FakeClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []fakeWaiter
+}
+
+type fakeWaiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewFakeClock returns a FakeClock reading start.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{now: start}
+}
+
+// Now implements Clock.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// After implements Clock: the returned channel fires once Advance moves
+// the clock to (or past) now+d. A non-positive d fires immediately.
+func (c *FakeClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	at := c.now.Add(d)
+	if d <= 0 {
+		ch <- c.now
+		return ch
+	}
+	c.waiters = append(c.waiters, fakeWaiter{at: at, ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward by d and fires every waiter whose
+// deadline has passed.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	rest := c.waiters[:0]
+	for _, w := range c.waiters {
+		if !w.at.After(c.now) {
+			w.ch <- c.now
+		} else {
+			rest = append(rest, w)
+		}
+	}
+	c.waiters = rest
+}

@@ -1,0 +1,79 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFakeClockAdvance: After fires exactly when Advance crosses the
+// deadline, not before.
+func TestFakeClockAdvance(t *testing.T) {
+	c := NewFakeClock(time.Unix(0, 0))
+	ch := c.After(10 * time.Second)
+	c.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired before its deadline")
+	default:
+	}
+	c.Advance(time.Second)
+	select {
+	case at := <-ch:
+		if !at.Equal(time.Unix(10, 0)) {
+			t.Fatalf("fired at %v, want t=10s", at)
+		}
+	default:
+		t.Fatal("After did not fire at its deadline")
+	}
+	if got := c.Now(); !got.Equal(time.Unix(10, 0)) {
+		t.Fatalf("Now = %v, want t=10s", got)
+	}
+}
+
+// TestFakeClockImmediate: a non-positive duration fires without Advance.
+func TestFakeClockImmediate(t *testing.T) {
+	c := NewFakeClock(time.Unix(100, 0))
+	select {
+	case <-c.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+// TestFakeClockMultipleWaiters: one Advance fires every waiter whose
+// deadline it passes, leaving later ones pending.
+func TestFakeClockMultipleWaiters(t *testing.T) {
+	c := NewFakeClock(time.Unix(0, 0))
+	a := c.After(1 * time.Second)
+	b := c.After(5 * time.Second)
+	c.Advance(2 * time.Second)
+	select {
+	case <-a:
+	default:
+		t.Fatal("earlier waiter did not fire")
+	}
+	select {
+	case <-b:
+		t.Fatal("later waiter fired early")
+	default:
+	}
+	c.Advance(10 * time.Second)
+	select {
+	case <-b:
+	default:
+		t.Fatal("later waiter never fired")
+	}
+}
+
+// TestWallClock: the production clock reads real time and After works.
+func TestWallClock(t *testing.T) {
+	before := time.Now()
+	if Wall.Now().Before(before) {
+		t.Fatal("Wall.Now went backwards")
+	}
+	select {
+	case <-Wall.After(time.Millisecond):
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wall.After(1ms) did not fire within 5s")
+	}
+}

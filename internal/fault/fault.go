@@ -1,0 +1,91 @@
+// Package fault is the runtime's adversary against itself: an injectable
+// filesystem and clock seam, a deterministic seedable fault injector, and
+// a bounded-retry helper — the machinery behind the chaos suite that
+// proves the artifact layer (checkpoints, manifests) survives torn
+// writes, rename failures, dropped fsyncs and stuck trials.
+//
+// The paper this repository reproduces argues that randomized algorithms
+// must make progress under *any* adversary. The simulation runtime holds
+// itself to the same bar: every durable-artifact code path runs against
+// fault.FS, so the chaos tests can stand in for the worst filesystem the
+// runtime will ever meet, with every fault drawn from a seeded RNG and
+// therefore replayable.
+package fault
+
+import (
+	"errors"
+	"io"
+	"os"
+)
+
+// ErrCorruptArtifact is the typed error for a durable artifact
+// (checkpoint state file, run manifest) that fails validation on load:
+// truncated JSON, a checksum mismatch, an unsupported format version, or
+// outright garbage. Loaders wrap it so callers can distinguish "corrupt —
+// fall back to an older generation" from I/O errors.
+var ErrCorruptArtifact = errors.New("corrupt artifact")
+
+// FS is the filesystem seam of the artifact layer: exactly the operations
+// an atomic, durable save/load cycle needs. Production code uses OS; the
+// chaos harness wraps it in an Injector.
+type FS interface {
+	// ReadFile reads the named file (os.ReadFile semantics: a missing
+	// file reports an error matching os.ErrNotExist).
+	ReadFile(path string) ([]byte, error)
+	// CreateTemp creates a new temporary file in dir (os.CreateTemp
+	// pattern semantics) opened for writing.
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes the named file.
+	Remove(path string) error
+	// SyncDir fsyncs the directory itself, making preceding renames in
+	// it durable. Temp-file + rename alone is not crash-safe: the rename
+	// lives in the directory, and the directory needs its own fsync.
+	SyncDir(dir string) error
+}
+
+// File is the writable-handle half of FS.
+type File interface {
+	io.Writer
+	// Name reports the file's path (for rename and cleanup).
+	Name() string
+	// Sync flushes the file's contents to stable storage.
+	Sync() error
+	// Close closes the handle.
+	Close() error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+// OS is the production FS: the real filesystem, with SyncDir implemented
+// as an open + fsync of the directory.
+var OS FS = osFS{}
+
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

@@ -1,0 +1,54 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestOSRoundTrip: the production FS performs a full durable-save cycle —
+// temp file, write, fsync, rename, directory fsync — and the bytes read
+// back.
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact.json")
+
+	f, err := OS.CreateTemp(dir, "artifact.tmp*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.Rename(f.Name(), path); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := OS.ReadFile(path)
+	if err != nil || string(data) != "payload" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	if err := OS.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OS.ReadFile(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("read after remove: err = %v, want ErrNotExist", err)
+	}
+}
+
+// TestSyncDirMissing: fsyncing a directory that does not exist is an
+// error, not a silent no-op.
+func TestSyncDirMissing(t *testing.T) {
+	if err := OS.SyncDir(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("SyncDir on a missing directory succeeded")
+	}
+}

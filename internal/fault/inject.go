@@ -1,0 +1,225 @@
+package fault
+
+// The fault injector: a deterministic, seedable adversary that sits
+// behind the FS interface and fails operations with per-op
+// probabilities. Every fault is typed (*InjectedError, matching
+// ErrInjected), so the code under test — and the chaos suite watching it
+// — can tell an injected fault from a real one, and every draw comes
+// from one seeded RNG, so a failing storm replays from its seed alone.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Op names one filesystem operation the injector can fail.
+type Op uint8
+
+const (
+	// OpCreate fails CreateTemp.
+	OpCreate Op = iota
+	// OpWrite fails File.Write. When the write carries data, a random
+	// prefix of it still reaches the underlying file first — a torn
+	// write, the classic crash artifact.
+	OpWrite
+	// OpSync fails File.Sync: the fsync is dropped and reports an error.
+	OpSync
+	// OpClose fails File.Close (after closing the real handle, so no
+	// descriptors leak under storms).
+	OpClose
+	// OpRename fails Rename without performing it.
+	OpRename
+	// OpRemove fails Remove without performing it.
+	OpRemove
+	// OpRead fails ReadFile.
+	OpRead
+	// OpSyncDir fails SyncDir: the directory fsync is dropped.
+	OpSyncDir
+	numOps
+)
+
+var opNames = [numOps]string{"create", "write", "sync", "close", "rename", "remove", "read", "syncdir"}
+
+// String names the operation ("write", "rename", ...).
+func (op Op) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// ErrInjected matches every error produced by an Injector, so callers can
+// classify a failure as injected (errors.Is(err, fault.ErrInjected)).
+var ErrInjected = errors.New("fault: injected failure")
+
+// InjectedError is one injected fault: the operation that failed and the
+// path it targeted. It matches ErrInjected via errors.Is.
+type InjectedError struct {
+	Op   Op
+	Path string
+}
+
+// Error names the operation and path.
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("fault: injected %s failure on %s", e.Op, e.Path)
+}
+
+// Is reports a match against ErrInjected, so one errors.Is covers every
+// injected fault.
+func (e *InjectedError) Is(target error) bool { return target == ErrInjected }
+
+// Probs maps each operation to its fault probability in [0, 1];
+// operations absent from the map never fail.
+type Probs map[Op]float64
+
+// Injector wraps an FS and fails operations at the configured per-op
+// probabilities, deterministically from the seed. It is safe for
+// concurrent use: draws serialize through a mutex (fault placement under
+// concurrency follows goroutine interleaving, but the artifact layer it
+// exercises must be correct under any placement — that is the point).
+type Injector struct {
+	fs FS
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	probs  Probs
+	counts [numOps]int64
+}
+
+// NewInjector wraps fs with a fault injector drawing from the given seed.
+func NewInjector(fs FS, seed int64, probs Probs) *Injector {
+	return &Injector{fs: fs, rng: rand.New(rand.NewSource(seed)), probs: probs}
+}
+
+// trip decides whether op fails on path, counting the faults it injects.
+func (in *Injector) trip(op Op, path string) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	p := in.probs[op]
+	if p > 0 && in.rng.Float64() < p {
+		in.counts[op]++
+		return &InjectedError{Op: op, Path: path}
+	}
+	return nil
+}
+
+// tornLen picks how much of an n-byte write lands before a torn write
+// fails: anywhere from nothing to all but one byte.
+func (in *Injector) tornLen(n int) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if n <= 1 {
+		return 0
+	}
+	return in.rng.Intn(n)
+}
+
+// Faults reports how many faults have been injected per operation.
+func (in *Injector) Faults() map[Op]int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[Op]int64)
+	for op, n := range in.counts {
+		if n > 0 {
+			out[Op(op)] = n
+		}
+	}
+	return out
+}
+
+// Total reports the total number of injected faults.
+func (in *Injector) Total() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var t int64
+	for _, n := range in.counts {
+		t += n
+	}
+	return t
+}
+
+// ReadFile implements FS.
+func (in *Injector) ReadFile(path string) ([]byte, error) {
+	if err := in.trip(OpRead, path); err != nil {
+		return nil, err
+	}
+	return in.fs.ReadFile(path)
+}
+
+// CreateTemp implements FS; the returned handle injects write/sync/close
+// faults.
+func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
+	if err := in.trip(OpCreate, dir); err != nil {
+		return nil, err
+	}
+	f, err := in.fs.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &injectedFile{in: in, f: f}, nil
+}
+
+// Rename implements FS.
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if err := in.trip(OpRename, newpath); err != nil {
+		return err
+	}
+	return in.fs.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (in *Injector) Remove(path string) error {
+	if err := in.trip(OpRemove, path); err != nil {
+		return err
+	}
+	return in.fs.Remove(path)
+}
+
+// SyncDir implements FS.
+func (in *Injector) SyncDir(dir string) error {
+	if err := in.trip(OpSyncDir, dir); err != nil {
+		return err
+	}
+	return in.fs.SyncDir(dir)
+}
+
+// injectedFile injects faults on the write path of one handle.
+type injectedFile struct {
+	in *Injector
+	f  File
+}
+
+func (f *injectedFile) Name() string { return f.f.Name() }
+
+// Write injects torn writes: on a fault, a random prefix of p still
+// reaches the underlying file before the error returns — exactly what a
+// crash mid-write leaves behind.
+func (f *injectedFile) Write(p []byte) (int, error) {
+	if err := f.in.trip(OpWrite, f.f.Name()); err != nil {
+		n := f.in.tornLen(len(p))
+		if n > 0 {
+			f.f.Write(p[:n]) // best-effort torn prefix; the op still fails
+		}
+		return n, err
+	}
+	return f.f.Write(p)
+}
+
+func (f *injectedFile) Sync() error {
+	if err := f.in.trip(OpSync, f.f.Name()); err != nil {
+		return err
+	}
+	return f.f.Sync()
+}
+
+// Close always closes the real handle (no descriptor leaks under
+// storms), then reports an injected fault if one fires.
+func (f *injectedFile) Close() error {
+	cerr := f.f.Close()
+	if err := f.in.trip(OpClose, f.f.Name()); err != nil {
+		return err
+	}
+	return cerr
+}

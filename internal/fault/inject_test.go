@@ -1,0 +1,188 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// memFS is an in-memory FS for injector tests: files are byte buffers,
+// renames move them, nothing touches disk.
+type memFS struct {
+	files map[string][]byte
+	seq   int
+}
+
+func newMemFS() *memFS { return &memFS{files: make(map[string][]byte)} }
+
+func (m *memFS) ReadFile(path string) ([]byte, error) {
+	data, ok := m.files[path]
+	if !ok {
+		return nil, errors.New("memfs: " + path + ": no such file")
+	}
+	return append([]byte(nil), data...), nil
+}
+
+func (m *memFS) CreateTemp(dir, pattern string) (File, error) {
+	m.seq++
+	name := filepath.Join(dir, strings.ReplaceAll(pattern, "*", "")+string(rune('a'+m.seq%26)))
+	m.files[name] = nil
+	return &memFile{fs: m, name: name}, nil
+}
+
+func (m *memFS) Rename(oldpath, newpath string) error {
+	data, ok := m.files[oldpath]
+	if !ok {
+		return errors.New("memfs: " + oldpath + ": no such file")
+	}
+	delete(m.files, oldpath)
+	m.files[newpath] = data
+	return nil
+}
+
+func (m *memFS) Remove(path string) error {
+	delete(m.files, path)
+	return nil
+}
+
+func (m *memFS) SyncDir(string) error { return nil }
+
+type memFile struct {
+	fs   *memFS
+	name string
+	buf  bytes.Buffer
+}
+
+func (f *memFile) Name() string { return f.name }
+func (f *memFile) Write(p []byte) (int, error) {
+	n, err := f.buf.Write(p)
+	f.fs.files[f.name] = append([]byte(nil), f.buf.Bytes()...)
+	return n, err
+}
+func (f *memFile) Sync() error  { return nil }
+func (f *memFile) Close() error { return nil }
+
+// TestInjectorDeterministic: two injectors with the same seed fail the
+// same operations in the same order.
+func TestInjectorDeterministic(t *testing.T) {
+	run := func(seed int64) []bool {
+		in := NewInjector(newMemFS(), seed, Probs{OpRead: 0.5})
+		var got []bool
+		for i := 0; i < 64; i++ {
+			_, err := in.ReadFile("x")
+			got = append(got, err != nil && errors.Is(err, ErrInjected))
+		}
+		return got
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault sequence diverged at draw %d", i)
+		}
+	}
+	var faults int
+	for _, f := range a {
+		if f {
+			faults++
+		}
+	}
+	if faults == 0 || faults == len(a) {
+		t.Fatalf("p=0.5 injector produced %d/%d faults", faults, len(a))
+	}
+}
+
+// TestInjectorPerOpProbs: an op with probability 0 (or absent) never
+// fails; probability 1 always fails with a typed *InjectedError naming
+// the op and path.
+func TestInjectorPerOpProbs(t *testing.T) {
+	in := NewInjector(newMemFS(), 1, Probs{OpRename: 1})
+	for i := 0; i < 32; i++ {
+		if err := in.SyncDir("d"); err != nil {
+			t.Fatalf("SyncDir (p absent) failed: %v", err)
+		}
+	}
+	err := in.Rename("a", "b")
+	var ie *InjectedError
+	if !errors.As(err, &ie) {
+		t.Fatalf("Rename (p=1) err = %v, want *InjectedError", err)
+	}
+	if ie.Op != OpRename || ie.Path != "b" {
+		t.Fatalf("InjectedError = %+v, want op=rename path=b", ie)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatal("injected error does not match ErrInjected")
+	}
+	if got := in.Faults()[OpRename]; got != 1 {
+		t.Fatalf("Faults()[OpRename] = %d, want 1", got)
+	}
+	if in.Total() != 1 {
+		t.Fatalf("Total() = %d, want 1", in.Total())
+	}
+}
+
+// TestTornWrite: a faulted write leaves a strict prefix of the payload
+// behind — the crash artifact the checksum layer must catch.
+func TestTornWrite(t *testing.T) {
+	mem := newMemFS()
+	in := NewInjector(mem, 3, Probs{OpWrite: 1})
+	f, err := in.CreateTemp("d", "t*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("0123456789abcdef")
+	n, err := f.Write(payload)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Write err = %v, want ErrInjected", err)
+	}
+	if n >= len(payload) {
+		t.Fatalf("torn write reported %d bytes of %d", n, len(payload))
+	}
+	if got := mem.files[f.Name()]; !bytes.Equal(got, payload[:n]) {
+		t.Fatalf("torn prefix on disk = %q, want %q", got, payload[:n])
+	}
+}
+
+// TestInjectorPassThrough: with no probabilities set, the injector is a
+// transparent proxy — a full save/load cycle works.
+func TestInjectorPassThrough(t *testing.T) {
+	mem := newMemFS()
+	in := NewInjector(mem, 0, nil)
+	f, err := in.CreateTemp("d", "t*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Rename(f.Name(), "d/final"); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := in.ReadFile("d/final")
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	if in.Total() != 0 {
+		t.Fatalf("transparent injector counted %d faults", in.Total())
+	}
+}
+
+// TestOpString: ops render as names, unknown values don't panic.
+func TestOpString(t *testing.T) {
+	if OpWrite.String() != "write" || OpSyncDir.String() != "syncdir" {
+		t.Fatalf("op names wrong: %s, %s", OpWrite, OpSyncDir)
+	}
+	if s := Op(200).String(); !strings.Contains(s, "200") {
+		t.Fatalf("unknown op string = %q", s)
+	}
+}

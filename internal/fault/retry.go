@@ -1,0 +1,115 @@
+package fault
+
+// Bounded retry with exponential backoff and full jitter, for transient
+// artifact-write failures (injected by the chaos harness, or real — a
+// network filesystem hiccup, EINTR, disk pressure). Full jitter
+// (sleep = U[0,1) * min(cap, base·2^attempt)) decorrelates retries that
+// would otherwise stampede in lockstep; see AWS's "Exponential Backoff
+// And Jitter" analysis.
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryPolicy bounds and paces the retries of one operation. The zero
+// value retries nothing (a single attempt); Defaults() fills the standard
+// artifact-layer policy.
+type RetryPolicy struct {
+	// Attempts is the total number of tries, including the first;
+	// values below 1 mean 1 (no retry).
+	Attempts int
+	// Base is the backoff unit: attempt k (0-based) waits up to
+	// Base·2^k, capped at Cap. Defaults to 5ms when 0.
+	Base time.Duration
+	// Cap bounds a single backoff sleep. Defaults to 250ms when 0.
+	Cap time.Duration
+	// Sleep performs the wait; nil means time.Sleep. Tests inject a
+	// recorder (or a no-op) to run storms at full speed.
+	Sleep func(time.Duration)
+	// Jitter draws the full-jitter fraction in [0, 1); nil uses a
+	// package-level seeded source. Tests inject a constant for
+	// deterministic pacing.
+	Jitter func() float64
+	// Retryable classifies errors; nil retries every error. Return
+	// false for permanent failures (e.g. a missing directory) so they
+	// surface immediately.
+	Retryable func(error) bool
+	// OnRetry, when non-nil, observes each retry (attempt is 1-based:
+	// the retry about to run) — the hook behind the obs retry counters.
+	OnRetry func(attempt int, err error)
+}
+
+// Defaults returns p with unset knobs filled in: 4 attempts, 5ms base,
+// 250ms cap.
+func (p RetryPolicy) Defaults() RetryPolicy {
+	if p.Attempts < 1 {
+		p.Attempts = 4
+	}
+	if p.Base <= 0 {
+		p.Base = 5 * time.Millisecond
+	}
+	if p.Cap <= 0 {
+		p.Cap = 250 * time.Millisecond
+	}
+	return p
+}
+
+// jitterRNG is the default jitter source, seeded once per process; draws
+// lock because Do may run from concurrent goroutines.
+var jitterRNG = struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}{rng: rand.New(rand.NewSource(time.Now().UnixNano()))}
+
+func defaultJitter() float64 {
+	jitterRNG.mu.Lock()
+	defer jitterRNG.mu.Unlock()
+	return jitterRNG.rng.Float64()
+}
+
+// Backoff reports the maximum sleep before the given 0-based retry
+// attempt: min(Cap, Base·2^attempt). Exposed for tests asserting pacing.
+func (p RetryPolicy) Backoff(attempt int) time.Duration {
+	d := p.Base
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if d >= p.Cap {
+			return p.Cap
+		}
+	}
+	return min(d, p.Cap)
+}
+
+// Do runs fn until it succeeds, fails permanently, or the attempt budget
+// is spent, sleeping a full-jittered exponential backoff between tries.
+// It returns fn's last error.
+func (p RetryPolicy) Do(fn func() error) error {
+	p = p.Defaults()
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	jitter := p.Jitter
+	if jitter == nil {
+		jitter = defaultJitter
+	}
+	var err error
+	for attempt := 0; attempt < p.Attempts; attempt++ {
+		if err = fn(); err == nil {
+			return nil
+		}
+		if p.Retryable != nil && !p.Retryable(err) {
+			return err
+		}
+		if attempt == p.Attempts-1 {
+			break
+		}
+		if p.OnRetry != nil {
+			p.OnRetry(attempt+1, err)
+		}
+		sleep(time.Duration(jitter() * float64(p.Backoff(attempt))))
+	}
+	return err
+}

@@ -1,0 +1,113 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestRetrySucceedsAfterTransients: Do keeps trying through transient
+// failures and stops the moment fn succeeds.
+func TestRetrySucceedsAfterTransients(t *testing.T) {
+	calls := 0
+	var retries []int
+	p := RetryPolicy{
+		Attempts: 5,
+		Sleep:    func(time.Duration) {},
+		OnRetry:  func(attempt int, err error) { retries = append(retries, attempt) },
+	}
+	err := p.Do(func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Do = %v after %d calls, want nil after 3", err, calls)
+	}
+	if len(retries) != 2 || retries[0] != 1 || retries[1] != 2 {
+		t.Fatalf("OnRetry attempts = %v, want [1 2]", retries)
+	}
+}
+
+// TestRetryBudgetExhausted: after Attempts failures Do returns the last
+// error and never sleeps past the final attempt.
+func TestRetryBudgetExhausted(t *testing.T) {
+	calls, sleeps := 0, 0
+	p := RetryPolicy{Attempts: 4, Sleep: func(time.Duration) { sleeps++ }}
+	last := errors.New("still failing")
+	err := p.Do(func() error { calls++; return last })
+	if !errors.Is(err, last) || calls != 4 {
+		t.Fatalf("Do = %v after %d calls, want last error after 4", err, calls)
+	}
+	if sleeps != 3 {
+		t.Fatalf("slept %d times for 4 attempts, want 3", sleeps)
+	}
+}
+
+// TestRetryPermanent: a non-retryable error surfaces immediately.
+func TestRetryPermanent(t *testing.T) {
+	perm := errors.New("permanent")
+	calls := 0
+	p := RetryPolicy{
+		Attempts:  5,
+		Sleep:     func(time.Duration) {},
+		Retryable: func(err error) bool { return !errors.Is(err, perm) },
+	}
+	if err := p.Do(func() error { calls++; return perm }); !errors.Is(err, perm) || calls != 1 {
+		t.Fatalf("Do = %v after %d calls, want permanent error after 1", err, calls)
+	}
+}
+
+// TestBackoffBounds: backoff doubles from Base and saturates at Cap.
+func TestBackoffBounds(t *testing.T) {
+	p := RetryPolicy{Base: 10 * time.Millisecond, Cap: 50 * time.Millisecond}
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		50 * time.Millisecond,
+		50 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.Backoff(i); got != w {
+			t.Fatalf("Backoff(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+// TestFullJitterSleep: the actual sleep is jitter * Backoff(attempt).
+func TestFullJitterSleep(t *testing.T) {
+	var slept []time.Duration
+	p := RetryPolicy{
+		Attempts: 3,
+		Base:     8 * time.Millisecond,
+		Cap:      time.Second,
+		Sleep:    func(d time.Duration) { slept = append(slept, d) },
+		Jitter:   func() float64 { return 0.5 },
+	}
+	p.Do(func() error { return errors.New("fail") })
+	want := []time.Duration{4 * time.Millisecond, 8 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("sleep %d = %v, want %v", i, slept[i], want[i])
+		}
+	}
+}
+
+// TestDefaults: the zero policy fills in the standard knobs, and explicit
+// values survive.
+func TestDefaults(t *testing.T) {
+	d := RetryPolicy{}.Defaults()
+	if d.Attempts != 4 || d.Base != 5*time.Millisecond || d.Cap != 250*time.Millisecond {
+		t.Fatalf("Defaults = %+v", d)
+	}
+	k := RetryPolicy{Attempts: 9, Base: time.Second, Cap: time.Minute}.Defaults()
+	if k.Attempts != 9 || k.Base != time.Second || k.Cap != time.Minute {
+		t.Fatalf("Defaults clobbered explicit values: %+v", k)
+	}
+}

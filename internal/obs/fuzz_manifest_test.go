@@ -1,0 +1,71 @@
+package obs
+
+// Fuzzing the manifest reader against hostile bytes: truncated JSONL,
+// bit-flipped events, over-long lines, version skew, binary noise.
+// ReadManifest must return a typed error (ErrCorruptManifest for
+// malformed content) or a parsed log, and never panic. Run with
+//
+//	go test ./internal/obs -run='^$' -fuzz=FuzzReadManifest
+//
+// (`make fuzz` wraps a short run); the seed corpus below also executes on
+// every plain `go test`.
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"strings"
+	"testing"
+)
+
+func FuzzReadManifest(f *testing.F) {
+	// Seed corpus: a real manifest, its truncations, and characteristic
+	// corruptions.
+	var buf bytes.Buffer
+	mw := NewManifestWriter(&buf, RunMeta{Tool: "lrsim", Seed: 7})
+	mw.PhaseStart("estimate")
+	mw.Progress(ProgressSnapshot{Done: 10, Total: 100})
+	mw.PhaseDone("estimate", "0.5", "10/100 trials", nil)
+	mw.Close(nil, nil)
+	valid := buf.Bytes()
+
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])                                           // run died mid-write
+	f.Add(valid[:len(valid)-3])                                           // torn final line
+	f.Add([]byte(``))                                                     // empty log
+	f.Add([]byte("\n\n\n"))                                               // blank lines only
+	f.Add([]byte(`{"event":"run_start","meta":{"manifest_version":99}}`)) // version skew
+	f.Add([]byte(`{"event":`))                                            // truncated JSON line
+	f.Add([]byte(`not json`))                                             // garbage line
+	f.Add([]byte("\x00\xff\x01"))                                         // binary noise
+	f.Add([]byte(`{"event":"step","step":{"t":-1,"proc":-5}}`))           // odd but parseable
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		log, err := ReadManifest(bytes.NewReader(data))
+		if err != nil {
+			// os.ErrNotExist cannot happen here; every failure must be the
+			// typed corruption error, never a panic.
+			if !errors.Is(err, ErrCorruptManifest) {
+				t.Fatalf("ReadManifest error is not ErrCorruptManifest: %v", err)
+			}
+			if errors.Is(err, os.ErrNotExist) {
+				t.Fatalf("impossible error class: %v", err)
+			}
+			return
+		}
+		// A log that parses must be traversable without panics.
+		_ = log.Meta()
+		_ = log.Steps()
+		if log.Summary != nil && log.Summary.Meta.Tool == "" && len(log.Events) == 0 {
+			t.Fatal("summary without events")
+		}
+		// And its replay args must be well-formed flags.
+		if m := log.Meta(); m != nil {
+			for _, arg := range ReplayArgs(m.Options) {
+				if !strings.HasPrefix(arg, "-") || !strings.Contains(arg, "=") {
+					t.Fatalf("malformed replay arg %q", arg)
+				}
+			}
+		}
+	})
+}

@@ -186,6 +186,11 @@ func (ins *Instrumentation) Close(runErr error) error {
 			data = append(data, '\n')
 			_, err = ins.metricsFile.Write(data)
 		}
+		// Fsync before close: the metrics snapshot is a run artifact, and
+		// a post-run crash must not be able to take it with it.
+		if serr := ins.metricsFile.Sync(); err == nil {
+			err = serr
+		}
 		if cerr := ins.metricsFile.Close(); err == nil {
 			err = cerr
 		}
@@ -196,6 +201,9 @@ func (ins *Instrumentation) Close(runErr error) error {
 	}
 	if ins.Manifest != nil {
 		err := ins.Manifest.Close(&snap, runErr)
+		if serr := ins.manifestFile.Sync(); err == nil {
+			err = serr
+		}
 		if cerr := ins.manifestFile.Close(); err == nil {
 			err = cerr
 		}

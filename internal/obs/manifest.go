@@ -14,6 +14,7 @@ package obs
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -21,10 +22,19 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/fault"
 )
 
 // ManifestVersion guards the on-disk event schema.
 const ManifestVersion = 1
+
+// ErrCorruptManifest matches every manifest-validation failure from
+// ReadManifest/LoadManifest — unparseable JSONL, an unsupported schema
+// version, an over-long line. It is the shared artifact-corruption
+// sentinel (fault.ErrCorruptArtifact), so one errors.Is classifies
+// corrupt checkpoints and corrupt manifests alike.
+var ErrCorruptManifest = fault.ErrCorruptArtifact
 
 // RunMeta identifies one recorded run: the tool, its version, the seed and
 // the full flag assignment, plus the resume lineage when the run continued
@@ -258,10 +268,10 @@ func ReadManifest(r io.Reader) (*ManifestLog, error) {
 		}
 		var e Event
 		if err := json.Unmarshal(raw, &e); err != nil {
-			return nil, fmt.Errorf("obs: manifest line %d: %w", line, err)
+			return nil, fmt.Errorf("obs: manifest line %d: %v: %w", line, err, ErrCorruptManifest)
 		}
 		if e.Event == "run_start" && e.Meta != nil && e.Meta.ManifestVersion != ManifestVersion {
-			return nil, fmt.Errorf("obs: manifest version %d, want %d", e.Meta.ManifestVersion, ManifestVersion)
+			return nil, fmt.Errorf("obs: manifest version %d, want %d: %w", e.Meta.ManifestVersion, ManifestVersion, ErrCorruptManifest)
 		}
 		log.Events = append(log.Events, e)
 		if e.Event == "run_done" && e.Summary != nil {
@@ -269,6 +279,9 @@ func ReadManifest(r io.Reader) (*ManifestLog, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return nil, fmt.Errorf("obs: reading manifest: %v: %w", err, ErrCorruptManifest)
+		}
 		return nil, fmt.Errorf("obs: reading manifest: %w", err)
 	}
 	return log, nil

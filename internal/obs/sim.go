@@ -37,10 +37,16 @@ type SimMetrics struct {
 	restored    *Counter // trials restored from a resume token
 	reached     *Counter // completed trials that hit the target
 	quarantined *Counter // panicking trials excluded from estimates
+	stalled     *Counter // watchdog-abandoned trials excluded from estimates
 	chunks      *Counter // completed chunks
 	inflight    *Gauge   // chunks currently being executed
 	checkpoints *Counter // checkpoint sink invocations that succeeded
 	lastCkNs    atomic.Int64
+
+	artRetries   *Counter // retried artifact writes
+	artFallbacks *Counter // loads that fell back to an older generation
+	artCorrupt   *Counter // artifact files that failed validation
+	artFallbackG *Gauge   // generation the last fallback load came from
 
 	steps     *Histogram // events per completed trial
 	seconds   *Histogram // wall-clock seconds per completed trial
@@ -58,12 +64,18 @@ func NewSimMetrics(reg *Registry, total int) *SimMetrics {
 		restored:    reg.Counter("sim.trials_restored"),
 		reached:     reg.Counter("sim.trials_reached"),
 		quarantined: reg.Counter("sim.trials_quarantined"),
+		stalled:     reg.Counter("sim.trials_stalled"),
 		chunks:      reg.Counter("sim.chunks_completed"),
 		inflight:    reg.Gauge("sim.chunks_inflight"),
 		checkpoints: reg.Counter("sim.checkpoints_saved"),
-		steps:       reg.Histogram("sim.trial_steps", StepBounds...),
-		seconds:     reg.Histogram("sim.trial_seconds", SecondsBounds...),
-		reachTime:   reg.Histogram("sim.reach_time", TimeBounds...),
+
+		artRetries:   reg.Counter("sim.artifact_retries"),
+		artFallbacks: reg.Counter("sim.artifact_fallbacks"),
+		artCorrupt:   reg.Counter("sim.artifacts_corrupt"),
+		artFallbackG: reg.Gauge("sim.artifact_fallback_generation"),
+		steps:        reg.Histogram("sim.trial_steps", StepBounds...),
+		seconds:      reg.Histogram("sim.trial_seconds", SecondsBounds...),
+		reachTime:    reg.Histogram("sim.reach_time", TimeBounds...),
 	}
 	m.total.Store(int64(total))
 	return m
@@ -107,6 +119,25 @@ func (m *SimMetrics) TrialBatchDone(trials, reached int, events []int64, reachTi
 // TrialQuarantined records one panicking trial excluded from the estimate.
 func (m *SimMetrics) TrialQuarantined(trial int) { m.quarantined.Inc() }
 
+// TrialStalled records one trial abandoned by the per-trial watchdog and
+// excluded from the estimate.
+func (m *SimMetrics) TrialStalled(trial int) { m.stalled.Inc() }
+
+// ArtifactRetried records one retried checkpoint/manifest write (the
+// sim.ArtifactMetrics hook, matched structurally like sim.Metrics).
+func (m *SimMetrics) ArtifactRetried() { m.artRetries.Inc() }
+
+// ArtifactFallback records a load that fell back to an older artifact
+// generation, and remembers which one on a gauge.
+func (m *SimMetrics) ArtifactFallback(generation int) {
+	m.artFallbacks.Inc()
+	m.artFallbackG.Set(int64(generation))
+}
+
+// ArtifactCorrupt records one artifact file that failed validation
+// (checksum mismatch, truncation, garbage).
+func (m *SimMetrics) ArtifactCorrupt() { m.artCorrupt.Inc() }
+
 // ChunkActive moves the in-flight chunk gauge (+1 on claim, -1 on
 // completion or abandonment).
 func (m *SimMetrics) ChunkActive(delta int) { m.inflight.Add(int64(delta)) }
@@ -135,6 +166,7 @@ type ProgressSnapshot struct {
 	Total       int64 `json:"trials_total"`
 	Reached     int64 `json:"trials_reached"`
 	Quarantined int64 `json:"trials_quarantined,omitempty"`
+	Stalled     int64 `json:"trials_stalled,omitempty"`
 	InFlight    int64 `json:"chunks_inflight"`
 	// TrialsPerSec is the mean completion rate since the run started.
 	TrialsPerSec float64 `json:"trials_per_sec"`
@@ -168,6 +200,7 @@ func (m *SimMetrics) Progress() ProgressSnapshot {
 		Total:           m.total.Load(),
 		Reached:         m.reached.Value(),
 		Quarantined:     m.quarantined.Value(),
+		Stalled:         m.stalled.Value(),
 		InFlight:        m.inflight.Value(),
 		CheckpointAgeNs: -1,
 	}
@@ -216,6 +249,9 @@ func (s ProgressSnapshot) String() string {
 	}
 	if s.Quarantined > 0 {
 		fmt.Fprintf(&b, " | quarantined %d", s.Quarantined)
+	}
+	if s.Stalled > 0 {
+		fmt.Fprintf(&b, " | stalled %d", s.Stalled)
 	}
 	fmt.Fprintf(&b, " | in-flight %d", s.InFlight)
 	if s.CheckpointAgeNs >= 0 {

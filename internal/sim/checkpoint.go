@@ -15,8 +15,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sort"
 )
 
@@ -29,6 +27,28 @@ const checkpointVersion = 1
 // the estimate, so the engine refuses.
 var ErrCheckpointMismatch = errors.New("sim: checkpoint does not match this run")
 
+// MismatchError is a checkpoint-identity mismatch with the offending
+// field named and both values carried, so an operator can see at a glance
+// whether they mistyped a seed or pointed -resume at the wrong run. It
+// matches ErrCheckpointMismatch via errors.Is.
+type MismatchError struct {
+	// Field is the run parameter that disagrees: "version", "kind",
+	// "seed", "trials", or "chunk_size".
+	Field string
+	// Want is the value the run being started expects.
+	Want any
+	// Got is the value found in the checkpoint.
+	Got any
+}
+
+// Error names the field and both values.
+func (e *MismatchError) Error() string {
+	return fmt.Sprintf("sim: checkpoint does not match this run: %s is %v, want %v", e.Field, e.Got, e.Want)
+}
+
+// Is reports a match against ErrCheckpointMismatch.
+func (e *MismatchError) Is(target error) bool { return target == ErrCheckpointMismatch }
+
 // ChunkRecord is the serialized accumulator of one completed chunk.
 type ChunkRecord struct {
 	// Index is the chunk index (trials [Index*chunkSize, ...)).
@@ -37,14 +57,22 @@ type ChunkRecord struct {
 	Acc json.RawMessage `json:"acc"`
 }
 
-// PanicRecord is the serializable form of a quarantined TrialPanicError:
-// enough to reproduce the crash (trial index + trial seed) without keeping
-// the live panic value alive.
+// RecordStalled marks a PanicRecord produced by the per-trial watchdog
+// (a stuck trial) rather than a recovered panic.
+const RecordStalled = "stall"
+
+// PanicRecord is the serializable form of a quarantined trial — a
+// recovered TrialPanicError, or a TrialStalledError from the watchdog:
+// enough to reproduce the crash or hang (trial index + trial seed)
+// without keeping the live panic value alive.
 type PanicRecord struct {
 	Trial int    `json:"trial"`
 	Seed  int64  `json:"seed"`
 	Value string `json:"value"`
 	Stack string `json:"stack,omitempty"`
+	// Kind distinguishes how the trial died: empty for a panic,
+	// RecordStalled for a watchdog timeout.
+	Kind string `json:"kind,omitempty"`
 }
 
 // Checkpoint is a resume token for one parallel estimator run: the
@@ -100,15 +128,15 @@ func (c *Checkpoint) sortRecords() {
 func (c *Checkpoint) validateFor(kind string, seed int64, trials, chunkSize int) error {
 	switch {
 	case c.Version != checkpointVersion:
-		return fmt.Errorf("%w: format version %d, want %d", ErrCheckpointMismatch, c.Version, checkpointVersion)
+		return &MismatchError{Field: "version", Want: checkpointVersion, Got: c.Version}
 	case c.Kind != kind:
-		return fmt.Errorf("%w: estimator kind %q, want %q", ErrCheckpointMismatch, c.Kind, kind)
+		return &MismatchError{Field: "kind", Want: kind, Got: c.Kind}
 	case c.Seed != seed:
-		return fmt.Errorf("%w: root seed %d, want %d", ErrCheckpointMismatch, c.Seed, seed)
+		return &MismatchError{Field: "seed", Want: seed, Got: c.Seed}
 	case c.Trials != trials:
-		return fmt.Errorf("%w: trial budget %d, want %d", ErrCheckpointMismatch, c.Trials, trials)
+		return &MismatchError{Field: "trials", Want: trials, Got: c.Trials}
 	case c.ChunkSize != chunkSize:
-		return fmt.Errorf("%w: chunk size %d, want %d", ErrCheckpointMismatch, c.ChunkSize, chunkSize)
+		return &MismatchError{Field: "chunk_size", Want: chunkSize, Got: c.ChunkSize}
 	}
 	seen := make(map[int]bool, len(c.Chunks))
 	for _, cr := range c.Chunks {
@@ -133,54 +161,20 @@ func (c *Checkpoint) validateFor(kind string, seed int64, trials, chunkSize int)
 // (sizes × policies × estimators) against one state file.
 type CheckpointSet map[string]*Checkpoint
 
-// LoadCheckpointSet reads a state file written by Save. A missing file is
-// not an error: it returns an empty set, so "-resume path" on a first run
-// simply starts fresh.
+// LoadCheckpointSet reads a state file written by Save through a default
+// ArtifactStore: checksums verified, fallback to the newest valid
+// generation. A missing file is not an error: it returns an empty set,
+// so "-resume path" on a first run simply starts fresh.
 func LoadCheckpointSet(path string) (CheckpointSet, error) {
-	data, err := os.ReadFile(path)
-	if errors.Is(err, os.ErrNotExist) {
-		return CheckpointSet{}, nil
-	}
-	if err != nil {
-		return nil, fmt.Errorf("sim: reading checkpoint file: %w", err)
-	}
-	var cs CheckpointSet
-	if err := json.Unmarshal(data, &cs); err != nil {
-		return nil, fmt.Errorf("sim: parsing checkpoint file %s: %w", path, err)
-	}
-	if cs == nil {
-		cs = CheckpointSet{}
-	}
-	return cs, nil
+	var s ArtifactStore
+	cs, _, err := s.Load(path)
+	return cs, err
 }
 
-// Save writes the set atomically (temp file + rename in the target
-// directory), so a crash mid-write can never leave a truncated state file:
-// a reader sees either the previous checkpoint or the new one.
+// Save writes the set through a default ArtifactStore: atomic, durable
+// (fsync of file and directory), checksummed, keeping the last three
+// generations.
 func (cs CheckpointSet) Save(path string) error {
-	for _, cp := range cs {
-		cp.sortRecords()
-	}
-	data, err := json.MarshalIndent(cs, "", " ")
-	if err != nil {
-		return fmt.Errorf("sim: marshaling checkpoint set: %w", err)
-	}
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return fmt.Errorf("sim: writing checkpoint file: %w", err)
-	}
-	_, werr := tmp.Write(data)
-	cerr := tmp.Close()
-	if werr == nil {
-		werr = cerr
-	}
-	if werr == nil {
-		werr = os.Rename(tmp.Name(), path)
-	}
-	if werr != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("sim: writing checkpoint file: %w", werr)
-	}
-	return nil
+	var s ArtifactStore
+	return s.Save(path, cs)
 }

@@ -27,6 +27,9 @@ type Metrics interface {
 	// TrialQuarantined reports a panicking trial excluded from the
 	// estimate.
 	TrialQuarantined(trial int)
+	// TrialStalled reports a trial abandoned by the per-trial watchdog
+	// (wall-clock budget exceeded) and excluded from the estimate.
+	TrialStalled(trial int)
 	// ChunkActive moves the in-flight chunk count: +1 when a worker
 	// claims a chunk, -1 when it finishes or abandons it.
 	ChunkActive(delta int)

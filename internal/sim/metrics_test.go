@@ -18,7 +18,7 @@ type countingMetrics struct {
 	trials, quarantined, chunks, restored, checkpoints atomic.Int64
 	chunkTrials, reached, events                       atomic.Int64
 	active, maxActive                                  atomic.Int64
-	negSeconds                                         atomic.Int64
+	negSeconds, stalled                                atomic.Int64
 }
 
 func (c *countingMetrics) TrialDone(trial, events int, seconds float64, reached bool, reachedAt float64) {
@@ -32,6 +32,7 @@ func (c *countingMetrics) TrialDone(trial, events int, seconds float64, reached 
 	}
 }
 func (c *countingMetrics) TrialQuarantined(trial int) { c.quarantined.Add(1) }
+func (c *countingMetrics) TrialStalled(trial int)     { c.stalled.Add(1) }
 func (c *countingMetrics) ChunkActive(delta int) {
 	now := c.active.Add(int64(delta))
 	for {

@@ -66,6 +66,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/sched"
 	"repro/internal/stats"
 )
@@ -119,6 +120,16 @@ type ParallelOptions struct {
 	// escape hatch exists for debugging and perf comparison, not
 	// correctness.
 	NoCompile bool
+	// TrialTimeout, when positive, arms the per-trial watchdog: a trial
+	// that has not returned within this wall-clock budget is abandoned
+	// and quarantined as a *TrialStalledError — recorded like a panic,
+	// excluded from the estimate, counted against MaxPanics. Zero
+	// disables the watchdog (and its per-trial goroutine overhead).
+	TrialTimeout time.Duration
+	// Clock is the watchdog's time source; nil means the wall clock.
+	// Tests inject a fault.FakeClock to trip the watchdog without
+	// sleeping.
+	Clock fault.Clock
 
 	// kind identifies the estimator (and its parameters) producing the
 	// accumulators, so a checkpoint cannot be resumed into a different
@@ -174,11 +185,15 @@ type RunReport struct {
 	// Resumed is how many of the completed trials were restored from
 	// ParallelOptions.Resume rather than re-run.
 	Resumed int
-	// Quarantined counts panicking trials excluded from the estimate;
-	// Panics has one record per such trial, each naming the private RNG
-	// seed that replays the crash in a single RunOnce (sim.ReproTrial).
+	// Quarantined counts trials excluded from the estimate — panicking
+	// trials plus trials abandoned by the watchdog; Panics has one record
+	// per such trial, each naming the private RNG seed that replays the
+	// crash (or the hang) in a single RunOnce (sim.ReproTrial).
 	Quarantined int
-	Panics      []PanicRecord
+	// Stalled is how many of the quarantined trials were watchdog
+	// timeouts (PanicRecord.Kind == RecordStalled) rather than panics.
+	Stalled int
+	Panics  []PanicRecord
 	// Interrupted reports that the run stopped before covering Total
 	// trials; the error returned alongside matches ErrInterrupted.
 	Interrupted bool
@@ -195,8 +210,11 @@ func (r RunReport) String() string {
 	if r.Resumed > 0 {
 		notes = append(notes, fmt.Sprintf("%d restored from checkpoint", r.Resumed))
 	}
-	if r.Quarantined > 0 {
-		notes = append(notes, fmt.Sprintf("%d panicking trials quarantined", r.Quarantined))
+	if panics := r.Quarantined - r.Stalled; panics > 0 {
+		notes = append(notes, fmt.Sprintf("%d panicking trials quarantined", panics))
+	}
+	if r.Stalled > 0 {
+		notes = append(notes, fmt.Sprintf("%d stalled trials quarantined", r.Stalled))
 	}
 	if r.Interrupted {
 		notes = append(notes, "interrupted")
@@ -356,6 +374,11 @@ func RunParallel[S comparable, A any](ctx context.Context, m sched.Model[S], mk 
 	// granularity. Everything else still sees per-trial TrialDone calls.
 	bmet, batch := met.(BatchMetrics)
 
+	clock := popts.Clock
+	if clock == nil {
+		clock = fault.Wall
+	}
+
 	// runChunk executes every trial of one unclaimed chunk and commits
 	// the chunk on completion. A nil return with done[chunk] still false
 	// means the chunk was abandoned because another chunk failed.
@@ -383,7 +406,26 @@ func RunParallel[S comparable, A any](ctx context.Context, m sched.Model[S], mk 
 			if met != nil && !batch {
 				t0 = time.Now()
 			}
-			res, err := RunOnce(m, mk(), target, opts, rng)
+			var res Result[S]
+			var err error
+			if popts.TrialTimeout > 0 {
+				res, err = runWatched(m, mk(), target, opts, rng, clock, popts.TrialTimeout, i, seed)
+			} else {
+				res, err = RunOnce(m, mk(), target, opts, rng)
+			}
+			var se *TrialStalledError
+			if errors.As(err, &se) {
+				if !rc.allowPanic() {
+					return se
+				}
+				if met != nil {
+					met.TrialStalled(i)
+				}
+				chunkPanics = append(chunkPanics, PanicRecord{
+					Trial: i, Seed: seed, Kind: RecordStalled, Value: se.Error(),
+				})
+				continue // quarantined like a panic: recorded, excluded
+			}
 			var pe *TrialPanicError
 			if errors.As(err, &pe) {
 				pe.Trial, pe.Seed = i, seed
@@ -465,6 +507,11 @@ func RunParallel[S comparable, A any](ctx context.Context, m sched.Model[S], mk 
 	rc.cp.sortRecords()
 	rep.Panics = append([]PanicRecord(nil), rc.cp.Panics...)
 	rep.Quarantined = len(rep.Panics)
+	for _, pr := range rep.Panics {
+		if pr.Kind == RecordStalled {
+			rep.Stalled++
+		}
+	}
 	rep.Checkpoint = rc.cp
 
 	// Deterministic error selection: among the chunks that failed, report

@@ -331,6 +331,59 @@ func BenchmarkParallelTrials(b *testing.B) {
 	b.ReportMetric(float64(trials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
 }
 
+// E12 addendum (hot-path ablation ladder): the same n=8 curve workload
+// as BenchmarkParallelTrials, one rung per engine optimisation so
+// EXPERIMENTS.md can attribute the throughput to its parts. Rungs are
+// cumulative: uncompiled baseline; compiled cache sampling by cumulative
+// scan (Options.BitCompat); alias-table sampling; packed state
+// interning (sched.Packer); per-worker trial arenas. The last rung is
+// the default engine configuration.
+func BenchmarkTrialAblation(b *testing.B) {
+	const (
+		n      = 8
+		trials = 256
+	)
+	raw := dining.MustNew(n)
+	opts := sim.Options[dining.State]{Start: dining.AllAt(n, dining.F), SetStart: true}
+	mk := func() sim.Policy[dining.State] { return dining.KeepTrying(sim.Random[dining.State](0.5)) }
+	deadlines := make([]float64, 16)
+	for i := range deadlines {
+		deadlines[i] = float64(i + 1)
+	}
+	rungs := []struct {
+		name      string
+		model     sched.Model[dining.State]
+		noCompile bool
+		bitCompat bool
+		noArena   bool
+	}{
+		// Compiled rungs pre-compile outside the timer, as the CLIs do.
+		{name: "uncompiled", model: raw, noCompile: true, noArena: true},
+		{name: "scan", model: sim.Compile[dining.State](unpackedModel[dining.State]{m: raw}), bitCompat: true, noArena: true},
+		{name: "alias", model: sim.Compile[dining.State](unpackedModel[dining.State]{m: raw}), noArena: true},
+		{name: "alias_packed", model: sim.Compile[dining.State](raw), noArena: true},
+		{name: "alias_packed_arena", model: sim.Compile[dining.State](raw)},
+	}
+	for _, rung := range rungs {
+		b.Run(rung.name, func(b *testing.B) {
+			o := opts
+			o.BitCompat = rung.bitCompat
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, rep, err := sim.EstimateCurveParallel[dining.State](context.Background(), rung.model, mk, dining.InC, deadlines, trials, o,
+					sim.ParallelOptions{Seed: 1, NoCompile: rung.noCompile, NoArena: rung.noArena})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Completed != trials {
+					b.Fatalf("completed %d/%d trials", rep.Completed, trials)
+				}
+			}
+			b.ReportMetric(float64(trials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+		})
+	}
+}
+
 // E12 addendum (compile ablation, election): parallel time-to-leader
 // trials with the compiled transition cache on (the default) and off, so
 // BENCH_sim.json records the speedup per case study.

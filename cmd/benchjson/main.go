@@ -10,12 +10,24 @@
 // in the bad direction by more than the threshold. Units ending in "/op"
 // (ns/op, B/op, allocs/op) regress upward; units ending in "/s"
 // (trials/s) regress downward; anything else is reported but never fails
-// the gate. Benchmarks present only in the old file are noted, not fatal.
+// the gate. Benchmarks present only in the old file are noted, not fatal
+// (renames and retirements happen); a *metric* that an old benchmark
+// reported but the new run lost IS fatal — a vanished trials/s column
+// must not read as a pass — as is a NaN on either side, and a zero
+// baseline for a /op unit regresses on any increase rather than
+// dividing by zero.
+//
+// The repeatable -floor flag adds absolute constraints on the new
+// artifact, independent of the old one: -floor 'Benchmark:unit=value'
+// fails the gate when the named metric is below value (units ending in
+// "/op" are ceilings instead: they fail above value). The benchmark name
+// matches with or without the -GOMAXPROCS suffix, so one floor covers
+// runs at any -cpu setting.
 //
 // Usage:
 //
 //	go test -run='^$' -bench=. -benchmem -json ./... | benchjson -o BENCH_sim.json
-//	benchjson -compare BENCH_sim.json new.json [-threshold 0.10]
+//	benchjson -compare BENCH_sim.json new.json [-threshold 0.10] [-floor 'BenchmarkParallelTrials:trials/s=150000']
 package main
 
 import (
@@ -23,6 +35,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"sort"
@@ -133,28 +146,84 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	return os.WriteFile(out, data, 0o644)
 }
 
-// compare implements `benchjson -compare old.json new.json [-threshold t]`:
-// every metric of every old benchmark is diffed against the new artifact
-// and a relative move past the threshold in the bad direction is a
-// regression, reported with a non-nil error so the gate exits 1.
-func compare(args []string, stdout io.Writer) error {
-	threshold := 0.10
-	switch {
-	case len(args) == 2:
-	case len(args) == 4 && args[2] == "-threshold":
-		v, err := strconv.ParseFloat(args[3], 64)
-		if err != nil || v <= 0 {
-			return fmt.Errorf("-threshold wants a positive fraction, got %q", args[3])
-		}
-		threshold = v
-	default:
-		return fmt.Errorf("usage: benchjson -compare old.json new.json [-threshold 0.10]")
+// floor is one -floor constraint: an absolute bound on a metric of the
+// new artifact. For "/op" units min is a ceiling (costs must stay
+// below); for everything else it is a floor (rates must stay above).
+type floor struct {
+	bench, unit string
+	min         float64
+}
+
+// parseFloor parses a -floor argument of the form Benchmark:unit=value.
+func parseFloor(s string) (floor, error) {
+	spec, val, okEq := strings.Cut(s, "=")
+	bench, unit, okColon := strings.Cut(spec, ":")
+	if !okEq || !okColon || bench == "" || unit == "" {
+		return floor{}, fmt.Errorf("-floor wants Benchmark:unit=value, got %q", s)
 	}
-	oldRep, err := loadReport(args[0])
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil || math.IsNaN(v) {
+		return floor{}, fmt.Errorf("-floor value in %q is not a number", s)
+	}
+	return floor{bench: bench, unit: unit, min: v}, nil
+}
+
+// matches reports whether the floor names this benchmark, with or
+// without the -GOMAXPROCS suffix go test appends.
+func (f floor) matches(name string) bool {
+	return name == f.bench || strings.HasPrefix(name, f.bench+"-")
+}
+
+// compare implements the perf-regression gate:
+//
+//	benchjson -compare old.json new.json [-threshold t] [-floor Benchmark:unit=value]...
+//
+// Every metric of every old benchmark is diffed against the new artifact
+// and a relative move past the threshold in the bad direction — or a
+// metric the new run lost, or a NaN — is a regression; -floor adds
+// absolute bounds on the new artifact. Any failure is reported with a
+// non-nil error so the gate exits 1.
+func compare(args []string, stdout io.Writer) error {
+	usage := fmt.Errorf("usage: benchjson -compare old.json new.json [-threshold 0.10] [-floor Benchmark:unit=value]...")
+	threshold := 0.10
+	var floors []floor
+	var paths []string
+	for i := 0; i < len(args); i++ {
+		switch {
+		case args[i] == "-threshold":
+			if i+1 >= len(args) {
+				return usage
+			}
+			i++
+			v, err := strconv.ParseFloat(args[i], 64)
+			if err != nil || math.IsNaN(v) || v <= 0 {
+				return fmt.Errorf("-threshold wants a positive fraction, got %q", args[i])
+			}
+			threshold = v
+		case args[i] == "-floor":
+			if i+1 >= len(args) {
+				return usage
+			}
+			i++
+			f, err := parseFloor(args[i])
+			if err != nil {
+				return err
+			}
+			floors = append(floors, f)
+		case strings.HasPrefix(args[i], "-"):
+			return usage
+		default:
+			paths = append(paths, args[i])
+		}
+	}
+	if len(paths) != 2 {
+		return usage
+	}
+	oldRep, err := loadReport(paths[0])
 	if err != nil {
 		return err
 	}
-	newRep, err := loadReport(args[1])
+	newRep, err := loadReport(paths[1])
 	if err != nil {
 		return err
 	}
@@ -170,7 +239,7 @@ func compare(args []string, stdout io.Writer) error {
 		cur, ok := newByName[old.Name]
 		if !ok {
 			missing++
-			fmt.Fprintf(tw, "%s\t-\t-\t-\t-\tmissing in %s\n", old.Name, args[1])
+			fmt.Fprintf(tw, "%s\t-\t-\t-\t-\tmissing in %s\n", old.Name, paths[1])
 			continue
 		}
 		units := make([]string, 0, len(old.Metrics))
@@ -182,11 +251,31 @@ func compare(args []string, stdout io.Writer) error {
 			ov := old.Metrics[unit]
 			nv, ok := cur.Metrics[unit]
 			if !ok {
-				fmt.Fprintf(tw, "%s\t%s\t%g\t-\t-\tmetric missing\n", old.Name, unit, ov)
+				// A column the baseline had but the new run lost would
+				// otherwise let a vanished trials/s pass the gate.
+				regressions++
+				fmt.Fprintf(tw, "%s\t%s\t%g\t-\t-\tREGRESSION (metric missing)\n", old.Name, unit, ov)
+				continue
+			}
+			if math.IsNaN(ov) || math.IsNaN(nv) {
+				// NaN compares false with everything, so the threshold
+				// switch below would quietly call it "ok".
+				regressions++
+				fmt.Fprintf(tw, "%s\t%s\t%g\t%g\t-\tREGRESSION (NaN)\n", old.Name, unit, ov, nv)
 				continue
 			}
 			if ov == 0 {
-				fmt.Fprintf(tw, "%s\t%s\t0\t%g\t-\tno baseline\n", old.Name, unit, nv)
+				// No relative delta exists. Zero is a real baseline for
+				// /op units (0 allocs/op): any increase regresses. For
+				// rates a zero baseline cannot be regressed below.
+				verdict := "ok"
+				if nv != 0 && strings.HasSuffix(unit, "/op") {
+					verdict = "REGRESSION"
+					regressions++
+				} else if nv != 0 {
+					verdict = "info"
+				}
+				fmt.Fprintf(tw, "%s\t%s\t0\t%g\t-\t%s\n", old.Name, unit, nv, verdict)
 				continue
 			}
 			delta := (nv - ov) / ov
@@ -211,13 +300,61 @@ func compare(args []string, stdout io.Writer) error {
 		return err
 	}
 	if missing > 0 {
-		fmt.Fprintf(stdout, "note: %d benchmark(s) missing from %s (not fatal)\n", missing, args[1])
+		fmt.Fprintf(stdout, "note: %d benchmark(s) missing from %s (not fatal)\n", missing, paths[1])
 	}
-	if regressions > 0 {
-		return fmt.Errorf("%d metric(s) regressed more than %.0f%% vs %s", regressions, 100*threshold, args[0])
+	violations := checkFloors(floors, newRep, stdout)
+	switch {
+	case regressions > 0 && violations > 0:
+		return fmt.Errorf("%d metric(s) regressed more than %.0f%% vs %s and %d floor(s) violated", regressions, 100*threshold, paths[0], violations)
+	case regressions > 0:
+		return fmt.Errorf("%d metric(s) regressed more than %.0f%% vs %s", regressions, 100*threshold, paths[0])
+	case violations > 0:
+		return fmt.Errorf("%d floor(s) violated", violations)
 	}
-	fmt.Fprintf(stdout, "no regressions past %.0f%% vs %s\n", 100*threshold, args[0])
+	fmt.Fprintf(stdout, "no regressions past %.0f%% vs %s\n", 100*threshold, paths[0])
 	return nil
+}
+
+// checkFloors evaluates every -floor constraint against the new
+// artifact, printing one line per constraint, and returns the number of
+// violations. A floor whose benchmark or metric the artifact lacks is a
+// violation: an absolute bound that silently stopped being measured is
+// exactly the failure mode the flag exists to catch.
+func checkFloors(floors []floor, rep Report, stdout io.Writer) int {
+	violations := 0
+	for _, f := range floors {
+		matched := false
+		for _, r := range rep.Benchmarks {
+			if !f.matches(r.Name) {
+				continue
+			}
+			matched = true
+			v, ok := r.Metrics[f.unit]
+			bad := !ok || math.IsNaN(v)
+			if !bad {
+				if strings.HasSuffix(f.unit, "/op") {
+					bad = v > f.min
+				} else {
+					bad = v < f.min
+				}
+			}
+			if bad {
+				violations++
+				if !ok {
+					fmt.Fprintf(stdout, "FLOOR VIOLATED: %s has no %s metric (bound %g)\n", r.Name, f.unit, f.min)
+				} else {
+					fmt.Fprintf(stdout, "FLOOR VIOLATED: %s %s = %g, bound %g\n", r.Name, f.unit, v, f.min)
+				}
+			} else {
+				fmt.Fprintf(stdout, "floor ok: %s %s = %g (bound %g)\n", r.Name, f.unit, v, f.min)
+			}
+		}
+		if !matched {
+			violations++
+			fmt.Fprintf(stdout, "FLOOR VIOLATED: no benchmark matches %q\n", f.bench)
+		}
+	}
+	return violations
 }
 
 // loadReport reads one benchjson artifact from disk.

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -167,6 +168,101 @@ func TestCompare(t *testing.T) {
 	sb.Reset()
 	if err := run([]string{"-compare", oldPath, thr, "-threshold", "0.5"}, nil, &sb); err != nil {
 		t.Errorf("loose threshold still failed: %v", err)
+	}
+}
+
+// TestCompareMetricMissing: a metric the baseline had but the new run
+// lost must fail the gate — a vanished trials/s column is not a pass.
+func TestCompareMetricMissing(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json",
+		Result{Name: "BenchmarkA-4", Iterations: 10, Metrics: map[string]float64{"ns/op": 1000, "trials/s": 7000}})
+	lost := writeReport(t, dir, "lost.json",
+		Result{Name: "BenchmarkA-4", Iterations: 10, Metrics: map[string]float64{"ns/op": 1000}})
+	var sb strings.Builder
+	err := run([]string{"-compare", oldPath, lost}, nil, &sb)
+	if err == nil {
+		t.Fatalf("missing trials/s metric passed the gate:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "metric missing") {
+		t.Errorf("output does not name the missing metric:\n%s", sb.String())
+	}
+}
+
+// TestCompareZeroAndNaNBaselines: a zero /op baseline regresses on any
+// increase instead of dividing by zero, a zero rate baseline cannot
+// regress, and NaN on either side fails rather than reading as "ok".
+func TestCompareZeroAndNaNBaselines(t *testing.T) {
+	dir := t.TempDir()
+
+	// 0 allocs/op baseline; new run allocates: regression.
+	zeroOp := writeReport(t, dir, "zero_op.json",
+		Result{Name: "BenchmarkA-4", Iterations: 10, Metrics: map[string]float64{"allocs/op": 0}})
+	alloc := writeReport(t, dir, "alloc.json",
+		Result{Name: "BenchmarkA-4", Iterations: 10, Metrics: map[string]float64{"allocs/op": 1}})
+	if err := run([]string{"-compare", zeroOp, alloc}, nil, io.Discard); err == nil {
+		t.Error("0 -> 1 allocs/op passed the gate")
+	}
+	// Same zero baseline, still zero: fine.
+	if err := run([]string{"-compare", zeroOp, zeroOp}, nil, io.Discard); err != nil {
+		t.Errorf("0 -> 0 allocs/op failed: %v", err)
+	}
+
+	// Zero rate baseline: any new rate is not a regression.
+	zeroRate := writeReport(t, dir, "zero_rate.json",
+		Result{Name: "BenchmarkB-4", Iterations: 10, Metrics: map[string]float64{"trials/s": 0}})
+	someRate := writeReport(t, dir, "some_rate.json",
+		Result{Name: "BenchmarkB-4", Iterations: 10, Metrics: map[string]float64{"trials/s": 5}})
+	if err := run([]string{"-compare", zeroRate, someRate}, nil, io.Discard); err != nil {
+		t.Errorf("0 -> 5 trials/s failed the gate: %v", err)
+	}
+
+	// A NaN metric cannot arrive through a JSON artifact (the encoding
+	// rejects it), but checkFloors guards against one anyway: a floor on
+	// a NaN measurement is a violation, never a pass.
+	nanRep := Report{Benchmarks: []Result{
+		{Name: "BenchmarkB-4", Iterations: 10, Metrics: map[string]float64{"trials/s": math.NaN()}},
+	}}
+	var sb strings.Builder
+	if v := checkFloors([]floor{{bench: "BenchmarkB", unit: "trials/s", min: 1}}, nanRep, &sb); v != 1 {
+		t.Errorf("NaN measurement yielded %d floor violations, want 1:\n%s", v, sb.String())
+	}
+}
+
+// TestCompareFloor: the repeatable -floor flag bounds the new artifact
+// absolutely — below the floor (or above, for /op ceilings), or not
+// measured at all, fails the gate regardless of the relative diff.
+func TestCompareFloor(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json",
+		Result{Name: "BenchmarkA-4", Iterations: 10, Metrics: map[string]float64{"trials/s": 7000, "allocs/op": 0}})
+	newPath := writeReport(t, dir, "new.json",
+		Result{Name: "BenchmarkA-4", Iterations: 10, Metrics: map[string]float64{"trials/s": 7100, "allocs/op": 0}})
+
+	// Satisfied floor (name given without the -4 suffix) and ceiling.
+	if err := run([]string{"-compare", oldPath, newPath,
+		"-floor", "BenchmarkA:trials/s=7000", "-floor", "BenchmarkA:allocs/op=0"}, nil, io.Discard); err != nil {
+		t.Errorf("satisfied floors failed the gate: %v", err)
+	}
+	// Floor above the measured rate: violation even though the diff improved.
+	var sb strings.Builder
+	err := run([]string{"-compare", oldPath, newPath, "-floor", "BenchmarkA:trials/s=8000"}, nil, &sb)
+	if err == nil || !strings.Contains(err.Error(), "floor") {
+		t.Errorf("violated floor passed the gate (err=%v):\n%s", err, sb.String())
+	}
+	// Floor on a benchmark the artifact does not have: violation.
+	if err := run([]string{"-compare", oldPath, newPath, "-floor", "BenchmarkNope:trials/s=1"}, nil, io.Discard); err == nil {
+		t.Error("floor on an unmeasured benchmark passed the gate")
+	}
+	// Floor on a metric the benchmark does not report: violation.
+	if err := run([]string{"-compare", oldPath, newPath, "-floor", "BenchmarkA:widgets/s=1"}, nil, io.Discard); err == nil {
+		t.Error("floor on an unreported metric passed the gate")
+	}
+	// Malformed floor specs are usage errors.
+	for _, bad := range []string{"BenchmarkA:trials/s", "BenchmarkA=5", ":trials/s=5", "BenchmarkA:=5", "BenchmarkA:trials/s=x", "BenchmarkA:trials/s=NaN"} {
+		if err := run([]string{"-compare", oldPath, newPath, "-floor", bad}, nil, io.Discard); err == nil {
+			t.Errorf("malformed -floor %q accepted", bad)
+		}
 	}
 }
 

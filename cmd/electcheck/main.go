@@ -28,11 +28,13 @@
 //	           [-budget 10m] [-checkpoint state.json] [-resume state.json] \
 //	           [-keep 3] [-quarantine N] [-trial-timeout 30s] \
 //	           [-progress 2s] [-manifest run.jsonl] \
-//	           [-metrics-out metrics.json] [-pprof localhost:6060] [-nocompile]
+//	           [-metrics-out metrics.json] [-pprof localhost:6060] [-nocompile] [-bitcompat]
 //
 // The sampled model is compiled (sim.Compile) before the run; -nocompile
-// disables the transition cache for debugging or perf comparison — the
-// printed estimate is byte-identical either way.
+// disables the transition cache for debugging or perf comparison, and
+// -bitcompat keeps the cache but samples with the cumulative scan — with
+// it the printed estimate is byte-identical to an uncompiled run of the
+// same seed (without it they agree in distribution, not bit for bit).
 package main
 
 import (
@@ -84,6 +86,7 @@ func run(ctx context.Context, args []string) error {
 	metricsOut := fs.String("metrics-out", "", "write the final metrics registry snapshot as JSON to this file")
 	pprof := fs.String("pprof", "", "serve /debug/pprof, /debug/vars and /debug/metrics on this address for the duration of the run")
 	nocompile := fs.Bool("nocompile", false, "disable the compiled-model transition cache for -sample (estimates are identical; for debugging and perf comparison)")
+	bitcompat := fs.Bool("bitcompat", false, "sample compiled moves with the cumulative scan instead of alias tables: slower, but bit-identical to -nocompile for the same seed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -126,7 +129,7 @@ func run(ctx context.Context, args []string) error {
 		return usageError(fs, "%v", err)
 	}
 	runErr := analysis(ctx, ins, *n, *k, *sample, *workers, *seed, *budget, *checkpoint, *resume, *quarantine,
-		*trialTimeout, *keep, *nocompile)
+		*trialTimeout, *keep, *nocompile, *bitcompat)
 	if cerr := ins.Close(runErr); cerr != nil && runErr == nil {
 		runErr = cerr
 	}
@@ -135,7 +138,7 @@ func run(ctx context.Context, args []string) error {
 
 func analysis(ctx context.Context, ins *obs.Instrumentation, n, k, sample, workers int, seed int64,
 	budget time.Duration, checkpoint, resume string, quarantine int,
-	trialTimeout time.Duration, keep int, nocompile bool) error {
+	trialTimeout time.Duration, keep int, nocompile, bitcompat bool) error {
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	context.AfterFunc(ctx, stop) // second signal kills the process the default way
@@ -243,7 +246,7 @@ func analysis(ctx context.Context, ins *obs.Instrumentation, n, k, sample, worke
 		sum, rep, err := sim.EstimateTimeToTargetParallel[election.State](ctx, model,
 			func() sim.Policy[election.State] { return sim.Slowest[election.State]() },
 			election.State.HasLeader, sample,
-			sim.Options[election.State]{}, popts)
+			sim.Options[election.State]{BitCompat: bitcompat}, popts)
 		ins.PhaseDone(label, sum.String(), rep.String(), err)
 		if rep.Quarantined > 0 {
 			fmt.Fprintf(os.Stderr, "electcheck: %d trials quarantined (%d panicked, %d stalled):\n",
@@ -253,7 +256,7 @@ func analysis(ctx context.Context, ins *obs.Instrumentation, n, k, sample, worke
 				if pr.Kind == sim.RecordStalled {
 					verb = "stalled"
 				}
-				fmt.Fprintf(os.Stderr, "  trial %d %s: %s — replay: sim.RunOnce with rand.NewSource(%d)\n", pr.Trial, verb, pr.Value, pr.Seed)
+				fmt.Fprintf(os.Stderr, "  trial %d %s: %s — replay: sim.ReproTrial(..., %d, %d)\n", pr.Trial, verb, pr.Value, seed, pr.Trial)
 			}
 		}
 		if errors.Is(err, sim.ErrInterrupted) {

@@ -41,13 +41,15 @@
 //	      [-budget 10m] [-checkpoint state.json] [-resume state.json] \
 //	      [-keep 3] [-quarantine N] [-trial-timeout 30s] \
 //	      [-progress 2s] [-manifest run.jsonl] \
-//	      [-metrics-out metrics.json] [-pprof localhost:6060] [-nocompile]
+//	      [-metrics-out metrics.json] [-pprof localhost:6060] [-nocompile] [-bitcompat]
 //
 // The model is compiled once per ring size (sim.Compile: a shared
-// transition cache plus frozen samplers) and reused across every
+// transition cache plus alias-table samplers) and reused across every
 // estimate, so later stages run fully warm; -nocompile switches the
-// cache off for debugging or perf comparison — the printed estimates
-// are byte-identical either way.
+// cache off for debugging or perf comparison, and -bitcompat keeps the
+// cache but samples with the cumulative scan — with it the printed
+// estimates are byte-identical to an uncompiled run of the same seed
+// (without it they agree in distribution, not bit for bit).
 package main
 
 import (
@@ -102,6 +104,7 @@ func run(ctx context.Context, args []string) error {
 	metricsOut := fs.String("metrics-out", "", "write the final metrics registry snapshot as JSON to this file")
 	pprof := fs.String("pprof", "", "serve /debug/pprof, /debug/vars and /debug/metrics on this address for the duration of the run")
 	nocompile := fs.Bool("nocompile", false, "disable the compiled-model transition cache (estimates are identical; for debugging and perf comparison)")
+	bitcompat := fs.Bool("bitcompat", false, "sample compiled moves with the cumulative scan instead of alias tables: slower, but bit-identical to -nocompile for the same seed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -163,7 +166,7 @@ func run(ctx context.Context, args []string) error {
 			ns: ns, names: names, trials: *trials, within: *within,
 			seed: *seed, workers: *workers, curveMax: *curveMax,
 			budget: *budget, checkpoint: *checkpoint, resume: *resume,
-			quarantine: *quarantine, nocompile: *nocompile,
+			quarantine: *quarantine, nocompile: *nocompile, bitcompat: *bitcompat,
 			trialTimeout: *trialTimeout, keep: *keep,
 		})
 	}()
@@ -187,6 +190,7 @@ type params struct {
 	resume       string
 	quarantine   int
 	nocompile    bool
+	bitcompat    bool
 	trialTimeout time.Duration
 	keep         int
 }
@@ -303,8 +307,9 @@ func experiments(ctx context.Context, ins *obs.Instrumentation, p params) error 
 				return err
 			}
 			opts := sim.Options[dining.State]{
-				Start:    dining.AllAt(n, dining.F),
-				SetStart: true,
+				Start:     dining.AllAt(n, dining.F),
+				SetStart:  true,
+				BitCompat: p.bitcompat,
 			}
 			stage := fmt.Sprintf("n=%d/%s", n, name)
 			ins.PhaseStart(stage + "/reach")
@@ -358,7 +363,7 @@ func experiments(ctx context.Context, ins *obs.Instrumentation, p params) error 
 		stage := fmt.Sprintf("n=%d/%s/curve@%d", n, name, p.curveMax)
 		ins.PhaseStart(stage)
 		curve, curveRep, err := sim.EstimateCurveParallel[dining.State](ctx, model, mk, dining.InC, deadlines, p.trials,
-			sim.Options[dining.State]{Start: dining.AllAt(n, dining.F), SetStart: true},
+			sim.Options[dining.State]{Start: dining.AllAt(n, dining.F), SetStart: true, BitCompat: p.bitcompat},
 			makePopts(stage))
 		ins.PhaseDone(stage, fmt.Sprintf("curve over %d deadlines", len(curve.Deadlines)), curveRep.String(), err)
 		reportQuarantine(stage, curveRep)
@@ -401,7 +406,7 @@ func reportQuarantine(stage string, rep sim.RunReport) {
 		if pr.Kind == sim.RecordStalled {
 			verb = "stalled"
 		}
-		fmt.Fprintf(os.Stderr, "  trial %d %s: %s — replay: sim.RunOnce with rand.NewSource(%d)\n", pr.Trial, verb, pr.Value, pr.Seed)
+		fmt.Fprintf(os.Stderr, "  trial %d %s: %s — replay: sim.ReproTrial with the run's root seed and trial %d (trial RNG seed %d)\n", pr.Trial, verb, pr.Value, pr.Trial, pr.Seed)
 	}
 }
 

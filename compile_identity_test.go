@@ -1,11 +1,24 @@
-// Compiled-vs-direct identity across the three case studies: the
+// Compiled-vs-direct identity across the three case studies. The
 // compiled-model layer (sim.Compile, on by default in every parallel
-// entry point) must be a pure performance change — for every model,
-// seed and worker count, estimates are DeepEqual to the uncompiled
-// engine's, including through the checkpoint/resume path. The
-// in-package half of this property (hand-built models, user moves,
-// RunOnce) lives in internal/sim; the CLI tests additionally assert
-// byte-identical output with and without -nocompile.
+// entry point) must be a pure performance change, but the contract has
+// two halves:
+//
+//   - Bit compatibility. With Options.BitCompat the compiled engine
+//     samples through the same cumulative scan as the uncompiled one,
+//     so estimates are DeepEqual to the direct engine's for every
+//     model, seed and worker count — with and without packed state
+//     interning and trial arenas, and through the checkpoint/resume
+//     path.
+//
+//   - Distribution. The alias-table default consumes the same one
+//     uniform per draw but maps it to successors through Walker
+//     columns, so it agrees with the direct engine in distribution,
+//     not bit for bit. That half is pinned statistically against the
+//     exact checker (internal/mdp) on a small instance.
+//
+// The in-package half of these properties (hand-built models, user
+// moves, RunOnce) lives in internal/sim; the CLI tests additionally
+// assert byte-identical -bitcompat vs -nocompile output.
 package timedpa_test
 
 import (
@@ -17,6 +30,9 @@ import (
 	"repro/internal/consensus"
 	"repro/internal/dining"
 	"repro/internal/election"
+	"repro/internal/mdp"
+	"repro/internal/pa"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -24,22 +40,68 @@ import (
 var identitySeeds = []int64{1, 2, 3}
 var identityWorkers = []int{1, 2, 8}
 
-// runPair runs the same estimate with the compiled layer on and off and
-// returns both results for comparison.
-func runPair[T any](t *testing.T, run func(popts sim.ParallelOptions) (T, sim.RunReport, error), seed int64, workers int) (compiled, direct T) {
+// engineConfig is one engine configuration under test. The first entry
+// is the uncompiled reference; every other entry must reproduce its
+// results bit for bit. The alias default is deliberately absent here —
+// its (statistical) identity is TestAliasDefaultMatchesExact.
+type engineConfig struct {
+	name      string
+	noCompile bool
+	bitCompat bool
+	noArena   bool
+	unpacked  bool
+}
+
+var engineConfigs = []engineConfig{
+	{name: "direct", noCompile: true},
+	{name: "bitcompat", bitCompat: true},
+	{name: "bitcompat-noarena", bitCompat: true, noArena: true},
+	{name: "bitcompat-unpacked", bitCompat: true, unpacked: true},
+}
+
+// unpackedModel hides a model's sched.Packer implementation so the
+// compiled layer falls back to interning raw state values; packed
+// interning is a cache-key change and must be invisible in results.
+type unpackedModel[S comparable] struct{ m sched.Model[S] }
+
+func (u unpackedModel[S]) Name() string                  { return u.m.Name() }
+func (u unpackedModel[S]) NumProcs() int                 { return u.m.NumProcs() }
+func (u unpackedModel[S]) Start() []S                    { return u.m.Start() }
+func (u unpackedModel[S]) Moves(s S, i int) []pa.Step[S] { return u.m.Moves(s, i) }
+func (u unpackedModel[S]) UserMoves(s S, i int) []pa.Step[S] {
+	return u.m.UserMoves(s, i)
+}
+
+// runConfigs runs the same estimate under every engine configuration and
+// checks each result against the direct reference.
+func runConfigs[S comparable, T any](t *testing.T, model sched.Model[S], opts sim.Options[S], seed int64, workers int,
+	run func(m sched.Model[S], opts sim.Options[S], popts sim.ParallelOptions) (T, sim.RunReport, error)) {
 	t.Helper()
-	base := sim.ParallelOptions{Seed: seed, Workers: workers}
-	noc := base
-	noc.NoCompile = true
-	compiled, repC, errC := run(base)
-	direct, repU, errU := run(noc)
-	if errC != nil || errU != nil {
-		t.Fatalf("seed=%d workers=%d: errs compiled=%v direct=%v", seed, workers, errC, errU)
+	var ref T
+	var refRep sim.RunReport
+	for i, cfg := range engineConfigs {
+		m := model
+		if cfg.unpacked {
+			m = unpackedModel[S]{m: model}
+		}
+		o := opts
+		o.BitCompat = cfg.bitCompat
+		popts := sim.ParallelOptions{Seed: seed, Workers: workers, NoCompile: cfg.noCompile, NoArena: cfg.noArena}
+		got, rep, err := run(m, o, popts)
+		if err != nil {
+			t.Fatalf("%s seed=%d workers=%d: %v", cfg.name, seed, workers, err)
+		}
+		if i == 0 {
+			ref, refRep = got, rep
+			continue
+		}
+		if rep.Completed != refRep.Completed {
+			t.Errorf("%s seed=%d workers=%d: completed %d != direct %d", cfg.name, seed, workers, rep.Completed, refRep.Completed)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("%s seed=%d workers=%d: %+v != direct %+v", cfg.name, seed, workers, got, ref)
+		}
 	}
-	if repC.Completed != repU.Completed {
-		t.Fatalf("seed=%d workers=%d: completed %d (compiled) != %d (direct)", seed, workers, repC.Completed, repU.Completed)
-	}
-	return compiled, direct
 }
 
 func TestCompiledIdentityDining(t *testing.T) {
@@ -50,12 +112,10 @@ func TestCompiledIdentityDining(t *testing.T) {
 	deadlines := []float64{2, 4, 8, 13}
 	for _, seed := range identitySeeds {
 		for _, workers := range identityWorkers {
-			got, want := runPair(t, func(popts sim.ParallelOptions) (sim.EmpiricalCurve, sim.RunReport, error) {
-				return sim.EstimateCurveParallel[dining.State](context.Background(), model, mk, dining.InC, deadlines, trials, opts, popts)
-			}, seed, workers)
-			if !reflect.DeepEqual(got, want) {
-				t.Errorf("dining seed=%d workers=%d: compiled curve %+v != direct %+v", seed, workers, got, want)
-			}
+			runConfigs(t, model, opts, seed, workers,
+				func(m sched.Model[dining.State], o sim.Options[dining.State], popts sim.ParallelOptions) (sim.EmpiricalCurve, sim.RunReport, error) {
+					return sim.EstimateCurveParallel[dining.State](context.Background(), m, mk, dining.InC, deadlines, trials, o, popts)
+				})
 		}
 	}
 }
@@ -66,13 +126,11 @@ func TestCompiledIdentityElection(t *testing.T) {
 	mk := func() sim.Policy[election.State] { return sim.Slowest[election.State]() }
 	for _, seed := range identitySeeds {
 		for _, workers := range identityWorkers {
-			got, want := runPair(t, func(popts sim.ParallelOptions) (sim.EmpiricalCurve, sim.RunReport, error) {
-				return sim.EstimateCurveParallel[election.State](context.Background(), model, mk, election.State.HasLeader,
-					[]float64{4, 8, 16}, trials, sim.Options[election.State]{}, popts)
-			}, seed, workers)
-			if !reflect.DeepEqual(got, want) {
-				t.Errorf("election seed=%d workers=%d: compiled curve %+v != direct %+v", seed, workers, got, want)
-			}
+			runConfigs(t, model, sim.Options[election.State]{}, seed, workers,
+				func(m sched.Model[election.State], o sim.Options[election.State], popts sim.ParallelOptions) (sim.EmpiricalCurve, sim.RunReport, error) {
+					return sim.EstimateCurveParallel[election.State](context.Background(), m, mk, election.State.HasLeader,
+						[]float64{4, 8, 16}, trials, o, popts)
+				})
 		}
 	}
 }
@@ -90,58 +148,134 @@ func TestCompiledIdentityConsensus(t *testing.T) {
 	}
 	for _, seed := range identitySeeds {
 		for _, workers := range identityWorkers {
-			got, want := runPair(t, func(popts sim.ParallelOptions) (stats.Proportion, sim.RunReport, error) {
-				return sim.EstimateReachProbParallel[consensus.State](context.Background(), model, mk,
-					consensus.State.AllCorrectDecided, 100, trials, opts, popts)
-			}, seed, workers)
-			if got != want {
-				t.Errorf("consensus seed=%d workers=%d: compiled %+v != direct %+v", seed, workers, got, want)
-			}
+			runConfigs(t, model, opts, seed, workers,
+				func(m sched.Model[consensus.State], o sim.Options[consensus.State], popts sim.ParallelOptions) (stats.Proportion, sim.RunReport, error) {
+					return sim.EstimateReachProbParallel[consensus.State](context.Background(), m, mk,
+						consensus.State.AllCorrectDecided, 100, trials, o, popts)
+				})
 		}
 	}
 }
 
 // TestCompiledIdentityResume drives the checkpoint/resume path on a real
-// model: a compiled run interrupted mid-flight and resumed must equal
-// the direct engine's uninterrupted run bit-for-bit.
+// model, once per contract half: a BitCompat run interrupted mid-flight
+// and resumed must equal the direct engine's uninterrupted run bit for
+// bit, and an alias-default run interrupted the same way must equal its
+// own uninterrupted run (resume must not disturb the trial streams under
+// either sampler).
 func TestCompiledIdentityResume(t *testing.T) {
 	const n, trials = 4, 640
 	model := dining.MustNew(n)
-	opts := sim.Options[dining.State]{Start: dining.AllAt(n, dining.F), SetStart: true}
 	mk := func() sim.Policy[dining.State] { return dining.KeepTrying(sim.Random[dining.State](0.5)) }
 
-	want, _, err := sim.EstimateReachProbParallel[dining.State](context.Background(), model, mk, dining.InC, 13, trials, opts,
-		sim.ParallelOptions{Seed: 5, NoCompile: true})
+	uninterrupted := func(opts sim.Options[dining.State], popts sim.ParallelOptions) stats.Proportion {
+		t.Helper()
+		got, _, err := sim.EstimateReachProbParallel[dining.State](context.Background(), model, mk, dining.InC, 13, trials, opts, popts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	// interrupted cancels a compiled run at its third checkpoint chunk,
+	// then resumes from the checkpoint with a different worker count.
+	interrupted := func(opts sim.Options[dining.State]) stats.Proportion {
+		t.Helper()
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		chunks := 0
+		popts := sim.ParallelOptions{
+			Seed: 5, Workers: 2,
+			CheckpointSink: func(*sim.Checkpoint) error {
+				if chunks++; chunks == 3 {
+					cancel()
+				}
+				return nil
+			},
+		}
+		_, rep, err := sim.EstimateReachProbParallel[dining.State](ctx, model, mk, dining.InC, 13, trials, opts, popts)
+		if !errors.Is(err, sim.ErrInterrupted) {
+			t.Fatalf("err = %v, want ErrInterrupted", err)
+		}
+		got, rep2, err := sim.EstimateReachProbParallel[dining.State](context.Background(), model, mk, dining.InC, 13, trials, opts,
+			sim.ParallelOptions{Seed: 5, Workers: 8, Resume: rep.Checkpoint})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep2.Resumed != rep.Completed || rep2.Completed != trials {
+			t.Fatalf("resume accounting: %v then %v", rep, rep2)
+		}
+		return got
+	}
+
+	base := sim.Options[dining.State]{Start: dining.AllAt(n, dining.F), SetStart: true}
+	compat := base
+	compat.BitCompat = true
+
+	want := uninterrupted(base, sim.ParallelOptions{Seed: 5, NoCompile: true})
+	if got := interrupted(compat); got != want {
+		t.Errorf("bitcompat interrupt+resume %+v != direct uninterrupted %+v", got, want)
+	}
+	aliasWant := uninterrupted(base, sim.ParallelOptions{Seed: 5})
+	if got := interrupted(base); got != aliasWant {
+		t.Errorf("alias interrupt+resume %+v != alias uninterrupted %+v", got, aliasWant)
+	}
+}
+
+// TestAliasDefaultMatchesExact pins the statistical half of the compiled
+// contract: the alias-table default must reproduce the exact checker's
+// answers. The oracle is the digitized product of the 3-process election
+// protocol (internal/mdp): under the Slowest policy — the digitized
+// worst case, stepping exactly at each unit-time deadline — the dense
+// simulator realizes the MDP's minimizing adversary, so at even
+// deadlines P[leader within H] equals ReachWithinTicks(H, MinProb) from
+// the start state (3/8 at H=2: exactly one of three fair coins comes up
+// on the surviving side). Per horizon, the identity seeds' runs are
+// merged and the pooled Wilson interval (z=3) must cover the exact
+// value — merging keeps the test deterministic while damping the
+// per-seed wiggle of a 4000-trial sample.
+func TestAliasDefaultMatchesExact(t *testing.T) {
+	const n, trials = 3, 4000
+	auto, err := sched.Product[election.State](election.MustNew(n), sched.Config{StepsPerWindow: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
+	m, ix, err := mdp.FromAutomaton(auto, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, ok := ix.ID(auto.Start[0])
+	if !ok {
+		t.Fatal("start state not enumerated")
+	}
+	mask := ix.Mask(sched.LiftPred(election.State.HasLeader))
 
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	chunks := 0
-	popts := sim.ParallelOptions{
-		Seed: 5, Workers: 2,
-		CheckpointSink: func(*sim.Checkpoint) error {
-			if chunks++; chunks == 3 {
-				cancel()
+	model := election.MustNew(n)
+	for _, horizon := range []int{2, 4, 8} {
+		v, err := m.ReachWithinTicksFloat(mask, horizon, mdp.MinProb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := v[start]
+		if horizon == 2 && exact != 3.0/8 {
+			t.Fatalf("one-round election probability = %v, want 3/8", exact)
+		}
+		var pooled stats.Proportion
+		for _, seed := range identitySeeds {
+			prop, _, err := sim.EstimateReachProbParallel[election.State](context.Background(), model,
+				func() sim.Policy[election.State] { return sim.Slowest[election.State]() },
+				election.State.HasLeader, float64(horizon), trials,
+				sim.Options[election.State]{}, sim.ParallelOptions{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
 			}
-			return nil
-		},
-	}
-	_, rep, err := sim.EstimateReachProbParallel[dining.State](ctx, model, mk, dining.InC, 13, trials, opts, popts)
-	if !errors.Is(err, sim.ErrInterrupted) {
-		t.Fatalf("err = %v, want ErrInterrupted", err)
-	}
-
-	got, rep2, err := sim.EstimateReachProbParallel[dining.State](context.Background(), model, mk, dining.InC, 13, trials, opts,
-		sim.ParallelOptions{Seed: 5, Workers: 8, Resume: rep.Checkpoint})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if rep2.Resumed != rep.Completed || rep2.Completed != trials {
-		t.Fatalf("resume accounting: %v then %v", rep, rep2)
-	}
-	if got != want {
-		t.Errorf("compiled interrupt+resume %+v != direct uninterrupted %+v", got, want)
+			pooled.Merge(prop)
+		}
+		lo, hi, err := pooled.Wilson(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lo > exact || hi < exact {
+			t.Errorf("H=%d: alias estimate interval [%g, %g] excludes exact %g", horizon, lo, hi, exact)
+		}
 	}
 }

@@ -1,0 +1,71 @@
+package consensus
+
+import "repro/internal/sched"
+
+// Field widths of the packed consensus state. A State is ~136 bytes of
+// struct — far past the 32 bytes of a sched.Packed — but its fields are
+// all tiny enumerations, so it bit-packs into 224 bits:
+//
+//	word 0:  n(3) f(3) crashes(3) then 5 procs × 11 bits
+//	         (Phase 3, Round 3, Value 1, Prop 2, Decided 1, Crashed 1)
+//	words 1–3: reports then props boards, 2 bits per slot,
+//	         (MaxRounds × MaxProcs) slots each
+//
+// Injectivity rests on the field ranges the model maintains on every
+// reachable state: n, f, crashes ≤ MaxProcs = 5; Phase ≤ Stopped = 6;
+// Round < MaxRounds = 8 (advance stops at the cap without
+// incrementing); Value and Decided are binary; Prop and the board slots
+// are slot values ≤ slotAbstain = 3. The constants below fail the build
+// if a widened model outgrows its bit budget, and the trajectory-walk
+// test in pack_test.go checks for collisions on live runs.
+const (
+	procBits  = 11
+	headerEnd = 9 // n, f, crashes
+
+	// Compile-time range guards: each expression underflows (a negative
+	// untyped constant converted to uint) when the quantity it tracks
+	// outgrows the packed layout.
+	_ = uint(7 - (MaxRounds - 1))                  // Round fits 3 bits
+	_ = uint(7 - uint8(Stopped))                   // Phase fits 3 bits
+	_ = uint(3 - slotAbstain)                      // slots fit 2 bits
+	_ = uint(7 - MaxProcs)                         // n, f, crashes fit 3 bits
+	_ = uint(64 - (headerEnd + procBits*MaxProcs)) // word 0 holds the procs
+	_ = uint(192 - (2 * 2 * MaxRounds * MaxProcs)) // words 1–3 hold both boards
+)
+
+// PackState implements sched.Packer; see the layout above.
+func (m *Model) PackState(s State) sched.Packed {
+	var p sched.Packed
+	w0 := uint64(s.n) | uint64(s.f)<<3 | uint64(s.crashes)<<6
+	off := headerEnd
+	for i := 0; i < MaxProcs; i++ {
+		pr := s.procs[i]
+		bits := uint64(pr.Phase) | uint64(pr.Round)<<3 | uint64(pr.Value)<<6 |
+			uint64(pr.Prop)<<7 | uint64(pr.Decided)<<9
+		if pr.Crashed {
+			bits |= 1 << 10
+		}
+		w0 |= bits << off
+		off += procBits
+	}
+	p[0] = w0
+
+	// Board slots stream 2 bits at a time through words 1–3; bit offsets
+	// stay even, so no slot ever straddles a word boundary.
+	bit := 0
+	for r := 0; r < MaxRounds; r++ {
+		for i := 0; i < MaxProcs; i++ {
+			p[1+bit/64] |= uint64(s.reports[r][i]) << (bit % 64)
+			bit += 2
+		}
+	}
+	for r := 0; r < MaxRounds; r++ {
+		for i := 0; i < MaxProcs; i++ {
+			p[1+bit/64] |= uint64(s.props[r][i]) << (bit % 64)
+			bit += 2
+		}
+	}
+	return p
+}
+
+var _ sched.Packer[State] = (*Model)(nil)

@@ -1,0 +1,94 @@
+package consensus
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pa"
+	"repro/internal/sched"
+)
+
+// TestPackStateInjective random-walks Ben-Or (algorithm moves, crash
+// user moves, random coin outcomes) and checks that no two distinct
+// visited states share a packed encoding.
+func TestPackStateInjective(t *testing.T) {
+	cases := []struct{ n, f, minStates int }{{2, 0, 500}, {3, 1, 1000}, {5, 2, 1000}}
+	for _, tc := range cases {
+		m := MustNew(tc.n, tc.f)
+		rng := rand.New(rand.NewSource(int64(tc.n)))
+		seen := map[sched.Packed]State{}
+		check := func(s State) {
+			p := m.PackState(s)
+			if prev, ok := seen[p]; ok {
+				if prev != s {
+					t.Fatalf("n=%d f=%d: states %v and %v pack to the same %v", tc.n, tc.f, prev, s, p)
+				}
+				return
+			}
+			seen[p] = s
+		}
+		for trial := 0; trial < 150; trial++ {
+			s := m.Start()[0]
+			check(s)
+			for step := 0; step < 400; step++ {
+				var steps []pa.Step[State]
+				for i := 0; i < tc.n; i++ {
+					steps = append(steps, m.Moves(s, i)...)
+					// Crashes make runs shorter; inject them rarely so
+					// the walk still reaches deep rounds.
+					if rng.Intn(20) == 0 {
+						steps = append(steps, m.UserMoves(s, i)...)
+					}
+				}
+				if len(steps) == 0 {
+					break
+				}
+				next := steps[rng.Intn(len(steps))].Next
+				sup := next.Support()
+				s = sup[rng.Intn(len(sup))]
+				check(s)
+			}
+		}
+		if len(seen) < tc.minStates {
+			t.Fatalf("n=%d f=%d: walk visited only %d states; the test lost its teeth", tc.n, tc.f, len(seen))
+		}
+	}
+}
+
+// TestPackStateInjectiveFullRange samples random states across the full
+// declared range of every field — Phase up to Stopped, Round up to
+// MaxRounds-1, all slot values — and checks injectivity of the packing
+// there. Random walks rarely survive to the round cap, so this sweep is
+// what pins the high end of the Round and Phase ranges.
+func TestPackStateInjectiveFullRange(t *testing.T) {
+	m := MustNew(5, 2)
+	rng := rand.New(rand.NewSource(7))
+	seen := map[sched.Packed]State{}
+	for trial := 0; trial < 50000; trial++ {
+		var s State
+		s.n = uint8(1 + rng.Intn(MaxProcs))
+		s.f = uint8(rng.Intn(MaxProcs + 1))
+		s.crashes = uint8(rng.Intn(MaxProcs + 1))
+		for i := 0; i < MaxProcs; i++ {
+			s.procs[i] = Proc{
+				Phase:   Phase(rng.Intn(int(Stopped) + 1)),
+				Round:   uint8(rng.Intn(MaxRounds)),
+				Value:   uint8(rng.Intn(2)),
+				Prop:    uint8(rng.Intn(4)),
+				Decided: uint8(rng.Intn(2)),
+				Crashed: rng.Intn(2) == 1,
+			}
+		}
+		for r := 0; r < MaxRounds; r++ {
+			for i := 0; i < MaxProcs; i++ {
+				s.reports[r][i] = uint8(rng.Intn(4))
+				s.props[r][i] = uint8(rng.Intn(4))
+			}
+		}
+		p := m.PackState(s)
+		if prev, ok := seen[p]; ok && prev != s {
+			t.Fatalf("states %v and %v pack to the same %v", prev, s, p)
+		}
+		seen[p] = s
+	}
+}

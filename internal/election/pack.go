@@ -1,0 +1,21 @@
+package election
+
+import (
+	"encoding/binary"
+
+	"repro/internal/sched"
+)
+
+// PackState implements sched.Packer: a State is one byte per process
+// (status | coin<<4) plus the process count, so the whole value copies
+// losslessly into three machine words. The encoding is injective on all
+// states — it is a byte-for-byte image of the struct.
+func (m *Model) PackState(s State) sched.Packed {
+	var p sched.Packed
+	p[0] = binary.LittleEndian.Uint64(s.procs[0:8])
+	p[1] = binary.LittleEndian.Uint64(s.procs[8:16])
+	p[2] = uint64(s.n)
+	return p
+}
+
+var _ sched.Packer[State] = (*Model)(nil)

@@ -1,0 +1,50 @@
+package election
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pa"
+	"repro/internal/sched"
+)
+
+// TestPackStateInjective random-walks the protocol (random enabled move,
+// random coin outcome) and checks that no two distinct visited states
+// share a packed encoding.
+func TestPackStateInjective(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8, 16} {
+		m := MustNew(n)
+		rng := rand.New(rand.NewSource(int64(n)))
+		seen := map[sched.Packed]State{}
+		check := func(s State) {
+			p := m.PackState(s)
+			if prev, ok := seen[p]; ok {
+				if prev != s {
+					t.Fatalf("n=%d: states %v and %v pack to the same %v", n, prev, s, p)
+				}
+				return
+			}
+			seen[p] = s
+		}
+		for trial := 0; trial < 200; trial++ {
+			s := m.Start()[0]
+			check(s)
+			for step := 0; step < 100; step++ {
+				var steps []pa.Step[State]
+				for i := 0; i < n; i++ {
+					steps = append(steps, m.Moves(s, i)...)
+				}
+				if len(steps) == 0 {
+					break
+				}
+				next := steps[rng.Intn(len(steps))].Next
+				sup := next.Support()
+				s = sup[rng.Intn(len(sup))]
+				check(s)
+			}
+		}
+		if len(seen) < 4*n {
+			t.Fatalf("n=%d: walk visited only %d states; the test lost its teeth", n, len(seen))
+		}
+	}
+}

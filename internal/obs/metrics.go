@@ -100,11 +100,19 @@ func NewHistogram(bounds ...float64) *Histogram {
 	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
 }
 
+// bucket returns the index of the bucket that counts x: the smallest i
+// with bounds[i] >= x (SearchFloat64s), which is exactly the
+// upper-inclusive bucket — a sample equal to a bound lands in that
+// bound's bucket, not the next — and len(bounds) for the overflow
+// bucket. Every observation path must classify through this one
+// function so the boundary semantics cannot drift between them.
+func (h *Histogram) bucket(x float64) int {
+	return sort.SearchFloat64s(h.bounds, x)
+}
+
 // Observe records one sample.
 func (h *Histogram) Observe(x float64) {
-	// SearchFloat64s returns the smallest i with bounds[i] >= x — exactly
-	// the upper-inclusive bucket; len(bounds) is the overflow bucket.
-	i := sort.SearchFloat64s(h.bounds, x)
+	i := h.bucket(x)
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	h.sum.Add(x)
@@ -119,7 +127,7 @@ func (h *Histogram) ObserveN(x float64, n int64) {
 	if n <= 0 {
 		return
 	}
-	i := sort.SearchFloat64s(h.bounds, x)
+	i := h.bucket(x)
 	h.counts[i].Add(n)
 	h.count.Add(n)
 	fn := float64(n)
@@ -149,7 +157,7 @@ func (h *Histogram) ObserveBatch(xs []float64) {
 	var local [maxBatchBuckets]int64
 	var sum, sumsq float64
 	for _, x := range xs {
-		local[sort.SearchFloat64s(h.bounds, x)]++
+		local[h.bucket(x)]++
 		sum += x
 		sumsq += x * x
 	}
@@ -179,7 +187,7 @@ func (h *Histogram) ObserveIntBatch(xs []int64) {
 	var sum, sumsq float64
 	for _, v := range xs {
 		x := float64(v)
-		local[sort.SearchFloat64s(h.bounds, x)]++
+		local[h.bucket(x)]++
 		sum += x
 		sumsq += x * x
 	}

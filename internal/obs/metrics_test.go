@@ -8,6 +8,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -123,6 +124,51 @@ func TestHistogramBucketBoundaries(t *testing.T) {
 	}
 	if snap.Count != int64(len(cases)) {
 		t.Errorf("count = %d, want %d", snap.Count, len(cases))
+	}
+}
+
+// TestHistogramBucketHelper pins the boundary semantics of the single
+// bucket classifier every observation path shares: exactly-on-a-bound is
+// upper-inclusive, and Observe, ObserveN, ObserveBatch and
+// ObserveIntBatch all classify through it identically.
+func TestHistogramBucketHelper(t *testing.T) {
+	bounds := []float64{-1, 0, 1, 2, 4}
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{math.Inf(-1), 0}, {-2, 0}, {-1, 0}, // below and on the first bound
+		{-0.5, 1}, {0, 1}, // zero is a bound: lands in its own bucket
+		{0.5, 2}, {1, 2},
+		{1.5, 3}, {2, 3},
+		{3, 4}, {4, 4},
+		{4.000001, 5}, {100, 5}, {math.Inf(1), 5}, // overflow bucket
+	}
+	h := NewHistogram(bounds...)
+	for _, c := range cases {
+		if got := h.bucket(c.x); got != c.want {
+			t.Errorf("bucket(%g) = %d, want %d", c.x, got, c.want)
+		}
+	}
+	// Integer-valued boundary samples must land identically through all
+	// four observation paths.
+	ints := []int64{-1, 0, 1, 2, 4, 5}
+	xs := make([]float64, len(ints))
+	for i, v := range ints {
+		xs[i] = float64(v)
+	}
+	one, n, batch, intBatch := NewHistogram(bounds...), NewHistogram(bounds...), NewHistogram(bounds...), NewHistogram(bounds...)
+	for _, x := range xs {
+		one.Observe(x)
+		n.ObserveN(x, 1)
+	}
+	batch.ObserveBatch(xs)
+	intBatch.ObserveIntBatch(ints)
+	ref := one.Snapshot().Counts
+	for name, h := range map[string]*Histogram{"ObserveN": n, "ObserveBatch": batch, "ObserveIntBatch": intBatch} {
+		if got := h.Snapshot().Counts; !reflect.DeepEqual(got, ref) {
+			t.Errorf("%s counts = %v, want %v (Observe)", name, got, ref)
+		}
 	}
 }
 

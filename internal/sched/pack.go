@@ -1,0 +1,26 @@
+package sched
+
+// Packed is a fixed-width state fingerprint: 256 bits, enough for every
+// case-study model to encode a full state losslessly. It is a plain
+// comparable value, so it works as a map key and hashes in a handful of
+// machine-word operations — the point of packing: the Monte Carlo
+// engine's compiled cache (internal/sim.Compile) interns states by
+// their Packed encoding instead of hashing the (much larger, often
+// array-shaped) state values themselves.
+type Packed [4]uint64
+
+// Packer is implemented by models whose states admit a fixed-width
+// packed encoding. PackState must be injective on the model's reachable
+// states — two distinct reachable states must produce distinct Packed
+// values — and purely functional, like the rest of the Model contract.
+// Injectivity is the whole soundness argument for interning by Packed
+// keys, so each implementation pins it with a trajectory-walking
+// collision test next to the model.
+//
+// A model that does not implement Packer is interned by hashing the
+// state value directly; Packer is a performance contract, never a
+// semantic one.
+type Packer[S comparable] interface {
+	// PackState encodes s into its fixed-width fingerprint.
+	PackState(s S) Packed
+}

@@ -13,19 +13,26 @@ package sim
 //     run. A cheap purity spot-check guards the contract: a model whose
 //     repeated queries disagree is passed through uncompiled.
 //
-//   - Each step's successor distribution is frozen (prob.Freeze) into a
-//     cumulative-float64 sampler once, so the per-draw cost drops from
-//     big.Rat→float64 conversions behind map lookups to a short slice
-//     scan. Freezing replays Dist.Pick's exact accumulation, so seeded
-//     runs are bit-identical compiled or not (see prob.Frozen).
+//   - Each step's successor distribution is pre-resolved into two
+//     samplers: a Walker alias table (prob.Alias; the default — O(1) per
+//     draw) and a cumulative-float64 scan (prob.Frozen; selected by
+//     Options.BitCompat — O(n) per draw, but replaying Dist.Pick's exact
+//     accumulation so seeded runs are bit-identical compiled or not).
+//     Both consume one uniform per draw, so the random stream is the
+//     same either way; see prob.Alias for what "distribution-equivalent
+//     but not bit-identical" means.
 //
 // The cache is sharded by state hash (hash/maphash.Comparable) with one
 // RWMutex per shard: steady state is a read-lock and a map hit, and
 // distinct states contend only 1/compileShards of the time while the
-// cache warms. RunParallel compiles every model by default; the
-// ParallelOptions.NoCompile escape hatch and the purity pass-through
-// both fall back to the uncompiled engine, which remains fully
-// supported (and is what RunOnce uses unless handed a compiled model).
+// cache warms. Models that implement sched.Packer[S] are interned by
+// their fixed-width packed encoding instead of the state struct itself,
+// which keeps the map keys to a few machine words (hashing and equality
+// on a [4]uint64 instead of a larger struct). RunParallel compiles every
+// model by default; the ParallelOptions.NoCompile escape hatch and the
+// purity pass-through both fall back to the uncompiled engine, which
+// remains fully supported (and is what RunOnce uses unless handed a
+// compiled model).
 
 import (
 	"hash/maphash"
@@ -51,25 +58,48 @@ const compileShards = 64
 const maxCompiledStates = 1 << 20
 
 // stateEntry is the compiled form of one interned state: the memoized
-// Moves/UserMoves of every process, their frozen samplers, and the
+// Moves/UserMoves of every process, their pre-resolved samplers (alias
+// tables for the default path, frozen scans for BitCompat), and the
 // derived scheduling facts the engine needs every step. All fields are
 // immutable after construction and shared read-only (including into
 // policy Views — see the View doc).
 type stateEntry[S comparable] struct {
-	moves      [][]pa.Step[S]     // per proc; nil when not ready
-	frozen     [][]prob.Frozen[S] // parallel to moves
-	userMoves  [][]pa.Step[S]     // per proc; nil when no user moves
-	userFrozen [][]prob.Frozen[S] // parallel to userMoves
-	ready      []int              // procs with algorithm moves, ascending
-	userMovers []int              // procs with user moves, ascending
-	readyMask  uint32             // bit i set iff proc i is ready
-	moveCount  map[int]int        // ready proc -> len(moves)
-	userCount  map[int]int        // user mover -> len(userMoves)
+	moves        [][]pa.Step[S]     // per proc; nil when not ready
+	samplers     [][]moveSampler[S] // parallel to moves
+	userMoves    [][]pa.Step[S]     // per proc; nil when no user moves
+	userSamplers [][]moveSampler[S] // parallel to userMoves
+	ready        []int              // procs with algorithm moves, ascending
+	userMovers   []int              // procs with user moves, ascending
+	moveCount    []int              // per proc; len(moves), 0 when not ready
+	userCount    []int              // per proc; len(userMoves)
+}
+
+// moveSampler bundles everything the per-event hot path needs about one
+// move into one contiguous struct — the alias table, the BitCompat
+// frozen scan, and the successor-entry cache — so applyChoice does a
+// single indexed load instead of walking three parallel slice-of-slice
+// structures.
+//
+// succ caches, per alias support index, the interned entry of that
+// outcome's successor state. The engine resolves a slot the first time
+// a trial follows that outcome and every later traversal skips the
+// shard lock and map probe entirely — in steady state the trial loop
+// walks entry to entry through these pointers. The slots are atomic
+// because entries are shared across workers; a racing double-resolve
+// stores the same canonical entry (or, past the interning cap, an
+// equivalent one), so last-write-wins is sound.
+type moveSampler[S comparable] struct {
+	alias  prob.Alias[S]
+	frozen prob.Frozen[S]
+	succ   []atomic.Pointer[stateEntry[S]]
 }
 
 type compileShard[S comparable] struct {
 	mu      sync.RWMutex
 	entries map[S]*stateEntry[S]
+	// packed replaces entries when the model implements sched.Packer:
+	// same interning, keyed by the fixed-width encoding.
+	packed map[sched.Packed]*stateEntry[S]
 }
 
 // Compiled is the transition-cached form of a model returned by
@@ -81,6 +111,9 @@ type Compiled[S comparable] struct {
 	n     int
 	seed  maphash.Seed
 	count atomic.Int64 // interned entries, for the maxCompiledStates cap
+	// packer is non-nil when the inner model implements sched.Packer:
+	// states are then interned by their packed encoding.
+	packer func(S) sched.Packed
 
 	shards [compileShards]compileShard[S]
 }
@@ -88,11 +121,16 @@ type Compiled[S comparable] struct {
 var _ sched.Model[int] = (*Compiled[int])(nil)
 
 // Compile wraps m in a concurrency-safe transition cache that interns
-// states, memoizes Moves/UserMoves per state and pre-freezes every
-// successor distribution into a float64 sampler (prob.Frozen). The
-// result behaves identically to m — seeded runs are bit-identical for
-// any worker count — while the hot loop does no repeated model queries,
-// no big.Rat arithmetic and no per-draw map lookups.
+// states, memoizes Moves/UserMoves per state and pre-resolves every
+// successor distribution into float64 samplers: a Walker alias table
+// (prob.Alias, the engine's default — O(1) per draw) and a cumulative
+// scan (prob.Frozen, selected by Options.BitCompat). The result samples
+// the same distributions from the same random stream as m — and under
+// BitCompat is bit-identical to m for any worker count — while the hot
+// loop does no repeated model queries, no big.Rat arithmetic and no
+// per-draw map lookups. Models that implement sched.Packer[S] are
+// interned by their fixed-width packed encoding, keeping cache keys to
+// a few machine words.
 //
 // Compiling relies on the sched.Model contract that Moves/UserMoves are
 // purely functional. Compile spot-checks the contract (repeated queries
@@ -115,6 +153,13 @@ func Compile[S comparable](m sched.Model[S]) sched.Model[S] {
 		return m
 	}
 	c := &Compiled[S]{inner: m, n: m.NumProcs(), seed: maphash.MakeSeed()}
+	if pk, ok := m.(sched.Packer[S]); ok {
+		c.packer = pk.PackState
+		for i := range c.shards {
+			c.shards[i].packed = make(map[sched.Packed]*stateEntry[S])
+		}
+		return c
+	}
 	for i := range c.shards {
 		c.shards[i].entries = make(map[S]*stateEntry[S])
 	}
@@ -155,6 +200,9 @@ func (c *Compiled[S]) UserMoves(s S, i int) []pa.Step[S] {
 // The double-checked insert keeps exactly one canonical entry per state
 // even when two workers race to compile it.
 func (c *Compiled[S]) entry(s S) *stateEntry[S] {
+	if c.packer != nil {
+		return c.entryPacked(c.packer(s), s)
+	}
 	sh := &c.shards[maphash.Comparable(c.seed, s)&(compileShards-1)]
 	sh.mu.RLock()
 	e := sh.entries[s]
@@ -176,43 +224,72 @@ func (c *Compiled[S]) entry(s S) *stateEntry[S] {
 	return e
 }
 
+// entryPacked is entry for models with a sched.Packer: the cache is
+// keyed by the packed encoding of s. Soundness is the packer's
+// injectivity contract — two states with equal encodings must be equal —
+// pinned by the trajectory-walk tests next to each Packer.
+func (c *Compiled[S]) entryPacked(k sched.Packed, s S) *stateEntry[S] {
+	sh := &c.shards[maphash.Comparable(c.seed, k)&(compileShards-1)]
+	sh.mu.RLock()
+	e := sh.packed[k]
+	sh.mu.RUnlock()
+	if e != nil {
+		return e
+	}
+	e = c.compileState(s)
+	sh.mu.Lock()
+	if prev, ok := sh.packed[k]; ok {
+		sh.mu.Unlock()
+		return prev
+	}
+	if c.count.Load() < maxCompiledStates {
+		sh.packed[k] = e
+		c.count.Add(1)
+	}
+	sh.mu.Unlock()
+	return e
+}
+
 // compileState queries the inner model once per process and derives the
 // per-state facts the engine otherwise recomputes every step.
 func (c *Compiled[S]) compileState(s S) *stateEntry[S] {
 	e := &stateEntry[S]{
-		moves:      make([][]pa.Step[S], c.n),
-		frozen:     make([][]prob.Frozen[S], c.n),
-		userMoves:  make([][]pa.Step[S], c.n),
-		userFrozen: make([][]prob.Frozen[S], c.n),
-		moveCount:  make(map[int]int, c.n),
-		userCount:  make(map[int]int, c.n),
+		moves:        make([][]pa.Step[S], c.n),
+		samplers:     make([][]moveSampler[S], c.n),
+		userMoves:    make([][]pa.Step[S], c.n),
+		userSamplers: make([][]moveSampler[S], c.n),
+		moveCount:    make([]int, c.n),
+		userCount:    make([]int, c.n),
 	}
 	for i := 0; i < c.n; i++ {
 		moves := c.inner.Moves(s, i)
 		e.moves[i] = moves
+		e.moveCount[i] = len(moves)
 		if len(moves) > 0 {
 			e.ready = append(e.ready, i)
-			e.readyMask |= 1 << uint(i)
-			e.moveCount[i] = len(moves)
-			fr := make([]prob.Frozen[S], len(moves))
-			for j := range moves {
-				fr[j] = prob.Freeze(moves[j].Next)
-			}
-			e.frozen[i] = fr
+			e.samplers[i] = compileSamplers(moves)
 		}
 		user := c.inner.UserMoves(s, i)
 		e.userMoves[i] = user
+		e.userCount[i] = len(user)
 		if len(user) > 0 {
 			e.userMovers = append(e.userMovers, i)
-			e.userCount[i] = len(user)
-			fr := make([]prob.Frozen[S], len(user))
-			for j := range user {
-				fr[j] = prob.Freeze(user[j].Next)
-			}
-			e.userFrozen[i] = fr
+			e.userSamplers[i] = compileSamplers(user)
 		}
 	}
 	return e
+}
+
+// compileSamplers pre-resolves one process's moves into their hot-path
+// sampler bundles.
+func compileSamplers[S comparable](moves []pa.Step[S]) []moveSampler[S] {
+	ms := make([]moveSampler[S], len(moves))
+	for j := range moves {
+		ms[j].frozen = prob.Freeze(moves[j].Next)
+		ms[j].alias = prob.BuildAlias(moves[j].Next)
+		ms[j].succ = make([]atomic.Pointer[stateEntry[S]], ms[j].alias.Len())
+	}
+	return ms
 }
 
 // spotCheckSample caps how many states the purity spot-check probes:

@@ -10,7 +10,6 @@ package sim
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"runtime/debug"
 
 	"repro/internal/sched"
@@ -20,11 +19,9 @@ import (
 //
 // When the error escapes from a parallel run, Trial is the index of the
 // panicking trial and Seed is that trial's private RNG seed, so the crash
-// replays deterministically with
-//
-//	sim.RunOnce(model, mk(), target, opts, rand.New(rand.NewSource(err.Seed)))
-//
-// or equivalently sim.ReproTrial with the run's root seed. A panic
+// replays deterministically with sim.ReproTrial and the run's root seed
+// (the replay must use the engine's own trial source — a plain
+// rand.NewSource(err.Seed) draws a different stream). A panic
 // recovered by a standalone RunOnce has Trial = -1 and Seed = 0 (the
 // caller owns the RNG there, so the engine cannot name its seed).
 type TrialPanicError struct {
@@ -45,8 +42,8 @@ func (e *TrialPanicError) Error() string {
 	if e.Trial < 0 {
 		return fmt.Sprintf("sim: run panicked: %v", e.Value)
 	}
-	return fmt.Sprintf("sim: trial %d panicked: %v (replay: RunOnce with rand.NewSource(%d), or sim.ReproTrial(..., rootSeed, %d))",
-		e.Trial, e.Value, e.Seed, e.Trial)
+	return fmt.Sprintf("sim: trial %d panicked: %v (replay: sim.ReproTrial(..., rootSeed, %d); trial RNG seed %d)",
+		e.Trial, e.Value, e.Trial, e.Seed)
 }
 
 // Unwrap exposes a panic value that was itself an error.
@@ -86,8 +83,7 @@ func ReproTrial[S comparable](m sched.Model[S], mk func() Policy[S], target func
 	if trial < 0 {
 		return Result[S]{}, fmt.Errorf("%w: negative trial index %d", ErrInvalidArgument, trial)
 	}
-	rng := rand.New(rand.NewSource(trialSeed(rootSeed, trial)))
-	res, err := RunOnce(m, mk(), target, opts, rng)
+	res, err := RunOnce(m, mk(), target, opts, newTrialRNG(trialSeed(rootSeed, trial)))
 	var pe *TrialPanicError
 	if errors.As(err, &pe) {
 		pe.Trial, pe.Seed = trial, trialSeed(rootSeed, trial)

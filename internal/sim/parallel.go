@@ -115,11 +115,22 @@ type ParallelOptions struct {
 	Metrics Metrics
 	// NoCompile disables the compiled-model layer: by default every
 	// parallel entry point wraps the model with Compile (a shared
-	// transition cache plus frozen samplers; a no-op for models that fail
-	// the purity spot-check). Results are bit-identical either way — the
-	// escape hatch exists for debugging and perf comparison, not
-	// correctness.
+	// transition cache plus pre-resolved samplers; a no-op for models
+	// that fail the purity spot-check). An uncompiled run samples with
+	// the cumulative scan, so it matches a compiled run bit-for-bit only
+	// under Options.BitCompat (the default compiled sampler is the alias
+	// table — same distributions, not always the same draws). The escape
+	// hatch exists for debugging and perf comparison, not correctness.
 	NoCompile bool
+	// NoArena disables per-worker trial arenas: by default each worker
+	// reuses one scratch buffer and one RNG across all its trials, which
+	// makes the steady-state trial loop allocation-free. Results are
+	// bit-identical either way — the RNG is reseeded per trial and the
+	// scratch fully reset — so, like NoCompile, the knob exists for
+	// debugging and perf ablation. Runs with TrialTimeout set do not use
+	// arenas regardless: the watchdog may abandon a stalled trial whose
+	// goroutine still owns the scratch, so sharing would race.
+	NoArena bool
 	// TrialTimeout, when positive, arms the per-trial watchdog: a trial
 	// that has not returned within this wall-clock budget is abandoned
 	// and quarantined as a *TrialStalledError — recorded like a panic,
@@ -169,6 +180,30 @@ func trialSeed(seed int64, trial int) int64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return int64(z ^ (z >> 31))
+}
+
+// trialArena is one worker's reusable trial state: a scratch buffer and
+// an RNG that every trial the worker runs reuses instead of allocating
+// fresh ones — with a compiled model this makes the steady-state trial
+// loop allocation-free. Reuse is invisible to results: runTrial fully
+// resets the scratch, and (*rand.Rand).Seed restores exactly the state
+// a fresh newTrialRNG(seed) would start with.
+type trialArena[S comparable] struct {
+	sc  *viewScratch[S]
+	rng *rand.Rand
+}
+
+// runArenaTrial is RunOnce minus the per-trial allocations: one trial on
+// a worker's arena scratch, with the same panic quarantine. Argument
+// validation happened once in RunParallel; only the per-trial policy
+// from mk can be newly nil here.
+func runArenaTrial[S comparable](sc *viewScratch[S], p Policy[S], target func(S) bool, opts Options[S], rng *rand.Rand) (res Result[S], err error) {
+	if p == nil {
+		return res, fmt.Errorf("%w: nil policy", ErrInvalidArgument)
+	}
+	defer recoverTrialPanic(&err)
+	err = runTrial(sc, p, target, opts, rng, &res)
+	return res, err
 }
 
 // RunReport describes what a parallel run actually did — essential when
@@ -379,10 +414,15 @@ func RunParallel[S comparable, A any](ctx context.Context, m sched.Model[S], mk 
 		clock = fault.Wall
 	}
 
+	// Defaults are resolved once here, not per trial: the arena path
+	// calls runTrial directly, which expects them applied.
+	opts = opts.withDefaults()
+
 	// runChunk executes every trial of one unclaimed chunk and commits
 	// the chunk on completion. A nil return with done[chunk] still false
-	// means the chunk was abandoned because another chunk failed.
-	runChunk := func(chunk int) error {
+	// means the chunk was abandoned because another chunk failed. ar is
+	// the calling worker's private arena; nil when arenas are off.
+	runChunk := func(chunk int, ar *trialArena[S]) error {
 		lo := chunk * parallelChunkSize
 		hi := min(lo+parallelChunkSize, trials)
 		var chunkPanics []PanicRecord
@@ -401,17 +441,23 @@ func RunParallel[S comparable, A any](ctx context.Context, m sched.Model[S], mk 
 				return nil // first error wins; this chunk is abandoned
 			}
 			seed := trialSeed(popts.Seed, i)
-			rng := rand.New(rand.NewSource(seed))
 			var t0 time.Time
 			if met != nil && !batch {
 				t0 = time.Now()
 			}
 			var res Result[S]
 			var err error
-			if popts.TrialTimeout > 0 {
-				res, err = runWatched(m, mk(), target, opts, rng, clock, popts.TrialTimeout, i, seed)
-			} else {
-				res, err = RunOnce(m, mk(), target, opts, rng)
+			switch {
+			case popts.TrialTimeout > 0:
+				res, err = runWatched(m, mk(), target, opts, newTrialRNG(seed), clock, popts.TrialTimeout, i, seed)
+			case ar != nil:
+				// Reseeding the arena's RNG restores exactly the state a
+				// fresh newTrialRNG(seed) would have, so the trial's
+				// coins are independent of arena reuse.
+				ar.rng.Seed(seed)
+				res, err = runArenaTrial(ar.sc, mk(), target, opts, ar.rng)
+			default:
+				res, err = RunOnce(m, mk(), target, opts, newTrialRNG(seed))
 			}
 			var se *TrialStalledError
 			if errors.As(err, &se) {
@@ -471,9 +517,22 @@ func RunParallel[S comparable, A any](ctx context.Context, m sched.Model[S], mk 
 		return nil
 	}
 
+	// Each worker owns one arena — a scratch buffer and an RNG reused
+	// across all its trials — unless arenas are off or the watchdog is
+	// armed (an abandoned stalled trial would keep writing to a scratch
+	// the worker has moved past). Arenas are built here, on the caller's
+	// goroutine, so a misbehaving model panics to the caller like
+	// Compile would, not inside a worker.
 	workers := min(popts.workers(), numChunks)
+	arenas := make([]*trialArena[S], workers)
+	if popts.TrialTimeout <= 0 && !popts.NoArena {
+		for w := range arenas {
+			arenas[w] = &trialArena[S]{sc: newViewScratch[S](m), rng: newTrialRNG(0)}
+		}
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		ar := arenas[w]
 		go func() {
 			defer wg.Done()
 			// ctx is polled only when claiming a chunk: on cancellation a
@@ -490,7 +549,7 @@ func RunParallel[S comparable, A any](ctx context.Context, m sched.Model[S], mk 
 				if met != nil {
 					met.ChunkActive(1)
 				}
-				err := runChunk(chunk)
+				err := runChunk(chunk, ar)
 				if met != nil {
 					met.ChunkActive(-1)
 				}

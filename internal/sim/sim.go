@@ -27,12 +27,12 @@ import (
 // View is what a policy sees when asked for its next choice: the current
 // state, the clock, the scheduling obligations, and the moves available.
 //
-// The slices and maps of a View are owned by the engine and must not be
-// modified: under an uncompiled model they are reused between steps (the
-// hot loop would otherwise spend most of its time allocating them), and
-// under a compiled model (Compile) they are cache entries shared across
-// trials and workers. Either way they are valid only for the duration of
-// the Choose call, and a policy must copy anything it wants to retain.
+// The slices of a View are owned by the engine and must not be modified:
+// under an uncompiled model they are reused between steps (the hot loop
+// would otherwise spend most of its time allocating them), and under a
+// compiled model (Compile) they are cache entries shared across trials
+// and workers. Either way they are valid only for the duration of the
+// Choose call, and a policy must copy anything it wants to retain.
 type View[S comparable] struct {
 	// State is the current algorithm state.
 	State S
@@ -43,15 +43,18 @@ type View[S comparable] struct {
 	DeadlineMin float64
 	// Ready lists processes with algorithm moves, ascending.
 	Ready []int
-	// Deadline maps each ready process to its unit-time deadline.
-	Deadline map[int]float64
-	// MoveCount maps each ready process to its number of algorithm moves
-	// (nondeterministic branches the policy may pick among).
-	MoveCount map[int]int
+	// Deadline holds each process's unit-time deadline, indexed by
+	// process; a process that is not ready holds +Inf (no obligation).
+	Deadline []float64
+	// MoveCount holds each process's number of algorithm moves
+	// (nondeterministic branches the policy may pick among), indexed by
+	// process; zero when the process is not ready.
+	MoveCount []int
 	// UserMovers lists processes with user moves available, ascending.
 	UserMovers []int
-	// UserMoveCount maps each user mover to its number of user moves.
-	UserMoveCount map[int]int
+	// UserMoveCount holds each process's number of user moves, indexed
+	// by process; zero when the process has none.
+	UserMoveCount []int
 }
 
 // Choice is a policy decision: process Proc performs its Move-th algorithm
@@ -98,6 +101,15 @@ type Options[S comparable] struct {
 	// step time, acting process, action name and resulting state — the
 	// hook used by the trace recorder.
 	Observer func(t float64, proc int, action string, next S)
+	// BitCompat forces a compiled model (Compile) to sample successor
+	// states with the cumulative-scan sampler (prob.Frozen), which is
+	// provably bit-identical to the uncompiled engine for every
+	// distribution. The default (false) uses O(1) alias tables
+	// (prob.Alias): same random stream, same distribution of outcomes,
+	// but individual draws may map to different support elements when a
+	// distribution's cumulative weights are not exactly representable.
+	// Uncompiled runs ignore the flag.
+	BitCompat bool
 }
 
 func (o Options[S]) withDefaults() Options[S] {
@@ -178,34 +190,47 @@ func RunOnce[S comparable](m sched.Model[S], p Policy[S], target func(S) bool, o
 		return Result[S]{}, fmt.Errorf("%w: nil RNG", ErrInvalidArgument)
 	}
 	defer recoverTrialPanic(&err)
-	opts = opts.withDefaults()
-	state := m.Start()[0]
-	if opts.SetStart {
-		state = opts.Start
+	err = runTrial(newViewScratch[S](m), p, target, opts.withDefaults(), rng, &res)
+	return res, err
+}
+
+// runTrial is the trial loop shared by RunOnce and the parallel arena
+// path. It does no argument validation and no panic recovery — callers
+// do both — and writes its progress through res so a recovered panic
+// still sees the partial Result. The scratch may be reused across
+// trials: runTrial resets it, and opts must already carry defaults.
+func runTrial[S comparable](sc *viewScratch[S], p Policy[S], target func(S) bool, opts Options[S], rng *rand.Rand, res *Result[S]) error {
+	sc.reset(opts.BitCompat)
+	state := opts.Start
+	if !opts.SetStart {
+		if !sc.haveStart {
+			sc.start = sc.m.Start()[0]
+			sc.haveStart = true
+		}
+		state = sc.start
 	}
 	now := 0.0
-	sc := newViewScratch[S](m)
 
-	res = Result[S]{Final: state}
+	*res = Result[S]{Final: state}
 	if target(state) {
 		res.Reached = true
 		res.ReachedAt = 0
-		return res, nil
+		return nil
 	}
 
 	for res.Events < opts.MaxEvents && now <= opts.MaxTime {
 		view := sc.build(state, now)
-		choice, ok := p.Choose(view, rng)
+		choice, ok := p.Choose(*view, rng)
 		if !ok {
 			if len(view.Ready) > 0 {
-				return res, ErrPolicyDeserted
+				return ErrPolicyDeserted
 			}
 			res.Final = state
-			return res, nil
+			return nil
 		}
-		next, t, action, err := applyChoice(view, choice, sc, rng)
+		next, t, err := applyChoice(view.Now, view.DeadlineMin, choice, sc, rng)
 		if err != nil {
-			return res, err
+			return err
 		}
 		if t > opts.MaxTime {
 			// The policy's (otherwise legal) step falls past the clock
@@ -213,27 +238,27 @@ func RunOnce[S comparable](m sched.Model[S], p Policy[S], target func(S) bool, o
 			// late step can never be counted as Reached. Validation above
 			// still runs first — an invalid choice past the bound is an
 			// error, not a quiet truncation.
-			return res, nil
+			return nil
 		}
 		res.Events++
 		if opts.Observer != nil {
-			opts.Observer(t, choice.Proc, action, next)
+			opts.Observer(t, choice.Proc, sc.action(choice), next)
 		}
 		// The stepping process gives up its deadline; the next build
 		// assigns fresh deadlines t+1 to it and to newly ready processes,
 		// clears processes no longer ready, and keeps everyone else's
 		// older (tighter) deadline.
-		delete(sc.deadlines, choice.Proc)
+		sc.deadline[choice.Proc] = math.Inf(1)
 		now = t
 		state = next
 		res.Final = state
 		if target(state) {
 			res.Reached = true
 			res.ReachedAt = now
-			return res, nil
+			return nil
 		}
 	}
-	return res, nil
+	return nil
 }
 
 // viewScratch holds one run's view buffers and move caches. The engine
@@ -251,18 +276,36 @@ type viewScratch[S comparable] struct {
 	// of the state the last build saw, consumed by applyChoice.
 	cm  *Compiled[S]
 	cur *stateEntry[S]
-	// deadlines persists across steps: it is the unit-time obligation
-	// bookkeeping (proc -> latest legal step time).
-	deadlines map[int]float64
-	// deadline is rebuilt every step and lent to the policy through
-	// View; see the View doc for the borrowing rule.
-	deadline map[int]float64
+	// pending is the cache entry of the successor applyChoice just drew,
+	// resolved through the entry's succ pointers; the next buildCompiled
+	// (always of that same state) consumes it instead of re-hashing the
+	// state into the shard maps.
+	pending *stateEntry[S]
+	// bitCompat selects the compiled path's sampler for the current
+	// trial: frozen cumulative scans (Options.BitCompat) instead of the
+	// default alias tables. Set by reset.
+	bitCompat bool
+	// start memoizes m.Start()[0] after the first trial that needs it
+	// (models are purely functional, so the start state is a constant):
+	// an arena worker would otherwise pay Start's slice allocation on
+	// every one of its trials.
+	start     S
+	haveStart bool
+	// view is the View build assembles in place each step; handing the
+	// policy a copy of one persistent struct (instead of returning a
+	// fresh ~200-byte View up the stack) keeps a measurable slice of the
+	// per-event budget.
+	view View[S]
+	// deadline persists across steps and doubles as the View's Deadline
+	// slice: deadline[i] is process i's unit-time obligation (latest
+	// legal step time), +Inf while process i is not ready.
+	deadline []float64
 	// The remaining fields are used only on the uncompiled path (the
-	// compiled path shares its cache entry's slices and maps instead).
+	// compiled path shares its cache entry's slices instead).
 	ready      []int
 	userMovers []int
-	moveCount  map[int]int
-	userCount  map[int]int
+	moveCount  []int
+	userCount  []int
 	moves      [][]pa.Step[S]
 	userMoves  [][]pa.Step[S]
 }
@@ -270,35 +313,45 @@ type viewScratch[S comparable] struct {
 func newViewScratch[S comparable](m sched.Model[S]) *viewScratch[S] {
 	n := m.NumProcs()
 	sc := &viewScratch[S]{
-		m:         m,
-		n:         n,
-		deadlines: make(map[int]float64, n),
-		deadline:  make(map[int]float64, n),
+		m:        m,
+		n:        n,
+		deadline: make([]float64, n),
 	}
+	sc.reset(false)
 	if cm, ok := m.(*Compiled[S]); ok {
 		sc.cm = cm
 		return sc
 	}
-	sc.moveCount = make(map[int]int, n)
-	sc.userCount = make(map[int]int, n)
+	sc.moveCount = make([]int, n)
+	sc.userCount = make([]int, n)
 	sc.moves = make([][]pa.Step[S], n)
 	sc.userMoves = make([][]pa.Step[S], n)
 	return sc
 }
 
+// reset clears the per-trial state — every scheduling obligation and the
+// cached compiled entry — so one scratch can serve many trials (the
+// parallel arena path) without carrying state across them.
+func (sc *viewScratch[S]) reset(bitCompat bool) {
+	for i := range sc.deadline {
+		sc.deadline[i] = math.Inf(1)
+	}
+	sc.cur = nil
+	sc.pending = nil
+	sc.bitCompat = bitCompat
+}
+
 // build refreshes the deadline bookkeeping for the current state in the
 // same pass that assembles the policy's View, querying each process's
 // moves exactly once per step (or not at all when the state is compiled).
-func (sc *viewScratch[S]) build(s S, now float64) View[S] {
+func (sc *viewScratch[S]) build(s S, now float64) *View[S] {
 	if sc.cm != nil {
 		return sc.buildCompiled(s, now)
 	}
 	sc.ready = sc.ready[:0]
 	sc.userMovers = sc.userMovers[:0]
-	clear(sc.deadline)
-	clear(sc.moveCount)
-	clear(sc.userCount)
-	v := View[S]{
+	v := &sc.view
+	*v = View[S]{
 		State:         s,
 		Now:           now,
 		DeadlineMin:   math.Inf(1),
@@ -309,26 +362,26 @@ func (sc *viewScratch[S]) build(s S, now float64) View[S] {
 	for i := 0; i < sc.n; i++ {
 		moves := sc.m.Moves(s, i)
 		sc.moves[i] = moves
+		sc.moveCount[i] = len(moves)
 		if len(moves) == 0 {
-			delete(sc.deadlines, i)
+			// A process that stopped being ready gives up its obligation.
+			sc.deadline[i] = math.Inf(1)
 		} else {
-			d, ok := sc.deadlines[i]
-			if !ok {
+			d := sc.deadline[i]
+			if math.IsInf(d, 1) {
 				d = now + 1
-				sc.deadlines[i] = d
+				sc.deadline[i] = d
 			}
 			sc.ready = append(sc.ready, i)
-			sc.deadline[i] = d
 			if d < v.DeadlineMin {
 				v.DeadlineMin = d
 			}
-			sc.moveCount[i] = len(moves)
 		}
 		user := sc.m.UserMoves(s, i)
 		sc.userMoves[i] = user
+		sc.userCount[i] = len(user)
 		if len(user) > 0 {
 			sc.userMovers = append(sc.userMovers, i)
-			sc.userCount[i] = len(user)
 		}
 	}
 	v.Ready = sc.ready
@@ -337,14 +390,19 @@ func (sc *viewScratch[S]) build(s S, now float64) View[S] {
 }
 
 // buildCompiled assembles the View from the state's cache entry: the
-// ready/userMovers slices and the move-count maps are the entry's own
-// (immutable, shared across trials and workers), and only the deadline
-// bookkeeping — inherently per-run — is recomputed. The resulting View
-// is field-for-field what the uncompiled build produces.
-func (sc *viewScratch[S]) buildCompiled(s S, now float64) View[S] {
-	e := sc.cm.entry(s)
+// ready/userMovers/move-count slices are the entry's own (immutable,
+// shared across trials and workers), and only the deadline bookkeeping —
+// inherently per-run — is recomputed. The resulting View is
+// field-for-field what the uncompiled build produces.
+func (sc *viewScratch[S]) buildCompiled(s S, now float64) *View[S] {
+	e := sc.pending
+	sc.pending = nil
+	if e == nil {
+		e = sc.cm.entry(s)
+	}
 	sc.cur = e
-	v := View[S]{
+	v := &sc.view
+	*v = View[S]{
 		State:         s,
 		Now:           now,
 		DeadlineMin:   math.Inf(1),
@@ -354,21 +412,18 @@ func (sc *viewScratch[S]) buildCompiled(s S, now float64) View[S] {
 		UserMovers:    e.userMovers,
 		UserMoveCount: e.userCount,
 	}
-	// Processes that stopped being ready give up their obligation, as in
-	// the uncompiled pass.
-	for i := range sc.deadlines {
-		if e.readyMask&(1<<uint(i)) == 0 {
-			delete(sc.deadlines, i)
+	for i := 0; i < sc.n; i++ {
+		if e.moveCount[i] == 0 {
+			// A process that stopped being ready gives up its obligation,
+			// as in the uncompiled pass.
+			sc.deadline[i] = math.Inf(1)
+			continue
 		}
-	}
-	clear(sc.deadline)
-	for _, i := range e.ready {
-		d, ok := sc.deadlines[i]
-		if !ok {
+		d := sc.deadline[i]
+		if math.IsInf(d, 1) {
 			d = now + 1
-			sc.deadlines[i] = d
+			sc.deadline[i] = d
 		}
-		sc.deadline[i] = d
 		if d < v.DeadlineMin {
 			v.DeadlineMin = d
 		}
@@ -376,54 +431,93 @@ func (sc *viewScratch[S]) buildCompiled(s S, now float64) View[S] {
 	return v
 }
 
-func applyChoice[S comparable](v View[S], c Choice, sc *viewScratch[S], rng *rand.Rand) (S, float64, string, error) {
+// applyChoice validates the policy's choice and draws the successor
+// state. It deliberately does not return the step's action label: the
+// hot loop has no use for it, and on the compiled path even loading the
+// pa.Step (a string header plus a Dist) per event costs measurable
+// throughput — runTrial fetches the label through sc.action only when
+// an observer is attached, and error paths load it on demand.
+func applyChoice[S comparable](now, deadlineMin float64, c Choice, sc *viewScratch[S], rng *rand.Rand) (S, float64, error) {
 	var zero S
 	// Validate the process index before consulting the move caches:
 	// Moves / UserMoves implementations are entitled to index per-process
 	// arrays, so an out-of-range index from a malicious policy must
 	// become ErrBadChoice here, never a panic inside the model.
 	if c.Proc < 0 || c.Proc >= sc.n {
-		return zero, 0, "", fmt.Errorf("%w: proc %d move %d (user=%t)", ErrBadChoice, c.Proc, c.Move, c.User)
+		return zero, 0, fmt.Errorf("%w: proc %d move %d (user=%t)", ErrBadChoice, c.Proc, c.Move, c.User)
 	}
-	var moves []pa.Step[S]
 	if e := sc.cur; e != nil {
-		moves = e.moves[c.Proc]
+		// Compiled path: the sampler bundles are parallel to the memoized
+		// moves (nil when the process has none), so the move-index bound
+		// and the empty-distribution probe read the same small structs the
+		// draw is about to use — the pa.Step itself stays untouched.
+		ms := e.samplers[c.Proc]
 		if c.User {
-			moves = e.userMoves[c.Proc]
+			ms = e.userSamplers[c.Proc]
 		}
-	} else {
-		moves = sc.moves[c.Proc]
-		if c.User {
-			moves = sc.userMoves[c.Proc]
+		if c.Move < 0 || c.Move >= len(ms) {
+			return zero, 0, fmt.Errorf("%w: proc %d move %d (user=%t)", ErrBadChoice, c.Proc, c.Move, c.User)
 		}
+		t := c.At
+		if t < now || t > deadlineMin {
+			return zero, 0, fmt.Errorf("%w: time %v outside [%v, %v]", ErrBadChoice, t, now, deadlineMin)
+		}
+		m := &ms[c.Move]
+		if m.alias.Len() == 0 {
+			return zero, 0, fmt.Errorf("%w: proc %d action %q has an empty successor distribution", ErrBadModel, c.Proc, sc.action(c))
+		}
+		if sc.bitCompat {
+			return m.frozen.Pick(rng.Float64()), t, nil
+		}
+		idx := m.alias.PickIndex(rng.Float64())
+		next := m.alias.At(idx)
+		// Follow (or lazily resolve) the cached successor entry so the
+		// next build skips the interning maps; see moveSampler.succ.
+		slot := &m.succ[idx]
+		ne := slot.Load()
+		if ne == nil {
+			ne = sc.cm.entry(next)
+			slot.Store(ne)
+		}
+		sc.pending = ne
+		return next, t, nil
+	}
+	moves := sc.moves[c.Proc]
+	if c.User {
+		moves = sc.userMoves[c.Proc]
 	}
 	if c.Move < 0 || c.Move >= len(moves) {
-		return zero, 0, "", fmt.Errorf("%w: proc %d move %d (user=%t)", ErrBadChoice, c.Proc, c.Move, c.User)
+		return zero, 0, fmt.Errorf("%w: proc %d move %d (user=%t)", ErrBadChoice, c.Proc, c.Move, c.User)
 	}
 	t := c.At
-	if t < v.Now || t > v.DeadlineMin {
-		return zero, 0, "", fmt.Errorf("%w: time %v outside [%v, %v]", ErrBadChoice, t, v.Now, v.DeadlineMin)
+	if t < now || t > deadlineMin {
+		return zero, 0, fmt.Errorf("%w: time %v outside [%v, %v]", ErrBadChoice, t, now, deadlineMin)
 	}
 	step := &moves[c.Move]
 	// An empty successor distribution (the zero prob.Dist in a hand-built
 	// step) would panic inside Pick; detect it before drawing so the run
 	// fails with a typed error and — because the check precedes the draw
-	// on both paths — compiled and uncompiled runs consume identical
+	// on every path — compiled and uncompiled runs consume identical
 	// random streams.
 	if step.Next.Len() == 0 {
-		return zero, 0, "", fmt.Errorf("%w: proc %d action %q has an empty successor distribution", ErrBadModel, c.Proc, step.Action)
+		return zero, 0, fmt.Errorf("%w: proc %d action %q has an empty successor distribution", ErrBadModel, c.Proc, step.Action)
 	}
-	var next S
+	return step.Next.Pick(rng.Float64()), t, nil
+}
+
+// action returns the label of the step a validated choice names; callers
+// must have bounds-checked c (applyChoice's cold paths and the observer
+// hook in runTrial have).
+func (sc *viewScratch[S]) action(c Choice) string {
+	moves := sc.moves
+	user := sc.userMoves
 	if e := sc.cur; e != nil {
-		fr := e.frozen[c.Proc]
-		if c.User {
-			fr = e.userFrozen[c.Proc]
-		}
-		next = fr[c.Move].Pick(rng.Float64())
-	} else {
-		next = step.Next.Pick(rng.Float64())
+		moves, user = e.moves, e.userMoves
 	}
-	return next, t, step.Action, nil
+	if c.User {
+		return user[c.Proc][c.Move].Action
+	}
+	return moves[c.Proc][c.Move].Action
 }
 
 // EstimateReachProb runs trials independent runs and estimates the

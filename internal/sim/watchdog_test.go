@@ -70,10 +70,11 @@ func TestWatchdogQuarantinesStalled(t *testing.T) {
 	release := make(chan struct{})
 	t.Cleanup(func() { close(release) })
 
-	// The stalled set every run must produce, derived from the seeds.
+	// The stalled set every run must produce, derived from the seeds
+	// through the engine's own trial source.
 	var wantStalled []int
 	for i := 0; i < trials; i++ {
-		if rand.New(rand.NewSource(trialSeed(seed, i))).Float64() < frac {
+		if newTrialRNG(trialSeed(seed, i)).Float64() < frac {
 			wantStalled = append(wantStalled, i)
 		}
 	}
@@ -113,7 +114,7 @@ func TestWatchdogQuarantinesStalled(t *testing.T) {
 			}
 			// The recorded seed replays the stall: the same first draw
 			// crosses the same threshold.
-			if rand.New(rand.NewSource(pr.Seed)).Float64() >= frac {
+			if newTrialRNG(pr.Seed).Float64() >= frac {
 				t.Fatalf("workers=%d: recorded seed %d does not reproduce the stall", workers, pr.Seed)
 			}
 			got = append(got, pr.Trial)

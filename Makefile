@@ -13,6 +13,9 @@
 #                                                or assert a broken paper bound
 #   chaos-smoke go test -race -run TestChaos     one seeded fault/kill/corruption
 #                                                storm per chaos package
+#   fabric-smoke go test -run TestFabricSmoke    coordinator + 2 workers over
+#                                                loopback reproduce the exact
+#                                                single-process estimate
 #   vuln        govulncheck (if installed)       known-vulnerable dependency use
 #
 # Performance regressions are gated separately by `make bench-diff`: it
@@ -33,7 +36,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test test-short test-race bench bench-smoke bench-json bench-diff vuln vet fmt fuzz chaos chaos-smoke check lrcheck experiments
+.PHONY: all build test test-short test-race bench bench-smoke bench-json bench-diff vuln vet fmt fuzz chaos chaos-smoke fabric-smoke check lrcheck experiments
 
 # Benchmarks recorded in BENCH_sim.json and gated by bench-diff: the
 # parallel-engine throughput row, the hot-path ablation ladder, the
@@ -123,7 +126,7 @@ fuzz:
 # artifact layer (in-process, injected filesystem faults) and the real
 # CLIs (SIGKILLed subprocesses). Failures print the storm seed; replay
 # with CHAOS_SEED=<seed>.
-CHAOS_PKGS = ./internal/sim ./cmd/lrsim ./cmd/electcheck
+CHAOS_PKGS = ./internal/sim ./cmd/lrsim ./cmd/electcheck ./cmd/simd
 CHAOS_STORMS ?= 8
 
 # The full chaos suite: many storms per package, race detector on.
@@ -134,7 +137,14 @@ chaos:
 chaos-smoke:
 	CHAOS_STORMS=1 $(GO) test -race -run 'TestChaos' -count=1 $(CHAOS_PKGS)
 
-check: build vet test test-race bench-smoke chaos-smoke vuln
+# Distributed-fabric smoke: a coordinator plus two in-process workers
+# over loopback HTTP must reproduce the single-process estimate exactly.
+# Sub-second, so it gates every check; the SIGKILL recovery and resume
+# paths run in the ./cmd/simd process tests and the chaos storms.
+fabric-smoke:
+	$(GO) test ./internal/fabric -run 'TestFabricSmoke' -count=1 -v
+
+check: build vet test test-race bench-smoke chaos-smoke fabric-smoke vuln
 
 # The headline reproduction: the paper's table, derivation and bounds.
 lrcheck:

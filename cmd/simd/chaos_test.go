@@ -1,0 +1,130 @@
+package main
+
+// Fabric-level chaos: storms of SIGKILLs against real coordinator and
+// worker processes. Every leg of every storm may lose workers, the
+// coordinator, or both; the storm only ends when a coordinator leg runs
+// to completion — and its stdout must be byte-identical to the
+// uninterrupted single-process run. Crashes cost progress, never
+// correctness.
+//
+// Gated by CHAOS_STORMS (the storm count); replay a failing storm with
+// CHAOS_SEED=<seed>. `make chaos` raises both.
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// chaosSeed returns the storm seed: CHAOS_SEED when set (replay), fresh
+// otherwise; always logged so a failure is replayable.
+func chaosSeed(t *testing.T) int64 {
+	t.Helper()
+	if s := os.Getenv("CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("CHAOS_SEED %q: %v", s, err)
+		}
+		t.Logf("chaos: replaying CHAOS_SEED=%d", v)
+		return v
+	}
+	v := time.Now().UnixNano()
+	t.Logf("chaos seed %d (replay with CHAOS_SEED=%d)", v, v)
+	return v
+}
+
+// TestChaosWorkerKillStorm: coordinator plus three workers per leg;
+// random workers are SIGKILLed mid-run, and half the legs SIGKILL the
+// coordinator too. Legs resume from the durable -state frontier until
+// one completes; the surviving stdout must match the single-process run
+// byte-for-byte.
+func TestChaosWorkerKillStorm(t *testing.T) {
+	stormsEnv := os.Getenv("CHAOS_STORMS")
+	if stormsEnv == "" {
+		t.Skip("set CHAOS_STORMS to run the fabric kill storm")
+	}
+	storms, err := strconv.Atoi(stormsEnv)
+	if err != nil || storms < 1 {
+		t.Fatalf("CHAOS_STORMS %q: %v", stormsEnv, err)
+	}
+
+	want, _, err := runCLI(t, append([]string{"local"}, jobArgs...)...)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	seed := chaosSeed(t)
+
+	for storm := 0; storm < storms; storm++ {
+		rng := rand.New(rand.NewSource(seed + int64(storm)))
+		dir := t.TempDir()
+		state := filepath.Join(dir, "state.json")
+
+		completed := false
+		for leg := 0; leg < 40 && !completed; leg++ {
+			addrFile := filepath.Join(dir, "addr-"+strconv.Itoa(leg))
+			coord := startCLI(t, append([]string{"coordinate",
+				"-listen", "127.0.0.1:0", "-addr-file", addrFile, "-state", state,
+				"-lease-chunks", "2", "-lease-ttl", "300ms", "-quorum-timeout", "3s"}, jobArgs...)...)
+			coordDone := make(chan error, 1)
+			go func() { coordDone <- coord.cmd.Wait() }()
+			base := waitAddr(t, addrFile)
+
+			var workers []*proc
+			for i := 0; i < 3; i++ {
+				throttle := time.Duration(rng.Int63n(int64(150 * time.Millisecond)))
+				workers = append(workers, startCLI(t, "work", "-coordinator", base,
+					"-id", "w"+strconv.Itoa(leg)+"-"+strconv.Itoa(i),
+					"-throttle", throttle.String()))
+			}
+			// The injected faults: a random worker dies mid-run, and on half
+			// the legs the coordinator does too.
+			victim := workers[rng.Intn(len(workers))]
+			wTimer := time.AfterFunc(time.Duration(rng.Int63n(int64(400*time.Millisecond))), victim.kill)
+			var cTimer *time.Timer
+			if rng.Intn(2) == 0 {
+				cTimer = time.AfterFunc(time.Duration(rng.Int63n(int64(600*time.Millisecond))), coord.kill)
+			}
+
+			var legErr error
+			select {
+			case legErr = <-coordDone:
+			case <-time.After(60 * time.Second):
+				coord.kill()
+				t.Fatalf("storm %d leg %d (seed %d): coordinator hung", storm, leg, seed)
+			}
+			wTimer.Stop()
+			if cTimer != nil {
+				cTimer.Stop()
+			}
+			for _, w := range workers {
+				w.kill() // idempotent; survivors just get reaped
+				_ = w.cmd.Wait()
+			}
+
+			switch {
+			case legErr == nil:
+				if got := coord.stdout.String(); got != want {
+					t.Fatalf("storm %d leg %d (seed %d): output differs from single-process run:\n--- want\n%s--- got\n%s",
+						storm, leg, seed, want, got)
+				}
+				completed = true
+			case killed(legErr):
+				// The coordinator crash we injected; the next leg resumes from
+				// the durable frontier.
+			case strings.Contains(coord.stderr.String(), "quorum"):
+				// Every worker died first and the coordinator gave up
+				// gracefully — also a resumable outcome.
+			default:
+				t.Fatalf("storm %d leg %d (seed %d): unexpected coordinator failure: %v\nstderr:\n%s",
+					storm, leg, seed, legErr, coord.stderr.String())
+			}
+		}
+		if !completed {
+			t.Fatalf("storm %d (seed %d): did not converge in 40 legs", storm, seed)
+		}
+	}
+}

@@ -1,0 +1,298 @@
+// Command simd runs one Monte Carlo job on the distributed trial
+// fabric (internal/fabric) — or locally, for the reference answer.
+//
+//	simd local      runs the job single-process and prints the estimate.
+//	simd coordinate owns the job: it listens for workers, leases out
+//	                chunk ranges, merges CRC-checked results
+//	                first-valid-wins, and prints the estimate when every
+//	                chunk is home.
+//	simd work       pulls leases from a coordinator, runs them through
+//	                the local parallel engine, heartbeats them alive,
+//	                and streams results back.
+//
+// The contract that makes the fabric boring to operate: for the same
+// job flags and -seed, `simd coordinate` with any number of workers —
+// workers crashing, leases expiring and being reassigned, results
+// arriving out of order or twice — writes a stdout line byte-identical
+// to `simd local`. Every trial's RNG derives from (seed, trial index)
+// and the coordinator merges chunk accumulators in index order, so the
+// cluster is invisible in the math.
+//
+// Only the canonical result line goes to stdout; everything operational
+// (listening address, lease traffic, partial estimates, resume hints)
+// goes to stderr, so `diff` between a distributed and a local run means
+// what it says.
+//
+// Faults are first-class: a SIGKILLed worker's chunks are reassigned at
+// lease expiry; a SIGKILLed coordinator restarted with the same -state
+// file resumes from its durable merge frontier and still prints the
+// bit-identical line; a coordinator that loses every worker longer than
+// -quorum-timeout prints the partial estimate and a resume token
+// instead of hanging forever.
+//
+// Usage:
+//
+//	simd local      [job flags] [-workers N]
+//	simd coordinate [job flags] [-listen 127.0.0.1:9777] [-addr-file F]
+//	                [-state state.json] [-keep 3] [-lease-chunks 4]
+//	                [-lease-ttl 3s] [-quorum-timeout 0] [-metrics-out F]
+//	simd work       -coordinator http://127.0.0.1:9777 [-id NAME]
+//	                [-workers N] [-throttle 0]
+//
+// Job flags (shared by local and coordinate):
+//
+//	-model dining|election  -n SIZE  -policy NAME  -estimator reachprob|timetotarget
+//	-within T  -trials N  -seed S  -max-events N  -max-time T
+//	-bitcompat  -quarantine N
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "simd:", err)
+		os.Exit(1)
+	}
+}
+
+const usage = `usage: simd <local|coordinate|work> [flags]
+
+  simd local       run the job in this process and print the estimate
+  simd coordinate  own the job; lease chunks to workers, merge results
+  simd work        pull leases from a coordinator and run them
+
+Run "simd <subcommand> -h" for that subcommand's flags.`
+
+func run(ctx context.Context, args []string) error {
+	if len(args) < 1 {
+		fmt.Fprintln(os.Stderr, usage)
+		return errors.New("missing subcommand")
+	}
+	// SIGINT/SIGTERM cancel for a graceful drain; a second signal kills
+	// the process the default way (stop re-arms on cancellation).
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+
+	switch args[0] {
+	case "local":
+		return runLocal(ctx, args[1:])
+	case "coordinate":
+		return runCoordinate(ctx, args[1:])
+	case "work":
+		return runWork(ctx, args[1:])
+	case "help", "-h", "-help", "--help":
+		fmt.Println(usage)
+		return nil
+	default:
+		fmt.Fprintln(os.Stderr, usage)
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+// jobFlags registers the shared job flags and returns a builder that
+// assembles the JobSpec after parsing.
+func jobFlags(fs *flag.FlagSet) func() fabric.JobSpec {
+	model := fs.String("model", "dining", "model: dining or election")
+	n := fs.Int("n", 5, "model size (ring size / process count)")
+	policy := fs.String("policy", "slowest", "adversary policy (dining: slowest, random, spiteful, paced:<alpha>; election: slowest)")
+	estimator := fs.String("estimator", "reachprob", "estimator: reachprob or timetotarget")
+	within := fs.Float64("within", 13, "deadline for the reachprob estimator")
+	trials := fs.Int("trials", 2000, "Monte Carlo trial budget")
+	seed := fs.Int64("seed", 1, "root seed (per-trial streams derive from it; results are identical for any worker topology)")
+	maxEvents := fs.Int("max-events", 0, "per-trial event cap (0 = engine default)")
+	maxTime := fs.Float64("max-time", 0, "per-trial simulated-time cap (0 = engine default)")
+	bitcompat := fs.Bool("bitcompat", false, "sample compiled moves with the cumulative scan (bit-identical to an uncompiled run)")
+	quarantine := fs.Int("quarantine", 0, "panicking trials tolerated per range before aborting")
+	return func() fabric.JobSpec {
+		return fabric.JobSpec{
+			Model:     *model,
+			N:         *n,
+			Policy:    *policy,
+			Estimator: *estimator,
+			Within:    *within,
+			Trials:    *trials,
+			Seed:      *seed,
+			MaxEvents: *maxEvents,
+			MaxTime:   *maxTime,
+			BitCompat: *bitcompat,
+			MaxPanics: *quarantine,
+		}
+	}
+}
+
+// jobLine is the canonical stdout prefix — identical for `simd local`
+// and `simd coordinate` of the same job, by construction.
+func jobLine(spec fabric.JobSpec) string {
+	return fmt.Sprintf("%s n=%d policy=%s seed=%d trials=%d", spec.Model, spec.N, spec.Policy, spec.Seed, spec.Trials)
+}
+
+// reportRun sends the run summary (and quarantine repro seeds, if any)
+// to stderr, keeping stdout canonical.
+func reportRun(rep sim.RunReport) {
+	fmt.Fprintf(os.Stderr, "simd: %s\n", rep)
+	for _, pr := range rep.Panics {
+		verb := "panicked"
+		if pr.Kind == sim.RecordStalled {
+			verb = "stalled"
+		}
+		fmt.Fprintf(os.Stderr, "simd: trial %d %s: %s (trial RNG seed %d)\n", pr.Trial, verb, pr.Value, pr.Seed)
+	}
+}
+
+func runLocal(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("simd local", flag.ContinueOnError)
+	job := jobFlags(fs)
+	workers := fs.Int("workers", 0, "engine goroutines (0 = all CPUs)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	runner, err := fabric.NewRunner(job())
+	if err != nil {
+		return err
+	}
+	est, rep, err := runner.Estimate(ctx, *workers)
+	reportRun(rep)
+	if errors.Is(err, sim.ErrInterrupted) {
+		fmt.Fprintf(os.Stderr, "simd: interrupted: partial %s over %d/%d trials\n", est, rep.Completed, rep.Total)
+		return err
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %s\n", jobLine(runner.Spec()), est)
+	return nil
+}
+
+func runCoordinate(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("simd coordinate", flag.ContinueOnError)
+	job := jobFlags(fs)
+	listen := fs.String("listen", "127.0.0.1:0", "address to serve the fabric protocol on")
+	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening (for scripts and tests using -listen :0)")
+	state := fs.String("state", "", "persist the merge frontier to this state file after every accepted result; restart with the same -state to resume")
+	keep := fs.Int("keep", 3, "state-file generations to retain")
+	leaseChunks := fs.Int("lease-chunks", 4, "chunks per lease (64 trials each)")
+	leaseTTL := fs.Duration("lease-ttl", 3*time.Second, "lease lifetime without a heartbeat before its chunks are reassigned")
+	quorumTimeout := fs.Duration("quorum-timeout", 0, "give up (printing the partial estimate and a resume token) after this long with no worker contact (0 = wait forever)")
+	metricsOut := fs.String("metrics-out", "", "write the final fabric metrics snapshot as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	reg := obs.NewRegistry()
+	opts := fabric.CoordinatorOptions{
+		LeaseChunks:   *leaseChunks,
+		LeaseTTL:      *leaseTTL,
+		StatePath:     *state,
+		Store:         &sim.ArtifactStore{Keep: *keep},
+		QuorumTimeout: *quorumTimeout,
+		Metrics:       obs.NewFabricMetrics(reg),
+	}
+	c, err := fabric.NewCoordinator(ctx, job(), opts)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *listen, err)
+	}
+	addr := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(addr+"\n"), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "simd: coordinating %s on http://%s\n", jobLine(c.Job()), addr)
+	srv := obs.NewHTTPServer(c.Handler())
+	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	defer srv.Close()
+
+	waitErr := c.Wait(ctx)
+
+	if *metricsOut != "" {
+		defer func() {
+			if data, err := json.Marshal(reg.Snapshot()); err == nil {
+				if werr := os.WriteFile(*metricsOut, data, 0o644); werr != nil {
+					fmt.Fprintf(os.Stderr, "simd: writing -metrics-out: %v\n", werr)
+				}
+			}
+		}()
+	}
+
+	// Finalize merges whatever the frontier holds — everything on
+	// success, the partial frontier on quorum loss or interrupt. The
+	// merge itself runs no trials, so it proceeds even when ctx is
+	// already cancelled.
+	est, rep, ferr := c.Finalize(ctx)
+	st := c.Status()
+	fmt.Fprintf(os.Stderr, "simd: %d/%d chunks merged; %d leases granted, %d expired, %d chunks reassigned, %d duplicate chunks dropped, %d results rejected\n",
+		st.ChunksDone, st.Chunks, st.LeasesGranted, st.LeasesExpired, st.ChunksReassigned, st.DuplicatesDropped, st.ResultsRejected)
+	reportRun(rep)
+
+	if waitErr == nil && ferr == nil {
+		// Complete run: the one canonical stdout line.
+		fmt.Printf("%s: %s\n", jobLine(c.Job()), est)
+		return nil
+	}
+
+	// Graceful degradation: partial estimate + resume token on stderr.
+	if rep.Completed > 0 {
+		fmt.Fprintf(os.Stderr, "simd: partial estimate over %d/%d trials: %s: %s\n", rep.Completed, rep.Total, jobLine(c.Job()), est)
+	}
+	if *state != "" {
+		fmt.Fprintf(os.Stderr, "simd: resume bit-identically with: simd coordinate -state %s (plus the original job flags)\n", *state)
+	} else {
+		fmt.Fprintln(os.Stderr, "simd: (run with -state FILE to make interrupted progress resumable)")
+	}
+	if waitErr != nil {
+		if errors.Is(waitErr, context.Canceled) || errors.Is(waitErr, context.DeadlineExceeded) {
+			return fmt.Errorf("interrupted after %d/%d chunks: %w", st.ChunksDone, st.Chunks, waitErr)
+		}
+		return waitErr
+	}
+	return ferr
+}
+
+func runWork(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("simd work", flag.ContinueOnError)
+	coordinator := fs.String("coordinator", "", "coordinator base URL, e.g. http://127.0.0.1:9777 (required)")
+	id := fs.String("id", "", "worker name in leases and logs (default worker-<pid>)")
+	workers := fs.Int("workers", 0, "engine goroutines per lease (0 = all CPUs)")
+	throttle := fs.Duration("throttle", 0, "pause between finishing a lease and reporting it, lease held (testing/rehearsal)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *coordinator == "" {
+		fs.Usage()
+		return errors.New("-coordinator is required")
+	}
+	w := &fabric.Worker{
+		Coordinator: *coordinator,
+		ID:          *id,
+		Workers:     *workers,
+		Throttle:    *throttle,
+		Client:      &http.Client{Timeout: 30 * time.Second},
+		Report: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "simd: "+format+"\n", args...)
+		},
+	}
+	return w.Run(ctx)
+}

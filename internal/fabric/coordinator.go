@@ -1,0 +1,633 @@
+package fabric
+
+// The coordinator: owns one job, leases chunk ranges to workers,
+// verifies and merges their results first-valid-wins, persists the
+// merge frontier durably, and declares completion. All state lives
+// behind one mutex; every handler is a short critical section (the only
+// I/O inside the lock is the frontier save, which is itself retried and
+// cheap at chunk granularity).
+//
+// Lease expiry is lazy plus swept: every request path first expires
+// lapsed leases against the injected clock, and the Wait loop sweeps on
+// a timer so reassignment does not depend on request traffic. Both run
+// through fault.Clock, so tests drive expiry with a FakeClock instead
+// of sleeping.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+// stateKey is the label the frontier is filed under in the persisted
+// CheckpointSet (the ArtifactStore stores sets, keyed by stage).
+const stateKey = "fabric"
+
+// maxResultBody bounds one result upload; a lease is a handful of
+// chunk accumulators, far below this.
+const maxResultBody = 32 << 20
+
+// chunkState tracks one chunk through the lease lifecycle.
+type chunkState uint8
+
+const (
+	chunkPending chunkState = iota
+	chunkLeased
+	chunkDone
+)
+
+// CoordinatorOptions configures a Coordinator. The zero value works:
+// 4-chunk leases, 3s TTL, no persistence, wall clock, no metrics, never
+// give up on quorum.
+type CoordinatorOptions struct {
+	// LeaseChunks is how many chunks one lease covers (default 4 — 256
+	// trials; coarse enough to amortize an RPC, fine enough that losing
+	// a worker loses little).
+	LeaseChunks int
+	// LeaseTTL is how long a lease lives without a heartbeat (default
+	// 3s). Heartbeats extend it by the same amount.
+	LeaseTTL time.Duration
+	// StatePath, when set, persists the merge frontier through Store
+	// after every accepted result, making the coordinator crash-resumable.
+	StatePath string
+	// Store is the durable artifact layer; nil means a default
+	// sim.ArtifactStore. Used only when StatePath is set.
+	Store *sim.ArtifactStore
+	// QuorumTimeout, when positive, makes Wait give up with
+	// ErrQuorumLost after that long with no worker contact while chunks
+	// are missing. Zero waits forever (until ctx cancels).
+	QuorumTimeout time.Duration
+	// Clock is the lease/quorum time source; nil means the wall clock.
+	Clock fault.Clock
+	// Metrics, when non-nil, observes leases, results and liveness.
+	Metrics Metrics
+}
+
+func (o CoordinatorOptions) leaseChunks() int {
+	if o.LeaseChunks <= 0 {
+		return 4
+	}
+	return o.LeaseChunks
+}
+
+func (o CoordinatorOptions) leaseTTL() time.Duration {
+	if o.LeaseTTL <= 0 {
+		return 3 * time.Second
+	}
+	return o.LeaseTTL
+}
+
+// lease is one outstanding claim.
+type lease struct {
+	id      string
+	worker  string
+	chunks  sim.ChunkRange
+	expires time.Time
+}
+
+// Coordinator schedules one job across workers. Create with
+// NewCoordinator, expose Handler() on a listener, then Wait for
+// completion and Finalize for the estimate.
+type Coordinator struct {
+	job    JobSpec
+	runner Runner
+	opts   CoordinatorOptions
+	clock  fault.Clock
+	store  *sim.ArtifactStore
+
+	mu        sync.Mutex
+	template  *sim.Checkpoint // identity fields only; never mutated
+	frontier  *sim.Checkpoint // template + accepted chunk/panic records
+	chunks    []chunkState
+	leases    map[string]*lease
+	nextLease int
+	workers   map[string]time.Time // worker id -> last contact
+	contact   time.Time            // last contact from any worker
+	complete  bool
+	done      chan struct{}
+
+	granted, expired, reassigned, duplicates, rejected int64
+}
+
+// NewCoordinator builds the coordinator for job: constructs the runner,
+// derives the checkpoint template (kind/seed/chunking) from an empty
+// engine run, and — when opts.StatePath names an existing state file —
+// restores the merge frontier from it, validating every record like a
+// freshly delivered result.
+func NewCoordinator(ctx context.Context, job JobSpec, opts CoordinatorOptions) (*Coordinator, error) {
+	runner, err := NewRunner(job)
+	if err != nil {
+		return nil, err
+	}
+	job = runner.Spec() // defaults (e.g. policy) filled in
+	template, err := runner.Template(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: deriving job template: %w", err)
+	}
+	frontier := *template
+	c := &Coordinator{
+		job:      job,
+		runner:   runner,
+		opts:     opts,
+		clock:    opts.Clock,
+		store:    opts.Store,
+		template: template,
+		frontier: &frontier,
+		chunks:   make([]chunkState, sim.NumChunks(job.Trials)),
+		leases:   map[string]*lease{},
+		workers:  map[string]time.Time{},
+		done:     make(chan struct{}),
+	}
+	if c.clock == nil {
+		c.clock = fault.Wall
+	}
+	if c.store == nil {
+		c.store = &sim.ArtifactStore{}
+	}
+	c.contact = c.clock.Now()
+	if opts.StatePath != "" {
+		if err := c.restore(); err != nil {
+			return nil, err
+		}
+	}
+	c.mu.Lock()
+	c.checkCompleteLocked()
+	c.mu.Unlock()
+	return c, nil
+}
+
+// Job returns the coordinator's job spec (defaults resolved).
+func (c *Coordinator) Job() JobSpec { return c.job }
+
+// restore loads the persisted frontier and adopts its chunks through
+// the same validation path a network result takes.
+func (c *Coordinator) restore() error {
+	// Corrupt generations, if any, were already skipped by the store's
+	// fallback scan (and reported via its metrics): they cost progress,
+	// never correctness.
+	cs, info, err := c.store.Load(c.opts.StatePath)
+	if err != nil {
+		return fmt.Errorf("fabric: restoring frontier: %w", err)
+	}
+	cp := cs[stateKey]
+	if cp == nil {
+		return nil
+	}
+	if _, _, err := c.accept(cp); err != nil {
+		return fmt.Errorf("fabric: restoring frontier from %s: %w", info.Path, err)
+	}
+	return nil
+}
+
+// identityMismatch compares a delivered checkpoint's identity fields to
+// the template's; the first disagreement is returned as a typed
+// mismatch error (matching both ErrJobMismatch and
+// sim.ErrCheckpointMismatch via the underlying MismatchError).
+func (c *Coordinator) identityMismatch(cp *sim.Checkpoint) error {
+	t := c.template
+	var field string
+	var want, got any
+	switch {
+	case cp.Version != t.Version:
+		field, want, got = "version", t.Version, cp.Version
+	case cp.Kind != t.Kind:
+		field, want, got = "kind", t.Kind, cp.Kind
+	case cp.Seed != t.Seed:
+		field, want, got = "seed", t.Seed, cp.Seed
+	case cp.Trials != t.Trials:
+		field, want, got = "trials", t.Trials, cp.Trials
+	case cp.ChunkSize != t.ChunkSize:
+		field, want, got = "chunk_size", t.ChunkSize, cp.ChunkSize
+	default:
+		return nil
+	}
+	return fmt.Errorf("%w: %w", ErrJobMismatch, &sim.MismatchError{Field: field, Want: want, Got: got})
+}
+
+// accept merges a checkpoint fragment into the frontier,
+// first-valid-wins per chunk. It validates identity and bounds before
+// touching any state, so a bad fragment is rejected whole. Duplicate
+// chunks (already done — late redelivery, or a reassigned lease whose
+// original holder returned after all) are counted and dropped, which is
+// exactly what makes delivery idempotent: however many times and in
+// whatever order results arrive, each chunk's accumulator enters the
+// merge once.
+func (c *Coordinator) accept(cp *sim.Checkpoint) (accepted, duplicates int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.identityMismatch(cp); err != nil {
+		return 0, 0, err
+	}
+	for _, cr := range cp.Chunks {
+		if cr.Index < 0 || cr.Index >= len(c.chunks) {
+			return 0, 0, fmt.Errorf("%w: chunk index %d outside [0, %d)", ErrJobMismatch, cr.Index, len(c.chunks))
+		}
+	}
+	fresh := make(map[int]bool, len(cp.Chunks))
+	for _, cr := range cp.Chunks {
+		if c.chunks[cr.Index] == chunkDone || fresh[cr.Index] {
+			duplicates++
+			continue
+		}
+		c.frontier.Chunks = append(c.frontier.Chunks, cr)
+		c.chunks[cr.Index] = chunkDone
+		fresh[cr.Index] = true
+		accepted++
+	}
+	if accepted > 0 {
+		// Panic records ride with their chunk: adopt only the ones whose
+		// chunk was accepted from this fragment, so a duplicate delivery
+		// cannot double-record a quarantined trial either.
+		for _, pr := range cp.Panics {
+			if fresh[pr.Trial/c.template.ChunkSize] {
+				c.frontier.Panics = append(c.frontier.Panics, pr)
+			}
+		}
+		if err := c.persistLocked(); err != nil {
+			return accepted, duplicates, err
+		}
+		c.checkCompleteLocked()
+	}
+	return accepted, duplicates, nil
+}
+
+// persistLocked saves the frontier through the artifact store (atomic,
+// durable, checksummed, generation-rotated). Called with mu held.
+func (c *Coordinator) persistLocked() error {
+	if c.opts.StatePath == "" {
+		return nil
+	}
+	if err := c.store.Save(c.opts.StatePath, sim.CheckpointSet{stateKey: c.frontier}); err != nil {
+		return fmt.Errorf("fabric: persisting frontier: %w", err)
+	}
+	return nil
+}
+
+// checkCompleteLocked flips the completion latch once every chunk is
+// done. Called with mu held.
+func (c *Coordinator) checkCompleteLocked() {
+	if c.complete {
+		return
+	}
+	for _, st := range c.chunks {
+		if st != chunkDone {
+			return
+		}
+	}
+	c.complete = true
+	close(c.done)
+}
+
+// touchLocked records contact from a worker. Called with mu held.
+func (c *Coordinator) touchLocked(worker string, now time.Time) {
+	if worker != "" {
+		c.workers[worker] = now
+	}
+	c.contact = now
+}
+
+// expireLocked returns every lapsed lease's not-yet-done chunks to the
+// pending pool. Called with mu held.
+func (c *Coordinator) expireLocked(now time.Time) {
+	for id, l := range c.leases {
+		if !now.After(l.expires) {
+			continue
+		}
+		n := 0
+		for i := l.chunks.Lo; i < l.chunks.Hi; i++ {
+			if c.chunks[i] == chunkLeased {
+				c.chunks[i] = chunkPending
+				n++
+			}
+		}
+		delete(c.leases, id)
+		c.expired++
+		c.reassigned += int64(n)
+		if c.opts.Metrics != nil {
+			c.opts.Metrics.LeaseExpired(n)
+		}
+	}
+}
+
+// liveWorkersLocked counts workers seen within twice the lease TTL.
+func (c *Coordinator) liveWorkersLocked(now time.Time) int {
+	window := 2 * c.opts.leaseTTL()
+	live := 0
+	for _, seen := range c.workers {
+		if now.Sub(seen) <= window {
+			live++
+		}
+	}
+	return live
+}
+
+// grant hands out the next lease: the first contiguous run of pending
+// chunks, up to LeaseChunks long.
+func (c *Coordinator) grant(worker string) LeaseResponse {
+	now := c.clock.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touchLocked(worker, now)
+	c.expireLocked(now)
+	if c.complete {
+		return LeaseResponse{Done: true}
+	}
+	lo := -1
+	for i, st := range c.chunks {
+		if st == chunkPending {
+			lo = i
+			break
+		}
+	}
+	if lo < 0 {
+		// Everything remaining is leased out; the worker should ask again
+		// after a fraction of the TTL (by then either a result landed or a
+		// lease expired).
+		return LeaseResponse{None: true, RetryMs: c.opts.leaseTTL().Milliseconds()/2 + 1}
+	}
+	hi := lo
+	for hi < len(c.chunks) && hi-lo < c.opts.leaseChunks() && c.chunks[hi] == chunkPending {
+		c.chunks[hi] = chunkLeased
+		hi++
+	}
+	c.nextLease++
+	l := &lease{
+		id:      fmt.Sprintf("lease-%d", c.nextLease),
+		worker:  worker,
+		chunks:  sim.ChunkRange{Lo: lo, Hi: hi},
+		expires: now.Add(c.opts.leaseTTL()),
+	}
+	c.leases[l.id] = l
+	c.granted++
+	if c.opts.Metrics != nil {
+		c.opts.Metrics.LeaseGranted(hi - lo)
+	}
+	job := c.job
+	return LeaseResponse{
+		Job: &job,
+		Lease: &Lease{
+			ID:     l.id,
+			Chunks: l.chunks,
+			TTLMs:  c.opts.leaseTTL().Milliseconds(),
+		},
+	}
+}
+
+// heartbeat extends a lease; a lease that no longer exists (expired and
+// possibly reassigned) tells the worker to abandon the range.
+func (c *Coordinator) heartbeat(req HeartbeatRequest) HeartbeatResponse {
+	now := c.clock.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touchLocked(req.Worker, now)
+	c.expireLocked(now)
+	if c.opts.Metrics != nil {
+		c.opts.Metrics.HeartbeatSeen()
+	}
+	l, ok := c.leases[req.Lease]
+	if !ok || l.worker != req.Worker {
+		return HeartbeatResponse{Expired: true}
+	}
+	l.expires = now.Add(c.opts.leaseTTL())
+	return HeartbeatResponse{OK: true}
+}
+
+// result ingests one delivered result: CRC-verified bytes were already
+// unwrapped by the handler; here the fragment is validated and merged
+// idempotently, and the worker's lease (if still held) is settled.
+func (c *Coordinator) result(req ResultPayload) (ResultResponse, error) {
+	now := c.clock.Now()
+	c.mu.Lock()
+	c.touchLocked(req.Worker, now)
+	c.expireLocked(now)
+	if l, ok := c.leases[req.Lease]; ok && l.worker == req.Worker {
+		// Settle the lease: chunks it covered that the fragment does not
+		// mark done fall back to pending (a worker only reports complete
+		// ranges, so normally none).
+		for i := l.chunks.Lo; i < l.chunks.Hi; i++ {
+			if c.chunks[i] == chunkLeased {
+				c.chunks[i] = chunkPending
+			}
+		}
+		delete(c.leases, req.Lease)
+	}
+	c.mu.Unlock()
+
+	if req.Checkpoint == nil {
+		c.noteRejected()
+		return ResultResponse{}, fmt.Errorf("%w: result carries no checkpoint", ErrJobMismatch)
+	}
+	accepted, dups, err := c.accept(req.Checkpoint)
+	if err != nil {
+		c.noteRejected()
+		return ResultResponse{}, err
+	}
+	if c.opts.Metrics != nil {
+		if accepted > 0 {
+			c.opts.Metrics.ResultAccepted(accepted)
+		}
+		if dups > 0 {
+			c.opts.Metrics.DuplicateChunks(dups)
+		}
+	}
+	c.mu.Lock()
+	c.duplicates += int64(dups)
+	done := c.complete
+	c.mu.Unlock()
+	return ResultResponse{Accepted: accepted, Duplicates: dups, Done: done}, nil
+}
+
+func (c *Coordinator) noteRejected() {
+	c.mu.Lock()
+	c.rejected++
+	c.mu.Unlock()
+	if c.opts.Metrics != nil {
+		c.opts.Metrics.ResultRejected()
+	}
+}
+
+// Status snapshots progress; it also sweeps expiry so a status poller
+// (or the Wait loop) keeps reassignment moving without worker traffic.
+func (c *Coordinator) Status() Status {
+	now := c.clock.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(now)
+	s := Status{
+		Trials:            c.job.Trials,
+		Chunks:            len(c.chunks),
+		WorkersLive:       c.liveWorkersLocked(now),
+		Complete:          c.complete,
+		LeasesGranted:     c.granted,
+		LeasesExpired:     c.expired,
+		ChunksReassigned:  c.reassigned,
+		DuplicatesDropped: c.duplicates,
+		ResultsRejected:   c.rejected,
+	}
+	for _, st := range c.chunks {
+		switch st {
+		case chunkDone:
+			s.ChunksDone++
+		case chunkLeased:
+			s.ChunksLeased++
+		default:
+			s.ChunksPending++
+		}
+	}
+	if c.opts.Metrics != nil {
+		c.opts.Metrics.WorkersLive(s.WorkersLive)
+	}
+	return s
+}
+
+// Frontier returns a snapshot of the merge frontier safe to use while
+// handlers keep running (records are immutable once appended; the
+// snapshot copies the record slices under the lock). Records come back
+// in canonical index order regardless of delivery order — one of the
+// two halves of the bit-identity guarantee (the other being the
+// engine's in-order chunk merge).
+func (c *Coordinator) Frontier() *sim.Checkpoint {
+	c.mu.Lock()
+	cp := *c.frontier
+	cp.Chunks = append([]sim.ChunkRecord(nil), c.frontier.Chunks...)
+	cp.Panics = append([]sim.PanicRecord(nil), c.frontier.Panics...)
+	c.mu.Unlock()
+	sort.Slice(cp.Chunks, func(i, j int) bool { return cp.Chunks[i].Index < cp.Chunks[j].Index })
+	sort.Slice(cp.Panics, func(i, j int) bool { return cp.Panics[i].Trial < cp.Panics[j].Trial })
+	return &cp
+}
+
+// Done reports whether every chunk is merged.
+func (c *Coordinator) Done() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.complete
+}
+
+// Wait blocks until the job completes, ctx cancels, or — when
+// QuorumTimeout is set — no worker has made contact for that long while
+// chunks are still missing (ErrQuorumLost). It sweeps lease expiry on a
+// timer so a dead worker's chunks return to the pool even with no other
+// traffic.
+func (c *Coordinator) Wait(ctx context.Context) error {
+	tick := c.opts.leaseTTL() / 2
+	if tick <= 0 {
+		tick = time.Second
+	}
+	for {
+		select {
+		case <-c.done:
+			return nil
+		case <-ctx.Done():
+			return context.Cause(ctx)
+		case <-c.clock.After(tick):
+			c.Status() // sweeps expiry, refreshes the liveness gauge
+			if q := c.opts.QuorumTimeout; q > 0 {
+				c.mu.Lock()
+				lost := !c.complete && c.clock.Now().Sub(c.contact) > q
+				c.mu.Unlock()
+				if lost {
+					return fmt.Errorf("%w: no worker contact for %v", ErrQuorumLost, q)
+				}
+			}
+		}
+	}
+}
+
+// Finalize merges the current frontier into the job's estimate. On a
+// complete frontier the merge runs in chunk order through the engine's
+// resume path, so the rendered estimate is bit-identical to a
+// single-process run; on a partial frontier it returns the partial
+// estimate and an error matching sim.ErrInterrupted.
+func (c *Coordinator) Finalize(ctx context.Context) (string, sim.RunReport, error) {
+	return c.runner.Finalize(ctx, c.Frontier())
+}
+
+// Handler returns the coordinator's HTTP surface:
+//
+//	POST /v1/lease      LeaseRequest  -> LeaseResponse
+//	POST /v1/heartbeat  HeartbeatRequest -> HeartbeatResponse
+//	POST /v1/result     envelope(ResultPayload) -> ResultResponse
+//	GET  /v1/status     -> Status
+//
+// Serve it through obs.NewHTTPServer (or equivalent) so the listener
+// carries header/idle timeouts.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req LeaseRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, c.grant(req.Worker))
+	})
+	mux.HandleFunc("POST /v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req HeartbeatRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, c.heartbeat(req))
+	})
+	mux.HandleFunc("POST /v1/result", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxResultBody))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		// CRC verification on receipt: a truncated or bit-flipped upload
+		// is refused here, before any of it can touch the frontier.
+		payload, err := sim.DecodeEnvelope(body)
+		if err != nil {
+			c.noteRejected()
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		var req ResultPayload
+		if err := json.Unmarshal(payload, &req); err != nil {
+			c.noteRejected()
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, err := c.result(req)
+		if err != nil {
+			status := http.StatusConflict
+			if !errors.Is(err, ErrJobMismatch) {
+				status = http.StatusInternalServerError
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.Status())
+	})
+	return mux
+}
+
+// readJSON decodes a small JSON request body, replying 400 on garbage.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err == nil {
+		err = json.Unmarshal(body, v)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

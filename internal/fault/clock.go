@@ -67,6 +67,15 @@ func (c *FakeClock) After(d time.Duration) <-chan time.Time {
 	return ch
 }
 
+// Waiters reports how many After channels are currently pending — the
+// synchronization hook for tests that must not Advance past a deadline
+// before the goroutine under test has parked on it.
+func (c *FakeClock) Waiters() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.waiters)
+}
+
 // Advance moves the clock forward by d and fires every waiter whose
 // deadline has passed.
 func (c *FakeClock) Advance(d time.Duration) {

@@ -8,6 +8,8 @@ package fault
 // And Jitter" analysis.
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"sync"
 	"time"
@@ -25,9 +27,13 @@ type RetryPolicy struct {
 	Base time.Duration
 	// Cap bounds a single backoff sleep. Defaults to 250ms when 0.
 	Cap time.Duration
-	// Sleep performs the wait; nil means time.Sleep. Tests inject a
-	// recorder (or a no-op) to run storms at full speed.
+	// Sleep performs Do's wait; nil means time.Sleep. Tests inject a
+	// recorder (or a no-op) to run storms at full speed. DoCtx ignores it
+	// — its waits run through Clock so they stay interruptible.
 	Sleep func(time.Duration)
+	// Clock times DoCtx's backoff waits; nil means the wall clock (Wall).
+	// Tests inject a FakeClock to pace retries by hand.
+	Clock Clock
 	// Jitter draws the full-jitter fraction in [0, 1); nil uses a
 	// package-level seeded source. Tests inject a constant for
 	// deterministic pacing.
@@ -112,4 +118,56 @@ func (p RetryPolicy) Do(fn func() error) error {
 		sleep(time.Duration(jitter() * float64(p.Backoff(attempt))))
 	}
 	return err
+}
+
+// DoCtx is Do with cancellation: every backoff wait runs through
+// Clock.After in a select against ctx.Done(), so a cancelled context
+// interrupts the wait immediately instead of sleeping out up to Cap per
+// attempt, and ctx is also checked before each attempt. On cancellation
+// the returned error matches ctx.Err() via errors.Is (wrapping the last
+// attempt's error, when there was one, for context). The Sleep seam is
+// ignored — it exists for Do's uninterruptible waits.
+func (p RetryPolicy) DoCtx(ctx context.Context, fn func() error) error {
+	p = p.Defaults()
+	jitter := p.Jitter
+	if jitter == nil {
+		jitter = defaultJitter
+	}
+	clock := p.Clock
+	if clock == nil {
+		clock = Wall
+	}
+	var err error
+	for attempt := 0; attempt < p.Attempts; attempt++ {
+		if ctx.Err() != nil {
+			return ctxRetryErr(ctx, err)
+		}
+		if err = fn(); err == nil {
+			return nil
+		}
+		if p.Retryable != nil && !p.Retryable(err) {
+			return err
+		}
+		if attempt == p.Attempts-1 {
+			break
+		}
+		if p.OnRetry != nil {
+			p.OnRetry(attempt+1, err)
+		}
+		select {
+		case <-clock.After(time.Duration(jitter() * float64(p.Backoff(attempt)))):
+		case <-ctx.Done():
+			return ctxRetryErr(ctx, err)
+		}
+	}
+	return err
+}
+
+// ctxRetryErr reports a retry loop cut short by cancellation, keeping
+// the cancellation cause matchable and the last attempt's error visible.
+func ctxRetryErr(ctx context.Context, last error) error {
+	if last == nil {
+		return ctx.Err()
+	}
+	return fmt.Errorf("%w (last attempt: %v)", ctx.Err(), last)
 }

@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // DebugHandler is the live-profiling surface the -pprof flag serves:
@@ -30,6 +31,25 @@ func DebugHandler(reg *Registry) http.Handler {
 	return mux
 }
 
+// NewHTTPServer returns an http.Server with the handler installed and
+// conservative protocol limits set — the shared constructor for every
+// listener this repo exposes (the -pprof debug endpoint, the fabric
+// coordinator and workers). A bare &http.Server{} has no header-read or
+// idle timeout, so one slowloris client (drip-feeding header bytes, or
+// parking idle keep-alive connections) can pin goroutines and file
+// descriptors forever once the port is reachable beyond localhost.
+// Read/write timeouts stay unset on purpose: long-lived downloads
+// (pprof CPU profiles, large result uploads) are legitimate here, and
+// the slow-header and idle cases are what the attack needs.
+func NewHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
+}
+
 // DebugServer is a running debug endpoint; Addr is the bound address
 // (useful with ":0").
 type DebugServer struct {
@@ -50,7 +70,7 @@ func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 	if reg != nil {
 		reg.PublishExpvar("sim_metrics")
 	}
-	srv := &http.Server{Handler: DebugHandler(reg)}
+	srv := NewHTTPServer(DebugHandler(reg))
 	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
 	return &DebugServer{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil
 }

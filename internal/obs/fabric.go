@@ -1,0 +1,69 @@
+package obs
+
+// FabricMetrics is the observability hook of the distributed trial
+// fabric (internal/fabric): it implements fabric's Metrics interface
+// structurally — neither package imports the other, mirroring the
+// sim.Metrics bridge — and fans each coordinator event out to named
+// registry instruments. Everything here is a cold-path call (per lease,
+// per result, per sweep — never per trial), so plain counters suffice.
+
+// FabricMetrics maintains the fabric.* instruments of one coordinator.
+type FabricMetrics struct {
+	leasesGranted    *Counter // leases handed to workers
+	leasesExpired    *Counter // leases whose heartbeat lapsed
+	chunksReassigned *Counter // chunks returned to pending by expiry
+	resultsAccepted  *Counter // result deliveries with >= 1 fresh chunk
+	chunksAccepted   *Counter // chunk records merged into the frontier
+	chunksDuplicate  *Counter // duplicate/late chunk records dropped
+	resultsRejected  *Counter // results refused (CRC, identity, bounds)
+	heartbeats       *Counter // heartbeats received
+	workersLive      *Gauge   // workers seen within the liveness window
+}
+
+// NewFabricMetrics registers the fabric instruments in reg and returns
+// the hook to hand to the coordinator.
+func NewFabricMetrics(reg *Registry) *FabricMetrics {
+	return &FabricMetrics{
+		leasesGranted:    reg.Counter("fabric.leases_granted"),
+		leasesExpired:    reg.Counter("fabric.leases_expired"),
+		chunksReassigned: reg.Counter("fabric.chunks_reassigned"),
+		resultsAccepted:  reg.Counter("fabric.results_accepted"),
+		chunksAccepted:   reg.Counter("fabric.chunks_accepted"),
+		chunksDuplicate:  reg.Counter("fabric.chunks_duplicate_dropped"),
+		resultsRejected:  reg.Counter("fabric.results_rejected"),
+		heartbeats:       reg.Counter("fabric.heartbeats"),
+		workersLive:      reg.Gauge("fabric.workers_live"),
+	}
+}
+
+// LeaseGranted records one lease of the given chunk count handed out.
+func (m *FabricMetrics) LeaseGranted(chunks int) { m.leasesGranted.Inc() }
+
+// LeaseExpired records one lease whose heartbeat lapsed, returning the
+// given number of not-yet-done chunks to the pending pool.
+func (m *FabricMetrics) LeaseExpired(chunks int) {
+	m.leasesExpired.Inc()
+	m.chunksReassigned.Add(int64(chunks))
+}
+
+// ResultAccepted records one result delivery that contributed fresh
+// chunks to the merge frontier.
+func (m *FabricMetrics) ResultAccepted(chunks int) {
+	m.resultsAccepted.Inc()
+	m.chunksAccepted.Add(int64(chunks))
+}
+
+// DuplicateChunks records chunk records dropped because an earlier
+// valid result already covered them (late redelivery, or a
+// reassigned-then-returned lease).
+func (m *FabricMetrics) DuplicateChunks(n int) { m.chunksDuplicate.Add(int64(n)) }
+
+// ResultRejected records one result delivery refused outright —
+// checksum mismatch, job-identity mismatch, or out-of-range chunks.
+func (m *FabricMetrics) ResultRejected() { m.resultsRejected.Inc() }
+
+// HeartbeatSeen records one worker heartbeat.
+func (m *FabricMetrics) HeartbeatSeen() { m.heartbeats.Inc() }
+
+// WorkersLive sets the worker-liveness gauge.
+func (m *FabricMetrics) WorkersLive(n int) { m.workersLive.Set(int64(n)) }

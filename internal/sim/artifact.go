@@ -122,6 +122,49 @@ type LoadInfo struct {
 	Corrupt []string
 }
 
+// EncodeEnvelope frames an arbitrary JSON payload in the artifact
+// layer's version-2 checksummed envelope: the exact format checkpoint
+// state files use at rest, reused by the trial fabric to CRC-protect
+// results in flight. The payload is compacted first so the bytes the
+// checksum covers are canonical.
+func EncodeEnvelope(payload []byte) ([]byte, error) {
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, payload); err != nil {
+		return nil, fmt.Errorf("sim: envelope payload is not valid JSON: %w", err)
+	}
+	env := artifactEnvelope{Version: artifactVersion, CRC: crcHex(compact.Bytes()), Payload: compact.Bytes()}
+	data, err := json.Marshal(env)
+	if err != nil {
+		return nil, fmt.Errorf("sim: marshaling artifact envelope: %w", err)
+	}
+	return data, nil
+}
+
+// DecodeEnvelope verifies a version-2 envelope and returns its payload
+// bytes (compacted, exactly what the checksum covered). Truncation, bit
+// flips, version skew and malformed frames all surface as errors
+// wrapping fault.ErrCorruptArtifact — never as a wrong payload.
+func DecodeEnvelope(data []byte) ([]byte, error) {
+	var env artifactEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("sim: envelope frame: %v: %w", err, fault.ErrCorruptArtifact)
+	}
+	if env.Version != artifactVersion {
+		return nil, fmt.Errorf("sim: envelope version %d, want %d: %w", env.Version, artifactVersion, fault.ErrCorruptArtifact)
+	}
+	// Re-indented files still validate: the checksum is defined over the
+	// compact form.
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, env.Payload); err != nil {
+		return nil, fmt.Errorf("sim: envelope payload: %v: %w", err, fault.ErrCorruptArtifact)
+	}
+	if got := crcHex(compact.Bytes()); got != env.CRC {
+		return nil, fmt.Errorf("sim: envelope checksum mismatch: frame says %s, payload hashes to %s: %w",
+			env.CRC, got, fault.ErrCorruptArtifact)
+	}
+	return compact.Bytes(), nil
+}
+
 // encode frames the set in a checksummed envelope.
 func (s *ArtifactStore) encode(cs CheckpointSet) ([]byte, error) {
 	for _, cp := range cs {
@@ -131,15 +174,7 @@ func (s *ArtifactStore) encode(cs CheckpointSet) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: marshaling checkpoint set: %w", err)
 	}
-	// The envelope stays compact so the payload bytes on disk are exactly
-	// the bytes the checksum covers (decode tolerates re-indented files by
-	// compacting before hashing).
-	env := artifactEnvelope{Version: artifactVersion, CRC: crcHex(payload), Payload: payload}
-	data, err := json.Marshal(env)
-	if err != nil {
-		return nil, fmt.Errorf("sim: marshaling artifact envelope: %w", err)
-	}
-	return data, nil
+	return EncodeEnvelope(payload)
 }
 
 // decode parses one artifact file: version-2 checksummed envelopes and
@@ -149,22 +184,12 @@ func decodeArtifact(path string, data []byte) (CheckpointSet, error) {
 	var env artifactEnvelope
 	envErr := json.Unmarshal(data, &env)
 	if envErr == nil && env.Version != 0 {
-		if env.Version != artifactVersion {
-			return nil, fmt.Errorf("sim: %s: artifact version %d, want %d: %w",
-				path, env.Version, artifactVersion, fault.ErrCorruptArtifact)
-		}
-		// The payload is re-indented by MarshalIndent on save, so the
-		// checksum is defined over its compact form.
-		var compact bytes.Buffer
-		if err := json.Compact(&compact, env.Payload); err != nil {
-			return nil, fmt.Errorf("sim: %s: artifact payload: %v: %w", path, err, fault.ErrCorruptArtifact)
-		}
-		if got := crcHex(compact.Bytes()); got != env.CRC {
-			return nil, fmt.Errorf("sim: %s: checksum mismatch: file says %s, payload hashes to %s: %w",
-				path, env.CRC, got, fault.ErrCorruptArtifact)
+		payload, err := DecodeEnvelope(data)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s: %w", path, err)
 		}
 		var cs CheckpointSet
-		if err := json.Unmarshal(env.Payload, &cs); err != nil {
+		if err := json.Unmarshal(payload, &cs); err != nil {
 			return nil, fmt.Errorf("sim: %s: artifact payload: %v: %w", path, err, fault.ErrCorruptArtifact)
 		}
 		if cs == nil {

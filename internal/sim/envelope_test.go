@@ -1,0 +1,61 @@
+package sim
+
+// Tests for the exported envelope codec — the CRC frame checkpoint state
+// files use at rest, reused by the trial fabric to protect results in
+// flight.
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	payload := []byte(`{"hello": [1, 2, 3],
+		"world": true}`)
+	framed, err := EncodeEnvelope(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEnvelope(framed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The codec canonicalizes to compact JSON.
+	if want := []byte(`{"hello":[1,2,3],"world":true}`); !bytes.Equal(got, want) {
+		t.Errorf("DecodeEnvelope = %s, want %s", got, want)
+	}
+}
+
+func TestEnvelopeRejectsNonJSONPayload(t *testing.T) {
+	if _, err := EncodeEnvelope([]byte("not json")); err == nil {
+		t.Error("EncodeEnvelope accepted a non-JSON payload")
+	}
+}
+
+// TestEnvelopeCorruptionDetected: every way a frame can be damaged in
+// flight — truncation, a flipped payload bit, version skew, garbage —
+// surfaces as fault.ErrCorruptArtifact, never as a wrong payload.
+func TestEnvelopeCorruptionDetected(t *testing.T) {
+	framed, err := EncodeEnvelope([]byte(`{"n": 64, "sum": 123.5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := bytes.Replace(framed, []byte("123.5"), []byte("124.5"), 1)
+	if bytes.Equal(flipped, framed) {
+		t.Fatal("test setup: payload flip had no effect")
+	}
+	cases := map[string][]byte{
+		"truncated":    framed[:len(framed)/2],
+		"bit flip":     flipped,
+		"garbage":      []byte("%%%"),
+		"version skew": bytes.Replace(framed, []byte(`"artifact_version":2`), []byte(`"artifact_version":9`), 1),
+	}
+	for name, data := range cases {
+		if _, err := DecodeEnvelope(data); !errors.Is(err, fault.ErrCorruptArtifact) {
+			t.Errorf("%s: DecodeEnvelope err = %v, want ErrCorruptArtifact", name, err)
+		}
+	}
+}

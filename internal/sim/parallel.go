@@ -141,6 +141,18 @@ type ParallelOptions struct {
 	// Tests inject a fault.FakeClock to trip the watchdog without
 	// sleeping.
 	Clock fault.Clock
+	// Chunks, when non-nil, restricts execution to the chunk index range
+	// [Chunks.Lo, Chunks.Hi) of the full trial budget — the distribution
+	// seam of the trial fabric (internal/fabric). A ranged run executes
+	// only its chunks, and the returned RunReport.Checkpoint carries
+	// exactly those chunk records; trial seeds, chunk boundaries and
+	// accumulator bits are those of the full run, so ranges executed on
+	// different machines reassemble into a checkpoint bit-identical to a
+	// single-process run. The RunReport's Total/Completed then count the
+	// range's trials, not the full budget. An empty range (Lo == Hi) runs
+	// nothing and returns the run's identity (kind, seed, chunking)
+	// alone.
+	Chunks *ChunkRange
 
 	// kind identifies the estimator (and its parameters) producing the
 	// accumulators, so a checkpoint cannot be resumed into a different
@@ -163,6 +175,19 @@ func (o ParallelOptions) workers() int {
 // uneven trial costs. It is also the checkpoint granularity: an
 // interrupted run loses at most the chunks still in flight.
 const parallelChunkSize = 64
+
+// ChunkRange is a half-open range [Lo, Hi) of chunk indices, the unit
+// the trial fabric leases to remote workers (ParallelOptions.Chunks).
+type ChunkRange struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// NumChunks reports how many fixed-size chunks a parallel run with the
+// given trial budget has — the index space ChunkRange addresses.
+func NumChunks(trials int) int {
+	return (trials + parallelChunkSize - 1) / parallelChunkSize
+}
 
 // chunkLenFor is the number of trials in the given chunk of a run with
 // the given budget (the final chunk is ragged).
@@ -360,7 +385,22 @@ func RunParallel[S comparable, A any](ctx context.Context, m sched.Model[S], mk 
 		m = Compile(m)
 	}
 
-	numChunks := (trials + parallelChunkSize - 1) / parallelChunkSize
+	numChunks := NumChunks(trials)
+	// The executed range defaults to every chunk; a fabric worker narrows
+	// it to its lease. All bookkeeping below (claim loop, coverage check,
+	// merge) runs over [loChunk, hiChunk) only.
+	loChunk, hiChunk := 0, numChunks
+	if popts.Chunks != nil {
+		loChunk, hiChunk = popts.Chunks.Lo, popts.Chunks.Hi
+		if loChunk < 0 || hiChunk > numChunks || loChunk > hiChunk {
+			return total, rep, fmt.Errorf("%w: chunk range [%d, %d) outside [0, %d]", ErrInvalidArgument, loChunk, hiChunk, numChunks)
+		}
+	}
+	rangeTrials := 0
+	for c := loChunk; c < hiChunk; c++ {
+		rangeTrials += chunkLenFor(trials, c)
+	}
+	rep.Total = rangeTrials
 	accs := make([]A, numChunks)
 	done := make([]bool, numChunks)
 	errs := make([]error, numChunks)
@@ -387,7 +427,9 @@ func RunParallel[S comparable, A any](ctx context.Context, m sched.Model[S], mk 
 				return total, rep, fmt.Errorf("sim: restoring chunk %d accumulator: %w", cr.Index, err)
 			}
 			done[cr.Index] = true
-			rep.Resumed += chunkLenFor(trials, cr.Index)
+			if cr.Index >= loChunk && cr.Index < hiChunk {
+				rep.Resumed += chunkLenFor(trials, cr.Index)
+			}
 		}
 		rc.cp.Chunks = append(rc.cp.Chunks, popts.Resume.Chunks...)
 		rc.cp.Panics = append(rc.cp.Panics, popts.Resume.Panics...)
@@ -523,7 +565,7 @@ func RunParallel[S comparable, A any](ctx context.Context, m sched.Model[S], mk 
 	// the worker has moved past). Arenas are built here, on the caller's
 	// goroutine, so a misbehaving model panics to the caller like
 	// Compile would, not inside a worker.
-	workers := min(popts.workers(), numChunks)
+	workers := min(popts.workers(), hiChunk-loChunk)
 	arenas := make([]*trialArena[S], workers)
 	if popts.TrialTimeout <= 0 && !popts.NoArena {
 		for w := range arenas {
@@ -539,8 +581,8 @@ func RunParallel[S comparable, A any](ctx context.Context, m sched.Model[S], mk 
 			// worker drains the chunk it is on (every trial is bounded by
 			// Options.MaxEvents/MaxTime), so completed work is never lost.
 			for !stop.Load() && ctx.Err() == nil {
-				chunk := int(nextChunk.Add(1)) - 1
-				if chunk >= numChunks {
+				chunk := loChunk + int(nextChunk.Add(1)) - 1
+				if chunk >= hiChunk {
 					return
 				}
 				if done[chunk] {
@@ -583,20 +625,20 @@ func RunParallel[S comparable, A any](ctx context.Context, m sched.Model[S], mk 
 	}
 
 	covered := 0
-	for chunk := range accs {
+	for chunk := loChunk; chunk < hiChunk; chunk++ {
 		if done[chunk] {
 			merge(&total, accs[chunk])
 			covered += chunkLenFor(trials, chunk)
 		}
 	}
 	rep.Completed = covered - rep.Quarantined
-	if covered < trials {
+	if covered < rangeTrials {
 		rep.Interrupted = true
 		cause := context.Cause(ctx)
 		if cause == nil {
 			cause = errors.New("run stopped early")
 		}
-		return total, rep, fmt.Errorf("%w after %d/%d trials: %v", ErrInterrupted, covered, trials, cause)
+		return total, rep, fmt.Errorf("%w after %d/%d trials: %v", ErrInterrupted, covered, rangeTrials, cause)
 	}
 	return total, rep, nil
 }

@@ -1,0 +1,157 @@
+package sim
+
+// Tests for the chunk-range seam (ParallelOptions.Chunks) — the engine
+// hook the distributed trial fabric is built on: any partition of the
+// chunk index space, run as separate range-restricted invocations and
+// reassembled through the resume path, must be bit-identical to the
+// one-process run.
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// runRange executes chunks [lo, hi) of a canonical flipper job and
+// returns the fragment checkpoint.
+func runRange(t *testing.T, seed int64, trials, workers, lo, hi int) *Checkpoint {
+	t.Helper()
+	_, rep, err := EstimateReachProbParallel[flipState](context.Background(), flipper{}, mkSlowest, heads, 2, trials,
+		Options[flipState]{}, ParallelOptions{Workers: workers, Seed: seed, Chunks: &ChunkRange{Lo: lo, Hi: hi}})
+	if err != nil {
+		t.Fatalf("range [%d,%d): %v", lo, hi, err)
+	}
+	if rep.Checkpoint == nil {
+		t.Fatalf("range [%d,%d): no checkpoint in report", lo, hi)
+	}
+	return rep.Checkpoint
+}
+
+// TestChunkRangePartitionBitIdentical is the engine half of the fabric's
+// headline guarantee: run disjoint chunk ranges separately (with varying
+// worker counts, as distributed workers would), pool the fragments, and
+// the resumed merge reproduces the uninterrupted estimate exactly.
+func TestChunkRangePartitionBitIdentical(t *testing.T) {
+	const trials, seed = 1000, 42
+	want, wantRep, err := EstimateReachProbParallel[flipState](context.Background(), flipper{}, mkSlowest, heads, 2, trials,
+		Options[flipState]{}, ParallelOptions{Workers: 4, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	numChunks := NumChunks(trials) // 1000 trials / 64 = 16 chunks
+	if numChunks != 16 {
+		t.Fatalf("NumChunks(%d) = %d, want 16", trials, numChunks)
+	}
+	// An uneven partition with different worker counts per fragment.
+	cuts := [][2]int{{0, 3}, {3, 4}, {4, 11}, {11, 16}}
+	assembled := runRange(t, seed, trials, 1, 0, 0) // empty range: identity template
+	if len(assembled.Chunks) != 0 || assembled.Trials != trials {
+		t.Fatalf("template checkpoint = %d chunks / %d trials, want 0 / %d", len(assembled.Chunks), assembled.Trials, trials)
+	}
+	for i, c := range cuts {
+		frag := runRange(t, seed, trials, 1+i, c[0], c[1])
+		if len(frag.Chunks) != c[1]-c[0] {
+			t.Fatalf("fragment [%d,%d) has %d chunks, want %d", c[0], c[1], len(frag.Chunks), c[1]-c[0])
+		}
+		for _, cr := range frag.Chunks {
+			if cr.Index < c[0] || cr.Index >= c[1] {
+				t.Fatalf("fragment [%d,%d) contains out-of-range chunk %d", c[0], c[1], cr.Index)
+			}
+		}
+		assembled.Chunks = append(assembled.Chunks, frag.Chunks...)
+		assembled.Panics = append(assembled.Panics, frag.Panics...)
+	}
+	if !assembled.Complete() {
+		t.Fatal("assembled checkpoint not complete")
+	}
+
+	got, gotRep, err := EstimateReachProbParallel[flipState](context.Background(), flipper{}, mkSlowest, heads, 2, trials,
+		Options[flipState]{}, ParallelOptions{Workers: 2, Seed: seed, Resume: assembled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("assembled estimate %s != full-run estimate %s", got.String(), want.String())
+	}
+	if gotRep.Resumed != trials {
+		t.Errorf("assembled run re-ran trials: resumed %d, want %d", gotRep.Resumed, trials)
+	}
+	if gotRep.Completed != wantRep.Completed {
+		t.Errorf("completed %d != %d", gotRep.Completed, wantRep.Completed)
+	}
+}
+
+// TestChunkRangeReportCountsRangeOnly: a range-restricted run's report
+// speaks in range trials, not the whole budget.
+func TestChunkRangeReportCountsRangeOnly(t *testing.T) {
+	const trials, seed = 1000, 7
+	_, rep, err := EstimateReachProbParallel[flipState](context.Background(), flipper{}, mkSlowest, heads, 2, trials,
+		Options[flipState]{}, ParallelOptions{Workers: 2, Seed: seed, Chunks: &ChunkRange{Lo: 2, Hi: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3 * 64; rep.Total != want || rep.Completed != want {
+		t.Errorf("range report = %d/%d trials, want %d/%d", rep.Completed, rep.Total, want, want)
+	}
+	// The ragged last chunk counts its true length.
+	_, rep, err = EstimateReachProbParallel[flipState](context.Background(), flipper{}, mkSlowest, heads, 2, trials,
+		Options[flipState]{}, ParallelOptions{Workers: 2, Seed: seed, Chunks: &ChunkRange{Lo: 15, Hi: 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1000 - 15*64; rep.Total != want || rep.Completed != want {
+		t.Errorf("ragged-chunk report = %d/%d trials, want %d/%d", rep.Completed, rep.Total, want, want)
+	}
+}
+
+// TestChunkRangeValidation: malformed ranges are refused up front.
+func TestChunkRangeValidation(t *testing.T) {
+	const trials = 1000 // 16 chunks
+	for _, cr := range []ChunkRange{{Lo: -1, Hi: 4}, {Lo: 0, Hi: 17}, {Lo: 9, Hi: 3}} {
+		_, _, err := EstimateReachProbParallel[flipState](context.Background(), flipper{}, mkSlowest, heads, 2, trials,
+			Options[flipState]{}, ParallelOptions{Seed: 1, Chunks: &cr})
+		if !errors.Is(err, ErrInvalidArgument) {
+			t.Errorf("range [%d,%d): err = %v, want ErrInvalidArgument", cr.Lo, cr.Hi, err)
+		}
+	}
+}
+
+// TestChunkRangeTimeEstimator: the seam works for the time-to-target
+// wrapper too (different accumulator kind).
+func TestChunkRangeTimeEstimator(t *testing.T) {
+	const trials, seed = 500, 3
+	want, _, err := EstimateTimeToTargetParallel[flipState](context.Background(), flipper{}, mkSlowest, heads, trials,
+		Options[flipState]{}, ParallelOptions{Workers: 3, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	numChunks := NumChunks(trials)
+	mid := numChunks / 2
+	assemble := func(ranges [][2]int) *Checkpoint {
+		var cp *Checkpoint
+		for _, r := range ranges {
+			_, rep, err := EstimateTimeToTargetParallel[flipState](context.Background(), flipper{}, mkSlowest, heads, trials,
+				Options[flipState]{}, ParallelOptions{Workers: 2, Seed: seed, Chunks: &ChunkRange{Lo: r[0], Hi: r[1]}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cp == nil {
+				cp = rep.Checkpoint
+			} else {
+				cp.Chunks = append(cp.Chunks, rep.Checkpoint.Chunks...)
+				cp.Panics = append(cp.Panics, rep.Checkpoint.Panics...)
+			}
+		}
+		return cp
+	}
+	cp := assemble([][2]int{{mid, numChunks}, {0, mid}}) // out-of-order assembly on purpose
+	got, _, err := EstimateTimeToTargetParallel[flipState](context.Background(), flipper{}, mkSlowest, heads, trials,
+		Options[flipState]{}, ParallelOptions{Workers: 1, Seed: seed, Resume: cp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("assembled time estimate %s != full-run %s", got.String(), want.String())
+	}
+}

@@ -16,6 +16,9 @@
 #   fabric-smoke go test -run TestFabricSmoke    coordinator + 2 workers over
 #                                                loopback reproduce the exact
 #                                                single-process estimate
+#   trace-smoke simd local -trace-out | simtrace a traced run stopped emitting
+#                                                spans or simtrace lost the
+#                                                critical path
 #   vuln        govulncheck (if installed)       known-vulnerable dependency use
 #
 # Performance regressions are gated separately by `make bench-diff`: it
@@ -36,13 +39,13 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test test-short test-race bench bench-smoke bench-json bench-diff vuln vet fmt fuzz chaos chaos-smoke fabric-smoke check lrcheck experiments
+.PHONY: all build test test-short test-race bench bench-smoke bench-json bench-diff vuln vet fmt fuzz chaos chaos-smoke fabric-smoke trace-smoke check lrcheck experiments
 
 # Benchmarks recorded in BENCH_sim.json and gated by bench-diff: the
 # parallel-engine throughput row, the hot-path ablation ladder, the
 # metrics-overhead pair, and the compiled-vs-uncompiled ablations for
 # the election and consensus case studies.
-BENCH_GATE = BenchmarkParallelTrials|BenchmarkTrialAblation|BenchmarkMetricsOverhead|BenchmarkElectionTrials|BenchmarkConsensusTrials
+BENCH_GATE = BenchmarkParallelTrials|BenchmarkTrialAblation|BenchmarkMetricsOverhead|BenchmarkSpanOverhead|BenchmarkElectionTrials|BenchmarkConsensusTrials
 
 # Absolute throughput backstop for the headline engine benchmark,
 # enforced by bench-diff on top of the relative 10% gate: the alias
@@ -144,7 +147,18 @@ chaos-smoke:
 fabric-smoke:
 	$(GO) test ./internal/fabric -run 'TestFabricSmoke' -count=1 -v
 
-check: build vet test test-race bench-smoke chaos-smoke fabric-smoke vuln
+# Tracing smoke: a traced local run must produce a trace that simtrace
+# merges into a timeline with a non-empty critical path. Catches the
+# span exporter or the timeline analysis silently breaking.
+trace-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) run ./cmd/simd local -model dining -n 3 -trials 256 -seed 7 -trace-out "$$tmp/run.trace" >/dev/null && \
+	$(GO) run ./cmd/simtrace "$$tmp/run.trace" > "$$tmp/report.txt" && \
+	grep -q 'critical path (' "$$tmp/report.txt" && \
+	! grep -q 'critical path (0 hops' "$$tmp/report.txt" && \
+	echo "trace-smoke: ok (critical path present)"
+
+check: build vet test test-race bench-smoke chaos-smoke fabric-smoke trace-smoke vuln
 
 # The headline reproduction: the paper's table, derivation and bounds.
 lrcheck:

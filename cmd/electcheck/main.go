@@ -19,7 +19,9 @@
 //
 // The run is observable with the same flags as lrsim: -progress for a
 // live sampling progress line, -manifest for a JSONL run manifest,
-// -metrics-out for a final metrics snapshot, -pprof for live profiling.
+// -metrics-out for a final metrics snapshot, -pprof for live profiling,
+// -trace-out for a JSONL trace (one span per sampling chunk under a root
+// job span) that cmd/simtrace merges into a timeline.
 //
 // Usage:
 //
@@ -27,7 +29,7 @@
 //	           [-sample trials] [-workers N] [-seed 1] \
 //	           [-budget 10m] [-checkpoint state.json] [-resume state.json] \
 //	           [-keep 3] [-quarantine N] [-trial-timeout 30s] \
-//	           [-progress 2s] [-manifest run.jsonl] \
+//	           [-progress 2s] [-manifest run.jsonl] [-trace-out run.trace] \
 //	           [-metrics-out metrics.json] [-pprof localhost:6060] [-nocompile] [-bitcompat]
 //
 // The sampled model is compiled (sim.Compile) before the run; -nocompile
@@ -51,6 +53,7 @@ import (
 
 	"repro/internal/election"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
@@ -83,6 +86,7 @@ func run(ctx context.Context, args []string) error {
 	keep := fs.Int("keep", 3, "checkpoint generations to retain (current + keep-1 backups); loads fall back to the newest valid one")
 	progress := fs.Duration("progress", 0, "print a live -sample progress line to stderr at this interval (0 = off)")
 	manifest := fs.String("manifest", "", "record a JSONL run manifest (events + final summary) to this file")
+	traceOut := fs.String("trace-out", "", "record a JSONL trace (one span per -sample chunk under a root job span) to this file; analyze with simtrace")
 	metricsOut := fs.String("metrics-out", "", "write the final metrics registry snapshot as JSON to this file")
 	pprof := fs.String("pprof", "", "serve /debug/pprof, /debug/vars and /debug/metrics on this address for the duration of the run")
 	nocompile := fs.Bool("nocompile", false, "disable the compiled-model transition cache for -sample (estimates are identical; for debugging and perf comparison)")
@@ -128,15 +132,37 @@ func run(ctx context.Context, args []string) error {
 	if err != nil {
 		return usageError(fs, "%v", err)
 	}
-	runErr := analysis(ctx, ins, *n, *k, *sample, *workers, *seed, *budget, *checkpoint, *resume, *quarantine,
-		*trialTimeout, *keep, *nocompile, *bitcompat)
+	// A tracer when -trace-out is set, else nil: every span call below
+	// no-ops on the nil tracer, so the untraced run pays one nil check.
+	var tracer *span.Tracer
+	if *traceOut != "" {
+		tracer, err = span.Open(*traceOut, span.Options{Service: "electcheck"})
+		if err != nil {
+			return err
+		}
+	}
+	root := tracer.Start("job", span.SpanContext{},
+		span.Str("tool", "electcheck"), span.Int("n", *n), span.Int("k", *k),
+		span.Int("sample", *sample), span.Int64("seed", *seed))
+
+	runErr := analysis(ctx, ins, tracer, root.Context(), *n, *k, *sample, *workers, *seed, *budget,
+		*checkpoint, *resume, *quarantine, *trialTimeout, *keep, *nocompile, *bitcompat)
+	outcome := "complete"
+	if runErr != nil {
+		outcome = "error"
+	}
+	root.End(span.Str("outcome", outcome))
+	if cerr := tracer.Close(); cerr != nil && runErr == nil {
+		runErr = cerr
+	}
 	if cerr := ins.Close(runErr); cerr != nil && runErr == nil {
 		runErr = cerr
 	}
 	return runErr
 }
 
-func analysis(ctx context.Context, ins *obs.Instrumentation, n, k, sample, workers int, seed int64,
+func analysis(ctx context.Context, ins *obs.Instrumentation, tracer *span.Tracer, traceParent span.SpanContext,
+	n, k, sample, workers int, seed int64,
 	budget time.Duration, checkpoint, resume string, quarantine int,
 	trialTimeout time.Duration, keep int, nocompile, bitcompat bool) error {
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
@@ -215,6 +241,13 @@ func analysis(ctx context.Context, ins *obs.Instrumentation, n, k, sample, worke
 			NoCompile: nocompile, TrialTimeout: trialTimeout}
 		if sm := ins.Metrics(); sm != nil {
 			popts.Metrics = sm
+		}
+		// The nil-tracer gate must stay explicit: assigning a typed-nil
+		// *ChunkSpanner to the SpanHooks interface would defeat the
+		// engine's nil check.
+		if tracer != nil {
+			popts.SpanHooks = span.ChunkSpans(tracer, traceParent, span.Str("stage", "sample"))
+			popts.PprofLabels = []string{"fabric_job", fmt.Sprintf("electcheck-n%d-s%d", n, seed), "stage", "sample"}
 		}
 		var cs sim.CheckpointSet
 		const label = "sample"

@@ -31,8 +31,11 @@
 // per-phase timings, metrics snapshot) that documents the run and replays
 // it (obs.ReplayArgs); -metrics-out dumps the final metrics registry as
 // JSON; -pprof serves net/http/pprof, expvar and the live metrics on the
-// given address for the duration of the run. All of it rides the engine's
-// telemetry hook, which costs nothing when no flag is set.
+// given address for the duration of the run; -trace-out records a span
+// per sweep chunk (stamped with its stage label) under one root job span
+// as a JSONL trace that cmd/simtrace merges into a timeline. All of it
+// rides the engine's telemetry hook, which costs nothing when no flag is
+// set.
 //
 // Usage:
 //
@@ -40,7 +43,7 @@
 //	      [-trials 2000] [-within 13] [-seed 1] [-workers N] \
 //	      [-budget 10m] [-checkpoint state.json] [-resume state.json] \
 //	      [-keep 3] [-quarantine N] [-trial-timeout 30s] \
-//	      [-progress 2s] [-manifest run.jsonl] \
+//	      [-progress 2s] [-manifest run.jsonl] [-trace-out run.trace] \
 //	      [-metrics-out metrics.json] [-pprof localhost:6060] [-nocompile] [-bitcompat]
 //
 // The model is compiled once per ring size (sim.Compile: a shared
@@ -67,6 +70,7 @@ import (
 
 	"repro/internal/dining"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
@@ -101,6 +105,7 @@ func run(ctx context.Context, args []string) error {
 	keep := fs.Int("keep", 3, "checkpoint generations to retain (state.json, state.json.g1, ...); loads fall back to the newest valid one")
 	progress := fs.Duration("progress", 0, "print a live progress line to stderr at this interval (0 = off)")
 	manifest := fs.String("manifest", "", "record a JSONL run manifest (events + final summary) to this file")
+	traceOut := fs.String("trace-out", "", "record a JSONL trace (one span per sweep chunk under a root job span) to this file; analyze with simtrace")
 	metricsOut := fs.String("metrics-out", "", "write the final metrics registry snapshot as JSON to this file")
 	pprof := fs.String("pprof", "", "serve /debug/pprof, /debug/vars and /debug/metrics on this address for the duration of the run")
 	nocompile := fs.Bool("nocompile", false, "disable the compiled-model transition cache (estimates are identical; for debugging and perf comparison)")
@@ -158,6 +163,19 @@ func run(ctx context.Context, args []string) error {
 		return usageError(fs, "%v", err)
 	}
 
+	// A tracer when -trace-out is set, else nil: every span call below
+	// no-ops on the nil tracer, so the untraced run pays one nil check.
+	var tracer *span.Tracer
+	if *traceOut != "" {
+		tracer, err = span.Open(*traceOut, span.Options{Service: "lrsim"})
+		if err != nil {
+			return err
+		}
+	}
+	root := tracer.Start("job", span.SpanContext{},
+		span.Str("tool", "lrsim"), span.Str("sizes", *sizes), span.Str("policies", *policies),
+		span.Int("trials", *trials), span.Int64("seed", *seed))
+
 	// The experiment body runs inside a closure so every exit path —
 	// success, interrupt, estimator error — flushes the instrumentation
 	// sinks with the run's actual outcome.
@@ -168,8 +186,17 @@ func run(ctx context.Context, args []string) error {
 			budget: *budget, checkpoint: *checkpoint, resume: *resume,
 			quarantine: *quarantine, nocompile: *nocompile, bitcompat: *bitcompat,
 			trialTimeout: *trialTimeout, keep: *keep,
+			tracer: tracer, traceParent: root.Context(),
 		})
 	}()
+	outcome := "complete"
+	if runErr != nil {
+		outcome = "error"
+	}
+	root.End(span.Str("outcome", outcome))
+	if cerr := tracer.Close(); cerr != nil && runErr == nil {
+		runErr = cerr
+	}
 	if cerr := ins.Close(runErr); cerr != nil && runErr == nil {
 		runErr = cerr
 	}
@@ -193,6 +220,8 @@ type params struct {
 	bitcompat    bool
 	trialTimeout time.Duration
 	keep         int
+	tracer       *span.Tracer
+	traceParent  span.SpanContext
 }
 
 func experiments(ctx context.Context, ins *obs.Instrumentation, p params) error {
@@ -264,6 +293,13 @@ func experiments(ctx context.Context, ins *obs.Instrumentation, p params) error 
 			NoCompile: p.nocompile, TrialTimeout: p.trialTimeout}
 		if sm := ins.Metrics(); sm != nil {
 			popts.Metrics = sm
+		}
+		// The nil-tracer gate must stay explicit: assigning a typed-nil
+		// *ChunkSpanner to the SpanHooks interface would defeat the
+		// engine's nil check.
+		if p.tracer != nil {
+			popts.SpanHooks = span.ChunkSpans(p.tracer, p.traceParent, span.Str("stage", label))
+			popts.PprofLabels = []string{"fabric_job", fmt.Sprintf("lrsim-s%d", p.seed), "stage", label}
 		}
 		if cs != nil {
 			popts.Resume = cs[label]

@@ -56,11 +56,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/fabric"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/sim"
 )
 
@@ -143,6 +145,44 @@ func jobLine(spec fabric.JobSpec) string {
 	return fmt.Sprintf("%s n=%d policy=%s seed=%d trials=%d", spec.Model, spec.N, spec.Policy, spec.Seed, spec.Trials)
 }
 
+// openTracer opens the -trace-out JSONL exporter, or returns nil (spans
+// disabled, one nil check per site) when the flag is unset.
+func openTracer(path, service string) (*span.Tracer, error) {
+	if path == "" {
+		return nil, nil
+	}
+	return span.Open(path, span.Options{Service: service})
+}
+
+// jobAttrs is the identity attribute set stamped on root job spans, one
+// vocabulary across simd local, coordinate, and the analysis tooling.
+func jobAttrs(spec fabric.JobSpec) []span.Attr {
+	return []span.Attr{
+		span.Str("model", spec.Model),
+		span.Int("n", spec.N),
+		span.Str("policy", spec.Policy),
+		span.Str("estimator", spec.Estimator),
+		span.Int64("seed", spec.Seed),
+		span.Int("trials", spec.Trials),
+		span.Int("chunks", sim.NumChunks(spec.Trials)),
+	}
+}
+
+// engineHooks builds the chunk-span + pprof-label hooks for a local
+// engine run. With a nil tracer the zero hooks are returned and the
+// engine pays one nil check per chunk.
+func engineHooks(tr *span.Tracer, parent span.SpanContext, spec fabric.JobSpec) fabric.EngineHooks {
+	if tr == nil {
+		return fabric.EngineHooks{}
+	}
+	return fabric.EngineHooks{
+		Spans: span.ChunkSpans(tr, parent),
+		Labels: []string{
+			"fabric_job", fmt.Sprintf("%s-n%d-s%d", spec.Model, spec.N, spec.Seed),
+		},
+	}
+}
+
 // reportRun sends the run summary (and quarantine repro seeds, if any)
 // to stderr, keeping stdout canonical.
 func reportRun(rep sim.RunReport) {
@@ -160,6 +200,7 @@ func runLocal(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("simd local", flag.ContinueOnError)
 	job := jobFlags(fs)
 	workers := fs.Int("workers", 0, "engine goroutines (0 = all CPUs)")
+	traceOut := fs.String("trace-out", "", "write trace spans (job + per-chunk) as JSONL to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -167,7 +208,21 @@ func runLocal(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	est, rep, err := runner.Estimate(ctx, *workers)
+	tr, err := openTracer(*traceOut, "local")
+	if err != nil {
+		return err
+	}
+	if tr != nil {
+		defer tr.Close()
+	}
+	spec := runner.Spec()
+	root := tr.Start("job", span.SpanContext{}, jobAttrs(spec)...)
+	est, rep, err := runner.Estimate(ctx, *workers, engineHooks(tr, root.Context(), spec))
+	outcome := "complete"
+	if err != nil {
+		outcome = "error"
+	}
+	root.End(span.Str("outcome", outcome), span.Int("completed", rep.Completed))
 	reportRun(rep)
 	if errors.Is(err, sim.ErrInterrupted) {
 		fmt.Fprintf(os.Stderr, "simd: interrupted: partial %s over %d/%d trials\n", est, rep.Completed, rep.Total)
@@ -191,11 +246,42 @@ func runCoordinate(ctx context.Context, args []string) error {
 	leaseTTL := fs.Duration("lease-ttl", 3*time.Second, "lease lifetime without a heartbeat before its chunks are reassigned")
 	quorumTimeout := fs.Duration("quorum-timeout", 0, "give up (printing the partial estimate and a resume token) after this long with no worker contact (0 = wait forever)")
 	metricsOut := fs.String("metrics-out", "", "write the final fabric metrics snapshot as JSON to this file")
+	traceOut := fs.String("trace-out", "", "write trace spans (job, leases, RPCs, merges) as JSONL to this file")
+	progress := fs.Duration("progress", 0, "report chunk-frontier progress to stderr at this interval (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	reg := obs.NewRegistry()
+	// The metrics snapshot must land on every exit path — clean finish,
+	// SIGINT/SIGTERM drain, and the -quorum-timeout degraded path — so it
+	// is a once-guarded helper deferred here, before anything can fail.
+	writeMetrics := func() {}
+	if *metricsOut != "" {
+		var once sync.Once
+		writeMetrics = func() {
+			once.Do(func() {
+				data, err := json.Marshal(reg.Snapshot())
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "simd: encoding -metrics-out: %v\n", err)
+					return
+				}
+				if err := os.WriteFile(*metricsOut, data, 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "simd: writing -metrics-out: %v\n", err)
+				}
+			})
+		}
+		defer writeMetrics()
+	}
+
+	tr, err := openTracer(*traceOut, "coord")
+	if err != nil {
+		return err
+	}
+	if tr != nil {
+		defer tr.Close()
+	}
+
 	opts := fabric.CoordinatorOptions{
 		LeaseChunks:   *leaseChunks,
 		LeaseTTL:      *leaseTTL,
@@ -203,6 +289,7 @@ func runCoordinate(ctx context.Context, args []string) error {
 		Store:         &sim.ArtifactStore{Keep: *keep},
 		QuorumTimeout: *quorumTimeout,
 		Metrics:       obs.NewFabricMetrics(reg),
+		Tracer:        tr,
 	}
 	c, err := fabric.NewCoordinator(ctx, job(), opts)
 	if err != nil {
@@ -225,17 +312,23 @@ func runCoordinate(ctx context.Context, args []string) error {
 	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
 	defer srv.Close()
 
-	waitErr := c.Wait(ctx)
-
-	if *metricsOut != "" {
-		defer func() {
-			if data, err := json.Marshal(reg.Snapshot()); err == nil {
-				if werr := os.WriteFile(*metricsOut, data, 0o644); werr != nil {
-					fmt.Fprintf(os.Stderr, "simd: writing -metrics-out: %v\n", werr)
-				}
+	if *progress > 0 {
+		start := time.Now()
+		rep := obs.NewFuncReporter(os.Stderr, *progress, func() string {
+			st := c.Status()
+			line := fmt.Sprintf("chunks %d/%d done (%d leased, %d pending), %d reassigned, %d workers live",
+				st.ChunksDone, st.Chunks, st.ChunksLeased, st.ChunksPending, st.ChunksReassigned, st.WorkersLive)
+			if st.ChunksDone > 0 && st.ChunksDone < st.Chunks {
+				remaining := time.Duration(float64(time.Since(start)) / float64(st.ChunksDone) * float64(st.Chunks-st.ChunksDone))
+				line += fmt.Sprintf(", eta %s", remaining.Round(time.Second))
 			}
-		}()
+			return line
+		})
+		rep.Start()
+		defer rep.Stop()
 	}
+
+	waitErr := c.Wait(ctx)
 
 	// Finalize merges whatever the frontier holds — everything on
 	// success, the partial frontier on quorum loss or interrupt. The
@@ -277,6 +370,7 @@ func runWork(ctx context.Context, args []string) error {
 	id := fs.String("id", "", "worker name in leases and logs (default worker-<pid>)")
 	workers := fs.Int("workers", 0, "engine goroutines per lease (0 = all CPUs)")
 	throttle := fs.Duration("throttle", 0, "pause between finishing a lease and reporting it, lease held (testing/rehearsal)")
+	traceOut := fs.String("trace-out", "", "write trace spans (leases, chunks, RPCs) as JSONL to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -294,5 +388,17 @@ func runWork(ctx context.Context, args []string) error {
 			fmt.Fprintf(os.Stderr, "simd: "+format+"\n", args...)
 		},
 	}
+	service := *id
+	if service == "" {
+		service = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	tr, err := openTracer(*traceOut, service)
+	if err != nil {
+		return err
+	}
+	if tr != nil {
+		defer tr.Close()
+	}
+	w.Tracer = tr
 	return w.Run(ctx)
 }

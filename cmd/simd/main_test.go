@@ -20,6 +20,8 @@ import (
 	"time"
 
 	"repro/internal/fabric"
+	"repro/internal/obs"
+	"repro/internal/obs/span"
 )
 
 // TestMain doubles as the simd entrypoint: with SIMD_RUN_CLI=1 the test
@@ -205,6 +207,106 @@ func TestSimdWorkerKillRecovery(t *testing.T) {
 	}
 }
 
+// TestSimdTracedKillRecovery is the tracing acceptance test: the
+// worker-kill scenario re-run with -trace-out on the coordinator and
+// every worker. The merged timeline must show the killed worker's lease
+// expiring, the reassignment chain that re-covered its chunks, and a
+// non-empty critical path in the rendered report.
+func TestSimdTracedKillRecovery(t *testing.T) {
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	coordTrace := filepath.Join(dir, "coord.trace")
+	coord := startCLI(t, append([]string{"coordinate",
+		"-listen", "127.0.0.1:0", "-addr-file", addrFile,
+		"-lease-chunks", "2", "-lease-ttl", "500ms",
+		"-trace-out", coordTrace}, jobArgs...)...)
+	coordDone := make(chan error, 1)
+	go func() { coordDone <- coord.cmd.Wait() }()
+	defer coord.kill()
+	base := waitAddr(t, addrFile)
+
+	w1 := startCLI(t, "work", "-coordinator", base, "-id", "victim", "-throttle", "30s",
+		"-trace-out", filepath.Join(dir, "victim.trace"))
+	w1Done := make(chan error, 1)
+	go func() { w1Done <- w1.cmd.Wait() }()
+	waitStatus(t, base, "victim holds a lease", func(st fabric.Status) bool {
+		return st.ChunksLeased >= 1
+	})
+	w1.kill()
+	if err := <-w1Done; !killed(err) {
+		t.Fatalf("victim worker exit = %v, want SIGKILL", err)
+	}
+	waitStatus(t, base, "victim's lease expired", func(st fabric.Status) bool {
+		return st.LeasesExpired >= 1
+	})
+
+	survivorTrace := filepath.Join(dir, "survivor.trace")
+	w2 := startCLI(t, "work", "-coordinator", base, "-id", "survivor", "-trace-out", survivorTrace)
+	select {
+	case err := <-coordDone:
+		if err != nil {
+			t.Fatalf("coordinator: %v\nstderr:\n%s", err, coord.stderr.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("coordinator did not finish")
+	}
+	if err := w2.cmd.Wait(); err != nil {
+		t.Fatalf("survivor: %v\nstderr:\n%s", err, w2.stderr.String())
+	}
+
+	// Merge the coordinator's and the survivor's traces. The victim died
+	// by SIGKILL, so its file is unflushed/empty — the coordinator's side
+	// of its lease must carry the story on its own.
+	var recs []span.Record
+	for _, path := range []string{coordTrace, survivorTrace} {
+		rs, err := span.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading %s: %v", path, err)
+		}
+		recs = append(recs, rs...)
+	}
+	tl := span.BuildTimeline(recs)
+
+	var expired *span.Record
+	for _, r := range tl.Spans {
+		if r.Name == "lease" && r.AttrStr("worker") == "victim" && r.AttrStr("outcome") == "expired" {
+			expired = r
+		}
+	}
+	if expired == nil {
+		t.Fatalf("merged timeline has no expired lease span for the victim; spans: %d", len(tl.Spans))
+	}
+	if got := expired.AttrInt("reassigned"); got < 1 {
+		t.Errorf("expired lease span reports %d chunks reassigned, want >= 1", got)
+	}
+
+	chains := tl.ReassignmentChains()
+	if len(chains) == 0 {
+		t.Fatal("merged timeline has no reassignment chains")
+	}
+	found := false
+	for _, ch := range chains {
+		if len(ch.Leases) >= 2 && ch.Leases[0].AttrStr("worker") == "victim" &&
+			ch.Leases[len(ch.Leases)-1].AttrStr("outcome") == "delivered" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no chain runs from the victim's expired lease to a delivered one: %+v", chains)
+	}
+
+	if path := tl.CriticalPath(); len(path) == 0 {
+		t.Error("critical path is empty")
+	}
+	var report bytes.Buffer
+	tl.RenderText(&report, span.RenderOptions{})
+	for _, want := range []string{"critical path (", "reassignment chains:", "victim, expired"} {
+		if !strings.Contains(report.String(), want) {
+			t.Errorf("rendered report missing %q:\n%s", want, report.String())
+		}
+	}
+}
+
 // TestSimdCoordinatorResume: a coordinator SIGKILLed mid-run and
 // restarted on the same -state file resumes from its durable frontier
 // and still prints the byte-identical line.
@@ -271,14 +373,17 @@ func TestSimdCoordinatorResume(t *testing.T) {
 
 // TestSimdQuorumLoss: a coordinator that never hears from a worker for
 // -quorum-timeout exits with the partial estimate and a resume hint on
-// stderr — graceful degradation, not a hang.
+// stderr — graceful degradation, not a hang — and still flushes its
+// -metrics-out snapshot on the way out.
 func TestSimdQuorumLoss(t *testing.T) {
 	dir := t.TempDir()
 	addrFile := filepath.Join(dir, "addr")
 	state := filepath.Join(dir, "state.json")
+	metricsOut := filepath.Join(dir, "metrics.json")
 	coord := startCLI(t, append([]string{"coordinate",
 		"-listen", "127.0.0.1:0", "-addr-file", addrFile, "-state", state,
-		"-lease-ttl", "200ms", "-quorum-timeout", "1s"}, jobArgs...)...)
+		"-lease-ttl", "200ms", "-quorum-timeout", "1s",
+		"-metrics-out", metricsOut}, jobArgs...)...)
 	done := make(chan error, 1)
 	go func() { done <- coord.cmd.Wait() }()
 	waitAddr(t, addrFile)
@@ -301,5 +406,20 @@ func TestSimdQuorumLoss(t *testing.T) {
 	}
 	if out := coord.stdout.String(); out != "" {
 		t.Errorf("degraded run wrote to stdout: %q (canonical line must mean success)", out)
+	}
+	// The degraded exit must still flush the metrics snapshot.
+	data, err := os.ReadFile(metricsOut)
+	if err != nil {
+		t.Fatalf("-metrics-out not written on the quorum-loss path: %v", err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("-metrics-out is not a parseable snapshot: %v", err)
+	}
+	if _, ok := snap.Counters["fabric.leases_granted"]; !ok {
+		t.Errorf("snapshot missing fabric.leases_granted: %+v", snap.Counters)
+	}
+	if _, ok := snap.Histograms["fabric.lease_wait_seconds"]; !ok {
+		t.Errorf("snapshot missing fabric.lease_wait_seconds histogram: %v", data)
 	}
 }

@@ -1,0 +1,70 @@
+// Command simtrace merges distributed fabric trace files into one
+// causally-ordered timeline and analyzes it: the span tree across
+// coordinator and workers, the critical path (the chain of spans that
+// determined the job's wall clock), per-phase latency histograms
+// (lease wait, compute, RPC, merge), a straggler report (chunks slower
+// than the p99), and the reassignment chains of expired leases.
+//
+// Each input is a JSONL trace written by a -trace-out flag of simd,
+// lrsim or electcheck (span events in the manifest envelope). The
+// files of one run share a trace ID — workers adopt the coordinator's
+// — so concatenating the coordinator's file with every worker's
+// reconstructs the whole distributed run.
+//
+// Usage:
+//
+//	simtrace [-tree N] [-dot] trace.jsonl [trace.jsonl ...]
+//
+// Output is deterministic for a given set of input spans: ordering
+// falls back from timestamps to span IDs, so fixed-clock test traces
+// render byte-identically.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs/span"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "simtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("simtrace", flag.ContinueOnError)
+	tree := fs.Int("tree", 0, "timeline tree line cap (0 = default, negative = omit the tree)")
+	dot := fs.Bool("dot", false, "emit the span graph as Graphviz DOT (critical path highlighted) instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return errors.New("no trace files given")
+	}
+
+	var recs []span.Record
+	for _, path := range fs.Args() {
+		rs, err := span.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		recs = append(recs, rs...)
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("no spans in %d trace file(s)", fs.NArg())
+	}
+
+	tl := span.BuildTimeline(recs)
+	if *dot {
+		tl.RenderDOT(os.Stdout)
+		return nil
+	}
+	tl.RenderText(os.Stdout, span.RenderOptions{TreeLimit: *tree})
+	return nil
+}

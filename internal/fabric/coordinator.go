@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/obs/span"
 	"repro/internal/sim"
 )
 
@@ -70,6 +71,13 @@ type CoordinatorOptions struct {
 	Clock fault.Clock
 	// Metrics, when non-nil, observes leases, results and liveness.
 	Metrics Metrics
+	// Tracer, when non-nil, records the coordinator's side of the job
+	// trace: a root "job" span, one "lease" span per grant (ended at
+	// delivery or expiry), "merge" spans per accepted fragment,
+	// "serve.*" spans per RPC handled, and a closing "finalize" span.
+	// Trace context rides the RPC response headers so workers join the
+	// same trace. Nil disables tracing at the cost of nil checks.
+	Tracer *span.Tracer
 }
 
 func (o CoordinatorOptions) leaseChunks() int {
@@ -92,6 +100,8 @@ type lease struct {
 	worker  string
 	chunks  sim.ChunkRange
 	expires time.Time
+	granted time.Time  // grant instant, for turnaround metrics
+	span    *span.Span // open "lease" span; nil when tracing is off
 }
 
 // Coordinator schedules one job across workers. Create with
@@ -108,12 +118,15 @@ type Coordinator struct {
 	template  *sim.Checkpoint // identity fields only; never mutated
 	frontier  *sim.Checkpoint // template + accepted chunk/panic records
 	chunks    []chunkState
+	pending   []time.Time // per chunk: when it last became grantable
 	leases    map[string]*lease
 	nextLease int
 	workers   map[string]time.Time // worker id -> last contact
 	contact   time.Time            // last contact from any worker
 	complete  bool
 	done      chan struct{}
+
+	jobSpan *span.Span // root trace span; nil when tracing is off
 
 	granted, expired, reassigned, duplicates, rejected int64
 }
@@ -154,6 +167,17 @@ func NewCoordinator(ctx context.Context, job JobSpec, opts CoordinatorOptions) (
 		c.store = &sim.ArtifactStore{}
 	}
 	c.contact = c.clock.Now()
+	c.pending = make([]time.Time, len(c.chunks))
+	for i := range c.pending {
+		c.pending[i] = c.contact
+	}
+	// The root span of the whole distributed run. Started before restore
+	// so the restore merge parents under it; ended by Finalize. All span
+	// calls are nil-safe, so an untraced coordinator pays nil checks only.
+	c.jobSpan = opts.Tracer.Start("job", span.SpanContext{},
+		span.Str("model", job.Model), span.Int("n", job.N), span.Str("policy", job.Policy),
+		span.Str("estimator", job.Estimator), span.Int64("seed", job.Seed),
+		span.Int("trials", job.Trials), span.Int("chunks", len(c.chunks)))
 	if opts.StatePath != "" {
 		if err := c.restore(); err != nil {
 			return nil, err
@@ -222,6 +246,8 @@ func (c *Coordinator) identityMismatch(cp *sim.Checkpoint) error {
 // whatever order results arrive, each chunk's accumulator enters the
 // merge once.
 func (c *Coordinator) accept(cp *sim.Checkpoint) (accepted, duplicates int, err error) {
+	sp := c.opts.Tracer.Start("merge", c.jobSpan.Context(), span.Int("chunks", len(cp.Chunks)))
+	defer func() { sp.End(span.Int("accepted", accepted), span.Int("duplicates", duplicates)) }()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.identityMismatch(cp); err != nil {
@@ -306,6 +332,7 @@ func (c *Coordinator) expireLocked(now time.Time) {
 		for i := l.chunks.Lo; i < l.chunks.Hi; i++ {
 			if c.chunks[i] == chunkLeased {
 				c.chunks[i] = chunkPending
+				c.pending[i] = now
 				n++
 			}
 		}
@@ -315,6 +342,7 @@ func (c *Coordinator) expireLocked(now time.Time) {
 		if c.opts.Metrics != nil {
 			c.opts.Metrics.LeaseExpired(n)
 		}
+		l.span.End(span.Str("outcome", "expired"), span.Int("reassigned", n))
 	}
 }
 
@@ -331,15 +359,18 @@ func (c *Coordinator) liveWorkersLocked(now time.Time) int {
 }
 
 // grant hands out the next lease: the first contiguous run of pending
-// chunks, up to LeaseChunks long.
-func (c *Coordinator) grant(worker string) LeaseResponse {
+// chunks, up to LeaseChunks long. The returned SpanContext names the
+// grant's "lease" span (zero when none was granted or tracing is off);
+// the lease handler injects it into the response headers so the
+// worker's spans parent under it.
+func (c *Coordinator) grant(worker string) (LeaseResponse, span.SpanContext) {
 	now := c.clock.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.touchLocked(worker, now)
 	c.expireLocked(now)
 	if c.complete {
-		return LeaseResponse{Done: true}
+		return LeaseResponse{Done: true}, span.SpanContext{}
 	}
 	lo := -1
 	for i, st := range c.chunks {
@@ -352,12 +383,19 @@ func (c *Coordinator) grant(worker string) LeaseResponse {
 		// Everything remaining is leased out; the worker should ask again
 		// after a fraction of the TTL (by then either a result landed or a
 		// lease expired).
-		return LeaseResponse{None: true, RetryMs: c.opts.leaseTTL().Milliseconds()/2 + 1}
+		return LeaseResponse{None: true, RetryMs: c.opts.leaseTTL().Milliseconds()/2 + 1}, span.SpanContext{}
 	}
 	hi := lo
 	for hi < len(c.chunks) && hi-lo < c.opts.leaseChunks() && c.chunks[hi] == chunkPending {
 		c.chunks[hi] = chunkLeased
 		hi++
+	}
+	if c.opts.Metrics != nil {
+		// How long each granted chunk sat grantable — the "lease wait"
+		// phase of the fabric's latency decomposition.
+		for i := lo; i < hi; i++ {
+			c.opts.Metrics.LeaseWait(now.Sub(c.pending[i]).Seconds())
+		}
 	}
 	c.nextLease++
 	l := &lease{
@@ -365,7 +403,11 @@ func (c *Coordinator) grant(worker string) LeaseResponse {
 		worker:  worker,
 		chunks:  sim.ChunkRange{Lo: lo, Hi: hi},
 		expires: now.Add(c.opts.leaseTTL()),
+		granted: now,
 	}
+	l.span = c.opts.Tracer.Start("lease", c.jobSpan.Context(),
+		span.Str("lease", l.id), span.Str("worker", worker),
+		span.Int("lo", lo), span.Int("hi", hi))
 	c.leases[l.id] = l
 	c.granted++
 	if c.opts.Metrics != nil {
@@ -379,7 +421,7 @@ func (c *Coordinator) grant(worker string) LeaseResponse {
 			Chunks: l.chunks,
 			TTLMs:  c.opts.leaseTTL().Milliseconds(),
 		},
-	}
+	}, l.span.Context()
 }
 
 // heartbeat extends a lease; a lease that no longer exists (expired and
@@ -406,6 +448,7 @@ func (c *Coordinator) heartbeat(req HeartbeatRequest) HeartbeatResponse {
 // idempotently, and the worker's lease (if still held) is settled.
 func (c *Coordinator) result(req ResultPayload) (ResultResponse, error) {
 	now := c.clock.Now()
+	var settled *lease
 	c.mu.Lock()
 	c.touchLocked(req.Worker, now)
 	c.expireLocked(now)
@@ -416,21 +459,26 @@ func (c *Coordinator) result(req ResultPayload) (ResultResponse, error) {
 		for i := l.chunks.Lo; i < l.chunks.Hi; i++ {
 			if c.chunks[i] == chunkLeased {
 				c.chunks[i] = chunkPending
+				c.pending[i] = now
 			}
 		}
 		delete(c.leases, req.Lease)
+		settled = l
 	}
 	c.mu.Unlock()
 
 	if req.Checkpoint == nil {
 		c.noteRejected()
+		settled.endSpan("rejected", 0, 0)
 		return ResultResponse{}, fmt.Errorf("%w: result carries no checkpoint", ErrJobMismatch)
 	}
 	accepted, dups, err := c.accept(req.Checkpoint)
 	if err != nil {
 		c.noteRejected()
+		settled.endSpan("rejected", accepted, dups)
 		return ResultResponse{}, err
 	}
+	settled.endSpan("delivered", accepted, dups)
 	if c.opts.Metrics != nil {
 		if accepted > 0 {
 			c.opts.Metrics.ResultAccepted(accepted)
@@ -438,12 +486,29 @@ func (c *Coordinator) result(req ResultPayload) (ResultResponse, error) {
 		if dups > 0 {
 			c.opts.Metrics.DuplicateChunks(dups)
 		}
+		if settled != nil {
+			// Grant-to-result turnaround, spread over the lease's chunks:
+			// the coordinator-side view of per-chunk duration.
+			n := settled.chunks.Hi - settled.chunks.Lo
+			if n > 0 {
+				c.opts.Metrics.ChunkDuration(now.Sub(settled.granted).Seconds()/float64(n), n)
+			}
+		}
 	}
 	c.mu.Lock()
 	c.duplicates += int64(dups)
 	done := c.complete
 	c.mu.Unlock()
 	return ResultResponse{Accepted: accepted, Duplicates: dups, Done: done}, nil
+}
+
+// endSpan closes a settled lease's span with its outcome; nil-safe for
+// both an untraced coordinator and an already-expired (nil) lease.
+func (l *lease) endSpan(outcome string, accepted, duplicates int) {
+	if l == nil {
+		return
+	}
+	l.span.End(span.Str("outcome", outcome), span.Int("accepted", accepted), span.Int("duplicates", duplicates))
 }
 
 func (c *Coordinator) noteRejected() {
@@ -549,7 +614,15 @@ func (c *Coordinator) Wait(ctx context.Context) error {
 // single-process run; on a partial frontier it returns the partial
 // estimate and an error matching sim.ErrInterrupted.
 func (c *Coordinator) Finalize(ctx context.Context) (string, sim.RunReport, error) {
-	return c.runner.Finalize(ctx, c.Frontier())
+	sp := c.opts.Tracer.Start("finalize", c.jobSpan.Context())
+	est, rep, err := c.runner.Finalize(ctx, c.Frontier())
+	outcome := "complete"
+	if err != nil {
+		outcome = "partial"
+	}
+	sp.End(span.Int("merged", rep.Completed), span.Str("outcome", outcome))
+	c.jobSpan.End(span.Str("outcome", outcome))
+	return est, rep, err
 }
 
 // Handler returns the coordinator's HTTP surface:
@@ -562,22 +635,47 @@ func (c *Coordinator) Finalize(ctx context.Context) (string, sim.RunReport, erro
 // Serve it through obs.NewHTTPServer (or equivalent) so the listener
 // carries header/idle timeouts.
 func (c *Coordinator) Handler() http.Handler {
+	// instrument wraps one route with the coordinator-side RPC
+	// telemetry: a "serve.<route>" span parented under whatever trace
+	// context the request headers carry (the worker's client-side RPC
+	// span), and the rpc-latency histogram. Both are nil-guarded, so an
+	// unobserved coordinator serves the bare handler logic.
+	instrument := func(route string, h http.HandlerFunc) http.HandlerFunc {
+		if c.opts.Tracer == nil && c.opts.Metrics == nil {
+			return h
+		}
+		return func(w http.ResponseWriter, r *http.Request) {
+			t0 := c.clock.Now()
+			sp := c.opts.Tracer.Start("serve."+route, span.Extract(r.Header))
+			h(w, r)
+			sp.End()
+			if c.opts.Metrics != nil {
+				c.opts.Metrics.RPCServed(route, c.clock.Now().Sub(t0).Seconds())
+			}
+		}
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/lease", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/lease", instrument("lease", func(w http.ResponseWriter, r *http.Request) {
 		var req LeaseRequest
 		if !readJSON(w, r, &req) {
 			return
 		}
-		writeJSON(w, c.grant(req.Worker))
-	})
-	mux.HandleFunc("POST /v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		resp, leaseCtx := c.grant(req.Worker)
+		// Every lease response advertises the job's trace; a granted
+		// lease additionally names its "lease" span as the parent the
+		// worker's spans should hang under. Headers must precede the
+		// body write.
+		span.Inject(span.SpanContext{Trace: c.opts.Tracer.TraceID(), Span: leaseCtx.Span}, w.Header())
+		writeJSON(w, resp)
+	}))
+	mux.HandleFunc("POST /v1/heartbeat", instrument("heartbeat", func(w http.ResponseWriter, r *http.Request) {
 		var req HeartbeatRequest
 		if !readJSON(w, r, &req) {
 			return
 		}
 		writeJSON(w, c.heartbeat(req))
-	})
-	mux.HandleFunc("POST /v1/result", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /v1/result", instrument("result", func(w http.ResponseWriter, r *http.Request) {
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxResultBody))
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
@@ -607,10 +705,10 @@ func (c *Coordinator) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, resp)
-	})
-	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /v1/status", instrument("status", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, c.Status())
-	})
+	}))
 	return mux
 }
 

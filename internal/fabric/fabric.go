@@ -99,7 +99,8 @@ type JobSpec struct {
 
 // Metrics observes coordinator events. It is matched structurally
 // (obs.FabricMetrics implements it; neither package imports the other).
-// All methods are cold-path: per lease, per result, per sweep.
+// All methods are cold-path: per lease, per chunk, per result, per RPC,
+// per sweep — never per trial.
 type Metrics interface {
 	LeaseGranted(chunks int)
 	LeaseExpired(chunks int)
@@ -108,6 +109,16 @@ type Metrics interface {
 	ResultRejected()
 	HeartbeatSeen()
 	WorkersLive(n int)
+	// LeaseWait records how long one chunk sat pending (since job start
+	// or its last lease expiry) before being granted — one call per
+	// chunk per grant.
+	LeaseWait(seconds float64)
+	// RPCServed records one fabric RPC handled, with its route
+	// ("lease", "heartbeat", "result", "status") and service time.
+	RPCServed(route string, seconds float64)
+	// ChunkDuration records the mean per-chunk grant-to-result
+	// turnaround of one settled lease, weighted by its chunk count.
+	ChunkDuration(seconds float64, chunks int)
 }
 
 // Wire messages. Everything crosses the network as JSON; result bodies

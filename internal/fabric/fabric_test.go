@@ -44,7 +44,7 @@ func reference(t *testing.T, spec JobSpec) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	est, _, err := runner.Estimate(context.Background(), 4)
+	est, _, err := runner.Estimate(context.Background(), 4, EngineHooks{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestMergeIdempotencyProperty(t *testing.T) {
 				t.Fatal(err)
 			}
 			for di, r := range deliveries {
-				frag, _, err := runner.RunRange(ctx, 1+rng.Intn(3), r)
+				frag, _, err := runner.RunRange(ctx, 1+rng.Intn(3), r, EngineHooks{})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -223,13 +223,13 @@ func TestLeaseExpiryReassignment(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	lr1 := c.grant("w1")
+	lr1, _ := c.grant("w1")
 	if lr1.Lease == nil || lr1.Lease.Chunks.Lo != 0 || lr1.Lease.Chunks.Hi != 2 {
 		t.Fatalf("first lease = %+v, want chunks [0,2)", lr1)
 	}
 	// w1 goes silent; the TTL lapses.
 	fc.Advance(4 * time.Second)
-	lr2 := c.grant("w2")
+	lr2, _ := c.grant("w2")
 	if lr2.Lease == nil || lr2.Lease.Chunks != lr1.Lease.Chunks {
 		t.Fatalf("reassigned lease = %+v, want w1's chunks %v", lr2, lr1.Lease.Chunks)
 	}
@@ -238,7 +238,7 @@ func TestLeaseExpiryReassignment(t *testing.T) {
 		t.Errorf("status after expiry = %d expired / %d reassigned, want 1 / 2", st.LeasesExpired, st.ChunksReassigned)
 	}
 
-	frag, _, err := runner.RunRange(ctx, 2, lr1.Lease.Chunks)
+	frag, _, err := runner.RunRange(ctx, 2, lr1.Lease.Chunks, EngineHooks{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,14 +268,14 @@ func TestHeartbeatExtendsLease(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lr := c.grant("w1")
+	lr, _ := c.grant("w1")
 	fc.Advance(2 * time.Second)
 	if hb := c.heartbeat(HeartbeatRequest{Worker: "w1", Lease: lr.Lease.ID}); !hb.OK {
 		t.Fatalf("heartbeat at t=2s = %+v, want OK", hb)
 	}
 	// t=4s: past the original expiry, inside the extended one.
 	fc.Advance(2 * time.Second)
-	if next := c.grant("w2"); next.Lease == nil || next.Lease.Chunks.Lo != 2 {
+	if next, _ := c.grant("w2"); next.Lease == nil || next.Lease.Chunks.Lo != 2 {
 		t.Fatalf("lease after heartbeat = %+v, want fresh chunks from 2", next)
 	}
 	// t=8s: the extension lapsed too.
@@ -284,7 +284,7 @@ func TestHeartbeatExtendsLease(t *testing.T) {
 		t.Fatalf("heartbeat after expiry = %+v, want Expired", hb)
 	}
 	// A heartbeat for someone else's lease does not renew it.
-	lr3 := c.grant("w3")
+	lr3, _ := c.grant("w3")
 	if hb := c.heartbeat(HeartbeatRequest{Worker: "w4", Lease: lr3.Lease.ID}); !hb.Expired {
 		t.Fatalf("foreign heartbeat = %+v, want Expired", hb)
 	}
@@ -307,7 +307,7 @@ func TestResultRejection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	frag, _, err := wrongRunner.RunRange(ctx, 1, sim.ChunkRange{Lo: 0, Hi: 1})
+	frag, _, err := wrongRunner.RunRange(ctx, 1, sim.ChunkRange{Lo: 0, Hi: 1}, EngineHooks{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -352,7 +352,7 @@ func TestCoordinatorRestore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	frag, _, err := runner.RunRange(ctx, 2, sim.ChunkRange{Lo: 0, Hi: 3})
+	frag, _, err := runner.RunRange(ctx, 2, sim.ChunkRange{Lo: 0, Hi: 3}, EngineHooks{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -374,7 +374,7 @@ func TestCoordinatorRestore(t *testing.T) {
 	if st := c2.Status(); st.ChunksDone != 3 {
 		t.Fatalf("restored ChunksDone = %d, want 3", st.ChunksDone)
 	}
-	rest, _, err := runner.RunRange(ctx, 2, sim.ChunkRange{Lo: 3, Hi: sim.NumChunks(spec.Trials)})
+	rest, _, err := runner.RunRange(ctx, 2, sim.ChunkRange{Lo: 3, Hi: sim.NumChunks(spec.Trials)}, EngineHooks{})
 	if err != nil {
 		t.Fatal(err)
 	}

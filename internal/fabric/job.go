@@ -20,6 +20,16 @@ import (
 	"repro/internal/sim"
 )
 
+// EngineHooks is the per-call observability a Runner threads into the
+// parallel engine: chunk-lifecycle span hooks (sim.ParallelOptions.
+// SpanHooks) and pprof goroutine labels segmenting CPU profiles by
+// job/lease. The zero value is free — both fields pass through as their
+// nil defaults.
+type EngineHooks struct {
+	Spans  sim.SpanHooks
+	Labels []string
+}
+
 // Runner executes pieces of one job against the local engine.
 type Runner interface {
 	// Spec returns the job this runner was built from.
@@ -32,7 +42,7 @@ type Runner interface {
 	// RunRange executes chunks [r.Lo, r.Hi) of the job's trial budget on
 	// workers engine goroutines and returns the checkpoint fragment
 	// covering exactly those chunks.
-	RunRange(ctx context.Context, workers int, r sim.ChunkRange) (*sim.Checkpoint, sim.RunReport, error)
+	RunRange(ctx context.Context, workers int, r sim.ChunkRange, eng EngineHooks) (*sim.Checkpoint, sim.RunReport, error)
 	// Finalize merges a frontier checkpoint into the job's estimate,
 	// rendered as the canonical result line fragment. The merge rides the
 	// engine's resume path (restore all chunks, run nothing, merge in
@@ -44,7 +54,7 @@ type Runner interface {
 	// Estimate runs the whole job locally in one pass (no checkpoint
 	// round-trip) — the single-process reference the fabric is measured
 	// against.
-	Estimate(ctx context.Context, workers int) (string, sim.RunReport, error)
+	Estimate(ctx context.Context, workers int, eng EngineHooks) (string, sim.RunReport, error)
 }
 
 // NewRunner validates spec and builds its Runner.
@@ -195,13 +205,15 @@ func (r *runner[S]) estimate(ctx context.Context, popts sim.ParallelOptions) (st
 }
 
 func (r *runner[S]) Template(ctx context.Context) (*sim.Checkpoint, error) {
-	cp, _, err := r.RunRange(ctx, 1, sim.ChunkRange{})
+	cp, _, err := r.RunRange(ctx, 1, sim.ChunkRange{}, EngineHooks{})
 	return cp, err
 }
 
-func (r *runner[S]) RunRange(ctx context.Context, workers int, cr sim.ChunkRange) (*sim.Checkpoint, sim.RunReport, error) {
+func (r *runner[S]) RunRange(ctx context.Context, workers int, cr sim.ChunkRange, eng EngineHooks) (*sim.Checkpoint, sim.RunReport, error) {
 	popts := r.popts(workers)
 	popts.Chunks = &cr
+	popts.SpanHooks = eng.Spans
+	popts.PprofLabels = eng.Labels
 	_, rep, err := r.estimate(ctx, popts)
 	return rep.Checkpoint, rep, err
 }
@@ -220,6 +232,9 @@ func (r *runner[S]) Finalize(ctx context.Context, cp *sim.Checkpoint) (string, s
 	return r.estimate(ctx, popts)
 }
 
-func (r *runner[S]) Estimate(ctx context.Context, workers int) (string, sim.RunReport, error) {
-	return r.estimate(ctx, r.popts(workers))
+func (r *runner[S]) Estimate(ctx context.Context, workers int, eng EngineHooks) (string, sim.RunReport, error) {
+	popts := r.popts(workers)
+	popts.SpanHooks = eng.Spans
+	popts.PprofLabels = eng.Labels
+	return r.estimate(ctx, popts)
 }

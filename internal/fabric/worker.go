@@ -23,11 +23,13 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/obs/span"
 	"repro/internal/sim"
 )
 
@@ -58,6 +60,14 @@ type Worker struct {
 	// Report, when non-nil, receives one line per lease settled (granted,
 	// completed, expired) — the worker's operational log.
 	Report func(format string, args ...any)
+	// Tracer, when non-nil, records the worker's side of the job trace:
+	// a "worker.lease" span per lease (parented under the coordinator's
+	// "lease" span via the response headers), "chunk" spans per engine
+	// chunk, "rpc.*" spans per RPC (whose IDs ride the request headers
+	// so the coordinator's serve spans parent under them), and
+	// "lease.wait" spans for all-leased-out backoffs. The tracer adopts
+	// the coordinator's trace ID from the first response it sees.
+	Tracer *span.Tracer
 
 	runnerOnce sync.Once
 	runner     Runner
@@ -120,14 +130,22 @@ func (w *Worker) retryPolicy() fault.RetryPolicy {
 }
 
 // post sends one JSON RPC under the retry policy and decodes the reply.
-// body is pre-encoded so retries resend identical bytes.
-func (w *Worker) post(ctx context.Context, path string, body []byte, out any) error {
-	return w.retryPolicy().DoCtx(ctx, func() error {
+// body is pre-encoded so retries resend identical bytes. parent is the
+// trace context the RPC span hangs under (zero for a root-level RPC);
+// the returned SpanContext is the trace context the response headers
+// carried — on a lease grant, the coordinator's "lease" span.
+func (w *Worker) post(ctx context.Context, path string, body []byte, out any, parent span.SpanContext) (span.SpanContext, error) {
+	// One span per RPC including its retries: the span duration is what
+	// the caller waited, which is the latency that matters to the lease.
+	sp := w.Tracer.Start("rpc."+strings.TrimPrefix(path, "/v1/"), parent)
+	var got span.SpanContext
+	err := w.retryPolicy().DoCtx(ctx, func() error {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Coordinator+path, bytes.NewReader(body))
 		if err != nil {
 			return fmt.Errorf("%w: %v", errPermanent, err)
 		}
 		req.Header.Set("Content-Type", "application/json")
+		span.Inject(sp.Context(), req.Header)
 		resp, err := w.client().Do(req)
 		if err != nil {
 			return err
@@ -145,8 +163,19 @@ func (w *Worker) post(ctx context.Context, path string, body []byte, out any) er
 			return err
 		}
 		w.reached.Store(true)
+		// Join the coordinator's trace the moment we first hear from it,
+		// so every span this worker ends from here on carries the job's
+		// trace ID (the trace field is stamped at End time).
+		w.Tracer.AdoptTrace(resp.Header.Get(span.HeaderTraceID))
+		got = span.Extract(resp.Header)
 		return json.Unmarshal(data, out)
 	})
+	if err != nil {
+		sp.End(span.Str("error", err.Error()))
+	} else {
+		sp.End()
+	}
+	return got, err
 }
 
 // jobRunner builds (once) the Runner for the job spec the coordinator
@@ -174,7 +203,8 @@ func (w *Worker) Run(ctx context.Context) error {
 			return err
 		}
 		var lr LeaseResponse
-		if err := w.post(ctx, "/v1/lease", body, &lr); err != nil {
+		hdr, err := w.post(ctx, "/v1/lease", body, &lr, span.SpanContext{})
+		if err != nil {
 			// The coordinator lives exactly as long as its job. Once we have
 			// spoken to it successfully, its disappearing altogether is the
 			// normal end of a run we didn't deliver the last chunk of — the
@@ -196,16 +226,19 @@ func (w *Worker) Run(ctx context.Context) error {
 			if wait <= 0 {
 				wait = 100 * time.Millisecond
 			}
+			ws := w.Tracer.Start("lease.wait", span.SpanContext{}, span.Str("worker", id))
 			select {
 			case <-w.clock().After(wait):
+				ws.End()
 			case <-ctx.Done():
+				ws.End(span.Str("outcome", "cancelled"))
 				return context.Cause(ctx)
 			}
 			continue
 		case lr.Job == nil || lr.Lease == nil:
 			return fmt.Errorf("fabric: malformed lease response (no job or lease)")
 		}
-		done, err := w.runLease(ctx, id, *lr.Job, *lr.Lease)
+		done, err := w.runLease(ctx, id, *lr.Job, *lr.Lease, hdr)
 		if err != nil {
 			return err
 		}
@@ -221,12 +254,18 @@ func (w *Worker) Run(ctx context.Context) error {
 // runLease executes one lease: heartbeat goroutine + engine run +
 // result upload. A lease lost to expiry is reported and skipped, not an
 // error. done reports that this lease's result completed the job.
-func (w *Worker) runLease(ctx context.Context, id string, job JobSpec, l Lease) (done bool, err error) {
+// parent is the coordinator's "lease" span context from the grant
+// response headers; the worker's side of the lease nests under it.
+func (w *Worker) runLease(ctx context.Context, id string, job JobSpec, l Lease, parent span.SpanContext) (done bool, err error) {
 	runner, err := w.jobRunner(job)
 	if err != nil {
 		return false, fmt.Errorf("fabric: building runner for leased job: %w", err)
 	}
 	w.report("worker %s: lease %s chunks [%d,%d)", id, l.ID, l.Chunks.Lo, l.Chunks.Hi)
+
+	ls := w.Tracer.Start("worker.lease", parent,
+		span.Str("worker", id), span.Str("lease", l.ID),
+		span.Int("lo", l.Chunks.Lo), span.Int("hi", l.Chunks.Hi))
 
 	// The lease context is cancelled when the coordinator tells us the
 	// lease expired — aborting the engine run and any pending RPC.
@@ -253,7 +292,7 @@ func (w *Worker) runLease(ctx context.Context, id string, job JobSpec, l Lease) 
 			case <-w.clock().After(hbEvery):
 			}
 			var resp HeartbeatResponse
-			if err := w.post(lctx, "/v1/heartbeat", hb, &resp); err != nil {
+			if _, err := w.post(lctx, "/v1/heartbeat", hb, &resp, ls.Context()); err != nil {
 				if lctx.Err() != nil {
 					return
 				}
@@ -269,7 +308,15 @@ func (w *Worker) runLease(ctx context.Context, id string, job JobSpec, l Lease) 
 		}
 	}()
 
-	cp, rep, runErr := runner.RunRange(lctx, w.Workers, l.Chunks)
+	eng := EngineHooks{}
+	if w.Tracer != nil {
+		eng.Spans = span.ChunkSpans(w.Tracer, ls.Context(), span.Str("worker", id))
+		eng.Labels = []string{
+			"fabric_job", fmt.Sprintf("%s-n%d-s%d", job.Model, job.N, job.Seed),
+			"lease", l.ID,
+		}
+	}
+	cp, rep, runErr := runner.RunRange(lctx, w.Workers, l.Chunks, eng)
 	if w.Throttle > 0 && runErr == nil {
 		select {
 		case <-w.clock().After(w.Throttle):
@@ -278,7 +325,7 @@ func (w *Worker) runLease(ctx context.Context, id string, job JobSpec, l Lease) 
 	}
 	uploadErr := error(nil)
 	if runErr == nil && lctx.Err() == nil {
-		done, uploadErr = w.deliver(lctx, id, l.ID, cp, rep)
+		done, uploadErr = w.deliver(lctx, id, l.ID, ls.Context(), cp, rep)
 	}
 	cancel(nil)
 	wg.Wait()
@@ -286,14 +333,19 @@ func (w *Worker) runLease(ctx context.Context, id string, job JobSpec, l Lease) 
 	switch {
 	case context.Cause(lctx) == errLeaseExpired:
 		w.report("worker %s: lease %s expired, range [%d,%d) abandoned", id, l.ID, l.Chunks.Lo, l.Chunks.Hi)
+		ls.End(span.Str("outcome", "expired"), span.Int("trials", rep.Completed))
 		return false, nil
 	case ctx.Err() != nil:
+		ls.End(span.Str("outcome", "cancelled"))
 		return false, context.Cause(ctx)
 	case runErr != nil:
+		ls.End(span.Str("outcome", "error"), span.Str("error", runErr.Error()))
 		return false, fmt.Errorf("fabric: running lease %s: %w", l.ID, runErr)
 	case uploadErr != nil:
+		ls.End(span.Str("outcome", "error"), span.Str("error", uploadErr.Error()))
 		return false, fmt.Errorf("fabric: delivering lease %s result: %w", l.ID, uploadErr)
 	}
+	ls.End(span.Str("outcome", "delivered"), span.Int("trials", rep.Completed))
 	return done, nil
 }
 
@@ -303,7 +355,7 @@ var errLeaseExpired = errors.New("fabric: lease expired")
 // posts it. The envelope means a truncated or corrupted upload is
 // refused by checksum on the coordinator side and simply retried here.
 // done echoes the coordinator's job-complete signal.
-func (w *Worker) deliver(ctx context.Context, id, leaseID string, cp *sim.Checkpoint, rep sim.RunReport) (done bool, err error) {
+func (w *Worker) deliver(ctx context.Context, id, leaseID string, parent span.SpanContext, cp *sim.Checkpoint, rep sim.RunReport) (done bool, err error) {
 	payload, err := json.Marshal(ResultPayload{Worker: id, Lease: leaseID, Checkpoint: cp})
 	if err != nil {
 		return false, err
@@ -313,7 +365,7 @@ func (w *Worker) deliver(ctx context.Context, id, leaseID string, cp *sim.Checkp
 		return false, err
 	}
 	var resp ResultResponse
-	if err := w.post(ctx, "/v1/result", body, &resp); err != nil {
+	if _, err := w.post(ctx, "/v1/result", body, &resp, parent); err != nil {
 		return false, err
 	}
 	w.report("worker %s: lease %s delivered: %d chunks accepted, %d duplicate (%d trials run)",

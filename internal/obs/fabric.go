@@ -18,6 +18,11 @@ type FabricMetrics struct {
 	resultsRejected  *Counter // results refused (CRC, identity, bounds)
 	heartbeats       *Counter // heartbeats received
 	workersLive      *Gauge   // workers seen within the liveness window
+
+	rpcs      *Counter   // fabric RPCs served, all routes
+	leaseWait *Histogram // chunk pending-to-grant wait, seconds
+	rpcTime   *Histogram // RPC service time, seconds
+	chunkTime *Histogram // per-chunk grant-to-result turnaround, seconds
 }
 
 // NewFabricMetrics registers the fabric instruments in reg and returns
@@ -33,6 +38,10 @@ func NewFabricMetrics(reg *Registry) *FabricMetrics {
 		resultsRejected:  reg.Counter("fabric.results_rejected"),
 		heartbeats:       reg.Counter("fabric.heartbeats"),
 		workersLive:      reg.Gauge("fabric.workers_live"),
+		rpcs:             reg.Counter("fabric.rpcs_served"),
+		leaseWait:        reg.Histogram("fabric.lease_wait_seconds", SecondsBounds...),
+		rpcTime:          reg.Histogram("fabric.rpc_seconds", SecondsBounds...),
+		chunkTime:        reg.Histogram("fabric.chunk_seconds", SecondsBounds...),
 	}
 }
 
@@ -67,3 +76,22 @@ func (m *FabricMetrics) HeartbeatSeen() { m.heartbeats.Inc() }
 
 // WorkersLive sets the worker-liveness gauge.
 func (m *FabricMetrics) WorkersLive(n int) { m.workersLive.Set(int64(n)) }
+
+// LeaseWait records how long one chunk sat pending before being
+// granted — the queueing delay a straggler analysis attributes to
+// coordinator-side backlog rather than worker-side compute.
+func (m *FabricMetrics) LeaseWait(seconds float64) { m.leaseWait.Observe(seconds) }
+
+// RPCServed records one fabric RPC handled. The route is folded into
+// the shared service-time histogram (the registry is label-free); the
+// per-route split lives in the trace, not the metrics.
+func (m *FabricMetrics) RPCServed(route string, seconds float64) {
+	m.rpcs.Inc()
+	m.rpcTime.Observe(seconds)
+}
+
+// ChunkDuration records the mean per-chunk grant-to-result turnaround
+// of one settled lease, weighted by its chunk count.
+func (m *FabricMetrics) ChunkDuration(seconds float64, chunks int) {
+	m.chunkTime.ObserveN(seconds, int64(chunks))
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/obs/span"
 )
 
 // ManifestVersion guards the on-disk event schema.
@@ -96,14 +97,18 @@ type Summary struct {
 // set, discriminated by Event.
 type Event struct {
 	// Event is the record kind: "run_start", "phase_start", "phase_done",
-	// "progress", "step", or "run_done".
+	// "progress", "step", "span", or "run_done".
 	Event      string            `json:"event"`
 	TimeUnixNs int64             `json:"time_unix_ns"`
 	Meta       *RunMeta          `json:"meta,omitempty"`
 	Phase      *Phase            `json:"phase,omitempty"`
 	Progress   *ProgressSnapshot `json:"progress,omitempty"`
 	Step       *StepEvent        `json:"step,omitempty"`
-	Summary    *Summary          `json:"summary,omitempty"`
+	// Span is one completed trace span (kind "span") — the record the
+	// span.Tracer JSONL exporter emits; trace files and manifests share
+	// this envelope so one set of tooling reads both.
+	Span    *span.Record `json:"span,omitempty"`
+	Summary *Summary     `json:"summary,omitempty"`
 }
 
 // ManifestWriter streams Events as JSONL. It is safe for concurrent use

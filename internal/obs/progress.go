@@ -16,6 +16,7 @@ type ProgressReporter struct {
 	interval time.Duration
 	metrics  *SimMetrics
 	manifest *ManifestWriter
+	render   func() string
 
 	mu   sync.Mutex
 	stop chan struct{}
@@ -26,6 +27,16 @@ type ProgressReporter struct {
 // manifest may be nil; w may be nil to record progress events only.
 func NewProgressReporter(w io.Writer, interval time.Duration, metrics *SimMetrics, manifest *ManifestWriter) *ProgressReporter {
 	return &ProgressReporter{w: w, interval: interval, metrics: metrics, manifest: manifest}
+}
+
+// NewFuncReporter returns a reporter that renders each tick from an
+// arbitrary snapshot function instead of a SimMetrics — the same
+// start/stop lifecycle (including the closing tick on Stop) for
+// progress sources that are not trial counters, like a coordinator's
+// chunk frontier. render is called once per tick, from the reporter
+// goroutine.
+func NewFuncReporter(w io.Writer, interval time.Duration, render func() string) *ProgressReporter {
+	return &ProgressReporter{w: w, interval: interval, render: render}
 }
 
 // Start launches the reporting goroutine. Starting a running reporter is a
@@ -56,6 +67,12 @@ func (p *ProgressReporter) loop(stop, done chan struct{}) {
 }
 
 func (p *ProgressReporter) report() {
+	if p.render != nil {
+		if p.w != nil {
+			fmt.Fprintf(p.w, "progress: %s\n", p.render())
+		}
+		return
+	}
 	s := p.metrics.Progress()
 	if p.w != nil {
 		fmt.Fprintf(p.w, "progress: %s\n", s)

@@ -1,0 +1,41 @@
+package span
+
+// The engine bridge: ChunkSpanner satisfies sim.SpanHooks structurally
+// (builtin types only; neither package imports the other), turning the
+// parallel engine's chunk lifecycle into "chunk" spans. One span per
+// 64-trial chunk is cold enough to never matter; the per-trial loop is
+// untouched.
+
+// ChunkSpanner emits one "chunk" span per engine chunk. Build with
+// ChunkSpans and assign to sim.ParallelOptions.SpanHooks — but only
+// when the tracer is non-nil: a typed-nil interface would defeat the
+// engine's nil check.
+type ChunkSpanner struct {
+	t      *Tracer
+	parent SpanContext
+	attrs  []Attr
+}
+
+// ChunkSpans returns a ChunkSpanner parenting each chunk span under
+// parent and stamping attrs (e.g. the lease ID or sweep stage) on every
+// chunk. Returns nil when t is nil, so callers can write
+//
+//	if cs := span.ChunkSpans(tr, parent); cs != nil {
+//		popts.SpanHooks = cs
+//	}
+func ChunkSpans(t *Tracer, parent SpanContext, attrs ...Attr) *ChunkSpanner {
+	if t == nil {
+		return nil
+	}
+	return &ChunkSpanner{t: t, parent: parent, attrs: attrs}
+}
+
+// ChunkStart implements sim.SpanHooks: it opens a span for one claimed
+// chunk and returns the closure the engine calls exactly once when the
+// chunk commits or is abandoned.
+func (c *ChunkSpanner) ChunkStart(chunk, trials int) func(completed, quarantined int) {
+	sp := c.t.Start("chunk", c.parent, append([]Attr{Int("chunk", chunk), Int("trials", trials)}, c.attrs...)...)
+	return func(completed, quarantined int) {
+		sp.End(Int("completed", completed), Int("quarantined", quarantined))
+	}
+}

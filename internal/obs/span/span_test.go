@@ -1,0 +1,329 @@
+package span
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// clockAt returns a FakeClock starting at a fixed, arbitrary instant —
+// every deterministic-trace test anchors here.
+func clockAt() *fault.FakeClock {
+	return fault.NewFakeClock(time.Unix(1_700_000_000, 0))
+}
+
+// TestNilTracer pins the disabled-tracing contract: a nil *Tracer and
+// the nil *Span it starts absorb every call, return zero values, and
+// never panic — instrumented code needs no conditionals.
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	if got := tr.TraceID(); got != "" {
+		t.Errorf("nil tracer TraceID = %q, want empty", got)
+	}
+	tr.AdoptTrace("other")
+	sp := tr.Start("job", SpanContext{}, Str("k", "v"))
+	if sp != nil {
+		t.Fatalf("nil tracer Start = %v, want nil span", sp)
+	}
+	if got := sp.Context(); got != (SpanContext{}) {
+		t.Errorf("nil span Context = %+v, want zero", got)
+	}
+	if got := sp.ID(); got != "" {
+		t.Errorf("nil span ID = %q, want empty", got)
+	}
+	sp.Annotate(Int("n", 1))
+	sp.End(Str("outcome", "done"))
+	sp.End() // double End on nil is fine too
+	if err := tr.Close(); err != nil {
+		t.Errorf("nil tracer Close = %v", err)
+	}
+	if hooks := ChunkSpans(nil, SpanContext{}); hooks != nil {
+		t.Errorf("ChunkSpans(nil tracer) = %v, want nil (so the interface field stays nil)", hooks)
+	}
+}
+
+// TestSpanRoundTrip writes spans through a tracer and reads them back,
+// checking IDs, parentage, timing, and typed attributes survive the
+// JSONL round trip.
+func TestSpanRoundTrip(t *testing.T) {
+	clk := clockAt()
+	var buf bytes.Buffer
+	tr := New(&buf, Options{Service: "coord", Clock: clk})
+
+	root := tr.Start("job", SpanContext{}, Str("model", "dining"), Int("n", 5))
+	clk.Advance(10 * time.Millisecond)
+	child := tr.Start("lease", root.Context(), Str("worker", "w1"), Float("load", 0.5), Bool("retry", true))
+	clk.Advance(5 * time.Millisecond)
+	child.End(Str("outcome", "delivered"))
+	clk.Advance(time.Millisecond)
+	root.End()
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	recs, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	// Spans are written at End, so the child lands first.
+	lease, job := recs[0], recs[1]
+	if lease.Name != "lease" || job.Name != "job" {
+		t.Fatalf("record order: got %q, %q; want lease, job", lease.Name, job.Name)
+	}
+	if job.ID != "coord-1" || lease.ID != "coord-2" {
+		t.Errorf("IDs = %q, %q; want coord-1, coord-2", job.ID, lease.ID)
+	}
+	if lease.Parent != job.ID {
+		t.Errorf("lease parent = %q, want %q", lease.Parent, job.ID)
+	}
+	if job.Trace != lease.Trace || job.Trace == "" {
+		t.Errorf("trace IDs differ or empty: %q vs %q", job.Trace, lease.Trace)
+	}
+	if got := time.Duration(lease.DurNs); got != 5*time.Millisecond {
+		t.Errorf("lease duration = %v, want 5ms", got)
+	}
+	if got := time.Duration(job.DurNs); got != 16*time.Millisecond {
+		t.Errorf("job duration = %v, want 16ms", got)
+	}
+	if got := lease.StartUnixNs - job.StartUnixNs; got != (10 * time.Millisecond).Nanoseconds() {
+		t.Errorf("lease started %dns after job, want 10ms", got)
+	}
+	if got := lease.AttrStr("worker"); got != "w1" {
+		t.Errorf("worker attr = %q, want w1", got)
+	}
+	if got := lease.AttrStr("outcome"); got != "delivered" {
+		t.Errorf("outcome attr = %q (End-time attrs must append), want delivered", got)
+	}
+	if a, ok := lease.Attr("load"); !ok || a.Float64() != 0.5 {
+		t.Errorf("load attr = %v, %v; want 0.5, true", a.Value(), ok)
+	}
+	if a, ok := lease.Attr("retry"); !ok || a.Value() != true {
+		t.Errorf("retry attr = %v, %v; want true, true", a.Value(), ok)
+	}
+	if got := job.AttrInt("n"); got != 5 {
+		t.Errorf("n attr = %d, want 5", got)
+	}
+}
+
+// TestAdoptTrace pins the worker-joins-coordinator behavior: spans
+// ended after adoption carry the adopted trace ID, even when they were
+// started before it (the trace field is stamped at write time).
+func TestAdoptTrace(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf, Options{Service: "w1", Clock: clockAt()})
+	early := tr.Start("rpc.lease", SpanContext{})
+	tr.AdoptTrace("coord-abc")
+	if got := tr.TraceID(); got != "coord-abc" {
+		t.Fatalf("TraceID after adopt = %q, want coord-abc", got)
+	}
+	tr.AdoptTrace("") // empty no-ops
+	if got := tr.TraceID(); got != "coord-abc" {
+		t.Fatalf("TraceID after empty adopt = %q, want coord-abc", got)
+	}
+	early.End()
+	tr.Close()
+	recs, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if recs[0].Trace != "coord-abc" {
+		t.Errorf("span started pre-adoption has trace %q, want coord-abc", recs[0].Trace)
+	}
+}
+
+// TestInjectExtract round-trips a SpanContext through HTTP headers.
+func TestInjectExtract(t *testing.T) {
+	h := http.Header{}
+	sc := SpanContext{Trace: "t-1", Span: "coord-7"}
+	Inject(sc, h)
+	if got := h.Get(HeaderTraceID); got != "t-1" {
+		t.Errorf("%s = %q, want t-1", HeaderTraceID, got)
+	}
+	if got := Extract(h); got != sc {
+		t.Errorf("Extract = %+v, want %+v", got, sc)
+	}
+	if got := Extract(http.Header{}); got != (SpanContext{}) {
+		t.Errorf("Extract of empty headers = %+v, want zero", got)
+	}
+	// Empty fields must not set headers (a zero context injects nothing).
+	h2 := http.Header{}
+	Inject(SpanContext{}, h2)
+	if len(h2) != 0 {
+		t.Errorf("Inject of zero context set headers: %v", h2)
+	}
+}
+
+// TestTracerConcurrent hammers one tracer from many goroutines; the run
+// is validated by the race detector plus a full read-back.
+func TestTracerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf, Options{Service: "c"})
+	root := tr.Start("job", SpanContext{})
+	var wg sync.WaitGroup
+	const per = 20
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				sp := tr.Start("chunk", root.Context(), Int("i", i))
+				sp.Annotate(Int("j", i))
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	recs, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if want := 8*per + 1; len(recs) != want {
+		t.Fatalf("got %d records, want %d", len(recs), want)
+	}
+	seen := map[string]bool{}
+	for _, r := range recs {
+		if seen[r.ID] {
+			t.Fatalf("duplicate span ID %q", r.ID)
+		}
+		seen[r.ID] = true
+	}
+}
+
+// TestReadSkipsOtherEvents checks trace parsing tolerates the shared
+// manifest envelope: blank lines and non-span events are skipped.
+func TestReadSkipsOtherEvents(t *testing.T) {
+	in := strings.Join([]string{
+		`{"event":"run_start","time_unix_ns":1,"meta":{}}`,
+		``,
+		`{"event":"span","time_unix_ns":2,"span":{"trace":"t","id":"a-1","name":"job","start_unix_ns":1,"mono_ns":0,"dur_ns":5}}`,
+		`{"event":"progress","time_unix_ns":3}`,
+	}, "\n")
+	recs, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(recs) != 1 || recs[0].ID != "a-1" {
+		t.Fatalf("got %+v, want the single a-1 span", recs)
+	}
+	if _, err := Read(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("Read of garbage succeeded, want error")
+	}
+}
+
+// TestChunkSpanner checks the engine-facing hook emits one chunk span
+// per chunk with start and completion attributes.
+func TestChunkSpanner(t *testing.T) {
+	clk := clockAt()
+	var buf bytes.Buffer
+	tr := New(&buf, Options{Service: "w", Clock: clk})
+	root := tr.Start("job", SpanContext{})
+	hooks := ChunkSpans(tr, root.Context(), Str("worker", "w"))
+	end := hooks.ChunkStart(3, 64)
+	clk.Advance(2 * time.Millisecond)
+	end(64, 1)
+	root.End()
+	tr.Close()
+
+	recs, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	chunk := recs[0]
+	if chunk.Name != "chunk" || chunk.Parent != root.ID() {
+		t.Fatalf("chunk span = %+v, want name=chunk parent=%s", chunk, root.ID())
+	}
+	for k, want := range map[string]int64{"chunk": 3, "trials": 64, "completed": 64, "quarantined": 1} {
+		if got := chunk.AttrInt(k); got != want {
+			t.Errorf("%s attr = %d, want %d", k, got, want)
+		}
+	}
+	if got := chunk.AttrStr("worker"); got != "w" {
+		t.Errorf("worker attr = %q, want w", got)
+	}
+	if got := time.Duration(chunk.DurNs); got != 2*time.Millisecond {
+		t.Errorf("chunk duration = %v, want 2ms", got)
+	}
+}
+
+// TestHandEncodedMatchesEncodingJSON pins the hand-rolled write path
+// (appendEvent) against encoding/json over the same event struct: both
+// must decode to identical records, including attrs that need string
+// escaping and every attr kind. The write path dropped the reflective
+// encoder for speed; this is the guard that it still speaks the same
+// schema.
+func TestHandEncodedMatchesEncodingJSON(t *testing.T) {
+	rec := Record{
+		Trace:       "coord-abc",
+		ID:          "w1-7",
+		Parent:      "coord-2",
+		Name:        "rpc.result",
+		Service:     "w1",
+		StartUnixNs: 1_700_000_000_123_456_789,
+		MonoNs:      42,
+		DurNs:       9_999,
+		Attrs: []Attr{
+			Str("error", "Post \"http://x/v1/lease\": dial tcp: refused\n\ttab \\ and \x01 control"),
+			Int("chunk", -3),
+			Int64("big", 1<<60),
+			Float("ratio", 0.375),
+			Float("exp", 1e21),
+			Bool("ok", true),
+			Bool("bad", false),
+			Str("empty", ""),
+		},
+	}
+
+	hand := appendEvent(nil, 555, &rec)
+	ref, err := json.Marshal(event{Event: EventKind, TimeUnixNs: 555, Span: &rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var fromHand, fromRef event
+	if err := json.Unmarshal(hand, &fromHand); err != nil {
+		t.Fatalf("hand-encoded line does not parse: %v\n%s", err, hand)
+	}
+	if err := json.Unmarshal(ref, &fromRef); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromHand, fromRef) {
+		t.Errorf("hand encoding diverges from encoding/json:\nhand: %s\nref:  %s", hand, ref)
+	}
+
+	// Minimal record: omitempty fields must be omitted, not emitted empty.
+	minimal := Record{Trace: "t", ID: "a-1", Name: "job", StartUnixNs: 1}
+	hand = appendEvent(nil, 1, &minimal)
+	for _, absent := range []string{`"parent"`, `"svc"`, `"attrs"`} {
+		if bytes.Contains(hand, []byte(absent)) {
+			t.Errorf("minimal record emits %s: %s", absent, hand)
+		}
+	}
+	var back event
+	if err := json.Unmarshal(hand, &back); err != nil {
+		t.Fatalf("minimal hand-encoded line does not parse: %v\n%s", err, hand)
+	}
+	if !reflect.DeepEqual(*back.Span, minimal) {
+		t.Errorf("minimal round-trip: got %+v, want %+v", *back.Span, minimal)
+	}
+
+	// Non-finite floats must still produce a parseable line.
+	nan := Record{Trace: "t", ID: "a-2", Name: "job", Attrs: []Attr{Float("x", math.NaN()), Float("y", math.Inf(1))}}
+	if err := json.Unmarshal(appendEvent(nil, 1, &nan), &back); err != nil {
+		t.Errorf("NaN/Inf attrs made the line unparseable: %v", err)
+	}
+}

@@ -1,0 +1,535 @@
+package span
+
+// The analysis half of the tracing layer: merge the JSONL trace files
+// of one run (coordinator + workers) into a causally-ordered Timeline,
+// then derive what an operator actually asks of a slow distributed run
+// — where the end-to-end time went (critical path), how each phase's
+// latency is distributed (lease wait vs compute vs RPC vs merge), and
+// which chunks or leases dragged (stragglers, reassignment chains).
+//
+// Everything here is deterministic for a fixed input: ties are broken
+// by explicit (time, mono, ID) orderings and maps are never iterated
+// into output, so a fixed seed + FakeClock scenario renders the same
+// bytes every run (asserted by TestTimelineDeterministic).
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Timeline is a merged, causally-ordered set of span records.
+type Timeline struct {
+	// Spans is every record, ordered causally: parents precede
+	// children, siblings order by (start wall, mono, ID).
+	Spans []*Record
+
+	byID     map[string]*Record
+	children map[string][]*Record
+	roots    []*Record
+	t0       int64 // earliest wall start, the timeline origin
+}
+
+// BuildTimeline merges records (from any number of trace files) into a
+// Timeline. Duplicate span IDs keep the first occurrence; records form
+// a forest (spans whose parent is absent — e.g. a worker file read
+// without its coordinator's — become roots).
+func BuildTimeline(recs []Record) *Timeline {
+	tl := &Timeline{
+		byID:     make(map[string]*Record, len(recs)),
+		children: map[string][]*Record{},
+	}
+	ordered := make([]*Record, 0, len(recs))
+	for i := range recs {
+		r := &recs[i]
+		if _, dup := tl.byID[r.ID]; dup {
+			continue
+		}
+		tl.byID[r.ID] = r
+		ordered = append(ordered, r)
+		if tl.t0 == 0 || r.StartUnixNs < tl.t0 {
+			tl.t0 = r.StartUnixNs
+		}
+	}
+	for _, r := range ordered {
+		if r.Parent != "" {
+			if _, ok := tl.byID[r.Parent]; ok {
+				tl.children[r.Parent] = append(tl.children[r.Parent], r)
+				continue
+			}
+		}
+		tl.roots = append(tl.roots, r)
+	}
+	sortSpans(tl.roots)
+	for _, cs := range tl.children {
+		sortSpans(cs)
+	}
+	var walk func(r *Record)
+	walk = func(r *Record) {
+		tl.Spans = append(tl.Spans, r)
+		for _, c := range tl.children[r.ID] {
+			walk(c)
+		}
+	}
+	for _, r := range tl.roots {
+		walk(r)
+	}
+	return tl
+}
+
+// sortSpans orders siblings deterministically: start wall time, then
+// in-process monotonic offset, then ID.
+func sortSpans(rs []*Record) {
+	sort.Slice(rs, func(i, j int) bool {
+		a, b := rs[i], rs[j]
+		if a.StartUnixNs != b.StartUnixNs {
+			return a.StartUnixNs < b.StartUnixNs
+		}
+		if a.MonoNs != b.MonoNs {
+			return a.MonoNs < b.MonoNs
+		}
+		return a.ID < b.ID
+	})
+}
+
+// Children returns the (causally ordered) children of a span.
+func (tl *Timeline) Children(id string) []*Record { return tl.children[id] }
+
+// Roots returns the root spans (no parent in the merged set).
+func (tl *Timeline) Roots() []*Record { return tl.roots }
+
+// Services returns the distinct services present, sorted.
+func (tl *Timeline) Services() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range tl.Spans {
+		if r.Service != "" && !seen[r.Service] {
+			seen[r.Service] = true
+			out = append(out, r.Service)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TraceID returns the dominant trace ID (the first root's).
+func (tl *Timeline) TraceID() string {
+	if len(tl.roots) == 0 {
+		return ""
+	}
+	return tl.roots[0].Trace
+}
+
+// WallNs returns the end-to-end wall span: latest end minus earliest
+// start across every span.
+func (tl *Timeline) WallNs() int64 {
+	var end int64
+	for _, r := range tl.Spans {
+		if e := r.EndUnixNs(); e > end {
+			end = e
+		}
+	}
+	if end == 0 {
+		return 0
+	}
+	return end - tl.t0
+}
+
+// CriticalPath returns the chain of spans that determined the
+// timeline's end: starting from the latest-ending "job" root — the
+// end-to-end work; a straggling worker's post-job poll can outlive it
+// and must not hijack the path — or, with no job root, the root that
+// ends latest, it repeatedly descends into the child whose end time is
+// latest. Deterministic: ties break by start, mono, ID.
+func (tl *Timeline) CriticalPath() []*Record {
+	if len(tl.roots) == 0 {
+		return nil
+	}
+	candidates := tl.roots
+	var jobs []*Record
+	for _, r := range tl.roots {
+		if r.Name == "job" {
+			jobs = append(jobs, r)
+		}
+	}
+	if len(jobs) > 0 {
+		candidates = jobs
+	}
+	root := candidates[0]
+	for _, r := range candidates[1:] {
+		if laterEnd(r, root) {
+			root = r
+		}
+	}
+	path := []*Record{root}
+	cur := root
+	for {
+		cs := tl.children[cur.ID]
+		if len(cs) == 0 {
+			return path
+		}
+		next := cs[0]
+		for _, c := range cs[1:] {
+			if laterEnd(c, next) {
+				next = c
+			}
+		}
+		path = append(path, next)
+		cur = next
+	}
+}
+
+// laterEnd reports whether a strictly dominates b in the critical-path
+// order: later end, then later start, then later mono, then greater ID.
+func laterEnd(a, b *Record) bool {
+	if a.EndUnixNs() != b.EndUnixNs() {
+		return a.EndUnixNs() > b.EndUnixNs()
+	}
+	if a.StartUnixNs != b.StartUnixNs {
+		return a.StartUnixNs > b.StartUnixNs
+	}
+	if a.MonoNs != b.MonoNs {
+		return a.MonoNs > b.MonoNs
+	}
+	return a.ID > b.ID
+}
+
+// Phase is the canonical grouping of span names into latency phases.
+func Phase(name string) string {
+	switch {
+	case name == "lease.wait":
+		return "lease-wait"
+	case name == "chunk":
+		return "compute"
+	case strings.HasPrefix(name, "rpc.") || strings.HasPrefix(name, "serve."):
+		return "rpc"
+	case name == "merge" || name == "finalize" || name == "restore":
+		return "merge"
+	default:
+		return "other"
+	}
+}
+
+// phaseOrder fixes the report row order.
+var phaseOrder = []string{"lease-wait", "compute", "rpc", "merge", "other"}
+
+// PhaseStat is the latency distribution of one phase.
+type PhaseStat struct {
+	Phase string
+	Count int
+	Total time.Duration
+	Mean  time.Duration
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// PhaseStats computes per-phase latency distributions over all spans.
+// Phases with no spans are omitted; rows come back in canonical order.
+func (tl *Timeline) PhaseStats() []PhaseStat {
+	durs := map[string][]int64{}
+	for _, r := range tl.Spans {
+		p := Phase(r.Name)
+		durs[p] = append(durs[p], r.DurNs)
+	}
+	var out []PhaseStat
+	for _, p := range phaseOrder {
+		ds := durs[p]
+		if len(ds) == 0 {
+			continue
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		var total int64
+		for _, d := range ds {
+			total += d
+		}
+		out = append(out, PhaseStat{
+			Phase: p,
+			Count: len(ds),
+			Total: time.Duration(total),
+			Mean:  time.Duration(total / int64(len(ds))),
+			P50:   time.Duration(percentile(ds, 0.50)),
+			P90:   time.Duration(percentile(ds, 0.90)),
+			P99:   time.Duration(percentile(ds, 0.99)),
+			Max:   time.Duration(ds[len(ds)-1]),
+		})
+	}
+	return out
+}
+
+// percentile returns the q-th percentile of sorted ns durations
+// (nearest-rank).
+func percentile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// Straggler is one chunk span whose duration exceeded the p99 of all
+// chunk spans.
+type Straggler struct {
+	Span *Record
+	P99  time.Duration
+}
+
+// percentileInterp is the linearly interpolated q-th percentile —
+// used for the straggler threshold, where nearest-rank would collapse
+// to the max on small chunk counts and never flag anything.
+func percentileInterp(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := q * float64(len(sorted)-1)
+	lo := int(rank)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo] + int64(frac*float64(sorted[lo+1]-sorted[lo]))
+}
+
+// Stragglers returns the chunk spans strictly above the (interpolated)
+// p99 chunk duration, slowest first (ties by span order).
+func (tl *Timeline) Stragglers() []Straggler {
+	var chunks []*Record
+	var durs []int64
+	for _, r := range tl.Spans {
+		if r.Name == "chunk" {
+			chunks = append(chunks, r)
+			durs = append(durs, r.DurNs)
+		}
+	}
+	if len(chunks) < 2 {
+		return nil
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	p99 := percentileInterp(durs, 0.99)
+	var out []Straggler
+	for _, r := range chunks {
+		if r.DurNs > p99 {
+			out = append(out, Straggler{Span: r, P99: time.Duration(p99)})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Span.DurNs != out[j].Span.DurNs {
+			return out[i].Span.DurNs > out[j].Span.DurNs
+		}
+		return out[i].Span.ID < out[j].Span.ID
+	})
+	return out
+}
+
+// ReassignmentChain is the history of one expired lease's chunk range:
+// the expired lease followed by the later leases that re-covered its
+// chunks (themselves possibly expired and re-covered again).
+type ReassignmentChain struct {
+	// Chunks is the chunk range of the first expired lease.
+	Lo, Hi int64
+	// Leases is the chain, expiry order: every lease but possibly the
+	// last has outcome "expired".
+	Leases []*Record
+}
+
+// ReassignmentChains links each expired lease span to the later lease
+// spans that took over its chunk range — the trace-level record of the
+// fabric's reassign-on-expiry behavior. A lease span is expected to
+// carry "lo"/"hi" int attributes and an "outcome" string attribute.
+func (tl *Timeline) ReassignmentChains() []ReassignmentChain {
+	var leases []*Record
+	for _, r := range tl.Spans {
+		if r.Name == "lease" {
+			leases = append(leases, r)
+		}
+	}
+	sortSpans(leases)
+	expired := func(r *Record) bool { return r.AttrStr("outcome") == "expired" }
+	overlaps := func(a, b *Record) bool {
+		return a.AttrInt("lo") < b.AttrInt("hi") && b.AttrInt("lo") < a.AttrInt("hi")
+	}
+	// successor: the earliest later-starting lease overlapping r's range.
+	successor := func(r *Record) *Record {
+		for _, cand := range leases {
+			if cand == r || !overlaps(r, cand) {
+				continue
+			}
+			if cand.StartUnixNs > r.StartUnixNs ||
+				(cand.StartUnixNs == r.StartUnixNs && cand.MonoNs > r.MonoNs) ||
+				(cand.StartUnixNs == r.StartUnixNs && cand.MonoNs == r.MonoNs && cand.ID > r.ID) {
+				return cand
+			}
+		}
+		return nil
+	}
+	inChain := map[string]bool{}
+	var out []ReassignmentChain
+	for _, r := range leases {
+		if !expired(r) || inChain[r.ID] {
+			continue
+		}
+		chain := ReassignmentChain{Lo: r.AttrInt("lo"), Hi: r.AttrInt("hi"), Leases: []*Record{r}}
+		inChain[r.ID] = true
+		for cur := r; ; {
+			next := successor(cur)
+			if next == nil {
+				break
+			}
+			chain.Leases = append(chain.Leases, next)
+			inChain[next.ID] = true
+			if !expired(next) {
+				break
+			}
+			cur = next
+		}
+		out = append(out, chain)
+	}
+	return out
+}
+
+// RenderOptions tunes RenderText.
+type RenderOptions struct {
+	// TreeLimit caps the timeline tree at that many lines (0 = default
+	// 120; negative = omit the tree entirely).
+	TreeLimit int
+}
+
+// RenderText writes the full human report: header, timeline tree,
+// critical path, per-phase latency, stragglers and reassignment
+// chains. Output is deterministic for a fixed input.
+func (tl *Timeline) RenderText(w io.Writer, opts RenderOptions) {
+	fmt.Fprintf(w, "trace %s: %d spans, services [%s], wall %s\n",
+		orUnknown(tl.TraceID()), len(tl.Spans), strings.Join(tl.Services(), " "), time.Duration(tl.WallNs()))
+
+	limit := opts.TreeLimit
+	if limit == 0 {
+		limit = 120
+	}
+	if limit > 0 {
+		fmt.Fprintf(w, "\ntimeline:\n")
+		lines := 0
+		var walk func(r *Record, depth int)
+		var truncated int
+		walk = func(r *Record, depth int) {
+			if lines >= limit {
+				truncated++
+				return
+			}
+			lines++
+			fmt.Fprintf(w, "  %s%s\n", strings.Repeat("  ", depth), tl.line(r))
+			for _, c := range tl.children[r.ID] {
+				walk(c, depth+1)
+			}
+		}
+		for _, r := range tl.roots {
+			walk(r, 0)
+		}
+		if truncated > 0 {
+			fmt.Fprintf(w, "  ... (%d more spans; raise the tree limit to see them)\n", truncated)
+		}
+	}
+
+	path := tl.CriticalPath()
+	fmt.Fprintf(w, "\ncritical path (%d hops, ends at +%s):\n", len(path), tl.offset(latestEnd(path)))
+	for i, r := range path {
+		fmt.Fprintf(w, "  %s%s\n", strings.Repeat("  ", i), tl.line(r))
+	}
+
+	stats := tl.PhaseStats()
+	if len(stats) > 0 {
+		fmt.Fprintf(w, "\nphase latency:\n")
+		fmt.Fprintf(w, "  %-11s %6s %12s %12s %12s %12s %12s %12s\n", "phase", "count", "total", "mean", "p50", "p90", "p99", "max")
+		for _, s := range stats {
+			fmt.Fprintf(w, "  %-11s %6d %12s %12s %12s %12s %12s %12s\n",
+				s.Phase, s.Count, s.Total, s.Mean, s.P50, s.P90, s.P99, s.Max)
+		}
+	}
+
+	if sg := tl.Stragglers(); len(sg) > 0 {
+		fmt.Fprintf(w, "\nstragglers (chunk spans > p99 %s):\n", sg[0].P99)
+		for _, s := range sg {
+			fmt.Fprintf(w, "  chunk %d [%s] %s on %s\n",
+				s.Span.AttrInt("chunk"), s.Span.ID, time.Duration(s.Span.DurNs), orUnknown(s.Span.Service))
+		}
+	}
+
+	if chains := tl.ReassignmentChains(); len(chains) > 0 {
+		fmt.Fprintf(w, "\nreassignment chains:\n")
+		for _, ch := range chains {
+			var hops []string
+			for _, l := range ch.Leases {
+				hops = append(hops, fmt.Sprintf("%s (%s, %s)",
+					l.AttrStr("lease"), orUnknown(l.AttrStr("worker")), orUnknown(l.AttrStr("outcome"))))
+			}
+			fmt.Fprintf(w, "  chunks [%d,%d): %s\n", ch.Lo, ch.Hi, strings.Join(hops, " -> "))
+		}
+	}
+}
+
+// line renders one span for the tree and critical-path sections.
+func (tl *Timeline) line(r *Record) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s [%s] +%s %s", r.Name, r.ID, tl.offset(r.StartUnixNs), time.Duration(r.DurNs))
+	for _, a := range r.Attrs {
+		fmt.Fprintf(&b, " %s=%v", a.Key, a.Value())
+	}
+	return b.String()
+}
+
+func (tl *Timeline) offset(unixNs int64) time.Duration {
+	return time.Duration(unixNs - tl.t0)
+}
+
+func latestEnd(rs []*Record) int64 {
+	var end int64
+	for _, r := range rs {
+		if e := r.EndUnixNs(); e > end {
+			end = e
+		}
+	}
+	return end
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "?"
+	}
+	return s
+}
+
+// RenderDOT writes the span forest as a Graphviz digraph: one node per
+// span (labelled name + duration, colored by critical-path membership),
+// one edge per parent link. Deterministic node and edge order.
+func (tl *Timeline) RenderDOT(w io.Writer) {
+	onPath := map[string]bool{}
+	for _, r := range tl.CriticalPath() {
+		onPath[r.ID] = true
+	}
+	fmt.Fprintln(w, "digraph trace {")
+	fmt.Fprintln(w, "  rankdir=LR;")
+	fmt.Fprintln(w, "  node [shape=box, fontname=\"monospace\"];")
+	for _, r := range tl.Spans {
+		attr := ""
+		if onPath[r.ID] {
+			attr = ", color=red, penwidth=2"
+		}
+		fmt.Fprintf(w, "  %q [label=\"%s\\n%s %s\"%s];\n", r.ID, r.ID, r.Name, time.Duration(r.DurNs), attr)
+	}
+	for _, r := range tl.Spans {
+		if r.Parent != "" {
+			if _, ok := tl.byID[r.Parent]; ok {
+				fmt.Fprintf(w, "  %q -> %q;\n", r.Parent, r.ID)
+			}
+		}
+	}
+	fmt.Fprintln(w, "}")
+}

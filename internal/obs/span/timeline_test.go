@@ -1,0 +1,278 @@
+package span
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeFabricTrace scripts a small distributed run on a FakeClock:
+// a coordinator job with three leases — one of which expires on worker
+// w1 and is reassigned to w2 — plus chunk spans of very uneven
+// durations (chunk 0 is the straggler). Returns the merged records.
+func fakeFabricTrace(t *testing.T) []Record {
+	t.Helper()
+	clk := clockAt()
+	var coordBuf, w1Buf, w2Buf bytes.Buffer
+	coord := New(&coordBuf, Options{Service: "coord", Clock: clk})
+	w1 := New(&w1Buf, Options{Service: "w1", Clock: clk})
+	w2 := New(&w2Buf, Options{Service: "w2", Clock: clk})
+	w1.AdoptTrace(coord.TraceID())
+	w2.AdoptTrace(coord.TraceID())
+
+	job := coord.Start("job", SpanContext{}, Str("model", "dining"))
+
+	// Lease 1 to w1: chunks [0,2). Expires before delivery.
+	l1 := coord.Start("lease", job.Context(), Str("lease", "lease-1"), Str("worker", "w1"), Int("lo", 0), Int("hi", 2))
+	wl1 := w1.Start("worker.lease", l1.Context(), Str("worker", "w1"), Str("lease", "lease-1"))
+	c0 := ChunkSpans(w1, wl1.Context()).ChunkStart(0, 64)
+	clk.Advance(90 * time.Millisecond) // the straggler chunk
+	c0(64, 0)
+	clk.Advance(10 * time.Millisecond)
+	l1.End(Str("outcome", "expired"), Int("reassigned", 2))
+	wl1.End(Str("outcome", "expired"))
+
+	// Lease 2 to w2: same range reassigned, delivered.
+	l2 := coord.Start("lease", job.Context(), Str("lease", "lease-2"), Str("worker", "w2"), Int("lo", 0), Int("hi", 2))
+	wl2 := w2.Start("worker.lease", l2.Context(), Str("worker", "w2"), Str("lease", "lease-2"))
+	for chunk := 0; chunk < 2; chunk++ {
+		end := ChunkSpans(w2, wl2.Context()).ChunkStart(chunk, 64)
+		clk.Advance(5 * time.Millisecond)
+		end(64, 0)
+	}
+	rpc := w2.Start("rpc.result", wl2.Context())
+	srv := coord.Start("serve.result", rpc.Context())
+	clk.Advance(time.Millisecond)
+	srv.End()
+	rpc.End()
+	mg := coord.Start("merge", job.Context(), Int("chunks", 2))
+	clk.Advance(time.Millisecond)
+	mg.End(Int("accepted", 2), Int("duplicates", 0))
+	l2.End(Str("outcome", "delivered"), Int("accepted", 2))
+	wl2.End(Str("outcome", "delivered"))
+
+	// Lease 3 to w2: chunks [2,4), delivered directly.
+	l3 := coord.Start("lease", job.Context(), Str("lease", "lease-3"), Str("worker", "w2"), Int("lo", 2), Int("hi", 4))
+	clk.Advance(8 * time.Millisecond)
+	l3.End(Str("outcome", "delivered"), Int("accepted", 2))
+
+	fin := coord.Start("finalize", job.Context())
+	clk.Advance(time.Millisecond)
+	fin.End(Str("outcome", "complete"))
+	job.End(Str("outcome", "complete"))
+
+	for _, tr := range []*Tracer{coord, w1, w2} {
+		if err := tr.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	}
+	var recs []Record
+	for _, buf := range []*bytes.Buffer{&coordBuf, &w1Buf, &w2Buf} {
+		rs, err := Read(buf)
+		if err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+		recs = append(recs, rs...)
+	}
+	return recs
+}
+
+func TestTimelineStructure(t *testing.T) {
+	recs := fakeFabricTrace(t)
+	tl := BuildTimeline(recs)
+
+	if got, want := len(tl.Spans), len(recs); got != want {
+		t.Fatalf("timeline has %d spans, want %d", got, want)
+	}
+	if got := tl.Services(); strings.Join(got, " ") != "coord w1 w2" {
+		t.Errorf("Services = %v, want [coord w1 w2]", got)
+	}
+	if roots := tl.Roots(); len(roots) != 1 || roots[0].Name != "job" {
+		t.Fatalf("roots = %v, want the single job span", roots)
+	}
+	// Causal order: every span's parent appears before it.
+	pos := map[string]int{}
+	for i, r := range tl.Spans {
+		pos[r.ID] = i
+	}
+	for _, r := range tl.Spans {
+		if r.Parent == "" {
+			continue
+		}
+		if pp, ok := pos[r.Parent]; ok && pp > pos[r.ID] {
+			t.Errorf("span %s appears before its parent %s", r.ID, r.Parent)
+		}
+	}
+	// Cross-process nesting: w2's worker.lease hangs under coord's lease-2.
+	var wl2 *Record
+	for _, r := range tl.Spans {
+		if r.Name == "worker.lease" && r.AttrStr("lease") == "lease-2" {
+			wl2 = r
+		}
+	}
+	if wl2 == nil {
+		t.Fatal("worker.lease for lease-2 missing")
+	}
+	parent, ok := pos[wl2.Parent]
+	if !ok {
+		t.Fatalf("worker.lease parent %q not in timeline", wl2.Parent)
+	}
+	if p := tl.Spans[parent]; p.Name != "lease" || p.Service != "coord" {
+		t.Errorf("worker.lease parents under %s/%s, want coord lease", p.Service, p.Name)
+	}
+}
+
+func TestTimelineCriticalPath(t *testing.T) {
+	tl := BuildTimeline(fakeFabricTrace(t))
+	path := tl.CriticalPath()
+	if len(path) < 2 {
+		t.Fatalf("critical path = %d hops, want >= 2", len(path))
+	}
+	if path[0].Name != "job" {
+		t.Errorf("critical path starts at %q, want job", path[0].Name)
+	}
+	last := path[len(path)-1]
+	if last.Name != "finalize" {
+		t.Errorf("critical path ends at %q, want finalize (the latest-ending leaf)", last.Name)
+	}
+	// Each hop must be a child of the previous.
+	for i := 1; i < len(path); i++ {
+		if path[i].Parent != path[i-1].ID {
+			t.Errorf("hop %d (%s) is not a child of %s", i, path[i].ID, path[i-1].ID)
+		}
+	}
+}
+
+func TestTimelinePhaseStats(t *testing.T) {
+	tl := BuildTimeline(fakeFabricTrace(t))
+	stats := tl.PhaseStats()
+	byPhase := map[string]PhaseStat{}
+	var order []string
+	for _, s := range stats {
+		byPhase[s.Phase] = s
+		order = append(order, s.Phase)
+	}
+	if want := "compute rpc merge other"; strings.Join(order, " ") != want {
+		t.Fatalf("phase order = %v, want %s", order, want)
+	}
+	if c := byPhase["compute"]; c.Count != 3 || c.Max != 90*time.Millisecond {
+		t.Errorf("compute = %+v, want count 3, max 90ms", c)
+	}
+	if r := byPhase["rpc"]; r.Count != 2 {
+		t.Errorf("rpc count = %d, want 2 (rpc.result + serve.result)", r.Count)
+	}
+	if m := byPhase["merge"]; m.Count != 2 { // merge + finalize
+		t.Errorf("merge count = %d, want 2", m.Count)
+	}
+}
+
+func TestTimelineStragglers(t *testing.T) {
+	tl := BuildTimeline(fakeFabricTrace(t))
+	sg := tl.Stragglers()
+	if len(sg) != 1 {
+		t.Fatalf("stragglers = %d, want exactly the 90ms chunk", len(sg))
+	}
+	if got := sg[0].Span.AttrInt("chunk"); got != 0 {
+		t.Errorf("straggler chunk = %d, want 0", got)
+	}
+	if got := time.Duration(sg[0].Span.DurNs); got != 90*time.Millisecond {
+		t.Errorf("straggler duration = %v, want 90ms", got)
+	}
+}
+
+func TestTimelineReassignmentChains(t *testing.T) {
+	tl := BuildTimeline(fakeFabricTrace(t))
+	chains := tl.ReassignmentChains()
+	if len(chains) != 1 {
+		t.Fatalf("chains = %d, want 1", len(chains))
+	}
+	ch := chains[0]
+	if ch.Lo != 0 || ch.Hi != 2 {
+		t.Errorf("chain range = [%d,%d), want [0,2)", ch.Lo, ch.Hi)
+	}
+	if len(ch.Leases) != 2 {
+		t.Fatalf("chain has %d leases, want 2", len(ch.Leases))
+	}
+	if got := ch.Leases[0].AttrStr("lease"); got != "lease-1" {
+		t.Errorf("chain starts at %q, want lease-1", got)
+	}
+	if got := ch.Leases[0].AttrStr("outcome"); got != "expired" {
+		t.Errorf("first lease outcome = %q, want expired", got)
+	}
+	if got := ch.Leases[1].AttrStr("lease"); got != "lease-2" {
+		t.Errorf("chain continues to %q, want lease-2", got)
+	}
+	if got := ch.Leases[1].AttrStr("outcome"); got != "delivered" {
+		t.Errorf("final lease outcome = %q, want delivered", got)
+	}
+}
+
+// TestTimelineDeterministic is the acceptance gate for the analysis:
+// the same scripted FakeClock scenario, built twice from scratch,
+// renders byte-identical text and DOT reports.
+func TestTimelineDeterministic(t *testing.T) {
+	render := func() (string, string) {
+		tl := BuildTimeline(fakeFabricTrace(t))
+		var text, dot bytes.Buffer
+		tl.RenderText(&text, RenderOptions{})
+		tl.RenderDOT(&dot)
+		return text.String(), dot.String()
+	}
+	text1, dot1 := render()
+	text2, dot2 := render()
+	if text1 != text2 {
+		t.Errorf("RenderText not deterministic:\n--- first\n%s\n--- second\n%s", text1, text2)
+	}
+	if dot1 != dot2 {
+		t.Errorf("RenderDOT not deterministic")
+	}
+	for _, want := range []string{
+		"critical path", "phase latency", "stragglers", "reassignment chains",
+		"chunks [0,2): lease-1 (w1, expired) -> lease-2 (w2, delivered)",
+	} {
+		if !strings.Contains(text1, want) {
+			t.Errorf("RenderText missing %q:\n%s", want, text1)
+		}
+	}
+	if !strings.Contains(dot1, "digraph trace") {
+		t.Errorf("RenderDOT missing digraph header")
+	}
+}
+
+// TestTimelineTreeLimit checks the tree cap and its truncation note.
+func TestTimelineTreeLimit(t *testing.T) {
+	tl := BuildTimeline(fakeFabricTrace(t))
+	var buf bytes.Buffer
+	tl.RenderText(&buf, RenderOptions{TreeLimit: 2})
+	out := buf.String()
+	if !strings.Contains(out, "more spans") {
+		t.Errorf("limited render missing truncation note:\n%s", out)
+	}
+	buf.Reset()
+	tl.RenderText(&buf, RenderOptions{TreeLimit: -1})
+	if strings.Contains(buf.String(), "timeline:") {
+		t.Errorf("negative TreeLimit still rendered the tree")
+	}
+}
+
+// TestTimelineOrphans: a worker file read without its coordinator's
+// forms a forest with the orphaned spans as roots, not an error.
+func TestTimelineOrphans(t *testing.T) {
+	recs := []Record{
+		{Trace: "t", ID: "w1-1", Parent: "coord-9", Name: "worker.lease", Service: "w1", StartUnixNs: 100, DurNs: 50},
+		{Trace: "t", ID: "w1-2", Parent: "w1-1", Name: "chunk", Service: "w1", StartUnixNs: 110, DurNs: 20},
+	}
+	tl := BuildTimeline(recs)
+	if len(tl.Roots()) != 1 || tl.Roots()[0].ID != "w1-1" {
+		t.Fatalf("roots = %v, want the orphaned worker.lease", tl.Roots())
+	}
+	if cs := tl.Children("w1-1"); len(cs) != 1 || cs[0].ID != "w1-2" {
+		t.Errorf("children = %v, want the chunk", cs)
+	}
+	// Duplicate IDs (the same file read twice) keep the first record.
+	dup := append(recs, recs...)
+	if tl2 := BuildTimeline(dup); len(tl2.Spans) != 2 {
+		t.Errorf("duplicate merge kept %d spans, want 2", len(tl2.Spans))
+	}
+}

@@ -75,3 +75,20 @@ type BatchMetrics interface {
 	// seconds.
 	TrialBatchDone(trials, reached int, events []int64, reachTimes []float64, seconds float64)
 }
+
+// SpanHooks is the engine's chunk-lifecycle tracing seam
+// (ParallelOptions.SpanHooks): one call when a worker claims a chunk,
+// one when the chunk commits or is abandoned — never anything per
+// trial. The standard implementation is span.ChunkSpans (the match is
+// structural; neither package imports the other, like Metrics above).
+//
+// Contract: ChunkStart is called from worker goroutines and must be
+// safe for concurrent use; the returned func is called exactly once,
+// from the same goroutine, with the chunk's successfully observed and
+// quarantined trial counts (both lower than the chunk's trial count
+// when the chunk was abandoned mid-range). Like Metrics, the hook
+// observes only. When the field is nil the engine pays one nil check
+// per chunk and allocates nothing — guarded by BenchmarkSpanOverhead.
+type SpanHooks interface {
+	ChunkStart(chunk, trials int) func(completed, quarantined int)
+}

@@ -61,6 +61,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -141,6 +142,17 @@ type ParallelOptions struct {
 	// Tests inject a fault.FakeClock to trip the watchdog without
 	// sleeping.
 	Clock fault.Clock
+	// SpanHooks, when non-nil, observes the chunk lifecycle for tracing
+	// (internal/obs/span): a span per claimed chunk, ended at commit or
+	// abandonment. Cold path by construction — one call pair per
+	// 64-trial chunk, nothing per trial; nil costs one nil check per
+	// chunk (BenchmarkSpanOverhead).
+	SpanHooks SpanHooks
+	// PprofLabels, when non-empty, is an alternating key/value list
+	// applied to every worker goroutine via pprof.Do, so CPU profiles
+	// segment the trial hot loop by job/lease/chunk-range without
+	// per-trial cost. Odd-length lists are rejected.
+	PprofLabels []string
 	// Chunks, when non-nil, restricts execution to the chunk index range
 	// [Chunks.Lo, Chunks.Hi) of the full trial budget — the distribution
 	// seam of the trial fabric (internal/fabric). A ranged run executes
@@ -375,6 +387,9 @@ func RunParallel[S comparable, A any](ctx context.Context, m sched.Model[S], mk 
 	if popts.MaxPanics < 0 {
 		return total, rep, fmt.Errorf("%w: negative quarantine budget %d", ErrInvalidArgument, popts.MaxPanics)
 	}
+	if len(popts.PprofLabels)%2 != 0 {
+		return total, rep, fmt.Errorf("%w: PprofLabels must alternate key,value (got %d entries)", ErrInvalidArgument, len(popts.PprofLabels))
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -468,6 +483,13 @@ func RunParallel[S comparable, A any](ctx context.Context, m sched.Model[S], mk 
 		lo := chunk * parallelChunkSize
 		hi := min(lo+parallelChunkSize, trials)
 		var chunkPanics []PanicRecord
+		var chunkCompleted int
+		if popts.SpanHooks != nil {
+			// One span per chunk, ended on every exit path — commit,
+			// abandonment and error alike report what actually ran.
+			endSpan := popts.SpanHooks.ChunkStart(chunk, hi-lo)
+			defer func() { endSpan(chunkCompleted, len(chunkPanics)) }()
+		}
 		var (
 			batchEvents [parallelChunkSize]int64
 			batchReach  [parallelChunkSize]float64
@@ -540,6 +562,9 @@ func RunParallel[S comparable, A any](ctx context.Context, m sched.Model[S], mk 
 					met.TrialDone(i, res.Events, time.Since(t0).Seconds(), res.Reached, res.ReachedAt)
 				}
 				err = observe(&accs[chunk], i, res)
+				if err == nil {
+					chunkCompleted++
+				}
 			}
 			if err != nil {
 				return fmt.Errorf("sim: trial %d: %w", i, err)
@@ -580,26 +605,37 @@ func RunParallel[S comparable, A any](ctx context.Context, m sched.Model[S], mk 
 			// ctx is polled only when claiming a chunk: on cancellation a
 			// worker drains the chunk it is on (every trial is bounded by
 			// Options.MaxEvents/MaxTime), so completed work is never lost.
-			for !stop.Load() && ctx.Err() == nil {
-				chunk := loChunk + int(nextChunk.Add(1)) - 1
-				if chunk >= hiChunk {
-					return
+			claim := func(ctx context.Context) {
+				for !stop.Load() && ctx.Err() == nil {
+					chunk := loChunk + int(nextChunk.Add(1)) - 1
+					if chunk >= hiChunk {
+						return
+					}
+					if done[chunk] {
+						continue // restored from the resume token
+					}
+					if met != nil {
+						met.ChunkActive(1)
+					}
+					err := runChunk(chunk, ar)
+					if met != nil {
+						met.ChunkActive(-1)
+					}
+					if err != nil {
+						errs[chunk] = err
+						stop.Store(true)
+						return
+					}
 				}
-				if done[chunk] {
-					continue // restored from the resume token
-				}
-				if met != nil {
-					met.ChunkActive(1)
-				}
-				err := runChunk(chunk, ar)
-				if met != nil {
-					met.ChunkActive(-1)
-				}
-				if err != nil {
-					errs[chunk] = err
-					stop.Store(true)
-					return
-				}
+			}
+			if len(popts.PprofLabels) > 0 {
+				// Labels cover the worker's whole claim loop: one
+				// goroutine-label swap per worker, zero per-trial cost, and
+				// every CPU sample inside the trial loop carries the
+				// job/lease/chunk-range tags.
+				pprof.Do(ctx, pprof.Labels(popts.PprofLabels...), claim)
+			} else {
+				claim(ctx)
 			}
 		}()
 	}

@@ -1,0 +1,151 @@
+package sim
+
+// Tests for the chunk-lifecycle span seam (ParallelOptions.SpanHooks)
+// and the pprof goroutine-label seam (ParallelOptions.PprofLabels).
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// recordingHooks implements SpanHooks, recording every chunk start and
+// asserting each returned end func fires exactly once.
+type recordingHooks struct {
+	mu     sync.Mutex
+	chunks map[int]int // chunk index -> trials announced at start
+	done   map[int]int // chunk index -> completed reported at end
+	ends   atomic.Int64
+	double atomic.Int64
+}
+
+func newRecordingHooks() *recordingHooks {
+	return &recordingHooks{chunks: map[int]int{}, done: map[int]int{}}
+}
+
+func (h *recordingHooks) ChunkStart(chunk, trials int) func(completed, quarantined int) {
+	h.mu.Lock()
+	h.chunks[chunk] = trials
+	h.mu.Unlock()
+	var once atomic.Bool
+	return func(completed, quarantined int) {
+		if !once.CompareAndSwap(false, true) {
+			h.double.Add(1)
+			return
+		}
+		h.ends.Add(1)
+		h.mu.Lock()
+		h.done[chunk] = completed
+		h.mu.Unlock()
+	}
+}
+
+// TestSpanHooksCallPattern: the engine calls ChunkStart once per chunk
+// with the chunk's trial count, fires each end func exactly once with
+// the completed count, and the hooks do not perturb the estimate.
+func TestSpanHooksCallPattern(t *testing.T) {
+	const trials = 300 // 4 full chunks + one ragged chunk of 44
+	ref, _, err := EstimateReachProbParallel[flipState](context.Background(), flipper{}, mkSlowest, heads, 3, trials,
+		Options[flipState]{}, ParallelOptions{Seed: 9, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hooks := newRecordingHooks()
+	prop, rep, err := EstimateReachProbParallel[flipState](context.Background(), flipper{}, mkSlowest, heads, 3, trials,
+		Options[flipState]{}, ParallelOptions{Seed: 9, Workers: 4, SpanHooks: hooks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prop != ref {
+		t.Fatalf("span hooks perturbed the estimate: %+v != %+v", prop, ref)
+	}
+	if rep.Completed != trials {
+		t.Fatalf("completed %d/%d", rep.Completed, trials)
+	}
+	wantChunks := (trials + parallelChunkSize - 1) / parallelChunkSize
+	if got := len(hooks.chunks); got != wantChunks {
+		t.Errorf("ChunkStart called for %d chunks, want %d", got, wantChunks)
+	}
+	if got := hooks.ends.Load(); got != int64(wantChunks) {
+		t.Errorf("end funcs fired %d times, want %d", got, wantChunks)
+	}
+	if got := hooks.double.Load(); got != 0 {
+		t.Errorf("%d end funcs fired more than once", got)
+	}
+	var announced, completed int
+	for chunk, n := range hooks.chunks {
+		announced += n
+		completed += hooks.done[chunk]
+	}
+	if announced != trials || completed != trials {
+		t.Errorf("announced %d / completed %d trials across chunks, want %d", announced, completed, trials)
+	}
+	if n, ok := hooks.chunks[wantChunks-1]; !ok || n != trials%parallelChunkSize {
+		t.Errorf("ragged last chunk announced %d trials, want %d", n, trials%parallelChunkSize)
+	}
+}
+
+// TestSpanHooksSeeCancellation: a cancelled run still fires every end
+// func that was started (the defer path), with partial counts.
+func TestSpanHooksSeeCancellation(t *testing.T) {
+	hooks := newRecordingHooks()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := EstimateReachProbParallel[flipState](ctx, flipper{}, mkSlowest, heads, 3, 300,
+		Options[flipState]{}, ParallelOptions{Seed: 9, SpanHooks: hooks})
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	h := hooks
+	h.mu.Lock()
+	started := len(h.chunks)
+	h.mu.Unlock()
+	if got := hooks.ends.Load(); got != int64(started) {
+		t.Errorf("%d chunks started but %d end funcs fired; every started chunk must end", started, got)
+	}
+}
+
+// TestPprofLabels: labels are applied around the worker goroutines (a
+// hook observes them via pprof.Label) and odd-length label lists are
+// rejected up front.
+func TestPprofLabels(t *testing.T) {
+	var sawLabel atomic.Bool
+	hooks := &labelCheckHooks{saw: &sawLabel}
+	_, _, err := EstimateReachProbParallel[flipState](context.Background(), flipper{}, mkSlowest, heads, 3, 128,
+		Options[flipState]{}, ParallelOptions{Seed: 1, SpanHooks: hooks,
+			PprofLabels: []string{"fabric_job", "test-job"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawLabel.Load() {
+		t.Error("worker goroutines ran without the fabric_job pprof label")
+	}
+
+	_, _, err = EstimateReachProbParallel[flipState](context.Background(), flipper{}, mkSlowest, heads, 3, 64,
+		Options[flipState]{}, ParallelOptions{Seed: 1, PprofLabels: []string{"odd"}})
+	if !errors.Is(err, ErrInvalidArgument) {
+		t.Errorf("odd-length PprofLabels: err = %v, want ErrInvalidArgument", err)
+	}
+}
+
+// labelCheckHooks records whether the goroutine running chunks carries
+// the fabric_job pprof label. ChunkStart runs synchronously on the
+// worker goroutine, and the debug=1 goroutine profile prints each
+// goroutine's label set, so a profile dump taken here must show it.
+type labelCheckHooks struct{ saw *atomic.Bool }
+
+func (h *labelCheckHooks) ChunkStart(chunk, trials int) func(completed, quarantined int) {
+	if !h.saw.Load() {
+		var buf bytes.Buffer
+		pprof.Lookup("goroutine").WriteTo(&buf, 1) //nolint:errcheck // in-memory write
+		if bytes.Contains(buf.Bytes(), []byte(`"fabric_job":"test-job"`)) {
+			h.saw.Store(true)
+		}
+	}
+	return func(completed, quarantined int) {}
+}

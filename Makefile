@@ -19,13 +19,17 @@
 #   trace-smoke simd local -trace-out | simtrace a traced run stopped emitting
 #                                                spans or simtrace lost the
 #                                                critical path
+#   mdp-smoke   lrcheck + dense-vs-CSR test      the on-the-fly explorer or a
+#                                                parallel sparse solver diverging
+#                                                from the dense reference
 #   vuln        govulncheck (if installed)       known-vulnerable dependency use
 #
 # Performance regressions are gated separately by `make bench-diff`: it
 # re-measures the engine benchmarks and diffs them against the committed
 # BENCH_sim.json baseline with `benchjson -compare` (exit 1 when any
-# metric moves >10% in the bad direction or the headline trials/s drops
-# below the absolute TRIALS_FLOOR). It is not part of `make check`
+# metric moves >10% in the bad direction, the headline trials/s drops
+# below the absolute TRIALS_FLOOR, or the exact-engine states/s drops
+# below STATES_FLOOR). It is not part of `make check`
 # because a measurement run takes minutes; run it before committing
 # changes to internal/sim, internal/prob or internal/obs.
 #
@@ -39,21 +43,29 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test test-short test-race bench bench-smoke bench-json bench-diff vuln vet fmt fuzz chaos chaos-smoke fabric-smoke trace-smoke check lrcheck experiments
+.PHONY: all build test test-short test-race bench bench-smoke bench-json bench-diff vuln vet fmt fuzz chaos chaos-smoke fabric-smoke trace-smoke mdp-smoke check lrcheck experiments
 
 # Benchmarks recorded in BENCH_sim.json and gated by bench-diff: the
 # parallel-engine throughput row, the hot-path ablation ladder, the
-# metrics-overhead pair, and the compiled-vs-uncompiled ablations for
-# the election and consensus case studies.
-BENCH_GATE = BenchmarkParallelTrials|BenchmarkTrialAblation|BenchmarkMetricsOverhead|BenchmarkSpanOverhead|BenchmarkElectionTrials|BenchmarkConsensusTrials
+# metrics-overhead pair, the compiled-vs-uncompiled ablations for the
+# election and consensus case studies, and the exact-engine
+# explore+solve row.
+BENCH_GATE = BenchmarkParallelTrials|BenchmarkTrialAblation|BenchmarkMetricsOverhead|BenchmarkSpanOverhead|BenchmarkElectionTrials|BenchmarkConsensusTrials|BenchmarkExactEngine
 
 # Absolute throughput backstop for the headline engine benchmark,
 # enforced by bench-diff on top of the relative 10% gate: the alias
-# sampler + packed interning + arena engine measures ~195k trials/s on
-# the reference machine (5.4x the 36,431 pre-alias baseline recorded in
-# EXPERIMENTS.md); the floor sits below that to absorb machine noise
-# while still catching any change that gives back the optimisation.
-TRIALS_FLOOR = BenchmarkParallelTrials:trials/s=150000
+# sampler + packed interning + arena engine with the by-pointer policy
+# view measures ~208k trials/s on the reference machine (5.7x the 36,431
+# pre-alias baseline recorded in EXPERIMENTS.md); the floor sits below
+# that to absorb machine noise while still catching any change that
+# gives back the optimisation.
+TRIALS_FLOOR = BenchmarkParallelTrials:trials/s=180000
+
+# Absolute backstop for the exact engine: the on-the-fly CSR explorer
+# plus the parallel sparse composed-claim check sustains ~43k states/s
+# on the dining n=3 k=2 product (reference machine); the floor catches
+# a return to per-state map interning or single-threaded sweeps.
+STATES_FLOOR = BenchmarkExactEngine:states/s=25000
 
 all: check
 
@@ -95,7 +107,7 @@ bench-json:
 bench-diff:
 	$(GO) test -run='^$$' -bench='$(BENCH_GATE)' -benchmem -json . \
 		| $(GO) run ./cmd/benchjson -o /tmp/bench_new.json
-	$(GO) run ./cmd/benchjson -compare BENCH_sim.json /tmp/bench_new.json -threshold 0.10 -floor '$(TRIALS_FLOOR)'
+	$(GO) run ./cmd/benchjson -compare BENCH_sim.json /tmp/bench_new.json -threshold 0.10 -floor '$(TRIALS_FLOOR)' -floor '$(STATES_FLOOR)'
 
 vuln:
 	@if command -v govulncheck >/dev/null 2>&1; then \
@@ -158,7 +170,17 @@ trace-smoke:
 	! grep -q 'critical path (0 hops' "$$tmp/report.txt" && \
 	echo "trace-smoke: ok (critical path present)"
 
-check: build vet test test-race bench-smoke chaos-smoke fabric-smoke trace-smoke vuln
+# Exact-engine smoke: one end-to-end lrcheck run through the on-the-fly
+# CSR explorer and the parallel sparse solvers (all five arrows, the
+# composed claim, the expected-time sweep), plus the dense-vs-explored
+# agreement property on the election products. Seconds, so it gates
+# every check; the large-product runs live in the non-short tests and
+# EXPERIMENTS.md E22.
+mdp-smoke:
+	$(GO) run ./cmd/lrcheck -n 3 -k 1 -workers 2 >/dev/null && echo "mdp-smoke: lrcheck ok"
+	$(GO) test -run 'TestExploreMatchesDenseElection' -count=1 .
+
+check: build vet test test-race bench-smoke chaos-smoke fabric-smoke trace-smoke mdp-smoke vuln
 
 # The headline reproduction: the paper's table, derivation and bounds.
 lrcheck:

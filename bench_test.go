@@ -557,6 +557,37 @@ func BenchmarkEnumerateProduct(b *testing.B) {
 	}
 }
 
+// E22: the exact engine at scale — walk the dining n=3 k=2 product
+// (≈35k states) frontier-by-frontier into CSR form with the on-the-fly
+// explorer and model-check the composed T --13,1/8--> C claim on the
+// result, exactly as `lrcheck -n 3 -k 2` does. states/s counts explored
+// product states per wall-clock second of the full explore+solve loop —
+// the quantity the STATES_FLOOR gate in `make bench-diff` enforces —
+// and B/state is the resident CSR transition structure per state, the
+// number that decides how far -mem-budget lets a ring grow.
+func BenchmarkExactEngine(b *testing.B) {
+	b.ReportAllocs()
+	var states int
+	var footprint int64
+	for i := 0; i < b.N; i++ {
+		a, err := dining.NewAnalysisOpts(3, 2, dining.Opts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := core.CheckStatement(a.MDP, a.Index, a.ComposedStatement())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Holds {
+			b.Fatalf("composed statement fails on the explored product: %s", r)
+		}
+		states = a.Index.Len()
+		footprint = a.MDP.CSR().MemFootprint()
+	}
+	b.ReportMetric(float64(states)*float64(b.N)/b.Elapsed().Seconds(), "states/s")
+	b.ReportMetric(float64(footprint)/float64(states), "B/state")
+}
+
 // Observability overhead: the same parallel run with the telemetry hook
 // disabled (nil Metrics — the default every existing caller gets) and
 // enabled (the registry-backed obs.SimMetrics the CLIs install). The

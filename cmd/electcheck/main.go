@@ -3,7 +3,11 @@
 // Lehmann–Rabin algorithm — per-level arrow statements, Proposition 3.2
 // weakening, Theorem 3.4 composition, and an expected-time bound from
 // per-level retry loops, each validated against the exact worst case of
-// the digitized Unit-Time product.
+// the digitized Unit-Time product. The product is generated on the fly
+// into compressed-sparse-row form (sharing the Monte Carlo engine's
+// compiled transition cache) and solved by -workers parallel sweeps, so
+// sizes far beyond the dense enumerator's practical limit stay exact;
+// -mem-budget caps the resident transition structure.
 //
 // With -sample, the exact analysis is cross-validated by dense-time Monte
 // Carlo: the requested number of election runs is sharded across a worker
@@ -25,7 +29,7 @@
 //
 // Usage:
 //
-//	electcheck [-n procs] [-k steps-per-window] \
+//	electcheck [-n procs] [-k steps-per-window] [-mem-budget bytes] \
 //	           [-sample trials] [-workers N] [-seed 1] \
 //	           [-budget 10m] [-checkpoint state.json] [-resume state.json] \
 //	           [-keep 3] [-quarantine N] [-trial-timeout 30s] \
@@ -76,7 +80,8 @@ func run(ctx context.Context, args []string) error {
 	n := fs.Int("n", 4, "number of processes")
 	k := fs.Int("k", 1, "steps per process per unit-time window")
 	sample := fs.Int("sample", 0, "also run this many dense-time Monte Carlo election trials (0 = off)")
-	workers := fs.Int("workers", 0, "worker goroutines sharding -sample trials (0 = all CPUs)")
+	workers := fs.Int("workers", 0, "worker goroutines for the exact-engine sweeps and for sharding -sample trials (0 = all CPUs; results are identical for any value)")
+	memBudget := fs.Int64("mem-budget", 0, "abort exact enumeration beyond this many bytes of transition structure (0 = unlimited)")
 	seed := fs.Int64("seed", 1, "root seed for -sample trials (reproducible for any -workers)")
 	budget := fs.Duration("budget", 0, "wall-clock budget for the whole run; on expiry the sampling stage drains and prints partial estimates (0 = none)")
 	checkpoint := fs.String("checkpoint", "", "persist -sample progress to this JSON state file as trials complete")
@@ -106,6 +111,8 @@ func run(ctx context.Context, args []string) error {
 		return usageError(fs, "-workers must be >= 0, got %d", *workers)
 	case *budget < 0:
 		return usageError(fs, "-budget must be >= 0, got %v", *budget)
+	case *memBudget < 0:
+		return usageError(fs, "-mem-budget must be >= 0, got %d", *memBudget)
 	case *quarantine < 0:
 		return usageError(fs, "-quarantine must be >= 0, got %d", *quarantine)
 	case *trialTimeout < 0:
@@ -145,7 +152,7 @@ func run(ctx context.Context, args []string) error {
 		span.Str("tool", "electcheck"), span.Int("n", *n), span.Int("k", *k),
 		span.Int("sample", *sample), span.Int64("seed", *seed))
 
-	runErr := analysis(ctx, ins, tracer, root.Context(), *n, *k, *sample, *workers, *seed, *budget,
+	runErr := analysis(ctx, ins, tracer, root.Context(), *n, *k, *sample, *workers, *memBudget, *seed, *budget,
 		*checkpoint, *resume, *quarantine, *trialTimeout, *keep, *nocompile, *bitcompat)
 	outcome := "complete"
 	if runErr != nil {
@@ -162,7 +169,7 @@ func run(ctx context.Context, args []string) error {
 }
 
 func analysis(ctx context.Context, ins *obs.Instrumentation, tracer *span.Tracer, traceParent span.SpanContext,
-	n, k, sample, workers int, seed int64,
+	n, k, sample, workers int, memBudget, seed int64,
 	budget time.Duration, checkpoint, resume string, quarantine int,
 	trialTimeout time.Duration, keep int, nocompile, bitcompat bool) error {
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
@@ -175,7 +182,7 @@ func analysis(ctx context.Context, ins *obs.Instrumentation, tracer *span.Tracer
 	}
 
 	fmt.Printf("coin-flipping leader election: n=%d, digitized Unit-Time with k=%d\n", n, k)
-	a, err := election.NewAnalysis(n, k, 0)
+	a, err := election.NewAnalysisOpts(n, k, election.Opts{Workers: workers, MemBudget: memBudget})
 	if err != nil {
 		return err
 	}

@@ -30,6 +30,29 @@ func TestRunSampled(t *testing.T) {
 	}
 }
 
+// TestRunSampledLargerSizes cross-checks the exact engine against the
+// Monte Carlo sampler at sizes only the on-the-fly explorer handles
+// comfortably: the derived bound must dominate the sampled mean at every
+// size, and -workers must not change the exact results (the sampled
+// stream is pinned separately by TestBitCompatIdenticalOutput).
+func TestRunSampledLargerSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("larger product enumerations")
+	}
+	for _, n := range []string{"5", "6"} {
+		if err := run(context.Background(), []string{"-n", n, "-k", "1", "-sample", "200", "-workers", "4", "-seed", "7"}); err != nil {
+			t.Fatalf("run -n %s -sample: %v", n, err)
+		}
+	}
+}
+
+func TestRunMemBudgetExceeded(t *testing.T) {
+	err := run(context.Background(), []string{"-n", "4", "-k", "1", "-mem-budget", "128"})
+	if err == nil || !strings.Contains(err.Error(), "memory budget") {
+		t.Fatalf("tiny -mem-budget: err = %v, want memory-budget failure", err)
+	}
+}
+
 func TestRunBadFlags(t *testing.T) {
 	tests := [][]string{
 		{"-n", "0"},

@@ -9,6 +9,12 @@
 // Usage:
 //
 //	lrcheck [-n ring] [-k steps-per-window] [-skip-expected]
+//	        [-workers N] [-mem-budget bytes]
+//
+// The product is generated on the fly into compressed-sparse-row form and
+// every solver sweeps it with -workers goroutines (deterministically: any
+// worker count produces identical output); -mem-budget caps the resident
+// transition structure for large rings.
 package main
 
 import (
@@ -39,16 +45,19 @@ func run(args []string) error {
 	jsonOut := fs.Bool("json", false, "emit a machine-readable JSON report instead of text")
 	lemmas := fs.Bool("lemmas", false, "also check every appendix lemma (A.4–A.13) at every pivot")
 	exportPrefix := fs.String("export-prefix", "", "write the product MDP as PRISM explicit files <prefix>.tra and <prefix>.lab")
+	workers := fs.Int("workers", 0, "exploration and solver parallelism (0 = all cores; any value gives identical results)")
+	memBudget := fs.Int64("mem-budget", 0, "abort enumeration beyond this many bytes of transition structure (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	opts := dining.Opts{Workers: *workers, MemBudget: *memBudget}
 
 	if *jsonOut {
-		return runJSON(*n, *k, *curve, *skipExpected)
+		return runJSON(*n, *k, *curve, *skipExpected, opts)
 	}
 
 	fmt.Printf("Lehmann–Rabin worst-case check: n=%d, digitized Unit-Time with k=%d\n", *n, *k)
-	a, err := dining.NewAnalysis(*n, *k, 0)
+	a, err := dining.NewAnalysisOpts(*n, *k, opts)
 	if err != nil {
 		return err
 	}
@@ -202,8 +211,8 @@ func exportPRISM(a *dining.Analysis, prefix string) error {
 
 // runJSON emits the machine-readable report consumed by downstream
 // tooling (and recorded in EXPERIMENTS.md).
-func runJSON(n, k, curve int, skipExpected bool) error {
-	a, err := dining.NewAnalysis(n, k, 0)
+func runJSON(n, k, curve int, skipExpected bool, opts dining.Opts) error {
+	a, err := dining.NewAnalysisOpts(n, k, opts)
 	if err != nil {
 		return err
 	}

@@ -142,7 +142,7 @@ func isUnanimous(inputs []uint8) (bool, uint8) {
 // injection: while budget remains, each decision point crashes a random
 // live process with the given probability.
 func RandomCrashes(inner sim.Policy[State], pCrash float64) sim.Policy[State] {
-	return sim.PolicyFunc[State](func(v sim.View[State], rng *rand.Rand) (sim.Choice, bool) {
+	return sim.PolicyFunc[State](func(v *sim.View[State], rng *rand.Rand) (sim.Choice, bool) {
 		if len(v.UserMovers) > 0 && rng.Float64() < pCrash {
 			return sim.Choice{Proc: v.UserMovers[rng.Intn(len(v.UserMovers))], User: true, At: v.Now}, true
 		}
@@ -154,7 +154,7 @@ func RandomCrashes(inner sim.Policy[State], pCrash float64) sim.Policy[State] {
 // report would complete unanimity visibility, maximizing abstains — the
 // crash-timing attack Ben-Or is designed to survive.
 func CrashLastReporter(inner sim.Policy[State]) sim.Policy[State] {
-	return sim.PolicyFunc[State](func(v sim.View[State], rng *rand.Rand) (sim.Choice, bool) {
+	return sim.PolicyFunc[State](func(v *sim.View[State], rng *rand.Rand) (sim.Choice, bool) {
 		s := v.State
 		if len(v.UserMovers) > 0 {
 			// Find a process about to post the last missing report of its
@@ -174,7 +174,7 @@ func CrashLastReporter(inner sim.Policy[State]) sim.Policy[State] {
 	})
 }
 
-func canCrash(v sim.View[State], proc int) bool {
+func canCrash(v *sim.View[State], proc int) bool {
 	for _, j := range v.UserMovers {
 		if j == proc {
 			return true

@@ -139,7 +139,7 @@ func TestCrashBudget(t *testing.T) {
 // randomCrashPolicy wraps a scheduling policy with a crash of one random
 // process at a random early moment.
 func randomCrashPolicy(inner sim.Policy[State]) sim.Policy[State] {
-	return sim.PolicyFunc[State](func(v sim.View[State], rng *rand.Rand) (sim.Choice, bool) {
+	return sim.PolicyFunc[State](func(v *sim.View[State], rng *rand.Rand) (sim.Choice, bool) {
 		if len(v.UserMovers) > 0 && rng.Float64() < 0.05 {
 			return sim.Choice{Proc: v.UserMovers[rng.Intn(len(v.UserMovers))], User: true, At: v.Now}, true
 		}

@@ -29,7 +29,7 @@ func AllAt(n int, pc PC) State {
 // fires at once), keeping the ring maximally contended. Exits are never
 // issued, matching the worst case for time-to-first-C measurements.
 func KeepTrying(inner sim.Policy[State]) sim.Policy[State] {
-	return sim.PolicyFunc[State](func(v sim.View[State], rng *rand.Rand) (sim.Choice, bool) {
+	return sim.PolicyFunc[State](func(v *sim.View[State], rng *rand.Rand) (sim.Choice, bool) {
 		for _, j := range v.UserMovers {
 			if v.State.Local(j).PC == R {
 				return sim.Choice{Proc: j, User: true, At: v.Now}, true
@@ -53,7 +53,7 @@ func KeepTrying(inner sim.Policy[State]) sim.Policy[State] {
 // slows it compared to a random or round-robin environment, which is
 // exactly what experiment E12 quantifies.
 func Spiteful() sim.Policy[State] {
-	return sim.PolicyFunc[State](func(v sim.View[State], _ *rand.Rand) (sim.Choice, bool) {
+	return sim.PolicyFunc[State](func(v *sim.View[State], _ *rand.Rand) (sim.Choice, bool) {
 		s := v.State
 		// Keep every process in the competition.
 		for _, j := range v.UserMovers {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/mdp"
 	"repro/internal/prob"
 	"repro/internal/sched"
+	"repro/internal/sim"
 )
 
 // PState is a scheduler-product state of the election protocol.
@@ -27,7 +28,9 @@ type Analysis struct {
 }
 
 // NewAnalysis enumerates the n-process protocol under the
-// k-steps-per-window digitization.
+// k-steps-per-window digitization with the dense enumerator. For large
+// instances use NewAnalysisOpts, which explores on the fly into the
+// sparse form.
 func NewAnalysis(n, k, limit int) (*Analysis, error) {
 	model, err := New(n)
 	if err != nil {
@@ -41,6 +44,54 @@ func NewAnalysis(n, k, limit int) (*Analysis, error) {
 	if err != nil {
 		return nil, fmt.Errorf("election: enumerating product: %w", err)
 	}
+	return newAnalysis(n, k, model, m, ix), nil
+}
+
+// Opts configures on-the-fly enumeration of the product space.
+type Opts struct {
+	// Limit bounds the number of product states (<= 0 for unlimited).
+	Limit int
+	// Workers sets the exploration and solver parallelism: 0 means one
+	// worker per CPU. Any value yields identical results.
+	Workers int
+	// MemBudget bounds the explorer's resident bytes (<= 0 for
+	// unlimited); exceeding it fails with *mdp.BudgetError.
+	MemBudget int64
+}
+
+// NewAnalysisOpts is NewAnalysis built by the on-the-fly CSR explorer:
+// the model is compiled so exploration shares the Monte Carlo engine's
+// sharded transition cache, product states are interned by their packed
+// fingerprints, and the resulting MDP carries only the sparse form, with
+// every solver running opts.Workers wide. The state numbering — and
+// therefore every analysis result — is identical to NewAnalysis.
+func NewAnalysisOpts(n, k int, opts Opts) (*Analysis, error) {
+	model, err := New(n)
+	if err != nil {
+		return nil, err
+	}
+	compiled := sim.Compile[State](model)
+	auto, err := sched.Product[State](compiled, sched.Config{StepsPerWindow: k})
+	if err != nil {
+		return nil, err
+	}
+	eo := mdp.ExploreOptions{Workers: opts.Workers, MemBudget: opts.MemBudget, Limit: opts.Limit}
+	var (
+		m  *mdp.MDP
+		ix *mdp.Index[PState]
+	)
+	if pack, ok := sched.ProductPacker[State](model); ok {
+		m, ix, err = mdp.ExplorePacked(auto, pack, eo)
+	} else {
+		m, ix, err = mdp.Explore(auto, eo)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("election: exploring product: %w", err)
+	}
+	return newAnalysis(n, k, model, m, ix), nil
+}
+
+func newAnalysis(n, k int, model *Model, m *mdp.MDP, ix *mdp.Index[PState]) *Analysis {
 	states := make([]PState, ix.Len())
 	for i := range states {
 		states[i] = ix.State(i)
@@ -53,7 +104,7 @@ func NewAnalysis(n, k, limit int) (*Analysis, error) {
 		Index:    ix,
 		Universe: core.NewUniverse(states),
 		Schema:   core.UnitTimeSchema(k),
-	}, nil
+	}
 }
 
 // Elected is the target set: a leader exists.

@@ -24,16 +24,28 @@ func (m *MDP) ReachWithinTicksLayers(target []bool, horizon int, goal Goal) ([][
 	if horizon < 0 {
 		return nil, fmt.Errorf("mdp: negative horizon %d", horizon)
 	}
-	order, err := m.nonTickTopo()
+	c := m.CSR()
+	order, levels, err := c.nonTickLevels()
 	if err != nil {
 		return nil, err
 	}
+	workers := m.workers()
+
 	layers := make([][]prob.Rat, 0, horizon+1)
-	prev := make([]prob.Rat, m.NumStates)
+	prev := make([]prob.Rat, c.n)
 	for h := 0; h <= horizon; h++ {
-		cur := make([]prob.Rat, m.NumStates)
-		for _, s := range order {
-			cur[s] = m.optOneState(s, target, goal, cur, prev, h > 0)
+		cur := make([]prob.Rat, c.n)
+		ticksLeft := h > 0
+		lo := int32(0)
+		for _, hi := range levels {
+			span := order[lo:hi]
+			parallelFor(workers, len(span), func(w, a, b int) {
+				for k := a; k < b; k++ {
+					s := span[k]
+					cur[s] = c.optOneState(s, target, goal, cur, prev, ticksLeft)
+				}
+			})
+			lo = hi
 		}
 		layers = append(layers, cur)
 		prev = cur
@@ -43,7 +55,8 @@ func (m *MDP) ReachWithinTicksLayers(target []bool, horizon int, goal Goal) ([][
 
 // ReachWithinTicksFloat is the float64 counterpart of ReachWithinTicks,
 // for products too large for exact rationals. Same semantics, same
-// Zeno-cycle requirement; probabilities are converted once per branch.
+// Zeno-cycle requirement, same level-parallel determinism; the CSR's
+// float probability array is used directly, with no per-call conversion.
 func (m *MDP) ReachWithinTicksFloat(target []bool, horizon int, goal Goal) ([]float64, error) {
 	if len(target) != m.NumStates {
 		return nil, fmt.Errorf("mdp: target mask has %d entries, want %d", len(target), m.NumStates)
@@ -51,66 +64,53 @@ func (m *MDP) ReachWithinTicksFloat(target []bool, horizon int, goal Goal) ([]fl
 	if horizon < 0 {
 		return nil, fmt.Errorf("mdp: negative horizon %d", horizon)
 	}
-	order, err := m.nonTickTopo()
+	c := m.CSR()
+	order, levels, err := c.nonTickLevels()
 	if err != nil {
 		return nil, err
 	}
+	workers := m.workers()
 
-	// Cache branch probabilities as floats once.
-	type fTr struct {
-		to int
-		p  float64
-	}
-	type fChoice struct {
-		tick     bool
-		branches []fTr
-	}
-	choices := make([][]fChoice, m.NumStates)
-	for s := range choices {
-		cs := make([]fChoice, len(m.Choices[s]))
-		for ci, c := range m.Choices[s] {
-			fc := fChoice{tick: c.Tick, branches: make([]fTr, len(c.Branches))}
-			for bi, tr := range c.Branches {
-				fc.branches[bi] = fTr{to: tr.To, p: tr.P.Float64()}
-			}
-			cs[ci] = fc
-		}
-		choices[s] = cs
-	}
-
-	prev := make([]float64, m.NumStates)
-	cur := make([]float64, m.NumStates)
+	prev := make([]float64, c.n)
+	cur := make([]float64, c.n)
 	for h := 0; h <= horizon; h++ {
 		ticksLeft := h > 0
-		for _, s := range order {
-			if target[s] {
-				cur[s] = 1
-				continue
-			}
-			cs := choices[s]
-			if len(cs) == 0 {
-				cur[s] = 0
-				continue
-			}
-			var best float64
-			for ci, c := range cs {
-				var v float64
-				if c.tick && !ticksLeft {
-					v = 0
-				} else {
-					layer := cur
-					if c.tick {
-						layer = prev
+		lo := int32(0)
+		for _, hi := range levels {
+			span := order[lo:hi]
+			parallelFor(workers, len(span), func(w, a, b int) {
+				for k := a; k < b; k++ {
+					s := span[k]
+					if target[s] {
+						cur[s] = 1
+						continue
 					}
-					for _, tr := range c.branches {
-						v += tr.p * layer[tr.to]
+					cLo, cHi := c.choiceRow[s], c.choiceRow[s+1]
+					if cLo == cHi {
+						cur[s] = 0
+						continue
 					}
+					var best float64
+					for ci := cLo; ci < cHi; ci++ {
+						var v float64
+						tick := c.tick.get(ci)
+						if !tick || ticksLeft {
+							layer := cur
+							if tick {
+								layer = prev
+							}
+							for bi := c.branchRow[ci]; bi < c.branchRow[ci+1]; bi++ {
+								v += c.pf[bi] * layer[c.col[bi]]
+							}
+						}
+						if ci == cLo || (goal == MinProb && v < best) || (goal == MaxProb && v > best) {
+							best = v
+						}
+					}
+					cur[s] = best
 				}
-				if ci == 0 || (goal == MinProb && v < best) || (goal == MaxProb && v > best) {
-					best = v
-				}
-			}
-			cur[s] = best
+			})
+			lo = hi
 		}
 		prev, cur = cur, prev
 	}
@@ -120,7 +120,7 @@ func (m *MDP) ReachWithinTicksFloat(target []bool, horizon int, goal Goal) ([]fl
 // WitnessStep is one step of an extracted worst-case schedule.
 type WitnessStep struct {
 	// State is the state index before the step; Choice the index of the
-	// adversary's optimal choice; Action its label.
+	// adversary's optimal choice (local to the state); Action its label.
 	State  int
 	Choice int
 	Action string
@@ -147,61 +147,64 @@ func (m *MDP) WorstWitness(target []bool, horizon int, from int, maxLen int) ([]
 	if maxLen <= 0 {
 		maxLen = 4 * (horizon + 1)
 	}
+	c := m.CSR()
 
 	var steps []WitnessStep
-	s, h := from, horizon
+	s, h := int32(from), horizon
 	for len(steps) < maxLen && !target[s] {
-		choicesHere := m.Choices[s]
-		if len(choicesHere) == 0 {
+		cLo, cHi := c.choiceRow[s], c.choiceRow[s+1]
+		if cLo == cHi {
 			break
 		}
 		// Value of a choice under budget h.
-		valueOf := func(c Choice) prob.Rat {
-			if c.Tick && h == 0 {
+		valueOf := func(ci int32) prob.Rat {
+			tick := c.tick.get(ci)
+			if tick && h == 0 {
 				return prob.Zero()
 			}
 			layer := layers[h]
-			if c.Tick {
+			if tick {
 				layer = layers[h-1]
 			}
 			v := prob.Zero()
-			for _, tr := range c.Branches {
-				v = v.Add(tr.P.Mul(layer[tr.To]))
+			for bi := c.branchRow[ci]; bi < c.branchRow[ci+1]; bi++ {
+				v = v.Add(c.pr[bi].Mul(layer[c.col[bi]]))
 			}
 			return v
 		}
-		bestCI := 0
-		bestV := valueOf(choicesHere[0])
-		for ci := 1; ci < len(choicesHere); ci++ {
-			if v := valueOf(choicesHere[ci]); v.Less(bestV) {
+		bestCI := cLo
+		bestV := valueOf(cLo)
+		for ci := cLo + 1; ci < cHi; ci++ {
+			if v := valueOf(ci); v.Less(bestV) {
 				bestV, bestCI = v, ci
 			}
 		}
-		choice := choicesHere[bestCI]
-		if choice.Tick && h == 0 {
+		tick := c.tick.get(bestCI)
+		if tick && h == 0 {
 			// The optimal adversary move is to let time expire.
 			break
 		}
 		layer := layers[h]
-		if choice.Tick {
+		if tick {
 			layer = layers[h-1]
 		}
 		// Most damning branch: the successor with the smallest value.
-		best := choice.Branches[0]
-		for _, tr := range choice.Branches[1:] {
-			if layer[tr.To].Less(layer[best.To]) {
-				best = tr
+		bLo, bHi := c.branchRow[bestCI], c.branchRow[bestCI+1]
+		best := bLo
+		for bi := bLo + 1; bi < bHi; bi++ {
+			if layer[c.col[bi]].Less(layer[c.col[best]]) {
+				best = bi
 			}
 		}
 		steps = append(steps, WitnessStep{
-			State:      s,
-			Choice:     bestCI,
-			Action:     choice.Label,
-			Next:       best.To,
-			BranchProb: best.P,
+			State:      int(s),
+			Choice:     int(bestCI - cLo),
+			Action:     c.label(bestCI),
+			Next:       int(c.col[best]),
+			BranchProb: c.pr[best],
 		})
-		s = best.To
-		if choice.Tick {
+		s = c.col[best]
+		if tick {
 			h--
 		}
 	}

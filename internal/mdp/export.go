@@ -21,21 +21,17 @@ import (
 // Probabilities are written as exact rational strings, which PRISM
 // accepts (e.g. "1/2").
 func (m *MDP) ExportTra(w io.Writer) error {
+	c := m.CSR()
 	bw := bufio.NewWriter(w)
-	choices, transitions := 0, 0
-	for _, cs := range m.Choices {
-		choices += len(cs)
-		for _, c := range cs {
-			transitions += len(c.Branches)
-		}
-	}
-	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.NumStates, choices, transitions); err != nil {
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", c.n, c.NumChoices(), c.NumBranches()); err != nil {
 		return err
 	}
-	for s, cs := range m.Choices {
-		for ci, c := range cs {
-			for _, tr := range c.Branches {
-				if _, err := fmt.Fprintf(bw, "%d %d %d %s %s\n", s, ci, tr.To, tr.P.String(), c.Label); err != nil {
+	for s := int32(0); int(s) < c.n; s++ {
+		cLo := c.choiceRow[s]
+		for ci := cLo; ci < c.choiceRow[s+1]; ci++ {
+			label := c.label(ci)
+			for bi := c.branchRow[ci]; bi < c.branchRow[ci+1]; bi++ {
+				if _, err := fmt.Fprintf(bw, "%d %d %d %s %s\n", s, ci-cLo, c.col[bi], c.pr[bi].String(), label); err != nil {
 					return err
 				}
 			}

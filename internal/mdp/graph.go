@@ -7,35 +7,30 @@ package mdp
 // Zuck–Pnueli-style baseline the paper refines: "with probability 1, some
 // process eventually enters its critical region" is MinProbOne, with no
 // time bound attached.
-
-// successors returns every state reachable in one transition from s, over
-// all choices and branches.
-func (m *MDP) successors(s int) []int {
-	var out []int
-	for _, c := range m.Choices[s] {
-		for _, tr := range c.Branches {
-			out = append(out, tr.To)
-		}
-	}
-	return out
-}
+//
+// Everything runs on the CSR form: a state's successors are one contiguous
+// branch range (CSR.stateBranches), so the searches iterate branches in
+// place with no per-pop allocation, and backward searches share the
+// memoized reverse adjacency instead of rebuilding it per call.
 
 // ReachableFrom returns the mask of states reachable (in the underlying
 // graph, over all choices) from any state in the from mask.
 func (m *MDP) ReachableFrom(from []bool) []bool {
-	seen := make([]bool, m.NumStates)
-	var stack []int
+	c := m.CSR()
+	seen := make([]bool, c.n)
+	stack := make([]int32, 0, 64)
 	for s, in := range from {
 		if in && !seen[s] {
 			seen[s] = true
-			stack = append(stack, s)
+			stack = append(stack, int32(s))
 		}
 	}
 	for len(stack) > 0 {
 		s := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, t := range m.successors(s) {
-			if !seen[t] {
+		lo, hi := c.stateBranches(s)
+		for bi := lo; bi < hi; bi++ {
+			if t := c.col[bi]; !seen[t] {
 				seen[t] = true
 				stack = append(stack, t)
 			}
@@ -55,33 +50,29 @@ func (m *MDP) CanReach(target []bool) []bool {
 // count as reached; blocked non-target states are never expanded). A nil
 // blocked mask blocks nothing.
 func (m *MDP) canReachAvoiding(target, blocked []bool) []bool {
-	// Build reverse adjacency once.
-	rev := make([][]int32, m.NumStates)
-	for s := 0; s < m.NumStates; s++ {
-		for _, t := range m.successors(s) {
-			rev[t] = append(rev[t], int32(s))
-		}
-	}
-	seen := make([]bool, m.NumStates)
-	var stack []int
+	c := m.CSR()
+	revRow, revCol := c.reverse()
+	seen := make([]bool, c.n)
+	stack := make([]int32, 0, 64)
 	for s, in := range target {
 		if in {
 			seen[s] = true
 			if blocked == nil || !blocked[s] {
-				stack = append(stack, s)
+				stack = append(stack, int32(s))
 			}
 		}
 	}
 	for len(stack) > 0 {
 		s := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, p := range rev[s] {
+		for ri := revRow[s]; ri < revRow[s+1]; ri++ {
+			p := revCol[ri]
 			if seen[p] {
 				continue
 			}
 			seen[p] = true
 			if blocked == nil || !blocked[p] {
-				stack = append(stack, int(p))
+				stack = append(stack, p)
 			}
 		}
 	}
@@ -91,9 +82,10 @@ func (m *MDP) canReachAvoiding(target, blocked []bool) []bool {
 // SCCs returns the strongly connected components of the underlying graph
 // in reverse topological order (every edge leaving a component goes to an
 // earlier component in the returned list), using an iterative Tarjan
-// algorithm.
+// algorithm over the CSR branch ranges.
 func (m *MDP) SCCs() [][]int {
-	n := m.NumStates
+	c := m.CSR()
+	n := c.n
 	index := make([]int32, n)
 	low := make([]int32, n)
 	onStack := make([]bool, n)
@@ -106,40 +98,39 @@ func (m *MDP) SCCs() [][]int {
 		comps   [][]int
 	)
 
+	// frame.bi walks the state's flat branch range: branch targets are the
+	// successor multiset, multiplicity and all, which Tarjan tolerates.
 	type frame struct {
-		v    int
-		next int
-	}
-	adj := make([][]int32, n)
-	for s := 0; s < n; s++ {
-		for _, t := range m.successors(s) {
-			adj[s] = append(adj[s], int32(t))
-		}
+		v  int32
+		bi int32
 	}
 
-	for root := 0; root < n; root++ {
+	for root := int32(0); root < int32(n); root++ {
 		if index[root] != -1 {
 			continue
 		}
-		stack := []frame{{v: root}}
+		lo, _ := c.stateBranches(root)
+		stack := []frame{{v: root, bi: lo}}
 		index[root] = counter
 		low[root] = counter
 		counter++
-		tarjan = append(tarjan, int32(root))
+		tarjan = append(tarjan, root)
 		onStack[root] = true
 
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
-			if f.next < len(adj[f.v]) {
-				w := int(adj[f.v][f.next])
-				f.next++
+			_, hi := c.stateBranches(f.v)
+			if f.bi < hi {
+				w := c.col[f.bi]
+				f.bi++
 				if index[w] == -1 {
 					index[w] = counter
 					low[w] = counter
 					counter++
-					tarjan = append(tarjan, int32(w))
+					tarjan = append(tarjan, w)
 					onStack[w] = true
-					stack = append(stack, frame{v: w})
+					wlo, _ := c.stateBranches(w)
+					stack = append(stack, frame{v: w, bi: wlo})
 				} else if onStack[w] && index[w] < low[f.v] {
 					low[f.v] = index[w]
 				}
@@ -161,7 +152,7 @@ func (m *MDP) SCCs() [][]int {
 					tarjan = tarjan[:len(tarjan)-1]
 					onStack[w] = false
 					comp = append(comp, int(w))
-					if int(w) == v {
+					if w == v {
 						break
 					}
 				}
@@ -177,29 +168,27 @@ func (m *MDP) SCCs() [][]int {
 // greatest set X of non-target states such that every state of X is
 // terminal or has a choice whose branches all stay in X.
 func (m *MDP) Prob0E(target []bool) []bool {
-	in := make([]bool, m.NumStates)
+	c := m.CSR()
+	in := make([]bool, c.n)
 	for s := range in {
 		in[s] = !target[s]
 	}
 	for changed := true; changed; {
 		changed = false
-		for s := 0; s < m.NumStates; s++ {
-			if !in[s] || m.Terminal(s) {
+		for s := int32(0); int(s) < c.n; s++ {
+			if !in[s] || c.terminal(int(s)) {
 				continue
 			}
 			ok := false
-			for _, c := range m.Choices[s] {
+			for ci := c.choiceRow[s]; ci < c.choiceRow[s+1] && !ok; ci++ {
 				all := true
-				for _, tr := range c.Branches {
-					if !in[tr.To] {
+				for bi := c.branchRow[ci]; bi < c.branchRow[ci+1]; bi++ {
+					if !in[c.col[bi]] {
 						all = false
 						break
 					}
 				}
-				if all {
-					ok = true
-					break
-				}
+				ok = all
 			}
 			if !ok {
 				in[s] = false

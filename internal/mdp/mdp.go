@@ -23,6 +23,7 @@ package mdp
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/pa"
 	"repro/internal/prob"
@@ -50,14 +51,50 @@ type Choice struct {
 // MDP is a finite Markov decision process. States are dense indices
 // 0..NumStates-1; Choices[s] lists the alternatives in state s (possibly
 // none, making s terminal).
+//
+// Choices is the construction API for hand-built and densely enumerated
+// MDPs; every analysis actually runs on the compressed-sparse-row form
+// returned by CSR, which is converted lazily from Choices on first use.
+// MDPs produced by the on-the-fly explorer (Explore) carry only the CSR
+// form and leave Choices nil; all analyses behave identically on either.
 type MDP struct {
 	NumStates int
 	Choices   [][]Choice
+
+	// Workers sets the parallelism of the sparse solvers: 0 means one
+	// worker per available CPU. Any value produces bit-identical results;
+	// the knob exists to bound scheduling overhead and for the
+	// determinism tests.
+	Workers int
+
+	csrOnce sync.Once
+	csr     *CSR
 }
+
+// CSR returns the sparse transition structure of the MDP, converting the
+// Choices form on first call. The result is immutable and shared; callers
+// must not modify Choices after the first analysis.
+func (m *MDP) CSR() *CSR {
+	m.csrOnce.Do(func() {
+		if m.csr == nil {
+			m.csr = csrFromChoices(m.NumStates, m.Choices)
+		}
+	})
+	return m.csr
+}
+
+// workers resolves the Workers field to a concrete worker count.
+func (m *MDP) workers() int { return resolveWorkers(m.Workers) }
 
 // Validate checks structural invariants: branch targets in range and
 // branch probabilities summing to one per choice.
 func (m *MDP) Validate() error {
+	if m.Choices == nil && m.csr != nil {
+		if m.NumStates != m.csr.n {
+			return fmt.Errorf("mdp: NumStates %d != CSR states %d", m.NumStates, m.csr.n)
+		}
+		return m.csr.validate()
+	}
 	if m.NumStates != len(m.Choices) {
 		return fmt.Errorf("mdp: NumStates %d != len(Choices) %d", m.NumStates, len(m.Choices))
 	}
@@ -82,12 +119,21 @@ func (m *MDP) Validate() error {
 }
 
 // Terminal reports whether state s has no choices.
-func (m *MDP) Terminal(s int) bool { return len(m.Choices[s]) == 0 }
+func (m *MDP) Terminal(s int) bool {
+	if m.Choices == nil && m.csr != nil {
+		return m.csr.terminal(s)
+	}
+	return len(m.Choices[s]) == 0
+}
 
 // Index maps the comparable states of a probabilistic automaton to dense
-// MDP indices and back.
+// MDP indices and back. The reverse map is built lazily on the first ID
+// call: forward lookups (State, Where, Mask) are what the analyses use in
+// bulk, and explorer-built indexes over millions of states should not pay
+// for a map nobody queries.
 type Index[S comparable] struct {
 	states []S
+	idOnce sync.Once
 	id     map[S]int
 }
 
@@ -99,6 +145,14 @@ func (ix *Index[S]) State(i int) S { return ix.states[i] }
 
 // ID returns the index of state s, if present.
 func (ix *Index[S]) ID(s S) (int, bool) {
+	ix.idOnce.Do(func() {
+		if ix.id == nil {
+			ix.id = make(map[S]int, len(ix.states))
+			for i, st := range ix.states {
+				ix.id[st] = i
+			}
+		}
+	})
 	i, ok := ix.id[s]
 	return i, ok
 }

@@ -1,10 +1,6 @@
 package mdp
 
-import (
-	"sort"
-
-	"repro/internal/prob"
-)
+import "sort"
 
 // MEC is a maximal end component: a set of states together with, for each
 // state, the choices under which the component is closed. Inside an end
@@ -15,63 +11,69 @@ type MEC struct {
 	// States lists the member states in increasing order.
 	States []int
 	// Choices maps each member state to the indices of its choices whose
-	// branches all stay inside the component. Every member has at least
-	// one such choice unless the component is the trivial singleton of a
+	// branches all stay inside the component (indices local to the state,
+	// matching positions in MDP.Choices[s]). Every member has at least one
+	// such choice unless the component is the trivial singleton of a
 	// terminal state (which is not reported).
 	Choices map[int][]int
 }
 
 // MECs computes the maximal end components of the MDP with the standard
-// iterative SCC-refinement algorithm. Singleton components without an
-// internal choice (including terminal states) are not reported.
+// iterative SCC-refinement algorithm, running directly on the CSR form:
+// candidate membership and surviving choices live in bitsets (one bit per
+// state / per global choice index), and the per-candidate SCC split is an
+// iterative Tarjan over the restricted rows, with scratch arrays reset
+// only on the touched candidate — no per-candidate sub-MDP is built.
+// Singleton components without an internal choice (including terminal
+// states) are not reported.
 func (m *MDP) MECs() []MEC {
-	// active[s][c] marks choice c of state s as still usable.
-	active := make([][]bool, m.NumStates)
-	inPlay := make([]bool, m.NumStates)
-	for s := 0; s < m.NumStates; s++ {
-		active[s] = make([]bool, len(m.Choices[s]))
-		for c := range active[s] {
-			active[s][c] = true
-		}
-		inPlay[s] = true
+	c := m.CSR()
+	n := c.n
+
+	// active marks the global choice indices still usable.
+	active := newBitset(c.NumChoices())
+	for ci := int32(0); int(ci) < c.NumChoices(); ci++ {
+		active.set(ci)
 	}
+
+	// Scratch shared by every candidate; member and the Tarjan state are
+	// cleaned up per candidate (O(candidate) work, not O(n)).
+	member := newBitset(n)
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := newBitset(n)
+
+	all := make([]int32, n)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	work := [][]int32{all}
 
 	var out []MEC
-	// Candidate state sets to refine; start with everything.
-	all := make([]int, m.NumStates)
-	for i := range all {
-		all[i] = i
-	}
-	work := [][]int{all}
-
 	for len(work) > 0 {
 		cand := work[len(work)-1]
 		work = work[:len(work)-1]
-
-		member := make(map[int]bool, len(cand))
 		for _, s := range cand {
-			if inPlay[s] {
-				member[s] = true
-			}
-		}
-		if len(member) == 0 {
-			continue
+			member.set(s)
 		}
 
 		// Restrict choices to those staying inside the candidate set;
-		// states left with no choice leave the candidate set. Iterate to
-		// a fixpoint.
+		// states left with no choice leave the candidate set. Iterate to a
+		// fixpoint.
 		for changed := true; changed; {
 			changed = false
-			for s := range member {
+			for _, s := range cand {
+				if !member.get(s) {
+					continue
+				}
 				hasChoice := false
-				for ci, c := range m.Choices[s] {
-					if !active[s][ci] {
+				for ci := c.choiceRow[s]; ci < c.choiceRow[s+1]; ci++ {
+					if !active.get(ci) {
 						continue
 					}
 					stays := true
-					for _, tr := range c.Branches {
-						if !member[tr.To] {
+					for bi := c.branchRow[ci]; bi < c.branchRow[ci+1]; bi++ {
+						if !member.get(c.col[bi]) {
 							stays = false
 							break
 						}
@@ -79,92 +81,171 @@ func (m *MDP) MECs() []MEC {
 					if stays {
 						hasChoice = true
 					} else {
-						active[s][ci] = false
+						active.clear(ci)
 						changed = true
 					}
 				}
 				if !hasChoice {
-					delete(member, s)
+					member.clear(s)
 					changed = true
 				}
 			}
 		}
-		if len(member) == 0 {
+
+		survivors := cand[:0]
+		for _, s := range cand {
+			if member.get(s) {
+				survivors = append(survivors, s)
+			}
+		}
+		if len(survivors) == 0 {
 			continue
 		}
 
-		// SCC decomposition of the restricted subgraph.
-		comps := sccOfSubgraph(m, member, active)
-		if len(comps) == 1 && len(comps[0]) == len(member) {
+		comps := c.sccRestricted(survivors, member, active, index, low, onStack)
+		for _, s := range survivors {
+			member.clear(s)
+		}
+
+		if len(comps) == 1 && len(comps[0]) == len(survivors) {
 			// The candidate is a single SCC with internal choices
-			// everywhere: a maximal end component.
-			mec := MEC{Choices: make(map[int][]int, len(member))}
-			for s := range member {
-				mec.States = append(mec.States, s)
-				for ci := range m.Choices[s] {
-					if active[s][ci] {
-						mec.Choices[s] = append(mec.Choices[s], ci)
+			// everywhere: a maximal end component. survivors is in
+			// increasing state order — refinement filters in place and
+			// every candidate list is kept sorted.
+			mec := MEC{States: make([]int, 0, len(survivors)), Choices: make(map[int][]int, len(survivors))}
+			for _, s := range survivors {
+				mec.States = append(mec.States, int(s))
+				cLo := c.choiceRow[s]
+				for ci := cLo; ci < c.choiceRow[s+1]; ci++ {
+					if active.get(ci) {
+						mec.Choices[int(s)] = append(mec.Choices[int(s)], int(ci-cLo))
 					}
 				}
 			}
-			sort.Ints(mec.States)
 			out = append(out, mec)
 			continue
 		}
-		for _, comp := range comps {
-			work = append(work, comp)
-		}
+		work = append(work, comps...)
 	}
 	return out
 }
 
-// sccOfSubgraph computes SCCs of the member-induced subgraph using only
-// active choices, dropping singleton components without a self-loop.
-func sccOfSubgraph(m *MDP, member map[int]bool, active [][]bool) [][]int {
-	// Map to dense local indices.
-	locals := make([]int, 0, len(member))
-	local := make(map[int]int, len(member))
-	for s := range member {
-		local[s] = len(locals)
-		locals = append(locals, s)
+// sccRestricted computes the strongly connected components of the
+// member-induced subgraph using only active choices, dropping singleton
+// components without a self-loop. index/low/onStack are caller scratch;
+// index must be reset to -1 for every state in cand (done here on entry),
+// and onStack is left fully cleared on return. Component state lists are
+// returned in increasing state order.
+func (c *CSR) sccRestricted(cand []int32, member, active bitset, index, low []int32, onStack bitset) [][]int32 {
+	for _, s := range cand {
+		index[s] = -1
 	}
-	adj := make([][]int32, len(locals))
-	selfLoop := make([]bool, len(locals))
-	for s := range member {
-		ls := local[s]
-		for ci, c := range m.Choices[s] {
-			if !active[s][ci] {
+
+	var (
+		counter int32
+		tarjan  []int32
+		comps   [][]int32
+	)
+	// A frame walks the state's active choices (ci) and the current
+	// choice's branches (bi).
+	type frame struct {
+		v      int32
+		ci, bi int32
+	}
+	selfLoop := func(s int32) bool {
+		for ci := c.choiceRow[s]; ci < c.choiceRow[s+1]; ci++ {
+			if !active.get(ci) {
 				continue
 			}
-			for _, tr := range c.Branches {
-				if lt, ok := local[tr.To]; ok {
-					adj[ls] = append(adj[ls], int32(lt))
-					if lt == ls {
-						selfLoop[ls] = true
-					}
+			for bi := c.branchRow[ci]; bi < c.branchRow[ci+1]; bi++ {
+				if c.col[bi] == s {
+					return true
 				}
 			}
 		}
+		return false
+	}
+	// nextEdge advances the frame to its next restricted edge target, or
+	// returns -1 when the state's edges are exhausted.
+	nextEdge := func(f *frame) int32 {
+		for f.ci < c.choiceRow[f.v+1] {
+			if !active.get(f.ci) {
+				f.ci++
+				f.bi = -1
+				continue
+			}
+			if f.bi < 0 {
+				f.bi = c.branchRow[f.ci]
+			}
+			if f.bi < c.branchRow[f.ci+1] {
+				w := c.col[f.bi]
+				f.bi++
+				if member.get(w) {
+					return w
+				}
+				continue
+			}
+			f.ci++
+			f.bi = -1
+		}
+		return -1
 	}
 
-	sub := &MDP{NumStates: len(locals), Choices: make([][]Choice, len(locals))}
-	for ls, targets := range adj {
-		for _, lt := range targets {
-			sub.Choices[ls] = append(sub.Choices[ls], Choice{
-				Branches: []Tr{{To: int(lt), P: prob.One()}},
-			})
-		}
-	}
-	var out [][]int
-	for _, comp := range sub.SCCs() {
-		if len(comp) == 1 && !selfLoop[comp[0]] {
+	for _, root := range cand {
+		if index[root] != -1 {
 			continue
 		}
-		global := make([]int, len(comp))
-		for i, lc := range comp {
-			global[i] = locals[lc]
+		stack := []frame{{v: root, ci: c.choiceRow[root], bi: -1}}
+		index[root] = counter
+		low[root] = counter
+		counter++
+		tarjan = append(tarjan, root)
+		onStack.set(root)
+
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if w := nextEdge(f); w >= 0 {
+				if index[w] == -1 {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					tarjan = append(tarjan, w)
+					onStack.set(w)
+					stack = append(stack, frame{v: w, ci: c.choiceRow[w], bi: -1})
+				} else if onStack.get(w) && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			v := f.v
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				parent := stack[len(stack)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int32
+				for {
+					w := tarjan[len(tarjan)-1]
+					tarjan = tarjan[:len(tarjan)-1]
+					onStack.clear(w)
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				if len(comp) == 1 && !selfLoop(comp[0]) {
+					continue
+				}
+				// Tarjan pops components in reverse discovery order; sort
+				// members ascending so refinement keeps candidate lists
+				// ordered (MEC.States relies on it).
+				sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+				comps = append(comps, comp)
+			}
 		}
-		out = append(out, global)
 	}
-	return out
+	return comps
 }

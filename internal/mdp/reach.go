@@ -36,66 +36,6 @@ func (g Goal) better(a, b prob.Rat) bool {
 // worst-case quantities of the paper are not well defined.
 var ErrZenoCycle = errors.New("mdp: cycle of zero-duration transitions (Zeno behaviour)")
 
-// nonTickTopo returns the states in an order such that every non-tick
-// successor of a state precedes it (reverse topological order of the
-// non-tick edge graph). It returns ErrZenoCycle if that graph is cyclic.
-func (m *MDP) nonTickTopo() ([]int, error) {
-	const (
-		unvisited = 0
-		onStack   = 1
-		done      = 2
-	)
-	color := make([]int8, m.NumStates)
-	order := make([]int, 0, m.NumStates)
-
-	// Iterative DFS with an explicit stack; frame.next tracks progress
-	// through the successor list.
-	type frame struct {
-		state int
-		next  int
-	}
-	succs := func(s int) []int {
-		var out []int
-		for _, c := range m.Choices[s] {
-			if c.Tick {
-				continue
-			}
-			for _, tr := range c.Branches {
-				out = append(out, tr.To)
-			}
-		}
-		return out
-	}
-
-	for root := 0; root < m.NumStates; root++ {
-		if color[root] != unvisited {
-			continue
-		}
-		stack := []frame{{state: root}}
-		color[root] = onStack
-		for len(stack) > 0 {
-			f := &stack[len(stack)-1]
-			ss := succs(f.state)
-			if f.next < len(ss) {
-				child := ss[f.next]
-				f.next++
-				switch color[child] {
-				case onStack:
-					return nil, fmt.Errorf("%w: involving state %d", ErrZenoCycle, child)
-				case unvisited:
-					color[child] = onStack
-					stack = append(stack, frame{state: child})
-				}
-				continue
-			}
-			color[f.state] = done
-			order = append(order, f.state)
-			stack = stack[:len(stack)-1]
-		}
-	}
-	return order, nil
-}
-
 // ReachWithinTicks computes, for every state, the optimal (per goal)
 // probability that a target state is visited while at most horizon ticks
 // have elapsed. Zero-duration moves after the last tick still count as
@@ -103,7 +43,10 @@ func (m *MDP) nonTickTopo() ([]int, error) {
 // exactly t after t unit delays).
 //
 // The result is exact. The zero-duration transition graph must be acyclic
-// (see ErrZenoCycle).
+// (see ErrZenoCycle). Sweeps run level-parallel over the non-tick DAG
+// (MDP.Workers); every state's value is a pure function of deeper levels
+// and the previous tick layer, so the rationals are identical for any
+// worker count.
 func (m *MDP) ReachWithinTicks(target []bool, horizon int, goal Goal) ([]prob.Rat, error) {
 	if len(target) != m.NumStates {
 		return nil, fmt.Errorf("mdp: target mask has %d entries, want %d", len(target), m.NumStates)
@@ -111,16 +54,27 @@ func (m *MDP) ReachWithinTicks(target []bool, horizon int, goal Goal) ([]prob.Ra
 	if horizon < 0 {
 		return nil, fmt.Errorf("mdp: negative horizon %d", horizon)
 	}
-	order, err := m.nonTickTopo()
+	c := m.CSR()
+	order, levels, err := c.nonTickLevels()
 	if err != nil {
 		return nil, err
 	}
+	workers := m.workers()
 
-	prev := make([]prob.Rat, m.NumStates) // V_{h-1}
-	cur := make([]prob.Rat, m.NumStates)  // V_h
+	prev := make([]prob.Rat, c.n) // V_{h-1}
+	cur := make([]prob.Rat, c.n)  // V_h
 	for h := 0; h <= horizon; h++ {
-		for _, s := range order {
-			cur[s] = m.optOneState(s, target, goal, cur, prev, h > 0)
+		ticksLeft := h > 0
+		lo := int32(0)
+		for _, hi := range levels {
+			span := order[lo:hi]
+			parallelFor(workers, len(span), func(w, a, b int) {
+				for k := a; k < b; k++ {
+					s := span[k]
+					cur[s] = c.optOneState(s, target, goal, cur, prev, ticksLeft)
+				}
+			})
+			lo = hi
 		}
 		prev, cur = cur, prev
 	}
@@ -129,34 +83,34 @@ func (m *MDP) ReachWithinTicks(target []bool, horizon int, goal Goal) ([]prob.Ra
 }
 
 // optOneState evaluates the Bellman operator at state s. cur must already
-// hold valid values for every non-tick successor of s (guaranteed by
-// reverse topological order); prev holds the previous tick layer.
+// hold valid values for every non-tick successor of s (guaranteed by the
+// level schedule: non-tick successors live on strictly lower levels,
+// completed behind earlier barriers); prev holds the previous tick layer.
 // ticksLeft reports whether a tick is still within the horizon.
-func (m *MDP) optOneState(s int, target []bool, goal Goal, cur, prev []prob.Rat, ticksLeft bool) prob.Rat {
+func (c *CSR) optOneState(s int32, target []bool, goal Goal, cur, prev []prob.Rat, ticksLeft bool) prob.Rat {
 	if target[s] {
 		return prob.One()
 	}
-	choices := m.Choices[s]
-	if len(choices) == 0 {
+	cLo, cHi := c.choiceRow[s], c.choiceRow[s+1]
+	if cLo == cHi {
 		return prob.Zero()
 	}
 	var best prob.Rat
-	for ci, c := range choices {
+	for ci := cLo; ci < cHi; ci++ {
 		var v prob.Rat
-		if c.Tick && !ticksLeft {
-			// Taking the tick exceeds the deadline: this alternative
-			// contributes probability zero of meeting the bound.
-			v = prob.Zero()
-		} else {
+		tick := c.tick.get(ci)
+		if !tick || ticksLeft {
 			layer := cur
-			if c.Tick {
+			if tick {
 				layer = prev
 			}
-			for _, tr := range c.Branches {
-				v = v.Add(tr.P.Mul(layer[tr.To]))
+			for bi := c.branchRow[ci]; bi < c.branchRow[ci+1]; bi++ {
+				v = v.Add(c.pr[bi].Mul(layer[c.col[bi]]))
 			}
 		}
-		if ci == 0 || goal.better(v, best) {
+		// A tick at an exhausted horizon contributes probability zero of
+		// meeting the bound (v stays the zero value).
+		if ci == cLo || goal.better(v, best) {
 			best = v
 		}
 	}
@@ -166,7 +120,8 @@ func (m *MDP) optOneState(s int, target []bool, goal Goal, cur, prev []prob.Rat,
 // ReachWithinSteps computes, for every state, the optimal probability that
 // a target state is visited within at most `steps` transitions (of any
 // duration). Unlike ReachWithinTicks it works on arbitrary MDPs, cycles
-// included, because the horizon decreases on every move.
+// included, because the horizon decreases on every move: each layer is a
+// pure (Jacobi) function of the previous one, swept in parallel.
 func (m *MDP) ReachWithinSteps(target []bool, steps int, goal Goal) ([]prob.Rat, error) {
 	if len(target) != m.NumStates {
 		return nil, fmt.Errorf("mdp: target mask has %d entries, want %d", len(target), m.NumStates)
@@ -174,35 +129,40 @@ func (m *MDP) ReachWithinSteps(target []bool, steps int, goal Goal) ([]prob.Rat,
 	if steps < 0 {
 		return nil, fmt.Errorf("mdp: negative step bound %d", steps)
 	}
-	prev := make([]prob.Rat, m.NumStates)
+	c := m.CSR()
+	workers := m.workers()
+	prev := make([]prob.Rat, c.n)
 	for s := range prev {
 		if target[s] {
 			prev[s] = prob.One()
 		}
 	}
 	for k := 0; k < steps; k++ {
-		cur := make([]prob.Rat, m.NumStates)
-		for s := 0; s < m.NumStates; s++ {
-			if target[s] {
-				cur[s] = prob.One()
-				continue
-			}
-			choices := m.Choices[s]
-			if len(choices) == 0 {
-				continue
-			}
-			var best prob.Rat
-			for ci, c := range choices {
-				var v prob.Rat
-				for _, tr := range c.Branches {
-					v = v.Add(tr.P.Mul(prev[tr.To]))
+		cur := make([]prob.Rat, c.n)
+		parallelFor(workers, c.n, func(w, a, b int) {
+			for si := a; si < b; si++ {
+				s := int32(si)
+				if target[s] {
+					cur[s] = prob.One()
+					continue
 				}
-				if ci == 0 || goal.better(v, best) {
-					best = v
+				cLo, cHi := c.choiceRow[s], c.choiceRow[s+1]
+				if cLo == cHi {
+					continue
 				}
+				var best prob.Rat
+				for ci := cLo; ci < cHi; ci++ {
+					var v prob.Rat
+					for bi := c.branchRow[ci]; bi < c.branchRow[ci+1]; bi++ {
+						v = v.Add(c.pr[bi].Mul(prev[c.col[bi]]))
+					}
+					if ci == cLo || goal.better(v, best) {
+						best = v
+					}
+				}
+				cur[s] = best
 			}
-			cur[s] = best
-		}
+		})
 		prev = cur
 	}
 	return prev, nil

@@ -24,3 +24,27 @@ type Packer[S comparable] interface {
 	// PackState encodes s into its fixed-width fingerprint.
 	PackState(s S) Packed
 }
+
+// ProductKey is the fixed-width fingerprint of a product State: the
+// packed algorithm state plus the window bookkeeping verbatim. Injective
+// whenever the base packing is (the bookkeeping fields are copied, not
+// encoded), so it inherits the Packer soundness argument unchanged.
+type ProductKey struct {
+	Base Packed
+	Owes uint16
+	Left uint64
+}
+
+// ProductPacker lifts a base model's Packer to product states, for use as
+// the interning key of on-the-fly exploration (mdp.ExplorePacked). It
+// returns ok = false when the model does not implement Packer, in which
+// case callers fall back to interning product states by value.
+func ProductPacker[S comparable](m Model[S]) (func(State[S]) ProductKey, bool) {
+	p, ok := m.(Packer[S])
+	if !ok {
+		return nil, false
+	}
+	return func(ps State[S]) ProductKey {
+		return ProductKey{Base: p.PackState(ps.Base), Owes: ps.Owes, Left: ps.Left}
+	}, true
+}

@@ -52,7 +52,7 @@ var _ sched.Model[ufState] = userFlip{}
 // mkUserFlip arms the process with the user move when nothing is ready,
 // then plays the slowest legal schedule.
 func mkUserFlip() Policy[ufState] {
-	return PolicyFunc[ufState](func(v View[ufState], _ *rand.Rand) (Choice, bool) {
+	return PolicyFunc[ufState](func(v *View[ufState], _ *rand.Rand) (Choice, bool) {
 		if len(v.Ready) > 0 {
 			return Choice{Proc: v.Ready[0], Move: 0, At: v.DeadlineMin}, true
 		}

@@ -21,7 +21,7 @@ import (
 // fuzzPolicy misbehaves according to mode, seeded by the fuzzer.
 func fuzzPolicy(mode, procOff, moveOff byte, jitter uint16) Policy[ixState] {
 	step := 0
-	return PolicyFunc[ixState](func(v View[ixState], rng *rand.Rand) (Choice, bool) {
+	return PolicyFunc[ixState](func(v *View[ixState], rng *rand.Rand) (Choice, bool) {
 		step++
 		// Pick a legal baseline first so every mode can also reach deeper
 		// engine states before misbehaving.

@@ -82,9 +82,9 @@ func TestViewDeadlineMinNoReady(t *testing.T) {
 func TestViewBuffersReused(t *testing.T) {
 	var first View[int]
 	steps := 0
-	probe := PolicyFunc[int](func(v View[int], _ *rand.Rand) (Choice, bool) {
+	probe := PolicyFunc[int](func(v *View[int], _ *rand.Rand) (Choice, bool) {
 		if steps == 0 {
-			first = v
+			first = *v
 		}
 		steps++
 		return Choice{Proc: 0, At: v.DeadlineMin}, true

@@ -157,7 +157,7 @@ func sortedAscending(xs []float64) bool {
 func TestParallelErrorSemantics(t *testing.T) {
 	t.Run("desertion", func(t *testing.T) {
 		quit := func() Policy[flipState] {
-			return PolicyFunc[flipState](func(View[flipState], *rand.Rand) (Choice, bool) {
+			return PolicyFunc[flipState](func(*View[flipState], *rand.Rand) (Choice, bool) {
 				return Choice{}, false
 			})
 		}
@@ -169,7 +169,7 @@ func TestParallelErrorSemantics(t *testing.T) {
 	})
 	t.Run("bad choice", func(t *testing.T) {
 		malicious := func() Policy[flipState] {
-			return PolicyFunc[flipState](func(View[flipState], *rand.Rand) (Choice, bool) {
+			return PolicyFunc[flipState](func(*View[flipState], *rand.Rand) (Choice, bool) {
 				return Choice{Proc: 99, At: 0}, true
 			})
 		}

@@ -25,7 +25,7 @@ func Paced[S comparable](alpha float64) Policy[S] {
 	if alpha <= 0 || alpha > 1 {
 		panic("sim: Paced alpha outside (0, 1]")
 	}
-	return PolicyFunc[S](func(v View[S], _ *rand.Rand) (Choice, bool) {
+	return PolicyFunc[S](func(v *View[S], _ *rand.Rand) (Choice, bool) {
 		if len(v.Ready) == 0 {
 			if len(v.UserMovers) == 0 {
 				return Choice{}, false
@@ -48,7 +48,7 @@ func Paced[S comparable](alpha float64) Policy[S] {
 // time, resolving nondeterministic branches uniformly. It approximates an
 // unbiased environment rather than an adversary.
 func Random[S comparable](pUser float64) Policy[S] {
-	return PolicyFunc[S](func(v View[S], rng *rand.Rand) (Choice, bool) {
+	return PolicyFunc[S](func(v *View[S], rng *rand.Rand) (Choice, bool) {
 		useUser := len(v.UserMovers) > 0 && (len(v.Ready) == 0 || rng.Float64() < pUser)
 		if useUser {
 			proc := v.UserMovers[rng.Intn(len(v.UserMovers))]

@@ -26,7 +26,7 @@ func mkPanicky(pFrac float64) func() Policy[flipState] {
 	return func() Policy[flipState] {
 		first := true
 		inner := Slowest[flipState]()
-		return PolicyFunc[flipState](func(v View[flipState], rng *rand.Rand) (Choice, bool) {
+		return PolicyFunc[flipState](func(v *View[flipState], rng *rand.Rand) (Choice, bool) {
 			if first {
 				first = false
 				if rng.Float64() < pFrac {
@@ -39,7 +39,7 @@ func mkPanicky(pFrac float64) func() Policy[flipState] {
 }
 
 func TestRunOnceRecoversPanics(t *testing.T) {
-	boom := PolicyFunc[flipState](func(View[flipState], *rand.Rand) (Choice, bool) {
+	boom := PolicyFunc[flipState](func(*View[flipState], *rand.Rand) (Choice, bool) {
 		panic("kaboom")
 	})
 	_, err := RunOnce[flipState](flipper{}, boom, heads, Options[flipState]{}, rand.New(rand.NewSource(1)))

@@ -73,14 +73,14 @@ type Choice struct {
 // false ends the run; the engine rejects that while any process is ready,
 // since deserting a ready process violates Unit-Time.
 type Policy[S comparable] interface {
-	Choose(v View[S], rng *rand.Rand) (c Choice, ok bool)
+	Choose(v *View[S], rng *rand.Rand) (c Choice, ok bool)
 }
 
 // PolicyFunc adapts a function to the Policy interface.
-type PolicyFunc[S comparable] func(v View[S], rng *rand.Rand) (Choice, bool)
+type PolicyFunc[S comparable] func(v *View[S], rng *rand.Rand) (Choice, bool)
 
 // Choose implements Policy.
-func (f PolicyFunc[S]) Choose(v View[S], rng *rand.Rand) (Choice, bool) { return f(v, rng) }
+func (f PolicyFunc[S]) Choose(v *View[S], rng *rand.Rand) (Choice, bool) { return f(v, rng) }
 
 var _ Policy[int] = (PolicyFunc[int])(nil)
 
@@ -220,7 +220,7 @@ func runTrial[S comparable](sc *viewScratch[S], p Policy[S], target func(S) bool
 
 	for res.Events < opts.MaxEvents && now <= opts.MaxTime {
 		view := sc.build(state, now)
-		choice, ok := p.Choose(*view, rng)
+		choice, ok := p.Choose(view, rng)
 		if !ok {
 			if len(view.Ready) > 0 {
 				return ErrPolicyDeserted
@@ -442,8 +442,10 @@ func applyChoice[S comparable](now, deadlineMin float64, c Choice, sc *viewScrat
 	// Validate the process index before consulting the move caches:
 	// Moves / UserMoves implementations are entitled to index per-process
 	// arrays, so an out-of-range index from a malicious policy must
-	// become ErrBadChoice here, never a panic inside the model.
-	if c.Proc < 0 || c.Proc >= sc.n {
+	// become ErrBadChoice here, never a panic inside the model. The
+	// unsigned compare folds the negative and too-large cases into one
+	// branch, matching the compiler's own slice bounds-check idiom.
+	if uint(c.Proc) >= uint(sc.n) {
 		return zero, 0, fmt.Errorf("%w: proc %d move %d (user=%t)", ErrBadChoice, c.Proc, c.Move, c.User)
 	}
 	if e := sc.cur; e != nil {
@@ -455,7 +457,7 @@ func applyChoice[S comparable](now, deadlineMin float64, c Choice, sc *viewScrat
 		if c.User {
 			ms = e.userSamplers[c.Proc]
 		}
-		if c.Move < 0 || c.Move >= len(ms) {
+		if uint(c.Move) >= uint(len(ms)) {
 			return zero, 0, fmt.Errorf("%w: proc %d move %d (user=%t)", ErrBadChoice, c.Proc, c.Move, c.User)
 		}
 		t := c.At
@@ -486,7 +488,7 @@ func applyChoice[S comparable](now, deadlineMin float64, c Choice, sc *viewScrat
 	if c.User {
 		moves = sc.userMoves[c.Proc]
 	}
-	if c.Move < 0 || c.Move >= len(moves) {
+	if uint(c.Move) >= uint(len(moves)) {
 		return zero, 0, fmt.Errorf("%w: proc %d move %d (user=%t)", ErrBadChoice, c.Proc, c.Move, c.User)
 	}
 	t := c.At

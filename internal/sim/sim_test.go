@@ -201,7 +201,7 @@ func TestRunOnceDeadlineBookkeeping(t *testing.T) {
 
 func TestPolicyDesertionRejected(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	quitter := PolicyFunc[flipState](func(View[flipState], *rand.Rand) (Choice, bool) {
+	quitter := PolicyFunc[flipState](func(*View[flipState], *rand.Rand) (Choice, bool) {
 		return Choice{}, false
 	})
 	_, err := RunOnce[flipState](flipper{}, quitter, func(flipState) bool { return false },
@@ -225,7 +225,7 @@ func TestBadChoicesRejected(t *testing.T) {
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
 			rng := rand.New(rand.NewSource(1))
-			bad := PolicyFunc[flipState](func(View[flipState], *rand.Rand) (Choice, bool) {
+			bad := PolicyFunc[flipState](func(*View[flipState], *rand.Rand) (Choice, bool) {
 				return tt.c, true
 			})
 			_, err := RunOnce[flipState](flipper{}, bad, func(flipState) bool { return false },
@@ -247,7 +247,7 @@ func TestMaliciousProcIndexRejected(t *testing.T) {
 		{Proc: -1, At: 0},
 		{Proc: 2, User: true, At: 0},
 	} {
-		malicious := PolicyFunc[ixState](func(View[ixState], *rand.Rand) (Choice, bool) {
+		malicious := PolicyFunc[ixState](func(*View[ixState], *rand.Rand) (Choice, bool) {
 			return c, true
 		})
 		rng := rand.New(rand.NewSource(1))

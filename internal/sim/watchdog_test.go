@@ -45,7 +45,7 @@ func mkStalling(frac float64, release <-chan struct{}) func() Policy[flipState] 
 	return func() Policy[flipState] {
 		first := true
 		inner := Slowest[flipState]()
-		return PolicyFunc[flipState](func(v View[flipState], rng *rand.Rand) (Choice, bool) {
+		return PolicyFunc[flipState](func(v *View[flipState], rng *rand.Rand) (Choice, bool) {
 			if first {
 				first = false
 				if rng.Float64() < frac {

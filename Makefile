@@ -13,6 +13,9 @@
 #                                                or assert a broken paper bound
 #   chaos-smoke go test -race -run TestChaos     one seeded fault/kill/corruption
 #                                                storm per chaos package
+#   chaos-net-smoke go test -race TestChaosNetworkStorm  one seeded partition/
+#                                                corruption network storm against
+#                                                real coordinator + workers
 #   fabric-smoke go test -run TestFabricSmoke    coordinator + 2 workers over
 #                                                loopback reproduce the exact
 #                                                single-process estimate
@@ -43,14 +46,14 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test test-short test-race bench bench-smoke bench-json bench-diff vuln vet fmt fuzz chaos chaos-smoke fabric-smoke trace-smoke mdp-smoke check lrcheck experiments
+.PHONY: all build test test-short test-race bench bench-smoke bench-json bench-diff vuln vet fmt fuzz chaos chaos-smoke chaos-net chaos-net-smoke fabric-smoke trace-smoke mdp-smoke check lrcheck experiments
 
 # Benchmarks recorded in BENCH_sim.json and gated by bench-diff: the
 # parallel-engine throughput row, the hot-path ablation ladder, the
 # metrics-overhead pair, the compiled-vs-uncompiled ablations for the
 # election and consensus case studies, and the exact-engine
 # explore+solve row.
-BENCH_GATE = BenchmarkParallelTrials|BenchmarkTrialAblation|BenchmarkMetricsOverhead|BenchmarkSpanOverhead|BenchmarkElectionTrials|BenchmarkConsensusTrials|BenchmarkExactEngine
+BENCH_GATE = BenchmarkParallelTrials|BenchmarkTrialAblation|BenchmarkMetricsOverhead|BenchmarkSpanOverhead|BenchmarkElectionTrials|BenchmarkConsensusTrials|BenchmarkExactEngine|BenchmarkBreakerOverhead
 
 # Absolute throughput backstop for the headline engine benchmark,
 # enforced by bench-diff on top of the relative 10% gate: the alias
@@ -145,12 +148,27 @@ CHAOS_PKGS = ./internal/sim ./cmd/lrsim ./cmd/electcheck ./cmd/simd
 CHAOS_STORMS ?= 8
 
 # The full chaos suite: many storms per package, race detector on.
+# (Includes the network storm via the TestChaos pattern.)
 chaos:
 	CHAOS_STORMS=$(CHAOS_STORMS) $(GO) test -race -run 'TestChaos' -v $(CHAOS_PKGS)
 
 # One race-enabled storm per package; cheap enough to gate every check.
+# The network storm is skipped here — it has its own smoke target below,
+# so each gate stays attributable when one fails.
 chaos-smoke:
-	CHAOS_STORMS=1 $(GO) test -race -run 'TestChaos' -count=1 $(CHAOS_PKGS)
+	CHAOS_STORMS=1 $(GO) test -race -run 'TestChaos' -skip 'TestChaosNetwork' -count=1 $(CHAOS_PKGS)
+
+# Network-adversary chaos: seeded fault-injecting transports (latency,
+# drops, 5xx, corruption, truncation, slow-drip, corrupt-on-send) plus a
+# mid-job partition, against real coordinator + worker processes with
+# hedging, quarantine and breakers on. Failures print the storm seed;
+# replay with CHAOS_SEED=<seed>.
+chaos-net:
+	CHAOS_STORMS=$(CHAOS_STORMS) $(GO) test -race -run 'TestChaosNetworkStorm' -count=1 -v ./cmd/simd
+
+# One race-enabled network storm; gates every check.
+chaos-net-smoke:
+	CHAOS_STORMS=1 $(GO) test -race -run 'TestChaosNetworkStorm' -count=1 ./cmd/simd
 
 # Distributed-fabric smoke: a coordinator plus two in-process workers
 # over loopback HTTP must reproduce the single-process estimate exactly.
@@ -180,7 +198,7 @@ mdp-smoke:
 	$(GO) run ./cmd/lrcheck -n 3 -k 1 -workers 2 >/dev/null && echo "mdp-smoke: lrcheck ok"
 	$(GO) test -run 'TestExploreMatchesDenseElection' -count=1 .
 
-check: build vet test test-race bench-smoke chaos-smoke fabric-smoke trace-smoke mdp-smoke vuln
+check: build vet test test-race bench-smoke chaos-smoke chaos-net-smoke fabric-smoke trace-smoke mdp-smoke vuln
 
 # The headline reproduction: the paper's table, derivation and bounds.
 lrcheck:

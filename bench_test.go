@@ -9,10 +9,13 @@
 package timedpa_test
 
 import (
+	"bytes"
 	"context"
 	"io"
 	"math"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"reflect"
 	"sort"
 	"sync"
@@ -26,6 +29,7 @@ import (
 	"repro/internal/election"
 	"repro/internal/events"
 	"repro/internal/exec"
+	"repro/internal/fault"
 	"repro/internal/mdp"
 	"repro/internal/obs"
 	"repro/internal/obs/span"
@@ -746,6 +750,106 @@ func BenchmarkSpanOverhead(b *testing.B) {
 		b.ReportMetric(100*median, "overhead-%")
 		if b.N >= 3 && q25 > 0.02 {
 			b.Fatalf("span overhead exceeds the 2%% budget: lower quartile %.1f%%, median %.1f%% over %d paired ratios",
+				100*q25, 100*median, len(ratios))
+		}
+	})
+}
+
+// BenchmarkBreakerOverhead pins the cost of the worker's circuit
+// breaker on the RPC hot path. Every fabric RPC a worker sends is
+// bracketed by Allow/Record on a fault.Breaker (two mutex round trips);
+// the benchmark measures real loopback HTTP POSTs bare and bracketed,
+// and the gate asserts the bracketed path stays within the same 2%
+// budget as the metrics and span seams. Loopback HTTP on a shared box
+// is far noisier than the in-process engine runs, so each sample is a
+// batch of round trips and the gate uses the span seam's paired-ratio
+// lower-quartile estimator rather than cross-mode minima.
+func BenchmarkBreakerOverhead(b *testing.B) {
+	// 64 round trips per sample: a closed-breaker Allow/Record pair
+	// costs tens of nanoseconds against a ~100µs loopback POST, so the
+	// batch exists to average per-request scheduler jitter, not to make
+	// the overhead visible — the gate proves a *regression* (a syscall,
+	// an allocation, contention on the breaker lock) would be caught.
+	const rpcs = 64
+	body := []byte(`{"lease":"bench","chunk":0}`)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer srv.Close()
+	client := srv.Client()
+
+	post := func() error {
+		resp, err := client.Post(srv.URL, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		return resp.Body.Close()
+	}
+	br := fault.NewBreaker(fault.BreakerOptions{})
+	// batch times one sample of rpcs round trips, each bracketed the way
+	// internal/fabric.Worker brackets its RPCs when a breaker is set: a
+	// transport error is Recorded as failure, any HTTP response as
+	// success.
+	batch := func(br *fault.Breaker) time.Duration {
+		start := time.Now()
+		for i := 0; i < rpcs; i++ {
+			if br == nil {
+				if err := post(); err != nil {
+					b.Fatal(err)
+				}
+				continue
+			}
+			if err := br.Allow(); err != nil {
+				b.Fatal(err)
+			}
+			err := post()
+			br.Record(err)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+
+	modes := []struct {
+		name string
+		br   *fault.Breaker
+	}{
+		{"bare", nil},
+		{"breaker", br},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				batch(mode.br)
+			}
+			b.ReportMetric(float64(rpcs)*float64(b.N)/b.Elapsed().Seconds(), "rpcs/s")
+		})
+	}
+
+	// The ≤2% budget as an assertion, alternating order to cancel drift
+	// and gating on the lower quartile of paired ratios (see
+	// BenchmarkSpanOverhead for why minima are too fragile here).
+	b.Run("overhead", func(b *testing.B) {
+		ratios := make([]float64, 0, b.N)
+		for i := 0; i < b.N; i++ {
+			var off, on time.Duration
+			if i%2 == 0 {
+				off, on = batch(nil), batch(br)
+			} else {
+				on, off = batch(br), batch(nil)
+			}
+			ratios = append(ratios, float64(on)/float64(off))
+		}
+		sort.Float64s(ratios)
+		median := ratios[len(ratios)/2] - 1
+		q25 := ratios[len(ratios)/4] - 1
+		b.ReportMetric(100*median, "overhead-%")
+		if b.N >= 3 && q25 > 0.02 {
+			b.Fatalf("breaker overhead exceeds the 2%% budget: lower quartile %.1f%%, median %.1f%% over %d paired ratios",
 				100*q25, 100*median, len(ratios))
 		}
 	})

@@ -1,0 +1,126 @@
+package main
+
+// Network-adversary chaos: partition storms over real coordinator and
+// worker processes, with seeded fault injection on both sides of the
+// wire — latency, dropped connections, injected 5xx, corrupted and
+// truncated bodies, slow-drip reads, corrupt-on-send result uploads,
+// and a mid-job partition of one worker. Workers may be quarantined or
+// give up; legs resume from the durable -state frontier until a
+// coordinator leg completes — and its stdout must be byte-identical to
+// the uninterrupted single-process run.
+//
+// Gated by CHAOS_STORMS (the storm count); replay a failing storm with
+// CHAOS_SEED=<seed>. `make chaos-net` raises both.
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestChaosNetworkStorm: coordinator plus three workers per leg, every
+// process behind a seeded fault.Network. One worker's result uploads
+// are corrupted on send (exercising 422 retries and corrupt-upload
+// quarantine), one worker is partitioned from the coordinator mid-job
+// (exercising the breaker and lease reassignment), and the coordinator
+// itself injects 500s, drops and latency server-side (exercising the
+// worker's retry/hedge machinery). The storm only ends when a leg's
+// stdout matches `simd local` byte-for-byte.
+func TestChaosNetworkStorm(t *testing.T) {
+	stormsEnv := os.Getenv("CHAOS_STORMS")
+	if stormsEnv == "" {
+		t.Skip("set CHAOS_STORMS to run the network chaos storm")
+	}
+	storms, err := strconv.Atoi(stormsEnv)
+	if err != nil || storms < 1 {
+		t.Fatalf("CHAOS_STORMS %q: %v", stormsEnv, err)
+	}
+
+	want, _, err := runCLI(t, append([]string{"local"}, jobArgs...)...)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	seed := chaosSeed(t)
+
+	for storm := 0; storm < storms; storm++ {
+		rng := rand.New(rand.NewSource(seed + int64(storm)))
+		dir := t.TempDir()
+		state := filepath.Join(dir, "state.json")
+
+		completed := false
+		for leg := 0; leg < 40 && !completed; leg++ {
+			addrFile := filepath.Join(dir, "addr-"+strconv.Itoa(leg))
+			coordScript := fmt.Sprintf("seed=%d,latency=0.2:1ms:10ms,drop=0.03,http500=0.03",
+				rng.Int63n(1<<30)+1)
+			coord := startCLI(t, append([]string{"coordinate",
+				"-listen", "127.0.0.1:0", "-addr-file", addrFile, "-state", state,
+				"-lease-chunks", "2", "-lease-ttl", "400ms", "-quorum-timeout", "5s",
+				"-hedge", "-quarantine-corrupt", "4", "-max-inflight", "64",
+				"-chaos-net", coordScript}, jobArgs...)...)
+			coordDone := make(chan error, 1)
+			go func() { coordDone <- coord.cmd.Wait() }()
+			base := waitAddr(t, addrFile)
+
+			var workers []*proc
+			for i := 0; i < 3; i++ {
+				script := fmt.Sprintf(
+					"seed=%d,latency=0.3:1ms:15ms,drop=0.05,http500=0.03,corrupt=0.03,truncate=0.03,slowdrip=0.1:256:1ms",
+					rng.Int63n(1<<30)+1)
+				switch i {
+				case 0:
+					// The saboteur: its result uploads are corrupted in
+					// flight often enough to trip the quarantine threshold.
+					script += ",corrupt-send=0.3:/v1/result"
+				case 1:
+					// The partitioned worker: cut off from the coordinator
+					// for a window in the middle of the job.
+					script += fmt.Sprintf(",partition=%dms+%dms",
+						100+rng.Int63n(300), 400+rng.Int63n(600))
+				}
+				workers = append(workers, startCLI(t, "work", "-coordinator", base,
+					"-id", "w"+strconv.Itoa(leg)+"-"+strconv.Itoa(i),
+					"-breaker-failures", "3", "-breaker-cooldown", "200ms",
+					"-chaos-net", script))
+			}
+
+			var legErr error
+			select {
+			case legErr = <-coordDone:
+			case <-time.After(90 * time.Second):
+				coord.kill()
+				t.Fatalf("storm %d leg %d (seed %d): coordinator hung", storm, leg, seed)
+			}
+			for _, w := range workers {
+				// Workers are allowed to die on their own here — quarantined,
+				// retries exhausted across a partition, breaker starvation.
+				// Survivors exit when the coordinator disappears; kill is the
+				// idempotent backstop.
+				w.kill()
+				_ = w.cmd.Wait()
+			}
+
+			switch {
+			case legErr == nil:
+				if got := coord.stdout.String(); got != want {
+					t.Fatalf("storm %d leg %d (seed %d): output differs from single-process run:\n--- want\n%s--- got\n%s",
+						storm, leg, seed, want, got)
+				}
+				completed = true
+			case strings.Contains(coord.stderr.String(), "quorum"):
+				// Every worker was lost to the storm and the coordinator gave
+				// up gracefully; the next leg resumes from the frontier.
+			default:
+				t.Fatalf("storm %d leg %d (seed %d): unexpected coordinator failure: %v\nstderr:\n%s",
+					storm, leg, seed, legErr, coord.stderr.String())
+			}
+		}
+		if !completed {
+			t.Fatalf("storm %d (seed %d): did not converge in 40 legs", storm, seed)
+		}
+	}
+}

@@ -36,8 +36,13 @@
 //	simd coordinate [job flags] [-listen 127.0.0.1:9777] [-addr-file F]
 //	                [-state state.json] [-keep 3] [-lease-chunks 4]
 //	                [-lease-ttl 3s] [-quorum-timeout 0] [-metrics-out F]
+//	                [-hedge] [-hedge-factor 1.5] [-quarantine-corrupt N]
+//	                [-min-worker-score S] [-max-worker-leases 2]
+//	                [-max-inflight N] [-chaos-net SCRIPT]
 //	simd work       -coordinator http://127.0.0.1:9777 [-id NAME]
-//	                [-workers N] [-throttle 0]
+//	                [-workers N] [-throttle 0] [-breaker-failures 5]
+//	                [-breaker-cooldown 1s] [-retry-budget 0]
+//	                [-chaos-net SCRIPT]
 //
 // Job flags (shared by local and coordinate):
 //
@@ -61,6 +66,7 @@ import (
 	"time"
 
 	"repro/internal/fabric"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/obs/span"
 	"repro/internal/sim"
@@ -248,6 +254,13 @@ func runCoordinate(ctx context.Context, args []string) error {
 	metricsOut := fs.String("metrics-out", "", "write the final fabric metrics snapshot as JSON to this file")
 	traceOut := fs.String("trace-out", "", "write trace spans (job, leases, RPCs, merges) as JSONL to this file")
 	progress := fs.Duration("progress", 0, "report chunk-frontier progress to stderr at this interval (0 = off)")
+	hedge := fs.Bool("hedge", false, "speculatively re-issue straggling leases to idle workers before TTL expiry (duplicates are free: first valid result wins)")
+	hedgeFactor := fs.Float64("hedge-factor", 0, "hedge age threshold as a multiple of the p99 lease completion time (0 = default 1.5)")
+	quarantineCorrupt := fs.Int("quarantine-corrupt", 0, "blacklist a worker after this many corrupt uploads (0 = off)")
+	minWorkerScore := fs.Float64("min-worker-score", 0, "quarantine workers whose health score falls below this floor (0 = off)")
+	maxWorkerLeases := fs.Int("max-worker-leases", 0, "max concurrent leases per worker (0 = default 2)")
+	maxInflight := fs.Int("max-inflight", 0, "shed lease/heartbeat/result RPCs beyond this many in flight with 429 + Retry-After (0 = unlimited)")
+	chaosNet := fs.String("chaos-net", "", "inject server-side network faults per this script, e.g. 'seed=7,drop=0.1,http500=0.05,partition=300ms+500ms' (testing only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -283,13 +296,19 @@ func runCoordinate(ctx context.Context, args []string) error {
 	}
 
 	opts := fabric.CoordinatorOptions{
-		LeaseChunks:   *leaseChunks,
-		LeaseTTL:      *leaseTTL,
-		StatePath:     *state,
-		Store:         &sim.ArtifactStore{Keep: *keep},
-		QuorumTimeout: *quorumTimeout,
-		Metrics:       obs.NewFabricMetrics(reg),
-		Tracer:        tr,
+		LeaseChunks:        *leaseChunks,
+		LeaseTTL:           *leaseTTL,
+		StatePath:          *state,
+		Store:              &sim.ArtifactStore{Keep: *keep},
+		QuorumTimeout:      *quorumTimeout,
+		Metrics:            obs.NewFabricMetrics(reg),
+		Tracer:             tr,
+		Hedge:              *hedge,
+		HedgeFactor:        *hedgeFactor,
+		QuarantineCorrupt:  *quarantineCorrupt,
+		MinWorkerScore:     *minWorkerScore,
+		MaxLeasesPerWorker: *maxWorkerLeases,
+		MaxInflightRPCs:    *maxInflight,
 	}
 	c, err := fabric.NewCoordinator(ctx, job(), opts)
 	if err != nil {
@@ -308,7 +327,21 @@ func runCoordinate(ctx context.Context, args []string) error {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "simd: coordinating %s on http://%s\n", jobLine(c.Job()), addr)
-	srv := obs.NewHTTPServer(c.Handler())
+	var mw []func(http.Handler) http.Handler
+	if *chaosNet != "" {
+		script, err := fault.ParseNetScript(*chaosNet)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		netw := script.Build("coord", fault.Wall)
+		mw = append(mw, netw.Middleware("coord"))
+		fmt.Fprintf(os.Stderr, "simd: chaos-net active on coordinator: %s\n", *chaosNet)
+		defer func() {
+			fmt.Fprintf(os.Stderr, "simd: chaos-net injected %d faults\n", netw.Total())
+		}()
+	}
+	srv := obs.NewHTTPServer(c.Handler(), mw...)
 	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
 	defer srv.Close()
 
@@ -338,6 +371,10 @@ func runCoordinate(ctx context.Context, args []string) error {
 	st := c.Status()
 	fmt.Fprintf(os.Stderr, "simd: %d/%d chunks merged; %d leases granted, %d expired, %d chunks reassigned, %d duplicate chunks dropped, %d results rejected\n",
 		st.ChunksDone, st.Chunks, st.LeasesGranted, st.LeasesExpired, st.ChunksReassigned, st.DuplicatesDropped, st.ResultsRejected)
+	if st.HedgesIssued > 0 || st.WorkersQuarantined > 0 || st.RPCsShed > 0 {
+		fmt.Fprintf(os.Stderr, "simd: hardening: %d hedges issued, %d workers quarantined, %d rpcs shed\n",
+			st.HedgesIssued, st.WorkersQuarantined, st.RPCsShed)
+	}
 	reportRun(rep)
 
 	if waitErr == nil && ferr == nil {
@@ -371,6 +408,11 @@ func runWork(ctx context.Context, args []string) error {
 	workers := fs.Int("workers", 0, "engine goroutines per lease (0 = all CPUs)")
 	throttle := fs.Duration("throttle", 0, "pause between finishing a lease and reporting it, lease held (testing/rehearsal)")
 	traceOut := fs.String("trace-out", "", "write trace spans (leases, chunks, RPCs) as JSONL to this file")
+	breakerFailures := fs.Int("breaker-failures", 5, "consecutive RPC failures before the circuit breaker opens (0 = breaker off)")
+	breakerCooldown := fs.Duration("breaker-cooldown", time.Second, "how long an open breaker waits before probing the coordinator again")
+	retryBudget := fs.Duration("retry-budget", 0, "total elapsed time allowed per RPC across retries before giving up with a budget error (0 = attempts only)")
+	chaosNet := fs.String("chaos-net", "", "inject client-side network faults per this script, e.g. 'seed=7,latency=0.3:1ms:10ms,corrupt-send=0.1:/v1/result' (testing only)")
+	metricsOut := fs.String("metrics-out", "", "write the worker metrics snapshot (incl. breaker state) as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -378,19 +420,56 @@ func runWork(ctx context.Context, args []string) error {
 		fs.Usage()
 		return errors.New("-coordinator is required")
 	}
+	service := *id
+	if service == "" {
+		service = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	reg := obs.NewRegistry()
+	if *metricsOut != "" {
+		defer func() {
+			data, err := json.Marshal(reg.Snapshot())
+			if err == nil {
+				err = os.WriteFile(*metricsOut, data, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "simd: writing -metrics-out: %v\n", err)
+			}
+		}()
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	if *chaosNet != "" {
+		script, err := fault.ParseNetScript(*chaosNet)
+		if err != nil {
+			return err
+		}
+		netw := script.Build(service, fault.Wall)
+		client.Transport = netw.Transport(service, http.DefaultTransport)
+		fmt.Fprintf(os.Stderr, "simd: chaos-net active on worker %s: %s\n", service, *chaosNet)
+		defer func() {
+			fmt.Fprintf(os.Stderr, "simd: chaos-net injected %d faults\n", netw.Total())
+		}()
+	}
 	w := &fabric.Worker{
 		Coordinator: *coordinator,
 		ID:          *id,
 		Workers:     *workers,
 		Throttle:    *throttle,
-		Client:      &http.Client{Timeout: 30 * time.Second},
+		Client:      client,
+		Retry:       fault.RetryPolicy{MaxElapsed: *retryBudget},
 		Report: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "simd: "+format+"\n", args...)
 		},
 	}
-	service := *id
-	if service == "" {
-		service = fmt.Sprintf("worker-%d", os.Getpid())
+	if *breakerFailures > 0 {
+		gauge := obs.BreakerGauge(reg)
+		w.Breaker = fault.NewBreaker(fault.BreakerOptions{
+			Failures: *breakerFailures,
+			Cooldown: *breakerCooldown,
+			OnChange: func(from, to fault.BreakerState) {
+				gauge(from, to)
+				fmt.Fprintf(os.Stderr, "simd: breaker %s -> %s\n", from, to)
+			},
+		})
 	}
 	tr, err := openTracer(*traceOut, service)
 	if err != nil {

@@ -21,7 +21,9 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fault"
@@ -78,6 +80,46 @@ type CoordinatorOptions struct {
 	// Trace context rides the RPC response headers so workers join the
 	// same trace. Nil disables tracing at the cost of nil checks.
 	Tracer *span.Tracer
+
+	// Hedge enables hedged leases: when every pending chunk is leased
+	// out and an idle worker asks for work, a lease whose age exceeds
+	// HedgeFactor times the p99 of observed lease completion times is
+	// speculatively re-issued to the idle worker as a duplicate
+	// ("hedge") lease before its TTL expires. The idempotent
+	// first-valid-wins merge makes the duplicate free: whichever copy
+	// lands first counts, the other is dropped. This bounds stragglers
+	// — a slow-dripping worker no longer holds job completion hostage
+	// for a full TTL.
+	Hedge bool
+	// HedgeFactor scales the p99 completion time into the hedge age
+	// threshold (default 1.5).
+	HedgeFactor float64
+	// HedgeMinSamples is how many completed leases must be observed
+	// before any hedge fires (default 3) — hedging off a cold p99 would
+	// just duplicate everything.
+	HedgeMinSamples int
+	// MaxHedgesPerLease bounds how many hedges one lease can spawn
+	// (default 1).
+	MaxHedgesPerLease int
+
+	// QuarantineCorrupt, when positive, blacklists a worker after that
+	// many corrupt uploads (checksum, JSON, or identity failures):
+	// its leases are revoked, no new lease is ever granted to it, and
+	// lease responses tell it to exit.
+	QuarantineCorrupt int
+	// MinWorkerScore, when positive, quarantines a worker whose health
+	// score (delivered vs expired/corrupt/late, Laplace-smoothed) drops
+	// below this floor after at least 4 grants.
+	MinWorkerScore float64
+
+	// MaxLeasesPerWorker caps the leases one worker may hold at once
+	// (default 2: the pull loop holds one, plus headroom for a lease
+	// expired server-side that the worker is still finishing).
+	MaxLeasesPerWorker int
+	// MaxInflightRPCs, when positive, sheds lease/heartbeat/result RPCs
+	// beyond that many concurrently in flight with 429 + Retry-After
+	// (GET /v1/status stays unshedded — it is the ops probe).
+	MaxInflightRPCs int
 }
 
 func (o CoordinatorOptions) leaseChunks() int {
@@ -94,14 +136,68 @@ func (o CoordinatorOptions) leaseTTL() time.Duration {
 	return o.LeaseTTL
 }
 
+func (o CoordinatorOptions) hedgeFactor() float64 {
+	if o.HedgeFactor <= 0 {
+		return 1.5
+	}
+	return o.HedgeFactor
+}
+
+func (o CoordinatorOptions) hedgeMinSamples() int {
+	if o.HedgeMinSamples <= 0 {
+		return 3
+	}
+	return o.HedgeMinSamples
+}
+
+func (o CoordinatorOptions) maxHedges() int {
+	if o.MaxHedgesPerLease <= 0 {
+		return 1
+	}
+	return o.MaxHedgesPerLease
+}
+
+func (o CoordinatorOptions) maxLeasesPerWorker() int {
+	if o.MaxLeasesPerWorker <= 0 {
+		return 2
+	}
+	return o.MaxLeasesPerWorker
+}
+
 // lease is one outstanding claim.
 type lease struct {
-	id      string
-	worker  string
-	chunks  sim.ChunkRange
-	expires time.Time
-	granted time.Time  // grant instant, for turnaround metrics
-	span    *span.Span // open "lease" span; nil when tracing is off
+	id       string
+	worker   string
+	chunks   sim.ChunkRange
+	expires  time.Time
+	granted  time.Time  // grant instant, for turnaround metrics
+	lastBeat time.Time  // last heartbeat (or grant), for late-beat scoring
+	span     *span.Span // open "lease" span; nil when tracing is off
+	// hedgeOf names the lease this one speculatively duplicates; empty
+	// for a primary lease. hedges counts duplicates spawned off this
+	// lease.
+	hedgeOf string
+	hedges  int
+}
+
+// workerHealth is the coordinator's per-worker scorecard.
+type workerHealth struct {
+	granted   int64
+	delivered int64
+	expired   int64
+	corrupt   int64
+	lateBeats int64
+
+	quarantined bool
+}
+
+// score is the Laplace-smoothed success rate: corrupt uploads weigh
+// double (they attack the merge), late heartbeats half (they only risk
+// a reassignment). A fresh worker starts at 1.0.
+func (h *workerHealth) score() float64 {
+	good := float64(h.delivered) + 1
+	bad := float64(h.expired) + 2*float64(h.corrupt) + 0.5*float64(h.lateBeats)
+	return good / (good + bad)
 }
 
 // Coordinator schedules one job across workers. Create with
@@ -129,6 +225,19 @@ type Coordinator struct {
 	jobSpan *span.Span // root trace span; nil when tracing is off
 
 	granted, expired, reassigned, duplicates, rejected int64
+	hedged, quarantined, shed                          int64
+
+	// health is the per-worker scorecard feeding quarantine decisions.
+	health map[string]*workerHealth
+	// completions is a ring of observed lease grant→delivery times; its
+	// p99 drives the hedge threshold. compIdx is the total recorded.
+	completions []time.Duration
+	compIdx     int
+
+	// inflight counts fabric RPCs currently being handled, for
+	// MaxInflightRPCs admission control (outside mu: the check must not
+	// queue on the coordinator lock it protects).
+	inflight atomic.Int64
 }
 
 // NewCoordinator builds the coordinator for job: constructs the runner,
@@ -158,6 +267,7 @@ func NewCoordinator(ctx context.Context, job JobSpec, opts CoordinatorOptions) (
 		chunks:   make([]chunkState, sim.NumChunks(job.Trials)),
 		leases:   map[string]*lease{},
 		workers:  map[string]time.Time{},
+		health:   map[string]*workerHealth{},
 		done:     make(chan struct{}),
 	}
 	if c.clock == nil {
@@ -322,7 +432,10 @@ func (c *Coordinator) touchLocked(worker string, now time.Time) {
 }
 
 // expireLocked returns every lapsed lease's not-yet-done chunks to the
-// pending pool. Called with mu held.
+// pending pool. With hedging, a chunk goes back to pending only when no
+// *other* live lease still covers it — the hedge (or the primary) keeps
+// working the range, and double-granting it would just burn a third
+// worker. Called with mu held.
 func (c *Coordinator) expireLocked(now time.Time) {
 	for id, l := range c.leases {
 		if !now.After(l.expires) {
@@ -330,7 +443,7 @@ func (c *Coordinator) expireLocked(now time.Time) {
 		}
 		n := 0
 		for i := l.chunks.Lo; i < l.chunks.Hi; i++ {
-			if c.chunks[i] == chunkLeased {
+			if c.chunks[i] == chunkLeased && !c.chunkCoveredLocked(i, id) {
 				c.chunks[i] = chunkPending
 				c.pending[i] = now
 				n++
@@ -339,11 +452,124 @@ func (c *Coordinator) expireLocked(now time.Time) {
 		delete(c.leases, id)
 		c.expired++
 		c.reassigned += int64(n)
+		c.healthLocked(l.worker).expired++
 		if c.opts.Metrics != nil {
 			c.opts.Metrics.LeaseExpired(n)
 		}
 		l.span.End(span.Str("outcome", "expired"), span.Int("reassigned", n))
 	}
+}
+
+// chunkCoveredLocked reports whether any lease other than `except`
+// still covers chunk i. Called with mu held.
+func (c *Coordinator) chunkCoveredLocked(i int, except string) bool {
+	for id, l := range c.leases {
+		if id != except && l.chunks.Lo <= i && i < l.chunks.Hi {
+			return true
+		}
+	}
+	return false
+}
+
+// healthLocked returns (allocating on first sight) the worker's
+// scorecard. Called with mu held.
+func (c *Coordinator) healthLocked(worker string) *workerHealth {
+	h := c.health[worker]
+	if h == nil {
+		h = &workerHealth{}
+		c.health[worker] = h
+	}
+	return h
+}
+
+// quarantineLocked blacklists a worker: flag it, revoke its outstanding
+// leases (their chunks return to the pool immediately rather than at
+// TTL), bump the metric, and drop a "quarantine" span under the job
+// recording why. Called with mu held; the caller has already decided.
+func (c *Coordinator) quarantineLocked(worker, reason string, now time.Time) {
+	h := c.healthLocked(worker)
+	if h.quarantined {
+		return
+	}
+	h.quarantined = true
+	c.quarantined++
+	for _, l := range c.leases {
+		if l.worker == worker {
+			l.expires = now.Add(-time.Nanosecond)
+		}
+	}
+	c.expireLocked(now)
+	if c.opts.Metrics != nil {
+		c.opts.Metrics.WorkerQuarantined()
+	}
+	c.opts.Tracer.Start("quarantine", c.jobSpan.Context(),
+		span.Str("worker", worker), span.Bool("quarantined", true), span.Str("reason", reason),
+		span.Int64("corrupt_uploads", h.corrupt), span.Float("score", h.score())).End()
+}
+
+// recordCompletionLocked feeds one lease's grant→delivery time into the
+// hedge threshold ring. Called with mu held.
+func (c *Coordinator) recordCompletionLocked(d time.Duration) {
+	const ringCap = 256
+	if len(c.completions) < ringCap {
+		c.completions = append(c.completions, d)
+	} else {
+		c.completions[c.compIdx%ringCap] = d
+	}
+	c.compIdx++
+}
+
+// hedgeThresholdLocked derives the lease age past which a hedge may
+// fire: HedgeFactor × the p99 (nearest-rank) of observed completion
+// times, once HedgeMinSamples completions exist. Called with mu held.
+func (c *Coordinator) hedgeThresholdLocked() (time.Duration, bool) {
+	if len(c.completions) < c.opts.hedgeMinSamples() {
+		return 0, false
+	}
+	ds := append([]time.Duration(nil), c.completions...)
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	idx := (len(ds)*99+99)/100 - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(ds) {
+		idx = len(ds) - 1
+	}
+	return time.Duration(float64(ds[idx]) * c.opts.hedgeFactor()), true
+}
+
+// hedgeCandidateLocked picks the oldest lease worth hedging for an idle
+// worker: held by someone else, not already fully hedged, past the age
+// threshold, and still covering at least one not-done chunk. Called
+// with mu held.
+func (c *Coordinator) hedgeCandidateLocked(worker string, now time.Time) *lease {
+	thr, ok := c.hedgeThresholdLocked()
+	if !ok {
+		return nil
+	}
+	var best *lease
+	for _, l := range c.leases {
+		if l.worker == worker || l.hedges >= c.opts.maxHedges() {
+			continue
+		}
+		if now.Sub(l.granted) < thr {
+			continue
+		}
+		live := false
+		for i := l.chunks.Lo; i < l.chunks.Hi; i++ {
+			if c.chunks[i] == chunkLeased {
+				live = true
+				break
+			}
+		}
+		if !live {
+			continue
+		}
+		if best == nil || l.granted.Before(best.granted) {
+			best = l
+		}
+	}
+	return best
 }
 
 // liveWorkersLocked counts workers seen within twice the lease TTL.
@@ -359,10 +585,12 @@ func (c *Coordinator) liveWorkersLocked(now time.Time) int {
 }
 
 // grant hands out the next lease: the first contiguous run of pending
-// chunks, up to LeaseChunks long. The returned SpanContext names the
-// grant's "lease" span (zero when none was granted or tracing is off);
-// the lease handler injects it into the response headers so the
-// worker's spans parent under it.
+// chunks, up to LeaseChunks long. When nothing is pending but leased
+// chunks linger past the hedge threshold, an idle worker gets a hedge —
+// a duplicate lease on the straggler's range. The returned SpanContext
+// names the grant's "lease" span (zero when none was granted or tracing
+// is off); the lease handler injects it into the response headers so
+// the worker's spans parent under it.
 func (c *Coordinator) grant(worker string) (LeaseResponse, span.SpanContext) {
 	now := c.clock.Now()
 	c.mu.Lock()
@@ -372,6 +600,24 @@ func (c *Coordinator) grant(worker string) (LeaseResponse, span.SpanContext) {
 	if c.complete {
 		return LeaseResponse{Done: true}, span.SpanContext{}
 	}
+	h := c.healthLocked(worker)
+	if !h.quarantined && c.opts.MinWorkerScore > 0 && h.granted >= 4 && h.score() < c.opts.MinWorkerScore {
+		c.quarantineLocked(worker, "score", now)
+	}
+	if h.quarantined {
+		return LeaseResponse{None: true, Quarantined: true,
+			RetryMs: c.opts.leaseTTL().Milliseconds()}, span.SpanContext{}
+	}
+	held := 0
+	for _, l := range c.leases {
+		if l.worker == worker {
+			held++
+		}
+	}
+	if held >= c.opts.maxLeasesPerWorker() {
+		// Admission control: this worker already holds its fill.
+		return LeaseResponse{None: true, RetryMs: c.opts.leaseTTL().Milliseconds()/2 + 1}, span.SpanContext{}
+	}
 	lo := -1
 	for i, st := range c.chunks {
 		if st == chunkPending {
@@ -380,6 +626,11 @@ func (c *Coordinator) grant(worker string) (LeaseResponse, span.SpanContext) {
 		}
 	}
 	if lo < 0 {
+		if c.opts.Hedge {
+			if victim := c.hedgeCandidateLocked(worker, now); victim != nil {
+				return c.issueLocked(worker, victim.chunks, victim, now)
+			}
+		}
 		// Everything remaining is leased out; the worker should ask again
 		// after a fraction of the TTL (by then either a result landed or a
 		// lease expired).
@@ -397,21 +648,41 @@ func (c *Coordinator) grant(worker string) (LeaseResponse, span.SpanContext) {
 			c.opts.Metrics.LeaseWait(now.Sub(c.pending[i]).Seconds())
 		}
 	}
+	return c.issueLocked(worker, sim.ChunkRange{Lo: lo, Hi: hi}, nil, now)
+}
+
+// issueLocked mints a lease (or, with hedgeOf set, a hedge duplicating
+// hedgeOf's range) for worker and builds the grant response. Called
+// with mu held.
+func (c *Coordinator) issueLocked(worker string, chunks sim.ChunkRange, hedgeOf *lease, now time.Time) (LeaseResponse, span.SpanContext) {
 	c.nextLease++
 	l := &lease{
-		id:      fmt.Sprintf("lease-%d", c.nextLease),
-		worker:  worker,
-		chunks:  sim.ChunkRange{Lo: lo, Hi: hi},
-		expires: now.Add(c.opts.leaseTTL()),
-		granted: now,
+		id:       fmt.Sprintf("lease-%d", c.nextLease),
+		worker:   worker,
+		chunks:   chunks,
+		expires:  now.Add(c.opts.leaseTTL()),
+		granted:  now,
+		lastBeat: now,
 	}
-	l.span = c.opts.Tracer.Start("lease", c.jobSpan.Context(),
+	attrs := []span.Attr{
 		span.Str("lease", l.id), span.Str("worker", worker),
-		span.Int("lo", lo), span.Int("hi", hi))
+		span.Int("lo", chunks.Lo), span.Int("hi", chunks.Hi),
+	}
+	if hedgeOf != nil {
+		l.hedgeOf = hedgeOf.id
+		hedgeOf.hedges++
+		c.hedged++
+		attrs = append(attrs, span.Bool("hedge", true), span.Str("hedge_of", hedgeOf.id))
+		if c.opts.Metrics != nil {
+			c.opts.Metrics.HedgeIssued()
+		}
+	}
+	l.span = c.opts.Tracer.Start("lease", c.jobSpan.Context(), attrs...)
 	c.leases[l.id] = l
 	c.granted++
+	c.healthLocked(worker).granted++
 	if c.opts.Metrics != nil {
-		c.opts.Metrics.LeaseGranted(hi - lo)
+		c.opts.Metrics.LeaseGranted(chunks.Hi - chunks.Lo)
 	}
 	job := c.job
 	return LeaseResponse{
@@ -439,6 +710,13 @@ func (c *Coordinator) heartbeat(req HeartbeatRequest) HeartbeatResponse {
 	if !ok || l.worker != req.Worker {
 		return HeartbeatResponse{Expired: true}
 	}
+	// Workers beat every TTL/3; a renewal arriving later than 2·TTL/3
+	// after the previous one means at least one beat went missing —
+	// heartbeat latency feeding the health score.
+	if now.Sub(l.lastBeat) > c.opts.leaseTTL()*2/3 {
+		c.healthLocked(l.worker).lateBeats++
+	}
+	l.lastBeat = now
 	l.expires = now.Add(c.opts.leaseTTL())
 	return HeartbeatResponse{OK: true}
 }
@@ -455,9 +733,10 @@ func (c *Coordinator) result(req ResultPayload) (ResultResponse, error) {
 	if l, ok := c.leases[req.Lease]; ok && l.worker == req.Worker {
 		// Settle the lease: chunks it covered that the fragment does not
 		// mark done fall back to pending (a worker only reports complete
-		// ranges, so normally none).
+		// ranges, so normally none) — unless another live lease (the
+		// hedge, or the primary this hedge duplicated) still covers them.
 		for i := l.chunks.Lo; i < l.chunks.Hi; i++ {
-			if c.chunks[i] == chunkLeased {
+			if c.chunks[i] == chunkLeased && !c.chunkCoveredLocked(i, req.Lease) {
 				c.chunks[i] = chunkPending
 				c.pending[i] = now
 			}
@@ -497,9 +776,31 @@ func (c *Coordinator) result(req ResultPayload) (ResultResponse, error) {
 	}
 	c.mu.Lock()
 	c.duplicates += int64(dups)
+	if settled != nil {
+		c.healthLocked(settled.worker).delivered++
+		c.recordCompletionLocked(now.Sub(settled.granted))
+	}
 	done := c.complete
 	c.mu.Unlock()
 	return ResultResponse{Accepted: accepted, Duplicates: dups, Done: done}, nil
+}
+
+// noteCorrupt charges a corrupt upload (failed checksum, JSON, or job
+// identity) to the worker's scorecard and quarantines it past the
+// configured threshold. The worker name comes from the WorkerHeader
+// when the body was too corrupt to name one.
+func (c *Coordinator) noteCorrupt(worker string) {
+	if worker == "" {
+		return
+	}
+	now := c.clock.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := c.healthLocked(worker)
+	h.corrupt++
+	if qc := c.opts.QuarantineCorrupt; qc > 0 && !h.quarantined && h.corrupt >= int64(qc) {
+		c.quarantineLocked(worker, "corrupt-uploads", now)
+	}
 }
 
 // endSpan closes a settled lease's span with its outcome; nil-safe for
@@ -528,16 +829,27 @@ func (c *Coordinator) Status() Status {
 	defer c.mu.Unlock()
 	c.expireLocked(now)
 	s := Status{
-		Trials:            c.job.Trials,
-		Chunks:            len(c.chunks),
-		WorkersLive:       c.liveWorkersLocked(now),
-		Complete:          c.complete,
-		LeasesGranted:     c.granted,
-		LeasesExpired:     c.expired,
-		ChunksReassigned:  c.reassigned,
-		DuplicatesDropped: c.duplicates,
-		ResultsRejected:   c.rejected,
+		Trials:             c.job.Trials,
+		Chunks:             len(c.chunks),
+		WorkersLive:        c.liveWorkersLocked(now),
+		Complete:           c.complete,
+		LeasesGranted:      c.granted,
+		LeasesExpired:      c.expired,
+		ChunksReassigned:   c.reassigned,
+		DuplicatesDropped:  c.duplicates,
+		ResultsRejected:    c.rejected,
+		HedgesIssued:       c.hedged,
+		WorkersQuarantined: c.quarantined,
+		RPCsShed:           c.shed,
 	}
+	for worker, h := range c.health {
+		s.Workers = append(s.Workers, WorkerStatus{
+			Worker: worker, Granted: h.granted, Delivered: h.delivered,
+			Expired: h.expired, Corrupt: h.corrupt, LateHeartbeats: h.lateBeats,
+			Score: h.score(), Quarantined: h.quarantined,
+		})
+	}
+	sort.Slice(s.Workers, func(i, j int) bool { return s.Workers[i].Worker < s.Workers[j].Worker })
 	for _, st := range c.chunks {
 		switch st {
 		case chunkDone:
@@ -654,8 +966,38 @@ func (c *Coordinator) Handler() http.Handler {
 			}
 		}
 	}
+	// admit sheds load once MaxInflightRPCs fabric RPCs are already in
+	// flight: 429 plus a Retry-After the worker's backoff honors. The
+	// counter is atomic — an overloaded coordinator must refuse work
+	// without queueing on the very lock that is overloaded.
+	admit := func(h http.HandlerFunc) http.HandlerFunc {
+		limit := int64(c.opts.MaxInflightRPCs)
+		if limit <= 0 {
+			return h
+		}
+		retryAfter := int(c.opts.leaseTTL().Seconds() / 2)
+		if retryAfter < 1 {
+			retryAfter = 1
+		}
+		return func(w http.ResponseWriter, r *http.Request) {
+			if c.inflight.Add(1) > limit {
+				c.inflight.Add(-1)
+				c.mu.Lock()
+				c.shed++
+				c.mu.Unlock()
+				if c.opts.Metrics != nil {
+					c.opts.Metrics.RPCShed()
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+				http.Error(w, "fabric: coordinator overloaded", http.StatusTooManyRequests)
+				return
+			}
+			defer c.inflight.Add(-1)
+			h(w, r)
+		}
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/lease", instrument("lease", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/lease", instrument("lease", admit(func(w http.ResponseWriter, r *http.Request) {
 		var req LeaseRequest
 		if !readJSON(w, r, &req) {
 			return
@@ -667,36 +1009,46 @@ func (c *Coordinator) Handler() http.Handler {
 		// body write.
 		span.Inject(span.SpanContext{Trace: c.opts.Tracer.TraceID(), Span: leaseCtx.Span}, w.Header())
 		writeJSON(w, resp)
-	}))
-	mux.HandleFunc("POST /v1/heartbeat", instrument("heartbeat", func(w http.ResponseWriter, r *http.Request) {
+	})))
+	mux.HandleFunc("POST /v1/heartbeat", instrument("heartbeat", admit(func(w http.ResponseWriter, r *http.Request) {
 		var req HeartbeatRequest
 		if !readJSON(w, r, &req) {
 			return
 		}
 		writeJSON(w, c.heartbeat(req))
-	}))
-	mux.HandleFunc("POST /v1/result", instrument("result", func(w http.ResponseWriter, r *http.Request) {
+	})))
+	mux.HandleFunc("POST /v1/result", instrument("result", admit(func(w http.ResponseWriter, r *http.Request) {
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxResultBody))
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
 		// CRC verification on receipt: a truncated or bit-flipped upload
-		// is refused here, before any of it can touch the frontier.
+		// is refused here, before any of it can touch the frontier. The
+		// reply is 422 — the worker's copy of the bytes is good, the
+		// transit corrupted them, so retrying the upload is the fix —
+		// and the corruption is charged to the worker named by the RPC
+		// header (the body is unparseable, so it names nobody).
 		payload, err := sim.DecodeEnvelope(body)
 		if err != nil {
 			c.noteRejected()
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			c.noteCorrupt(r.Header.Get(WorkerHeader))
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 			return
 		}
 		var req ResultPayload
 		if err := json.Unmarshal(payload, &req); err != nil {
 			c.noteRejected()
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			c.noteCorrupt(r.Header.Get(WorkerHeader))
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 			return
 		}
 		resp, err := c.result(req)
 		if err != nil {
+			// A fragment that decoded cleanly but fails job-identity
+			// validation is a misbehaving worker, not line noise: 409,
+			// which the worker treats as permanent.
+			c.noteCorrupt(req.Worker)
 			status := http.StatusConflict
 			if !errors.Is(err, ErrJobMismatch) {
 				status = http.StatusInternalServerError
@@ -705,7 +1057,7 @@ func (c *Coordinator) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, resp)
-	}))
+	})))
 	mux.HandleFunc("GET /v1/status", instrument("status", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, c.Status())
 	}))

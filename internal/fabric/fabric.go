@@ -64,6 +64,16 @@ var ErrQuorumLost = errors.New("fabric: worker quorum lost")
 // refused.
 var ErrJobMismatch = errors.New("fabric: result does not match this job")
 
+// ErrWorkerQuarantined reports a worker the coordinator has blacklisted
+// (too many corrupt uploads, or a health score below the floor): it
+// will be granted no further leases and should exit.
+var ErrWorkerQuarantined = errors.New("fabric: worker quarantined by coordinator")
+
+// WorkerHeader carries the worker's ID on every RPC, so the coordinator
+// can attribute a result whose *body* failed checksum or JSON decoding
+// (and therefore names no worker) for corrupt-upload health accounting.
+const WorkerHeader = "X-Fabric-Worker"
+
 // JobSpec is the complete, serializable description of one distributed
 // job. It is what the coordinator sends a worker inside a lease
 // response; two processes holding equal specs reconstruct bit-identical
@@ -119,6 +129,13 @@ type Metrics interface {
 	// ChunkDuration records the mean per-chunk grant-to-result
 	// turnaround of one settled lease, weighted by its chunk count.
 	ChunkDuration(seconds float64, chunks int)
+	// HedgeIssued records one hedged lease: a speculative duplicate of
+	// a straggling lease's range, granted before the original expired.
+	HedgeIssued()
+	// WorkerQuarantined records one worker blacklisted for misbehavior.
+	WorkerQuarantined()
+	// RPCShed records one RPC refused with 429 under admission control.
+	RPCShed()
 }
 
 // Wire messages. Everything crosses the network as JSON; result bodies
@@ -150,6 +167,9 @@ type LeaseResponse struct {
 	// leased); retry after RetryMs.
 	None    bool  `json:"none,omitempty"`
 	RetryMs int64 `json:"retry_ms,omitempty"`
+	// Quarantined tells the worker it is blacklisted: no lease will
+	// ever be granted to it again, so it should exit rather than poll.
+	Quarantined bool `json:"quarantined,omitempty"`
 	// Job and Lease are set when a lease is granted.
 	Job   *JobSpec `json:"job,omitempty"`
 	Lease *Lease   `json:"lease,omitempty"`
@@ -205,4 +225,29 @@ type Status struct {
 	ChunksReassigned  int64 `json:"chunks_reassigned"`
 	DuplicatesDropped int64 `json:"duplicates_dropped"`
 	ResultsRejected   int64 `json:"results_rejected"`
+
+	HedgesIssued       int64 `json:"hedges_issued"`
+	WorkersQuarantined int64 `json:"workers_quarantined"`
+	RPCsShed           int64 `json:"rpcs_shed"`
+	// Workers is the per-worker health table, sorted by worker ID.
+	Workers []WorkerStatus `json:"workers,omitempty"`
+}
+
+// WorkerStatus is one worker's health snapshot inside Status.
+type WorkerStatus struct {
+	Worker    string `json:"worker"`
+	Granted   int64  `json:"granted"`
+	Delivered int64  `json:"delivered"`
+	Expired   int64  `json:"expired"`
+	// Corrupt counts uploads from this worker that failed checksum,
+	// JSON decoding, or job-identity validation.
+	Corrupt int64 `json:"corrupt,omitempty"`
+	// LateHeartbeats counts renewals that arrived more than 2/3 of a
+	// TTL after the previous one (the worker beats every TTL/3).
+	LateHeartbeats int64 `json:"late_heartbeats,omitempty"`
+	// Score is the Laplace-smoothed health score in (0, 1]: delivered
+	// leases against expiries, corrupt uploads (double weight) and late
+	// heartbeats (half weight).
+	Score       float64 `json:"score"`
+	Quarantined bool    `json:"quarantined,omitempty"`
 }

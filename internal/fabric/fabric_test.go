@@ -102,10 +102,11 @@ func TestFabricSmoke(t *testing.T) {
 }
 
 // TestMergeIdempotencyProperty is the satellite property test: chunk
-// results delivered out of order, duplicated, and re-run by a second
-// worker (as after lease reassignment) always finalize to the estimate
-// of an in-order single-process run — for both estimators, across
-// randomized partitions and delivery orders.
+// results delivered out of order, duplicated, and — modeling hedged
+// leases — computed by 2–3 concurrent "workers" racing the same
+// in-flight range with shuffled completion orders, always finalize to
+// the estimate of an in-order single-process run — for both estimators,
+// across randomized partitions and delivery orders.
 func TestMergeIdempotencyProperty(t *testing.T) {
 	ctx := context.Background()
 	rng := rand.New(rand.NewSource(99))
@@ -131,35 +132,63 @@ func TestMergeIdempotencyProperty(t *testing.T) {
 					ranges = append(ranges, sim.ChunkRange{Lo: cuts[i-1], Hi: cuts[i]})
 				}
 			}
-			// ...some ranges computed twice, as when a lease expires and its
-			// chunks are reassigned but the original worker delivers late...
-			deliveries := append([]sim.ChunkRange(nil), ranges...)
-			for _, r := range ranges {
+			// ...some ranges hedged: duplicated to 2–3 concurrent workers,
+			// as when the coordinator speculatively re-issues a straggling
+			// lease (or an expired one is reassigned while the original
+			// worker delivers late)...
+			type delivery struct {
+				r      sim.ChunkRange
+				worker string
+			}
+			var deliveries []delivery
+			var delivered []sim.ChunkRange
+			for ri, r := range ranges {
+				copies := 1
 				if rng.Intn(2) == 0 {
-					deliveries = append(deliveries, r)
+					copies = 2 + rng.Intn(2)
+				}
+				for cp := 0; cp < copies; cp++ {
+					deliveries = append(deliveries, delivery{r: r, worker: fmt.Sprintf("w%d-%d", ri, cp)})
+					delivered = append(delivered, r)
 				}
 			}
-			// ...delivered in a random order.
+			// ...launched in a random order and completing concurrently, so
+			// the merge sees every interleaving the race can produce.
 			rng.Shuffle(len(deliveries), func(i, j int) {
 				deliveries[i], deliveries[j] = deliveries[j], deliveries[i]
 			})
+			frags := map[sim.ChunkRange]*sim.Checkpoint{}
+			for _, r := range ranges {
+				frag, _, err := runner.RunRange(ctx, 1+rng.Intn(3), r, EngineHooks{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				frags[r] = frag
+			}
 
 			c, err := NewCoordinator(ctx, spec, CoordinatorOptions{})
 			if err != nil {
 				t.Fatal(err)
 			}
-			for di, r := range deliveries {
-				frag, _, err := runner.RunRange(ctx, 1+rng.Intn(3), r, EngineHooks{})
-				if err != nil {
-					t.Fatal(err)
-				}
-				if _, err := c.result(ResultPayload{
-					Worker:     fmt.Sprintf("w%d", di%3),
-					Lease:      fmt.Sprintf("unknown-%d", di),
-					Checkpoint: frag,
-				}); err != nil {
-					t.Fatalf("delivery %v: %v", r, err)
-				}
+			errCh := make(chan error, len(deliveries))
+			var wg sync.WaitGroup
+			for di, d := range deliveries {
+				wg.Add(1)
+				go func(di int, d delivery) {
+					defer wg.Done()
+					if _, err := c.result(ResultPayload{
+						Worker:     d.worker,
+						Lease:      fmt.Sprintf("unknown-%d", di),
+						Checkpoint: frags[d.r],
+					}); err != nil {
+						errCh <- fmt.Errorf("delivery %v by %s: %w", d.r, d.worker, err)
+					}
+				}(di, d)
+			}
+			wg.Wait()
+			close(errCh)
+			for err := range errCh {
+				t.Fatal(err)
 			}
 			if !c.Done() {
 				t.Fatalf("round %d: coordinator not done after full delivery", round)
@@ -170,11 +199,11 @@ func TestMergeIdempotencyProperty(t *testing.T) {
 			}
 			if got != want {
 				t.Errorf("%s round %d: estimate %q != reference %q (deliveries %v)",
-					estimator, round, got, want, deliveries)
+					estimator, round, got, want, delivered)
 			}
-			if st := c.Status(); st.DuplicatesDropped != int64(extraChunks(deliveries)) {
+			if st := c.Status(); st.DuplicatesDropped != int64(extraChunks(delivered)) {
 				t.Errorf("%s round %d: %d duplicate chunks dropped, want %d",
-					estimator, round, st.DuplicatesDropped, extraChunks(deliveries))
+					estimator, round, st.DuplicatesDropped, extraChunks(delivered))
 			}
 		}
 	}
@@ -319,7 +348,9 @@ func TestResultRejection(t *testing.T) {
 		t.Errorf("mismatch error %q does not name the offending field", rerr)
 	}
 
-	// Over HTTP: a corrupted envelope bounces with a 400 before parsing.
+	// Over HTTP: a corrupted envelope bounces with a 422 before parsing
+	// — unprocessable rather than bad-request, so a worker whose upload
+	// was mangled in transit retries the same bytes instead of giving up.
 	ts := httptest.NewServer(c.Handler())
 	defer ts.Close()
 	resp, err := http.Post(ts.URL+"/v1/result", "application/json", strings.NewReader(`{"artifact_version":2,"crc32c":"00000000","payload":{}}`))
@@ -327,8 +358,8 @@ func TestResultRejection(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("corrupt envelope status = %d, want 400", resp.StatusCode)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("corrupt envelope status = %d, want 422", resp.StatusCode)
 	}
 	if st := c.Status(); st.ResultsRejected != 2 || st.ChunksDone != 0 {
 		t.Errorf("status = %d rejected / %d done, want 2 / 0", st.ResultsRejected, st.ChunksDone)

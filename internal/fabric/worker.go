@@ -23,6 +23,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -60,6 +61,18 @@ type Worker struct {
 	// Report, when non-nil, receives one line per lease settled (granted,
 	// completed, expired) — the worker's operational log.
 	Report func(format string, args ...any)
+	// Breaker, when non-nil, wraps the transport leg of every RPC in a
+	// circuit breaker: a run of consecutive transport failures (a dead
+	// or partitioned coordinator address) opens it, and further
+	// attempts fail instantly with fault.ErrBreakerOpen — transient, so
+	// the retry policy keeps backing off without hammering the address.
+	// HTTP responses of any status count as transport success.
+	Breaker *fault.Breaker
+	// Jitter draws the full-jitter fraction in [0, 1) for the
+	// all-leased-out polling backoff, so a fleet of idle workers does
+	// not stampede the coordinator in lockstep when a lease expires.
+	// Nil uses the fault package's seeded source.
+	Jitter func() float64
 	// Tracer, when non-nil, records the worker's side of the job trace:
 	// a "worker.lease" span per lease (parented under the coordinator's
 	// "lease" span via the response headers), "chunk" spans per engine
@@ -107,7 +120,34 @@ func (w *Worker) report(format string, args ...any) {
 
 // errPermanent marks an RPC failure retrying cannot fix (a 4xx: the
 // request itself is wrong, or the coordinator rejected the payload).
+// 429 (overload — back off and retry) and 422 (the upload was corrupted
+// in transit; the local bytes are fine) are NOT permanent.
 var errPermanent = errors.New("fabric: permanent rpc failure")
+
+// retryAfterError is a 429 with the server's requested backoff; it
+// implements fault.RetryAfterHint, so DoCtx floors the next wait at the
+// server's ask.
+type retryAfterError struct {
+	status string
+	after  time.Duration
+}
+
+func (e *retryAfterError) Error() string             { return e.status }
+func (e *retryAfterError) RetryAfter() time.Duration { return e.after }
+
+func (w *Worker) jitter() float64 {
+	if w.Jitter != nil {
+		return w.Jitter()
+	}
+	return fault.Uniform01()
+}
+
+// recordBreaker reports a transport outcome to the breaker, if any.
+func (w *Worker) recordBreaker(err error) {
+	if w.Breaker != nil {
+		w.Breaker.Record(err)
+	}
+}
 
 // retryPolicy is w.Retry with the DoCtx clock and the transient/
 // permanent classifier installed.
@@ -145,19 +185,46 @@ func (w *Worker) post(ctx context.Context, path string, body []byte, out any, pa
 			return fmt.Errorf("%w: %v", errPermanent, err)
 		}
 		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(WorkerHeader, w.id())
 		span.Inject(sp.Context(), req.Header)
+		// The breaker guards only the transport leg: getting any HTTP
+		// response back is success (an open breaker means the address is
+		// dead, not that the coordinator dislikes us). ErrBreakerOpen is
+		// transient, so the retry policy's backoff keeps pacing attempts
+		// without the breaker ever letting them touch the wire.
+		if b := w.Breaker; b != nil {
+			if err := b.Allow(); err != nil {
+				return err
+			}
+		}
 		resp, err := w.client().Do(req)
 		if err != nil {
+			w.recordBreaker(err)
 			return err
 		}
 		defer resp.Body.Close()
 		data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 		if err != nil {
+			w.recordBreaker(err)
 			return err
 		}
+		w.recordBreaker(nil)
 		if resp.StatusCode != http.StatusOK {
 			err := fmt.Errorf("fabric: %s: %s: %s", path, resp.Status, bytes.TrimSpace(data))
-			if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			switch {
+			case resp.StatusCode == http.StatusTooManyRequests:
+				// Overload shed: honor the coordinator's Retry-After as
+				// a floor on the next backoff.
+				var after time.Duration
+				if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+					after = time.Duration(secs) * time.Second
+				}
+				return &retryAfterError{status: err.Error(), after: after}
+			case resp.StatusCode == http.StatusUnprocessableEntity:
+				// The upload was corrupted in transit (failed the CRC
+				// envelope); our bytes are good, so retrying resends them.
+				return err
+			case resp.StatusCode >= 400 && resp.StatusCode < 500:
 				return fmt.Errorf("%w: %v", errPermanent, err)
 			}
 			return err
@@ -221,12 +288,24 @@ func (w *Worker) Run(ctx context.Context) error {
 		case lr.Done:
 			w.report("worker %s: job complete, exiting", id)
 			return nil
+		case lr.Quarantined:
+			w.report("worker %s: quarantined by coordinator, exiting", id)
+			return ErrWorkerQuarantined
 		case lr.None:
 			wait := time.Duration(lr.RetryMs) * time.Millisecond
 			if wait <= 0 {
 				wait = 100 * time.Millisecond
 			}
-			ws := w.Tracer.Start("lease.wait", span.SpanContext{}, span.Str("worker", id))
+			// Full jitter (U[0,1) of the advertised wait, floored at
+			// 1ms): every idle worker lands on a different instant, so a
+			// lease expiry does not trigger a thundering herd of
+			// simultaneous re-polls.
+			wait = time.Duration(w.jitter() * float64(wait))
+			if wait < time.Millisecond {
+				wait = time.Millisecond
+			}
+			ws := w.Tracer.Start("lease.wait", span.SpanContext{},
+				span.Str("worker", id), span.Int64("wait_ms", wait.Milliseconds()))
 			select {
 			case <-w.clock().After(wait):
 				ws.End()

@@ -9,6 +9,7 @@ package fault
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -45,6 +46,41 @@ type RetryPolicy struct {
 	// OnRetry, when non-nil, observes each retry (attempt is 1-based:
 	// the retry about to run) — the hook behind the obs retry counters.
 	OnRetry func(attempt int, err error)
+	// MaxElapsed, when positive, bounds the total wall clock one DoCtx
+	// call may spend across attempts and backoff waits, measured
+	// through Clock. When the budget runs out mid-backoff, DoCtx sleeps
+	// only the remainder and returns the last attempt's error wrapped
+	// in a *BudgetExceededError. Do ignores it (its Sleep seam has no
+	// clock).
+	MaxElapsed time.Duration
+}
+
+// BudgetExceededError reports a DoCtx call that ran out of its
+// MaxElapsed budget while the operation was still failing. It unwraps
+// to the last attempt's error.
+type BudgetExceededError struct {
+	// Budget is the configured MaxElapsed.
+	Budget time.Duration
+	// Elapsed is how long the call actually ran.
+	Elapsed time.Duration
+	// Last is the final attempt's error.
+	Last error
+}
+
+// Error reports the budget, the elapsed time and the last failure.
+func (e *BudgetExceededError) Error() string {
+	return fmt.Sprintf("fault: retry budget %v exceeded after %v (last attempt: %v)", e.Budget, e.Elapsed, e.Last)
+}
+
+// Unwrap exposes the last attempt's error to errors.Is/As.
+func (e *BudgetExceededError) Unwrap() error { return e.Last }
+
+// RetryAfterHint is implemented by errors that carry the server's
+// requested backoff (an HTTP 429 Retry-After). DoCtx honors the hint as
+// a floor on the next backoff wait, found via errors.As anywhere in the
+// attempt's error chain.
+type RetryAfterHint interface {
+	RetryAfter() time.Duration
 }
 
 // Defaults returns p with unset knobs filled in: 4 attempts, 5ms base,
@@ -74,6 +110,12 @@ func defaultJitter() float64 {
 	defer jitterRNG.mu.Unlock()
 	return jitterRNG.rng.Float64()
 }
+
+// Uniform01 draws from the package-level seeded jitter source — the
+// same full-jitter fraction the retry policies use, exported for
+// callers (the fabric worker's idle-poll backoff) that need to
+// decorrelate their own waits.
+func Uniform01() float64 { return defaultJitter() }
 
 // Backoff reports the maximum sleep before the given 0-based retry
 // attempt: min(Cap, Base·2^attempt). Exposed for tests asserting pacing.
@@ -120,13 +162,18 @@ func (p RetryPolicy) Do(fn func() error) error {
 	return err
 }
 
-// DoCtx is Do with cancellation: every backoff wait runs through
-// Clock.After in a select against ctx.Done(), so a cancelled context
-// interrupts the wait immediately instead of sleeping out up to Cap per
-// attempt, and ctx is also checked before each attempt. On cancellation
-// the returned error matches ctx.Err() via errors.Is (wrapping the last
-// attempt's error, when there was one, for context). The Sleep seam is
-// ignored — it exists for Do's uninterruptible waits.
+// DoCtx is Do with cancellation and an optional time budget: every
+// backoff wait runs through Clock.After in a select against ctx.Done(),
+// so a cancelled context interrupts the wait immediately instead of
+// sleeping out up to Cap per attempt, and ctx is also checked before
+// each attempt. On cancellation the returned error matches ctx.Err()
+// via errors.Is (wrapping the last attempt's error, when there was one,
+// for context). When an attempt's error carries a RetryAfterHint (an
+// HTTP 429's Retry-After), the hint floors the next backoff wait. With
+// MaxElapsed set, a budget that runs out mid-backoff cuts the final
+// wait short and returns a *BudgetExceededError wrapping the last
+// attempt's error. The Sleep seam is ignored — it exists for Do's
+// uninterruptible waits.
 func (p RetryPolicy) DoCtx(ctx context.Context, fn func() error) error {
 	p = p.Defaults()
 	jitter := p.Jitter
@@ -136,6 +183,10 @@ func (p RetryPolicy) DoCtx(ctx context.Context, fn func() error) error {
 	clock := p.Clock
 	if clock == nil {
 		clock = Wall
+	}
+	var start time.Time
+	if p.MaxElapsed > 0 {
+		start = clock.Now()
 	}
 	var err error
 	for attempt := 0; attempt < p.Attempts; attempt++ {
@@ -154,8 +205,32 @@ func (p RetryPolicy) DoCtx(ctx context.Context, fn func() error) error {
 		if p.OnRetry != nil {
 			p.OnRetry(attempt+1, err)
 		}
+		wait := time.Duration(jitter() * float64(p.Backoff(attempt)))
+		var hint RetryAfterHint
+		if errors.As(err, &hint) {
+			if after := hint.RetryAfter(); after > wait {
+				wait = after
+			}
+		}
+		if p.MaxElapsed > 0 {
+			elapsed := clock.Now().Sub(start)
+			remaining := p.MaxElapsed - elapsed
+			if remaining <= 0 {
+				return &BudgetExceededError{Budget: p.MaxElapsed, Elapsed: elapsed, Last: err}
+			}
+			if wait > remaining {
+				// The budget runs out mid-backoff: sleep only the
+				// remainder, then give up.
+				select {
+				case <-clock.After(remaining):
+				case <-ctx.Done():
+					return ctxRetryErr(ctx, err)
+				}
+				return &BudgetExceededError{Budget: p.MaxElapsed, Elapsed: clock.Now().Sub(start), Last: err}
+			}
+		}
 		select {
-		case <-clock.After(time.Duration(jitter() * float64(p.Backoff(attempt)))):
+		case <-clock.After(wait):
 		case <-ctx.Done():
 			return ctxRetryErr(ctx, err)
 		}

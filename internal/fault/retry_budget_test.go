@@ -1,0 +1,97 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestDoCtxMaxElapsed: the wall-clock budget cuts the retry loop short
+// mid-backoff — the final wait sleeps only the remainder and the last
+// attempt error comes back wrapped in a typed BudgetExceededError.
+func TestDoCtxMaxElapsed(t *testing.T) {
+	clock := NewFakeClock(time.Unix(0, 0))
+	boom := errors.New("still failing")
+	calls := 0
+	done := make(chan error, 1)
+	p := RetryPolicy{
+		Attempts: 10, Base: time.Second, Cap: time.Second,
+		MaxElapsed: 2500 * time.Millisecond,
+		Clock:      clock, Jitter: func() float64 { return 1.0 },
+	}
+	go func() {
+		done <- p.DoCtx(context.Background(), func() error { calls++; return boom })
+	}()
+	// Two full 1s backoffs fit the budget; the third would overrun it,
+	// so DoCtx waits only the remaining 500ms and gives up.
+	for _, step := range []time.Duration{time.Second, time.Second, 500 * time.Millisecond} {
+		waitForWaiter(t, clock)
+		clock.Advance(step)
+	}
+	err := <-done
+	var be *BudgetExceededError
+	if !errors.As(err, &be) {
+		t.Fatalf("DoCtx = %v, want a *BudgetExceededError", err)
+	}
+	if be.Budget != p.MaxElapsed || be.Elapsed != 2500*time.Millisecond {
+		t.Fatalf("budget error = %+v, want budget %v elapsed 2.5s", be, p.MaxElapsed)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("budget error does not unwrap to the last attempt error: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("fn ran %d times, want 3 (budget cut the 10-attempt policy short)", calls)
+	}
+}
+
+// TestDoCtxMaxElapsedSpentBeforeBackoff: when slow attempts alone eat
+// the budget, DoCtx returns without any final wait.
+func TestDoCtxMaxElapsedSpentBeforeBackoff(t *testing.T) {
+	clock := NewFakeClock(time.Unix(0, 0))
+	boom := errors.New("slow failure")
+	p := RetryPolicy{Attempts: 5, Base: time.Millisecond, MaxElapsed: 10 * time.Second, Clock: clock}
+	err := p.DoCtx(context.Background(), func() error {
+		clock.Advance(11 * time.Second) // the attempt itself overruns the budget
+		return boom
+	})
+	var be *BudgetExceededError
+	if !errors.As(err, &be) || be.Elapsed < 10*time.Second {
+		t.Fatalf("DoCtx = %v, want BudgetExceededError with elapsed >= budget", err)
+	}
+}
+
+// TestDoCtxRetryAfterHint: a 429-style hint floors the next backoff
+// wait above the policy's own exponential schedule.
+func TestDoCtxRetryAfterHint(t *testing.T) {
+	clock := NewFakeClock(time.Unix(0, 0))
+	calls := 0
+	done := make(chan error, 1)
+	p := RetryPolicy{Attempts: 3, Base: time.Millisecond, Cap: time.Millisecond,
+		Clock: clock, Jitter: func() float64 { return 0.5 }}
+	go func() {
+		done <- p.DoCtx(context.Background(), func() error {
+			calls++
+			if calls == 1 {
+				return &hintedErr{after: 30 * time.Second}
+			}
+			return nil
+		})
+	}()
+	waitForWaiter(t, clock)
+	clock.Advance(time.Second) // far past the 1ms policy backoff, short of the hint
+	select {
+	case err := <-done:
+		t.Fatalf("DoCtx returned %v before the Retry-After hint elapsed", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	clock.Advance(29 * time.Second)
+	if err := <-done; err != nil || calls != 2 {
+		t.Fatalf("DoCtx = %v after %d calls, want nil after 2", err, calls)
+	}
+}
+
+type hintedErr struct{ after time.Duration }
+
+func (e *hintedErr) Error() string             { return "overloaded, retry later" }
+func (e *hintedErr) RetryAfter() time.Duration { return e.after }

@@ -1,0 +1,578 @@
+package fault
+
+// The network adversary: a deterministic, seedable fault injector for
+// HTTP RPCs, mirroring the filesystem Injector one layer up the stack.
+// A Network owns one seeded RNG and a fault table; Transport wraps a
+// client's http.RoundTripper and Middleware wraps a server's handler, so
+// both sides of the fabric protocol face the same adversary. Faults are
+// typed (*NetError, matching ErrInjected) and every delay runs through a
+// Clock, so FakeClock tests are bit-identical and a failing storm
+// replays from its seed alone.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// NetOp names one network fault the injector can produce.
+type NetOp uint8
+
+const (
+	// NetLatency delays an RPC (client side: before the request is
+	// sent; server side: before the handler runs).
+	NetLatency NetOp = iota
+	// NetDrop severs the connection: the client sees a transport error,
+	// the server aborts the handler without writing a response.
+	NetDrop
+	// Net5xx replaces the response with an injected 502/500.
+	Net5xx
+	// NetCorrupt flips bytes in the response body.
+	NetCorrupt
+	// NetTruncate cuts the response body short; the read ends in
+	// io.ErrUnexpectedEOF, as a connection cut mid-body would.
+	NetTruncate
+	// NetSlowDrip delivers the response body a few bytes per tick.
+	NetSlowDrip
+	// NetCorruptSend flips bytes in the request body (a corrupt upload).
+	NetCorruptSend
+	// NetPartition fails an RPC because a scripted partition window
+	// separates the two endpoints.
+	NetPartition
+	numNetOps
+)
+
+var netOpNames = [numNetOps]string{
+	"latency", "drop", "http5xx", "corrupt", "truncate", "slowdrip", "corrupt-send", "partition",
+}
+
+// String names the fault ("drop", "partition", ...).
+func (op NetOp) String() string {
+	if int(op) < len(netOpNames) {
+		return netOpNames[op]
+	}
+	return fmt.Sprintf("netop(%d)", uint8(op))
+}
+
+// NetError is one injected network fault: what fired and between which
+// endpoints. It matches ErrInjected via errors.Is.
+type NetError struct {
+	Op     NetOp
+	Source string
+	Dest   string
+}
+
+// Error names the fault and the endpoints.
+func (e *NetError) Error() string {
+	return fmt.Sprintf("fault: injected net %s (%s -> %s)", e.Op, e.Source, e.Dest)
+}
+
+// Is reports a match against ErrInjected.
+func (e *NetError) Is(target error) bool { return target == ErrInjected }
+
+// NetProbs holds the per-RPC fault probabilities, all in [0, 1]; zero
+// fields never fire (and consume no RNG draws, so disabling a fault does
+// not shift the others' placement).
+type NetProbs struct {
+	// Latency delays the RPC by a uniform draw in [LatencyMin,
+	// LatencyMax] (defaults 1ms–10ms).
+	Latency    float64
+	LatencyMin time.Duration
+	LatencyMax time.Duration
+	// Drop severs the connection before the request is delivered.
+	Drop float64
+	// HTTP5xx replaces the response with an injected 502.
+	HTTP5xx float64
+	// Corrupt flips 1–3 bytes of the response body.
+	Corrupt float64
+	// Truncate cuts the response body at a random prefix.
+	Truncate float64
+	// SlowDrip delivers the response body DripChunk bytes (default 64)
+	// per DripDelay (default 2ms).
+	SlowDrip  float64
+	DripChunk int
+	DripDelay time.Duration
+	// CorruptSend flips 1–3 bytes of the request body, but only on
+	// requests whose URL path contains CorruptSendPath (empty matches
+	// every request with a body). The path filter exists because
+	// corrupting a lease request just garbles JSON the coordinator
+	// rejects; corrupting a result upload exercises the CRC envelope
+	// and the corrupt-upload quarantine.
+	CorruptSend     float64
+	CorruptSendPath string
+}
+
+// partWindow is one scripted partition: endpoints a and b (unordered,
+// "*" matches any endpoint) cannot exchange RPCs in [from, until).
+type partWindow struct {
+	a, b        string
+	from, until time.Time
+}
+
+// Network is the shared fault state behind a set of Transports and
+// Middlewares: one seeded RNG (draws serialize through the mutex, so
+// fault placement under concurrency follows goroutine interleaving, but
+// the protocol it exercises must be correct under any placement), the
+// fault table, the scripted partitions, and per-fault counts.
+type Network struct {
+	clock Clock
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	probs  NetProbs
+	parts  []partWindow
+	counts [numNetOps]int64
+}
+
+// NewNetwork returns a Network drawing from seed, timing delays through
+// clock (nil means Wall), firing faults at the given probabilities.
+func NewNetwork(seed int64, clock Clock, probs NetProbs) *Network {
+	if clock == nil {
+		clock = Wall
+	}
+	return &Network{clock: clock, rng: rand.New(rand.NewSource(seed)), probs: probs}
+}
+
+// Clock reports the clock the network times its delays with.
+func (n *Network) Clock() Clock { return n.clock }
+
+// Partition scripts a bidirectional partition between endpoints a and b
+// (unordered; "*" matches any endpoint) over [from, until).
+func (n *Network) Partition(a, b string, from, until time.Time) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.parts = append(n.parts, partWindow{a: a, b: b, from: from, until: until})
+}
+
+// PartitionFor scripts a partition window starting after `after` from
+// now (on the network's clock) and lasting `dur`.
+func (n *Network) PartitionFor(a, b string, after, dur time.Duration) {
+	now := n.clock.Now()
+	n.Partition(a, b, now.Add(after), now.Add(after).Add(dur))
+}
+
+// Partitioned reports whether endpoints a and b are separated by a
+// scripted partition at time now.
+func (n *Network) Partitioned(a, b string, now time.Time) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, w := range n.parts {
+		if now.Before(w.from) || !now.Before(w.until) {
+			continue
+		}
+		if (matchEndpoint(w.a, a) && matchEndpoint(w.b, b)) ||
+			(matchEndpoint(w.a, b) && matchEndpoint(w.b, a)) {
+			return true
+		}
+	}
+	return false
+}
+
+func matchEndpoint(pat, name string) bool { return pat == "*" || pat == name }
+
+// trip draws one fault decision, counting hits. Zero probability draws
+// nothing.
+func (n *Network) trip(op NetOp, p float64) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if p > 0 && n.rng.Float64() < p {
+		n.counts[op]++
+		return true
+	}
+	return false
+}
+
+// record counts a fault decided outside trip (partitions).
+func (n *Network) record(op NetOp) {
+	n.mu.Lock()
+	n.counts[op]++
+	n.mu.Unlock()
+}
+
+// latency draws one injected delay.
+func (n *Network) latency() time.Duration {
+	lo, hi := n.probs.LatencyMin, n.probs.LatencyMax
+	if lo <= 0 {
+		lo = time.Millisecond
+	}
+	if hi < lo {
+		hi = 10 * time.Millisecond
+		if hi < lo {
+			hi = lo
+		}
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if hi == lo {
+		return lo
+	}
+	return lo + time.Duration(n.rng.Int63n(int64(hi-lo)+1))
+}
+
+// corruptBytes flips 1–3 random bytes of b in place (no-op when empty).
+func (n *Network) corruptBytes(b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	flips := 1 + n.rng.Intn(3)
+	for i := 0; i < flips; i++ {
+		b[n.rng.Intn(len(b))] ^= 0xFF
+	}
+}
+
+// cutLen picks the prefix length a truncated n-byte body keeps.
+func (n *Network) cutLen(size int) int {
+	if size <= 1 {
+		return 0
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rng.Intn(size)
+}
+
+// Faults reports how many faults have been injected per kind.
+func (n *Network) Faults() map[NetOp]int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[NetOp]int64)
+	for op, c := range n.counts {
+		if c > 0 {
+			out[NetOp(op)] = c
+		}
+	}
+	return out
+}
+
+// Total reports the total number of injected faults.
+func (n *Network) Total() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var t int64
+	for _, c := range n.counts {
+		t += c
+	}
+	return t
+}
+
+// PeerHeader carries the sender's endpoint name on faulted RPCs, so the
+// server-side Middleware can evaluate scripted partitions against the
+// named peer rather than an ephemeral address.
+const PeerHeader = "X-Fault-Peer"
+
+// Transport returns an http.RoundTripper that subjects every RPC from
+// the named source endpoint to the network's faults before and after
+// delegating to base (nil means http.DefaultTransport).
+func (n *Network) Transport(source string, base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &faultTransport{n: n, source: source, base: base}
+}
+
+type faultTransport struct {
+	n      *Network
+	source string
+	base   http.RoundTripper
+}
+
+// RoundTrip implements http.RoundTripper. Fault order is fixed —
+// partition, drop, latency, request corruption, the real round trip,
+// injected 5xx, response corruption, truncation, slow drip — so a seed
+// replays the same fault sequence for the same RPC sequence.
+func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	n := t.n
+	dest := req.URL.Host
+	if n.Partitioned(t.source, dest, n.clock.Now()) {
+		n.record(NetPartition)
+		closeRequest(req)
+		return nil, &NetError{Op: NetPartition, Source: t.source, Dest: dest}
+	}
+	if n.trip(NetDrop, n.probs.Drop) {
+		closeRequest(req)
+		return nil, &NetError{Op: NetDrop, Source: t.source, Dest: dest}
+	}
+	if n.trip(NetLatency, n.probs.Latency) {
+		select {
+		case <-n.clock.After(n.latency()):
+		case <-req.Context().Done():
+			closeRequest(req)
+			return nil, req.Context().Err()
+		}
+	}
+	if req.Body != nil && n.probs.CorruptSend > 0 &&
+		strings.Contains(req.URL.Path, n.probs.CorruptSendPath) &&
+		n.trip(NetCorruptSend, n.probs.CorruptSend) {
+		body, err := io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		n.corruptBytes(body)
+		req.Body = io.NopCloser(bytes.NewReader(body))
+		req.ContentLength = int64(len(body))
+	}
+	req.Header.Set(PeerHeader, t.source)
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if n.trip(Net5xx, n.probs.HTTP5xx) {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return &http.Response{
+			Status:     "502 Bad Gateway (injected)",
+			StatusCode: http.StatusBadGateway,
+			Proto:      resp.Proto,
+			ProtoMajor: resp.ProtoMajor,
+			ProtoMinor: resp.ProtoMinor,
+			Header:     http.Header{"X-Fault-Injected": []string{"http5xx"}},
+			Body:       io.NopCloser(strings.NewReader("fault: injected 502\n")),
+			Request:    req,
+		}, nil
+	}
+	if n.trip(NetCorrupt, n.probs.Corrupt) {
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		n.corruptBytes(body)
+		resp.Body = io.NopCloser(bytes.NewReader(body))
+		return resp, nil
+	}
+	if n.trip(NetTruncate, n.probs.Truncate) {
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		resp.Body = io.NopCloser(&truncatedBody{data: body[:n.cutLen(len(body))]})
+		return resp, nil
+	}
+	if n.trip(NetSlowDrip, n.probs.SlowDrip) {
+		resp.Body = &dripBody{n: n, ctx: req.Context(), body: resp.Body}
+	}
+	return resp, nil
+}
+
+// closeRequest releases the request body when the transport fails
+// before delegating to the base round tripper (which normally owns it).
+func closeRequest(req *http.Request) {
+	if req.Body != nil {
+		req.Body.Close()
+	}
+}
+
+// truncatedBody yields a prefix and then fails like a connection cut
+// mid-body.
+type truncatedBody struct {
+	data []byte
+	off  int
+}
+
+func (t *truncatedBody) Read(p []byte) (int, error) {
+	if t.off >= len(t.data) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	n := copy(p, t.data[t.off:])
+	t.off += n
+	return n, nil
+}
+
+func (t *truncatedBody) Close() error { return nil }
+
+// dripBody delivers the wrapped body DripChunk bytes per DripDelay.
+type dripBody struct {
+	n    *Network
+	ctx  interface{ Done() <-chan struct{} }
+	body io.ReadCloser
+}
+
+func (d *dripBody) Read(p []byte) (int, error) {
+	chunk := d.n.probs.DripChunk
+	if chunk <= 0 {
+		chunk = 64
+	}
+	delay := d.n.probs.DripDelay
+	if delay <= 0 {
+		delay = 2 * time.Millisecond
+	}
+	if len(p) > chunk {
+		p = p[:chunk]
+	}
+	select {
+	case <-d.n.clock.After(delay):
+	case <-d.ctx.Done():
+		return 0, io.ErrUnexpectedEOF
+	}
+	return d.body.Read(p)
+}
+
+func (d *dripBody) Close() error { return d.body.Close() }
+
+// Middleware returns a server-side hook for obs.NewHTTPServer: requests
+// arriving at the named endpoint face partitions, drops, latency,
+// request-body corruption, and injected 500s before the wrapped handler
+// runs. Drops and partitions abort the connection without a response
+// (http.ErrAbortHandler), which is what a severed link looks like to
+// the client.
+func (n *Network) Middleware(self string) func(http.Handler) http.Handler {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			peer := r.Header.Get(PeerHeader)
+			if peer == "" {
+				peer = r.RemoteAddr
+			}
+			if n.Partitioned(self, peer, n.clock.Now()) {
+				n.record(NetPartition)
+				panic(http.ErrAbortHandler)
+			}
+			if n.trip(NetDrop, n.probs.Drop) {
+				panic(http.ErrAbortHandler)
+			}
+			if n.trip(NetLatency, n.probs.Latency) {
+				select {
+				case <-n.clock.After(n.latency()):
+				case <-r.Context().Done():
+					panic(http.ErrAbortHandler)
+				}
+			}
+			if r.Body != nil && n.probs.CorruptSend > 0 &&
+				strings.Contains(r.URL.Path, n.probs.CorruptSendPath) &&
+				n.trip(NetCorruptSend, n.probs.CorruptSend) {
+				body, err := io.ReadAll(r.Body)
+				r.Body.Close()
+				if err != nil {
+					panic(http.ErrAbortHandler)
+				}
+				n.corruptBytes(body)
+				r.Body = io.NopCloser(bytes.NewReader(body))
+				r.ContentLength = int64(len(body))
+			}
+			if n.trip(Net5xx, n.probs.HTTP5xx) {
+				http.Error(w, "fault: injected 500", http.StatusInternalServerError)
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// NetScript is a parsed -chaos-net specification: the seed, the fault
+// table, and at most one scripted partition window (relative to Build
+// time) isolating the endpoint from everyone.
+type NetScript struct {
+	Seed  int64
+	Probs NetProbs
+
+	// HasPartition scripts one window cutting the endpoint off from
+	// every peer, starting PartitionAfter after Build and lasting
+	// PartitionDur.
+	HasPartition   bool
+	PartitionAfter time.Duration
+	PartitionDur   time.Duration
+}
+
+// ParseNetScript parses a comma-separated fault script, e.g.
+//
+//	seed=7,latency=0.3:1ms:10ms,drop=0.1,http500=0.05,corrupt=0.05,
+//	truncate=0.05,slowdrip=0.05,corrupt-send=0.1:/v1/result,
+//	partition=300ms+500ms
+//
+// Probability clauses are name=p; latency takes optional :min:max
+// bounds, slowdrip optional :chunk:delay, corrupt-send an optional
+// :path filter, and partition is after+duration. An omitted seed
+// defaults to 1.
+func ParseNetScript(s string) (*NetScript, error) {
+	sc := &NetScript{Seed: 1}
+	if strings.TrimSpace(s) == "" {
+		return sc, nil
+	}
+	for _, clause := range strings.Split(s, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(clause, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: net script clause %q: want key=value", clause)
+		}
+		var err error
+		switch key {
+		case "seed":
+			sc.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "latency":
+			parts := strings.Split(val, ":")
+			if sc.Probs.Latency, err = parseProb(parts[0]); err == nil && len(parts) >= 3 {
+				if sc.Probs.LatencyMin, err = time.ParseDuration(parts[1]); err == nil {
+					sc.Probs.LatencyMax, err = time.ParseDuration(parts[2])
+				}
+			}
+		case "drop":
+			sc.Probs.Drop, err = parseProb(val)
+		case "http500", "http5xx":
+			sc.Probs.HTTP5xx, err = parseProb(val)
+		case "corrupt":
+			sc.Probs.Corrupt, err = parseProb(val)
+		case "truncate":
+			sc.Probs.Truncate, err = parseProb(val)
+		case "slowdrip":
+			parts := strings.Split(val, ":")
+			if sc.Probs.SlowDrip, err = parseProb(parts[0]); err == nil && len(parts) >= 3 {
+				if sc.Probs.DripChunk, err = strconv.Atoi(parts[1]); err == nil {
+					sc.Probs.DripDelay, err = time.ParseDuration(parts[2])
+				}
+			}
+		case "corrupt-send":
+			prob, path, _ := strings.Cut(val, ":")
+			if sc.Probs.CorruptSend, err = parseProb(prob); err == nil {
+				sc.Probs.CorruptSendPath = path
+			}
+		case "partition":
+			after, dur, ok := strings.Cut(val, "+")
+			if !ok {
+				return nil, fmt.Errorf("fault: net script partition %q: want after+duration", val)
+			}
+			if sc.PartitionAfter, err = time.ParseDuration(after); err == nil {
+				sc.PartitionDur, err = time.ParseDuration(dur)
+				sc.HasPartition = true
+			}
+		default:
+			return nil, fmt.Errorf("fault: net script: unknown fault %q", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fault: net script clause %q: %v", clause, err)
+		}
+	}
+	return sc, nil
+}
+
+func parseProb(s string) (float64, error) {
+	p, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("probability %v outside [0,1]", p)
+	}
+	return p, nil
+}
+
+// Build realizes the script as a Network for the named endpoint,
+// scripting the partition window (if any) against every peer, anchored
+// at clock's current time.
+func (sc *NetScript) Build(self string, clock Clock) *Network {
+	n := NewNetwork(sc.Seed, clock, sc.Probs)
+	if sc.HasPartition {
+		n.PartitionFor(self, "*", sc.PartitionAfter, sc.PartitionDur)
+	}
+	return n
+}

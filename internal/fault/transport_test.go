@@ -1,0 +1,264 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoServer returns a test server that echoes the request body (or a
+// fixed payload on GET).
+func echoServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		if len(body) == 0 {
+			body = []byte("the quick brown fox jumps over the lazy dog, twice over")
+		}
+		w.Write(body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// outcome classifies one faulted RPC for replay comparison.
+func outcome(resp *http.Response, err error) string {
+	if err != nil {
+		var ne *NetError
+		if errors.As(err, &ne) {
+			return "neterr:" + ne.Op.String()
+		}
+		return "err"
+	}
+	defer resp.Body.Close()
+	body, rerr := io.ReadAll(resp.Body)
+	if rerr != nil {
+		return fmt.Sprintf("status=%d readerr", resp.StatusCode)
+	}
+	return fmt.Sprintf("status=%d body=%x", resp.StatusCode, body)
+}
+
+// TestTransportDeterministicReplay: two Networks with the same seed and
+// fault table produce the same fault sequence for the same RPC
+// sequence — the property that makes CHAOS_SEED replay work.
+func TestTransportDeterministicReplay(t *testing.T) {
+	srv := echoServer(t)
+	run := func() []string {
+		n := NewNetwork(42, nil, NetProbs{
+			Drop: 0.25, HTTP5xx: 0.25, Corrupt: 0.2, Truncate: 0.1,
+		})
+		client := &http.Client{Transport: n.Transport("w1", nil)}
+		var got []string
+		for i := 0; i < 60; i++ {
+			resp, err := client.Get(srv.URL + "/v1/lease")
+			got = append(got, outcome(resp, err))
+		}
+		return got
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at rpc %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	var faults int
+	for _, o := range a {
+		if o != "status=200 body="+fmt.Sprintf("%x", []byte("the quick brown fox jumps over the lazy dog, twice over")) {
+			faults++
+		}
+	}
+	if faults == 0 {
+		t.Fatal("storm injected no faults in 60 RPCs at these probabilities")
+	}
+}
+
+// TestTransportPartitionWindow: a scripted window fails RPCs with a
+// typed partition error exactly while it is open, on the injected
+// clock.
+func TestTransportPartitionWindow(t *testing.T) {
+	srv := echoServer(t)
+	clock := NewFakeClock(time.Unix(1000, 0))
+	n := NewNetwork(1, clock, NetProbs{})
+	n.PartitionFor("w1", "*", 10*time.Second, 10*time.Second)
+	client := &http.Client{Transport: n.Transport("w1", nil)}
+
+	if _, err := client.Get(srv.URL); err != nil {
+		t.Fatalf("RPC before the window failed: %v", err)
+	}
+	clock.Advance(15 * time.Second) // inside [t+10s, t+20s)
+	_, err := client.Get(srv.URL)
+	var ne *NetError
+	if !errors.As(err, &ne) || ne.Op != NetPartition || !errors.Is(err, ErrInjected) {
+		t.Fatalf("RPC inside the window = %v, want a typed NetPartition matching ErrInjected", err)
+	}
+	clock.Advance(10 * time.Second) // past the window
+	if _, err := client.Get(srv.URL); err != nil {
+		t.Fatalf("RPC after the window failed: %v", err)
+	}
+	if got := n.Faults()[NetPartition]; got != 1 {
+		t.Fatalf("partition fault count = %d, want 1", got)
+	}
+}
+
+// TestTransportTruncate: a truncated body reads as a connection cut
+// mid-body (io.ErrUnexpectedEOF), never a clean short read.
+func TestTransportTruncate(t *testing.T) {
+	srv := echoServer(t)
+	n := NewNetwork(7, nil, NetProbs{Truncate: 1})
+	client := &http.Client{Transport: n.Transport("w1", nil)}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	defer resp.Body.Close()
+	if _, err := io.ReadAll(resp.Body); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated read error = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+// TestTransportSlowDrip: a dripped body still delivers every byte.
+func TestTransportSlowDrip(t *testing.T) {
+	payload := strings.Repeat("abcdefgh", 64)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload)
+	}))
+	defer srv.Close()
+	n := NewNetwork(7, nil, NetProbs{SlowDrip: 1, DripChunk: 64, DripDelay: time.Millisecond})
+	client := &http.Client{Transport: n.Transport("w1", nil)}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil || string(body) != payload {
+		t.Fatalf("dripped body = %d bytes, err %v; want the full %d bytes", len(body), err, len(payload))
+	}
+}
+
+// TestTransportCorruptSendPathFilter: request-body corruption fires
+// only on the configured path, so lease JSON stays parseable while
+// result uploads face the CRC envelope.
+func TestTransportCorruptSendPathFilter(t *testing.T) {
+	srv := echoServer(t)
+	n := NewNetwork(3, nil, NetProbs{CorruptSend: 1, CorruptSendPath: "/v1/result"})
+	client := &http.Client{Transport: n.Transport("w1", nil)}
+	payload := []byte(`{"job":"j1","worker":"w1"}`)
+
+	resp, err := client.Post(srv.URL+"/v1/lease", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatalf("lease post: %v", err)
+	}
+	echoed, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Equal(echoed, payload) {
+		t.Fatalf("lease body was corrupted despite the path filter: %q", echoed)
+	}
+
+	resp, err = client.Post(srv.URL+"/v1/result", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatalf("result post: %v", err)
+	}
+	echoed, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if bytes.Equal(echoed, payload) {
+		t.Fatal("result body reached the server uncorrupted at probability 1")
+	}
+	if got := n.Faults()[NetCorruptSend]; got != 1 {
+		t.Fatalf("corrupt-send count = %d, want 1", got)
+	}
+}
+
+// TestMiddlewareFaults: the server-side hook injects 500s, severs
+// connections, and honors partitions against the named peer.
+func TestMiddlewareFaults(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	})
+
+	t.Run("http500", func(t *testing.T) {
+		n := NewNetwork(1, nil, NetProbs{HTTP5xx: 1})
+		srv := httptest.NewServer(n.Middleware("coord")(inner))
+		defer srv.Close()
+		resp, err := http.Get(srv.URL)
+		if err != nil || resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("got %v, %v; want an injected 500", resp, err)
+		}
+		resp.Body.Close()
+	})
+
+	t.Run("drop severs the connection", func(t *testing.T) {
+		n := NewNetwork(1, nil, NetProbs{Drop: 1})
+		srv := httptest.NewServer(n.Middleware("coord")(inner))
+		defer srv.Close()
+		if _, err := http.Get(srv.URL); err == nil {
+			t.Fatal("dropped request returned a response")
+		}
+	})
+
+	t.Run("partition by peer name", func(t *testing.T) {
+		clock := NewFakeClock(time.Unix(0, 0))
+		n := NewNetwork(1, clock, NetProbs{})
+		n.Partition("coord", "w1", clock.Now(), clock.Now().Add(time.Hour))
+		srv := httptest.NewServer(n.Middleware("coord")(inner))
+		defer srv.Close()
+
+		req, _ := http.NewRequest("GET", srv.URL, nil)
+		req.Header.Set(PeerHeader, "w1")
+		if _, err := http.DefaultClient.Do(req); err == nil {
+			t.Fatal("partitioned peer got a response")
+		}
+		req2, _ := http.NewRequest("GET", srv.URL, nil)
+		req2.Header.Set(PeerHeader, "w2")
+		resp, err := http.DefaultClient.Do(req2)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("unpartitioned peer: %v, %v; want 200", resp, err)
+		}
+		resp.Body.Close()
+	})
+}
+
+// TestParseNetScript: the CLI script grammar round-trips every knob.
+func TestParseNetScript(t *testing.T) {
+	sc, err := ParseNetScript("seed=99,latency=0.3:2ms:20ms,drop=0.1,http500=0.05,corrupt=0.04,truncate=0.03,slowdrip=0.02:32:3ms,corrupt-send=0.5:/v1/result,partition=300ms+500ms")
+	if err != nil {
+		t.Fatalf("ParseNetScript: %v", err)
+	}
+	p := sc.Probs
+	if sc.Seed != 99 || p.Latency != 0.3 || p.LatencyMin != 2*time.Millisecond || p.LatencyMax != 20*time.Millisecond ||
+		p.Drop != 0.1 || p.HTTP5xx != 0.05 || p.Corrupt != 0.04 || p.Truncate != 0.03 ||
+		p.SlowDrip != 0.02 || p.DripChunk != 32 || p.DripDelay != 3*time.Millisecond ||
+		p.CorruptSend != 0.5 || p.CorruptSendPath != "/v1/result" ||
+		!sc.HasPartition || sc.PartitionAfter != 300*time.Millisecond || sc.PartitionDur != 500*time.Millisecond {
+		t.Fatalf("parsed script mismatch: %+v", sc)
+	}
+
+	for _, bad := range []string{"nonsense=1", "drop=1.5", "drop", "partition=300ms"} {
+		if _, err := ParseNetScript(bad); err == nil {
+			t.Fatalf("ParseNetScript(%q) accepted invalid input", bad)
+		}
+	}
+	empty, err := ParseNetScript("")
+	if err != nil || empty.Seed != 1 {
+		t.Fatalf("empty script = %+v, %v; want default seed 1", empty, err)
+	}
+
+	// Build anchors the partition window at the clock's now.
+	clock := NewFakeClock(time.Unix(0, 0))
+	n := sc.Build("w1", clock)
+	if n.Partitioned("w1", "coord", clock.Now().Add(200*time.Millisecond)) {
+		t.Fatal("partition active before its window")
+	}
+	if !n.Partitioned("w1", "coord", clock.Now().Add(400*time.Millisecond)) {
+		t.Fatal("partition inactive inside its window")
+	}
+	if n.Partitioned("w1", "coord", clock.Now().Add(900*time.Millisecond)) {
+		t.Fatal("partition active after its window")
+	}
+}

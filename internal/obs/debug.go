@@ -41,7 +41,15 @@ func DebugHandler(reg *Registry) http.Handler {
 // Read/write timeouts stay unset on purpose: long-lived downloads
 // (pprof CPU profiles, large result uploads) are legitimate here, and
 // the slow-header and idle cases are what the attack needs.
-func NewHTTPServer(h http.Handler) *http.Server {
+//
+// Optional middleware wraps the handler innermost-last: the first
+// element of mw sees the request first. The chaos suite uses this to
+// inject server-side network faults (fault.Middleware) in front of the
+// coordinator without the coordinator knowing.
+func NewHTTPServer(h http.Handler, mw ...func(http.Handler) http.Handler) *http.Server {
+	for i := len(mw) - 1; i >= 0; i-- {
+		h = mw[i](h)
+	}
 	return &http.Server{
 		Handler:           h,
 		ReadHeaderTimeout: 10 * time.Second,

@@ -7,6 +7,8 @@ package obs
 // registry instruments. Everything here is a cold-path call (per lease,
 // per result, per sweep — never per trial), so plain counters suffice.
 
+import "repro/internal/fault"
+
 // FabricMetrics maintains the fabric.* instruments of one coordinator.
 type FabricMetrics struct {
 	leasesGranted    *Counter // leases handed to workers
@@ -23,6 +25,10 @@ type FabricMetrics struct {
 	leaseWait *Histogram // chunk pending-to-grant wait, seconds
 	rpcTime   *Histogram // RPC service time, seconds
 	chunkTime *Histogram // per-chunk grant-to-result turnaround, seconds
+
+	hedges      *Counter // hedged (speculative duplicate) leases issued
+	quarantined *Counter // workers blacklisted for misbehavior
+	shed        *Counter // RPCs refused with 429 under admission control
 }
 
 // NewFabricMetrics registers the fabric instruments in reg and returns
@@ -42,6 +48,9 @@ func NewFabricMetrics(reg *Registry) *FabricMetrics {
 		leaseWait:        reg.Histogram("fabric.lease_wait_seconds", SecondsBounds...),
 		rpcTime:          reg.Histogram("fabric.rpc_seconds", SecondsBounds...),
 		chunkTime:        reg.Histogram("fabric.chunk_seconds", SecondsBounds...),
+		hedges:           reg.Counter("fabric.hedges_issued"),
+		quarantined:      reg.Counter("fabric.workers_quarantined"),
+		shed:             reg.Counter("fabric.rpcs_shed"),
 	}
 }
 
@@ -94,4 +103,24 @@ func (m *FabricMetrics) RPCServed(route string, seconds float64) {
 // of one settled lease, weighted by its chunk count.
 func (m *FabricMetrics) ChunkDuration(seconds float64, chunks int) {
 	m.chunkTime.ObserveN(seconds, int64(chunks))
+}
+
+// HedgeIssued records one hedged lease: a speculative duplicate of a
+// straggling lease's range, granted before the original expired.
+func (m *FabricMetrics) HedgeIssued() { m.hedges.Inc() }
+
+// WorkerQuarantined records one worker blacklisted (corrupt uploads or
+// a health score below the floor).
+func (m *FabricMetrics) WorkerQuarantined() { m.quarantined.Inc() }
+
+// RPCShed records one RPC refused with 429 + Retry-After because the
+// coordinator was at its in-flight cap.
+func (m *FabricMetrics) RPCShed() { m.shed.Inc() }
+
+// BreakerGauge returns a fault.Breaker OnChange hook mirroring the new
+// state into the "fabric.breaker_state" gauge (0 closed, 1 open, 2
+// half-open) — the worker-side view of coordinator reachability.
+func BreakerGauge(reg *Registry) func(from, to fault.BreakerState) {
+	g := reg.Gauge("fabric.breaker_state")
+	return func(_, to fault.BreakerState) { g.Set(int64(to)) }
 }

@@ -396,6 +396,46 @@ func (tl *Timeline) ReassignmentChains() []ReassignmentChain {
 	return out
 }
 
+// HedgedLease pairs one speculative duplicate lease with the original
+// it hedged.
+type HedgedLease struct {
+	// Hedge is the duplicate lease span (carries the "hedge_of" attr).
+	Hedge *Record
+	// Original is the straggling lease's span, nil when its record is
+	// not in the merged set (e.g. a worker file read without the
+	// coordinator's).
+	Original *Record
+}
+
+// HedgedLeases returns the hedge relationships, in span order: lease
+// spans carrying a "hedge_of" attribute — speculative duplicates the
+// coordinator issued against a straggler before its lease expired —
+// paired with the original lease's span. Hedges are deliberately
+// distinct from ReassignmentChains: a chain requires a prior expiry,
+// a hedge overlaps a lease that is still live when it is issued.
+func (tl *Timeline) HedgedLeases() []HedgedLease {
+	byLease := map[string]*Record{}
+	var hedges []*Record
+	for _, r := range tl.Spans {
+		if r.Name != "lease" {
+			continue
+		}
+		if id := r.AttrStr("lease"); id != "" {
+			if _, dup := byLease[id]; !dup {
+				byLease[id] = r
+			}
+		}
+		if r.AttrStr("hedge_of") != "" {
+			hedges = append(hedges, r)
+		}
+	}
+	out := make([]HedgedLease, 0, len(hedges))
+	for _, h := range hedges {
+		out = append(out, HedgedLease{Hedge: h, Original: byLease[h.AttrStr("hedge_of")]})
+	}
+	return out
+}
+
 // RenderOptions tunes RenderText.
 type RenderOptions struct {
 	// TreeLimit caps the timeline tree at that many lines (0 = default
@@ -407,8 +447,13 @@ type RenderOptions struct {
 // critical path, per-phase latency, stragglers and reassignment
 // chains. Output is deterministic for a fixed input.
 func (tl *Timeline) RenderText(w io.Writer, opts RenderOptions) {
-	fmt.Fprintf(w, "trace %s: %d spans, services [%s], wall %s\n",
+	fmt.Fprintf(w, "trace %s: %d spans, services [%s], wall %s",
 		orUnknown(tl.TraceID()), len(tl.Spans), strings.Join(tl.Services(), " "), time.Duration(tl.WallNs()))
+	hedges := tl.HedgedLeases()
+	if n := len(hedges); n > 0 {
+		fmt.Fprintf(w, ", %d hedged", n)
+	}
+	fmt.Fprintln(w)
 
 	limit := opts.TreeLimit
 	if limit == 0 {
@@ -471,6 +516,21 @@ func (tl *Timeline) RenderText(w io.Writer, opts RenderOptions) {
 					l.AttrStr("lease"), orUnknown(l.AttrStr("worker")), orUnknown(l.AttrStr("outcome"))))
 			}
 			fmt.Fprintf(w, "  chunks [%d,%d): %s\n", ch.Lo, ch.Hi, strings.Join(hops, " -> "))
+		}
+	}
+
+	if len(hedges) > 0 {
+		fmt.Fprintf(w, "\nhedged leases (duplicates issued before expiry):\n")
+		for _, h := range hedges {
+			orig := h.Hedge.AttrStr("hedge_of")
+			if h.Original != nil {
+				orig = fmt.Sprintf("%s (%s, %s)", h.Original.AttrStr("lease"),
+					orUnknown(h.Original.AttrStr("worker")), orUnknown(h.Original.AttrStr("outcome")))
+			}
+			fmt.Fprintf(w, "  chunks [%d,%d): %s (%s, %s) hedges %s\n",
+				h.Hedge.AttrInt("lo"), h.Hedge.AttrInt("hi"),
+				h.Hedge.AttrStr("lease"), orUnknown(h.Hedge.AttrStr("worker")),
+				orUnknown(h.Hedge.AttrStr("outcome")), orig)
 		}
 	}
 }

@@ -52,10 +52,16 @@ func fakeFabricTrace(t *testing.T) []Record {
 	l2.End(Str("outcome", "delivered"), Int("accepted", 2))
 	wl2.End(Str("outcome", "delivered"))
 
-	// Lease 3 to w2: chunks [2,4), delivered directly.
+	// Lease 3 to w2: chunks [2,4). It straggles, so the coordinator
+	// hedges the same range to w1 (lease-4) before lease-3 expires; the
+	// hedge delivers first and the original settles as a duplicate.
 	l3 := coord.Start("lease", job.Context(), Str("lease", "lease-3"), Str("worker", "w2"), Int("lo", 2), Int("hi", 4))
-	clk.Advance(8 * time.Millisecond)
-	l3.End(Str("outcome", "delivered"), Int("accepted", 2))
+	clk.Advance(4 * time.Millisecond)
+	l4 := coord.Start("lease", job.Context(), Str("lease", "lease-4"), Str("worker", "w1"),
+		Int("lo", 2), Int("hi", 4), Bool("hedge", true), Str("hedge_of", "lease-3"))
+	clk.Advance(4 * time.Millisecond)
+	l4.End(Str("outcome", "delivered"), Int("accepted", 2))
+	l3.End(Str("outcome", "duplicate"))
 
 	fin := coord.Start("finalize", job.Context())
 	clk.Advance(time.Millisecond)
@@ -208,6 +214,31 @@ func TestTimelineReassignmentChains(t *testing.T) {
 	}
 }
 
+// TestTimelineHedgedLeases: the hedge relationship is surfaced from the
+// "hedge_of" attribute and kept distinct from reassignment chains
+// (which require a prior expiry — a hedge's original is still live).
+func TestTimelineHedgedLeases(t *testing.T) {
+	tl := BuildTimeline(fakeFabricTrace(t))
+	hs := tl.HedgedLeases()
+	if len(hs) != 1 {
+		t.Fatalf("hedged leases = %d, want 1", len(hs))
+	}
+	h := hs[0]
+	if got := h.Hedge.AttrStr("lease"); got != "lease-4" {
+		t.Errorf("hedge lease = %q, want lease-4", got)
+	}
+	if h.Original == nil || h.Original.AttrStr("lease") != "lease-3" {
+		t.Errorf("hedge original = %v, want lease-3", h.Original)
+	}
+	if got := h.Hedge.AttrInt("lo"); got != 2 {
+		t.Errorf("hedge lo = %d, want 2", got)
+	}
+	// The hedge must not leak into the expiry-reassignment report.
+	if chains := tl.ReassignmentChains(); len(chains) != 1 {
+		t.Errorf("reassignment chains = %d, want 1 (the hedge is not a chain)", len(chains))
+	}
+}
+
 // TestTimelineDeterministic is the acceptance gate for the analysis:
 // the same scripted FakeClock scenario, built twice from scratch,
 // renders byte-identical text and DOT reports.
@@ -230,6 +261,8 @@ func TestTimelineDeterministic(t *testing.T) {
 	for _, want := range []string{
 		"critical path", "phase latency", "stragglers", "reassignment chains",
 		"chunks [0,2): lease-1 (w1, expired) -> lease-2 (w2, delivered)",
+		"1 hedged", "hedged leases (duplicates issued before expiry):",
+		"chunks [2,4): lease-4 (w1, delivered) hedges lease-3 (w2, duplicate)",
 	} {
 		if !strings.Contains(text1, want) {
 			t.Errorf("RenderText missing %q:\n%s", want, text1)
